@@ -1,0 +1,114 @@
+// Figure 9 reproduction: ITFS overhead on grep-100KB, grep-1MB, Postmark
+// and SysBench under three filesystem configurations — ext4 (baseline),
+// ITFS with extension monitoring, and ITFS with signature monitoring.
+//
+// The reported metric is simulated time (manual timing): the simulator's
+// clock charges disk streaming, page-cache copies, metadata mutations, FUSE
+// crossings and signature scans, so the *ratios* are meaningful while wall
+// time of the simulator is not. After the google-benchmark run, a summary
+// prints the normalized chart exactly as the paper's Figure 9 lays it out.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+
+#include "bench/fig9_common.h"
+
+namespace {
+
+using fig9::BenchEnv;
+using fig9::FsConfig;
+using fig9::MakeEnv;
+
+// workload name -> config -> sim ns (filled by the benchmarks, used by the
+// summary table).
+std::map<std::string, std::map<FsConfig, uint64_t>>& Results() {
+  static std::map<std::string, std::map<FsConfig, uint64_t>> results;
+  return results;
+}
+
+void Record(const std::string& workload, FsConfig config, uint64_t sim_ns,
+            benchmark::State& state) {
+  Results()[workload][config] = sim_ns;
+  state.SetIterationTime(static_cast<double>(sim_ns) / 1e9);
+  state.counters["sim_ms"] =
+      benchmark::Counter(static_cast<double>(sim_ns) / 1e6, benchmark::Counter::kAvgIterations);
+}
+
+FsConfig ConfigOf(const benchmark::State& state) {
+  return static_cast<FsConfig>(state.range(0));
+}
+
+void BM_Grep100KB(benchmark::State& state) {
+  for (auto _ : state) {
+    BenchEnv env = MakeEnv(ConfigOf(state));
+    Record("grep-100KB", ConfigOf(state), fig9::RunGrepSmall(&env), state);
+  }
+}
+
+void BM_Grep1MB(benchmark::State& state) {
+  for (auto _ : state) {
+    BenchEnv env = MakeEnv(ConfigOf(state));
+    Record("grep-1MB", ConfigOf(state), fig9::RunGrepLarge(&env), state);
+  }
+}
+
+void BM_Postmark(benchmark::State& state) {
+  uint32_t seed = 1;
+  for (auto _ : state) {
+    BenchEnv env = MakeEnv(ConfigOf(state));
+    Record("Postmark", ConfigOf(state), fig9::RunPostmarkBench(&env, seed++), state);
+  }
+}
+
+void BM_SysBench(benchmark::State& state) {
+  uint32_t seed = 1;
+  for (auto _ : state) {
+    BenchEnv env = MakeEnv(ConfigOf(state));
+    Record("SysBench", ConfigOf(state), fig9::RunSysbenchBench(&env, seed++), state);
+  }
+}
+
+void ConfigArgs(benchmark::internal::Benchmark* bench) {
+  bench->Arg(static_cast<int>(FsConfig::kExt4))
+      ->Arg(static_cast<int>(FsConfig::kItfsExtension))
+      ->Arg(static_cast<int>(FsConfig::kItfsSignature))
+      ->UseManualTime()
+      ->Iterations(2)
+      ->Unit(benchmark::kMillisecond);
+}
+
+BENCHMARK(BM_Grep100KB)->Apply(ConfigArgs);
+BENCHMARK(BM_Grep1MB)->Apply(ConfigArgs);
+BENCHMARK(BM_Postmark)->Apply(ConfigArgs);
+BENCHMARK(BM_SysBench)->Apply(ConfigArgs);
+
+void PrintFigure9() {
+  std::printf("\n=== Figure 9: ITFS performance, normalized to ext4 = 1.00 ===\n");
+  std::printf("(paper:        ext4 1.00 | ITFS+extension .75/.98/.40/.97 | "
+              "ITFS+signature .31/.97/.20/.96)\n\n");
+  std::printf("%-12s %10s %16s %16s\n", "workload", "ext4", "ITFS+extension",
+              "ITFS+signature");
+  for (const char* workload : {"grep-100KB", "grep-1MB", "Postmark", "SysBench"}) {
+    auto& row = Results()[workload];
+    if (row.count(FsConfig::kExt4) == 0) {
+      continue;
+    }
+    double base = static_cast<double>(row[FsConfig::kExt4]);
+    std::printf("%-12s %10.2f %16.2f %16.2f\n", workload, 1.0,
+                base / static_cast<double>(row[FsConfig::kItfsExtension]),
+                base / static_cast<double>(row[FsConfig::kItfsSignature]));
+  }
+  std::printf("\nhigher is better (normalized performance, baseline = 1.0)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  PrintFigure9();
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Table 3 reproduction: the permission and isolation matrix per container
+// type, rendered from the actual deployed specs (not a hard-coded table) —
+// "X" marks explicitly granted resources, "-" resources implied by a
+// broader grant, exactly as the paper's legend defines.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "src/core/ticket_class.h"
+#include "src/workload/ticket_gen.h"
+
+namespace {
+
+const char* Mark(bool explicit_grant, bool implied = false) {
+  if (explicit_grant) {
+    return "X";
+  }
+  return implied ? "-" : " ";
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Table 3: permission and isolation per container type ===\n\n");
+  std::printf("%-34s|%-5s| %-18s | %-52s\n", "", "Perm", "Filesystem Access",
+              "Network Access");
+  std::printf("%-34s|%-5s| %-4s %-5s %-6s | %-4s %-5s %-5s %-5s %-5s %-4s %-6s\n",
+              "class", "Set", "Home", "/etc", "Root", "Lic", "Batch", "Stor", "Tgt",
+              "Repo", "Web", "NetNS");
+  std::printf("%s\n", std::string(110, '-').c_str());
+
+  for (int i = 1; i <= witload::kNumTicketClasses; ++i) {
+    watchit::SpecMatrixRow row = watchit::MatrixRowFor(i);
+    auto has_ep = [&row](const char* name) {
+      return std::find(row.net_endpoints.begin(), row.net_endpoints.end(), name) !=
+             row.net_endpoints.end();
+    };
+    bool net_shared = row.net_namespace_shared;
+    std::string label = row.cls + ": " + row.description;
+    std::printf("%-34s|%-5s| %-4s %-5s %-6s | %-4s %-5s %-5s %-5s %-5s %-4s %-6s\n",
+                label.c_str(), Mark(row.process_mgmt),
+                Mark(row.fs_home && !row.fs_root, row.fs_root),
+                Mark(row.fs_etc && !row.fs_root, row.fs_root), Mark(row.fs_root),
+                Mark(has_ep("license-server"), net_shared), Mark(has_ep("batch-server"),
+                net_shared),
+                Mark(has_ep("shared-storage"), net_shared),
+                Mark(has_ep("target-machine"), net_shared),
+                Mark(has_ep("software-repo"), net_shared),
+                Mark(has_ep("eclipse-mirror"), net_shared), Mark(net_shared));
+  }
+  std::printf("%s\n", std::string(110, '-').c_str());
+  std::printf("\nlegend: X explicitly included; - implicitly included via another grant\n");
+  std::printf("every container additionally carries the blanket constraints: ITFS document\n"
+              "filter, WatchIT-file protection, and IDS sniffing on all traffic (paper 6.2)\n");
+  return 0;
+}

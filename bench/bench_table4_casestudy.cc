@@ -1,0 +1,25 @@
+// Table 4 reproduction: the full case-study pipeline — train the topic
+// model on historical tickets, then classify, deploy, and replay the 398
+// evaluation-period tickets, accounting for every permission-broker use.
+
+#include <cstdio>
+
+#include "src/core/case_study.h"
+
+int main() {
+  std::printf("=== Table 4: the 398-ticket evaluation period ===\n\n");
+  watchit::CaseStudyConfig config;
+  config.train_tickets = 2500;
+  config.eval_tickets = 398;
+  config.lda.iterations = 300;
+  watchit::CaseStudyResult result = watchit::RunCaseStudy(config);
+  std::printf("%s\n", watchit::FormatTable4(result).c_str());
+
+  std::printf("paper reference (Table 4 totals): precision 95%%, satisfied 92%%,\n"
+              "PB-proc 1%%, PB-fs -, PB-net 7%%; isolation: full FS view denied 62%%,\n"
+              "process view compartmentalized 36%%, network view isolated 98%%,\n"
+              "web access 32%% (T-6, whitelisted only)\n");
+  std::printf("\nnote: the paper leaves T-11's broker columns blank; this reproduction\n"
+              "accounts T-11's TCB escalations (driver updates) under PB-fs.\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Shared setup for the Figure 9 reproduction and its ablations: builds a
+// machine, optionally deploys a whole-root perforated container with the
+// requested ITFS inspection mode, and runs the four workloads of §7.3.
+
+#ifndef BENCH_FIG9_COMMON_H_
+#define BENCH_FIG9_COMMON_H_
+
+#include <memory>
+#include <string>
+
+#include "src/container/containit.h"
+#include "src/workload/fs_workloads.h"
+
+namespace fig9 {
+
+enum class FsConfig {
+  kExt4,           // baseline: direct access to the disk filesystem
+  kItfsExtension,  // FUSE + ITFS with extension-only rules
+  kItfsSignature,  // FUSE + ITFS with content-signature inspection
+};
+
+inline const char* FsConfigName(FsConfig config) {
+  switch (config) {
+    case FsConfig::kExt4:
+      return "ext4";
+    case FsConfig::kItfsExtension:
+      return "ITFS+extension";
+    case FsConfig::kItfsSignature:
+      return "ITFS+signature";
+  }
+  return "?";
+}
+
+// A machine with the workload trees populated and (for ITFS configs) a
+// whole-root monitored container deployed. Workloads run as `actor`.
+struct BenchEnv {
+  std::unique_ptr<witos::Kernel> kernel;
+  std::unique_ptr<witcontain::ContainIt> containit;
+  witos::Pid actor = 1;
+
+  // Scaled-down versions of the paper's 25GB trees: the ratios depend on
+  // average file size, not total volume.
+  static constexpr size_t kGrepSmallFiles = 96;   // x 100KB
+  static constexpr size_t kGrepLargeFiles = 10;   // x 1MB
+};
+
+inline BenchEnv MakeEnv(FsConfig config) {
+  BenchEnv env;
+  env.kernel = std::make_unique<witos::Kernel>("bench");
+  witload::PopulateTree(env.kernel.get(), 1, "/data100k", BenchEnv::kGrepSmallFiles,
+                        100 * 1024, 8, "NEEDLE", 42);
+  witload::PopulateTree(env.kernel.get(), 1, "/data1m", BenchEnv::kGrepLargeFiles, 1024 * 1024,
+                        2, "NEEDLE", 43);
+  env.kernel->root_fs().ProvisionDir("/pm");
+  env.kernel->root_fs().ProvisionDir("/sb");
+  if (config == FsConfig::kExt4) {
+    return env;
+  }
+  env.containit = std::make_unique<witcontain::ContainIt>(env.kernel.get(), nullptr);
+  witcontain::PerforatedContainerSpec spec;
+  spec.name = "fig9";
+  spec.fs.kind = witcontain::FsView::Kind::kWholeRoot;
+  spec.fs.policy.AddRule(witfs::ItfsPolicy::DenyDocumentsRule());
+  spec.fs.policy.set_log_all(false);  // log rule hits only: the measured
+                                      // configuration, not the worst case
+  spec.fs.inspection = config == FsConfig::kItfsSignature
+                           ? witfs::InspectionMode::kSignature
+                           : witfs::InspectionMode::kExtensionOnly;
+  spec.net.sniff = false;
+  auto session = env.containit->Deploy(spec, "BENCH", "bench");
+  env.actor = env.containit->FindSession(*session)->shell;
+  return env;
+}
+
+struct Fig9Row {
+  double grep_100k = 0.0;  // normalized performance (baseline = 1.0)
+  double grep_1m = 0.0;
+  double postmark = 0.0;
+  double sysbench = 0.0;
+};
+
+inline uint64_t RunGrepSmall(BenchEnv* env) {
+  env->kernel->DropCaches();  // cold streaming read, as in the paper
+  return witload::RunGrep(env->kernel.get(), env->actor, "/data100k", "NEEDLE").sim_ns;
+}
+
+inline uint64_t RunGrepLarge(BenchEnv* env) {
+  env->kernel->DropCaches();
+  return witload::RunGrep(env->kernel.get(), env->actor, "/data1m", "NEEDLE").sim_ns;
+}
+
+inline uint64_t RunPostmarkBench(BenchEnv* env, uint32_t seed) {
+  witload::PostmarkConfig config;
+  config.initial_files = 120;
+  config.transactions = 600;
+  config.seed = seed;
+  return witload::RunPostmark(env->kernel.get(), env->actor,
+                              "/pm/run" + std::to_string(seed), config)
+      .sim_ns;
+}
+
+inline uint64_t RunSysbenchBench(BenchEnv* env, uint32_t seed) {
+  witload::SysbenchConfig config;
+  config.num_files = 4;
+  config.file_size = 4 * 1024 * 1024;
+  config.io_ops = 1500;
+  config.seed = seed;
+  return witload::RunSysbench(env->kernel.get(), env->actor,
+                              "/sb/run" + std::to_string(seed), config)
+      .sim_ns;
+}
+
+}  // namespace fig9
+
+#endif  // BENCH_FIG9_COMMON_H_

@@ -1,0 +1,131 @@
+#include "src/broker/anomaly.h"
+
+#include <cmath>
+
+namespace witbroker {
+
+void AnomalyDetector::Fit(const std::vector<BrokerEvent>& history) {
+  admin_key_counts_.clear();
+  admin_totals_.clear();
+  known_keys_.clear();
+  baseline_rate_.clear();
+  std::map<std::string, std::map<uint64_t, uint64_t>> windows;
+  for (const auto& event : history) {
+    ++admin_key_counts_[event.admin][Key(event)];
+    ++admin_totals_[event.admin];
+    known_keys_.insert(Key(event));
+    ++windows[event.admin][event.time_ns / options_.window_ns];
+  }
+  double global_sum = 0.0;
+  double global_windows = 0.0;
+  std::vector<double> all_counts;
+  for (const auto& [admin, counts] : windows) {
+    double sum = 0.0;
+    for (const auto& [w, n] : counts) {
+      sum += static_cast<double>(n);
+      all_counts.push_back(static_cast<double>(n));
+    }
+    double mean = sum / static_cast<double>(counts.size());
+    double var = 0.0;
+    for (const auto& [w, n] : counts) {
+      double d = static_cast<double>(n) - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(counts.size());
+    baseline_rate_[admin] = {mean, std::sqrt(var)};
+    global_sum += sum;
+    global_windows += static_cast<double>(counts.size());
+  }
+  if (global_windows > 0.0) {
+    double mean = global_sum / global_windows;
+    double var = 0.0;
+    for (double n : all_counts) {
+      var += (n - mean) * (n - mean);
+    }
+    var /= global_windows;
+    global_rate_ = {mean, std::sqrt(var)};
+    has_global_rate_ = true;
+  }
+}
+
+double AnomalyDetector::Surprise(const BrokerEvent& event) const {
+  double vocab = static_cast<double>(known_keys_.size()) + 1.0;
+  double smoothing = options_.smoothing;
+  auto admin_it = admin_key_counts_.find(event.admin);
+  double count = 0.0;
+  double total = 0.0;
+  if (admin_it != admin_key_counts_.end()) {
+    auto key_it = admin_it->second.find(Key(event));
+    if (key_it != admin_it->second.end()) {
+      count = static_cast<double>(key_it->second);
+    }
+    total = static_cast<double>(admin_totals_.at(event.admin));
+  }
+  double p = (count + smoothing) / (total + smoothing * vocab);
+  return -std::log2(p);
+}
+
+std::vector<AnomalyScore> AnomalyDetector::Analyze(
+    const std::vector<BrokerEvent>& events) const {
+  std::vector<AnomalyScore> scores;
+  scores.reserve(events.size());
+
+  // Pass 1: categorical surprise.
+  for (size_t i = 0; i < events.size(); ++i) {
+    AnomalyScore score;
+    score.event_index = i;
+    score.surprise = Surprise(events[i]);
+    if (score.surprise > options_.surprise_threshold) {
+      score.flagged = true;
+      score.reason = "unusual (class,verb) for admin";
+    }
+    scores.push_back(score);
+  }
+
+  // Pass 2: per-admin request-rate check over fixed windows, against the
+  // *baseline* statistics recorded at Fit() time (falling back to the
+  // analyzed stream for admins absent from the baseline).
+  std::map<std::string, std::map<uint64_t, uint64_t>> admin_window_counts;
+  for (const auto& event : events) {
+    ++admin_window_counts[event.admin][event.time_ns / options_.window_ns];
+  }
+  std::map<std::string, std::pair<double, double>> fallback_stats;
+  for (const auto& [admin, windows] : admin_window_counts) {
+    double sum = 0.0;
+    for (const auto& [w, n] : windows) {
+      sum += static_cast<double>(n);
+    }
+    double mean = sum / static_cast<double>(windows.size());
+    double var = 0.0;
+    for (const auto& [w, n] : windows) {
+      double d = static_cast<double>(n) - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(windows.size());
+    fallback_stats[admin] = {mean, std::sqrt(var)};
+  }
+  for (size_t i = 0; i < events.size(); ++i) {
+    const auto& event = events[i];
+    auto baseline = baseline_rate_.find(event.admin);
+    auto [mean, stddev] = baseline != baseline_rate_.end()
+                              ? baseline->second
+                              : (has_global_rate_ ? global_rate_ : fallback_stats[event.admin]);
+    uint64_t window = event.time_ns / options_.window_ns;
+    double n = static_cast<double>(admin_window_counts[event.admin][window]);
+    bool burst;
+    if (stddev > 0.0) {
+      burst = (n - mean) / stddev > options_.rate_zscore_threshold;
+    } else {
+      // A perfectly steady baseline: any window several times the habitual
+      // rate is a burst.
+      burst = mean > 0.0 && n > 4.0 * mean + 2.0;
+    }
+    if (burst && !scores[i].flagged) {
+      scores[i].flagged = true;
+      scores[i].reason = "request-rate burst";
+    }
+  }
+  return scores;
+}
+
+}  // namespace witbroker

@@ -1,0 +1,74 @@
+// Anomaly detection over permission-broker logs (paper §5.4: "the
+// permission broker's log is sufficiently succinct to be inspected and
+// analyzed for anomaly detection").
+//
+// Two detectors are combined:
+//  * a categorical surprise model — how unlikely is this (class, verb) pair
+//    for this administrator given the fitted history (-log probability with
+//    additive smoothing);
+//  * a rate model — a z-score on per-window request counts per admin,
+//    flagging bursts (e.g. a rogue admin hammering read_file).
+
+#ifndef SRC_BROKER_ANOMALY_H_
+#define SRC_BROKER_ANOMALY_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/broker/broker.h"
+
+namespace witbroker {
+
+struct AnomalyScore {
+  size_t event_index = 0;
+  double surprise = 0.0;  // -log2 p((class,verb) | admin)
+  bool flagged = false;
+  std::string reason;
+};
+
+class AnomalyDetector {
+ public:
+  struct Options {
+    double surprise_threshold = 6.0;  // bits
+    double rate_zscore_threshold = 4.0;
+    uint64_t window_ns = 60ull * 1000000000ull;  // 1 simulated minute
+    double smoothing = 0.5;
+  };
+
+  AnomalyDetector() : AnomalyDetector(Options()) {}
+  explicit AnomalyDetector(Options options) : options_(options) {}
+
+  // Fits the categorical model on historical (assumed benign) events.
+  void Fit(const std::vector<BrokerEvent>& history);
+
+  // Surprise of a single event under the fitted model.
+  double Surprise(const BrokerEvent& event) const;
+
+  // Scores a stream, flagging surprising events and rate bursts.
+  std::vector<AnomalyScore> Analyze(const std::vector<BrokerEvent>& events) const;
+
+ private:
+  std::string Key(const BrokerEvent& event) const {
+    return event.ticket_class + "|" + event.verb;
+  }
+
+  Options options_;
+  std::map<std::string, std::map<std::string, uint64_t>> admin_key_counts_;
+  std::map<std::string, uint64_t> admin_totals_;
+  std::set<std::string> known_keys_;
+  // Baseline request-rate statistics per admin (mean and stddev of events
+  // per occupied window), captured at Fit() time. Using the *baseline* as
+  // the definition of normal prevents a sustained campaign from masking
+  // itself by inflating the statistics of the stream under analysis.
+  std::map<std::string, std::pair<double, double>> baseline_rate_;
+  // Pooled rate statistics across all baseline admins — the yardstick for
+  // admins with no individual history.
+  std::pair<double, double> global_rate_{0.0, 0.0};
+  bool has_global_rate_ = false;
+};
+
+}  // namespace witbroker
+
+#endif  // SRC_BROKER_ANOMALY_H_

@@ -1,0 +1,218 @@
+#include "src/broker/broker.h"
+
+#include <charconv>
+
+namespace witbroker {
+
+namespace {
+
+witos::Pid ParsePidArg(const std::string& arg) {
+  witos::Pid pid = witos::kNoPid;
+  auto [ptr, ec] = std::from_chars(arg.data(), arg.data() + arg.size(), pid);
+  if (ec != std::errc() || ptr != arg.data() + arg.size()) {
+    return witos::kNoPid;
+  }
+  return pid;
+}
+
+}  // namespace
+
+PermissionBroker::PermissionBroker(witos::Kernel* kernel, witos::Pid host_pid,
+                                   PolicyManager* policy, RpcChannel* channel)
+    : kernel_(kernel), host_pid_(host_pid), policy_(policy) {
+  channel->Bind([this](const RpcRequest& request) { return Handle(request); });
+}
+
+void PermissionBroker::BindTicket(const std::string& ticket_id,
+                                  const std::string& ticket_class) {
+  ticket_class_[ticket_id] = ticket_class;
+}
+
+void PermissionBroker::RegisterVerb(const std::string& verb, VerbHandler handler) {
+  custom_verbs_[verb] = std::move(handler);
+}
+
+RpcResponse PermissionBroker::Ok(std::string payload) const {
+  RpcResponse resp;
+  resp.ok = true;
+  resp.payload = std::move(payload);
+  return resp;
+}
+
+RpcResponse PermissionBroker::Fail(witos::Err err) const {
+  RpcResponse resp;
+  resp.ok = false;
+  resp.error = witos::ErrName(err);
+  return resp;
+}
+
+RpcResponse PermissionBroker::Handle(const RpcRequest& request) {
+  uint64_t now = kernel_->clock().now_ns();
+  auto class_it = ticket_class_.find(request.ticket_id);
+  std::string ticket_class = class_it == ticket_class_.end() ? "" : class_it->second;
+
+  bool allowed = policy_->IsAllowed(ticket_class, request.method, request.admin) &&
+                 policy_->AdmitRate(ticket_class, request.admin, now);
+
+  BrokerEvent event;
+  event.time_ns = now;
+  event.admin = request.admin;
+  event.ticket_id = request.ticket_id;
+  event.ticket_class = ticket_class;
+  event.verb = request.method;
+  event.args = request.args;
+  event.granted = allowed;
+  events_.push_back(event);
+
+  // "Either way, these requests are logged in real-time to a secure
+  // append-only storage device."
+  std::string log_line = (allowed ? "GRANT " : "DENY ") + request.admin + " " +
+                         request.ticket_id + " [" + ticket_class + "] " + request.method;
+  for (const auto& arg : request.args) {
+    log_line += " " + arg;
+  }
+  log_.Append(log_line, now);
+  kernel_->audit().Append(
+      allowed ? witos::AuditEvent::kBrokerRequest : witos::AuditEvent::kBrokerDenied,
+      request.caller_pid, request.uid, log_line, now);
+
+  if (!allowed) {
+    return Fail(witos::Err::kPerm);
+  }
+  return Dispatch(request);
+}
+
+RpcResponse PermissionBroker::Dispatch(const RpcRequest& request) {
+  auto custom = custom_verbs_.find(request.method);
+  if (custom != custom_verbs_.end()) {
+    return custom->second(request);
+  }
+  if (request.method == kVerbPs) {
+    return HandlePs(request);
+  }
+  if (request.method == kVerbKill) {
+    return HandleKill(request);
+  }
+  if (request.method == kVerbReadFile) {
+    return HandleReadFile(request);
+  }
+  if (request.method == kVerbInstall) {
+    return HandleInstall(request);
+  }
+  if (request.method == kVerbRestartService) {
+    return HandleRestartService(request);
+  }
+  if (request.method == kVerbReboot) {
+    return HandleReboot(request);
+  }
+  if (request.method == kVerbDriverUpdate) {
+    return HandleDriverUpdate(request);
+  }
+  return Fail(witos::Err::kNoSys);
+}
+
+RpcResponse PermissionBroker::HandlePs(const RpcRequest& /*request*/) {
+  auto procs = kernel_->ListProcesses(host_pid_);
+  if (!procs.ok()) {
+    return Fail(procs.error());
+  }
+  std::string out = "PID\tUID\tCMD\n";
+  for (const auto& info : *procs) {
+    out += std::to_string(info.pid) + "\t" + std::to_string(info.uid) + "\t" + info.name +
+           (info.state == witos::ProcState::kZombie ? " <defunct>" : "") + "\n";
+  }
+  return Ok(out);
+}
+
+RpcResponse PermissionBroker::HandleKill(const RpcRequest& request) {
+  if (request.args.empty()) {
+    return Fail(witos::Err::kInval);
+  }
+  witos::Pid target = ParsePidArg(request.args[0]);
+  if (target == witos::kNoPid) {
+    return Fail(witos::Err::kInval);
+  }
+  witos::Status status = kernel_->Kill(host_pid_, target);
+  if (!status.ok()) {
+    return Fail(status.error());
+  }
+  return Ok("killed " + request.args[0]);
+}
+
+RpcResponse PermissionBroker::HandleReadFile(const RpcRequest& request) {
+  if (request.args.empty()) {
+    return Fail(witos::Err::kInval);
+  }
+  auto content = kernel_->ReadFile(host_pid_, request.args[0]);
+  if (!content.ok()) {
+    return Fail(content.error());
+  }
+  return Ok(*content);
+}
+
+RpcResponse PermissionBroker::HandleInstall(const RpcRequest& request) {
+  if (request.args.empty()) {
+    return Fail(witos::Err::kInval);
+  }
+  const std::string& package = request.args[0];
+  witos::Status status = kernel_->WriteFile(host_pid_, "/usr/progs/" + package,
+                                            "installed " + package + "\n");
+  if (!status.ok()) {
+    return Fail(status.error());
+  }
+  return Ok("installed " + package);
+}
+
+RpcResponse PermissionBroker::HandleRestartService(const RpcRequest& request) {
+  if (request.args.empty()) {
+    return Fail(witos::Err::kInval);
+  }
+  kernel_->audit().Append(witos::AuditEvent::kSessionEvent, host_pid_, witos::kRootUid,
+                          "restart_service " + request.args[0], kernel_->clock().now_ns());
+  return Ok("restarted " + request.args[0]);
+}
+
+RpcResponse PermissionBroker::HandleReboot(const RpcRequest& /*request*/) {
+  witos::Status status = kernel_->Reboot(host_pid_);
+  if (!status.ok()) {
+    return Fail(status.error());
+  }
+  return Ok("rebooting");
+}
+
+RpcResponse PermissionBroker::HandleDriverUpdate(const RpcRequest& request) {
+  if (request.args.empty()) {
+    return Fail(witos::Err::kInval);
+  }
+  // Driver updates change the TCB; the kernel routes the module write
+  // through the TCB guard, which requires the organizational policy
+  // system's signature (modelled by the guard's allow-list).
+  witos::Status status = kernel_->LoadModule(host_pid_, request.args[0]);
+  if (!status.ok()) {
+    return Fail(status.error());
+  }
+  return Ok("driver " + request.args[0] + " loaded");
+}
+
+witos::Result<std::string> BrokerClient::Request(const std::string& verb,
+                                                 const std::vector<std::string>& args,
+                                                 witos::Uid uid, witos::Pid caller_pid) {
+  if (uid != witos::kRootUid) {
+    // The client stub refuses unprivileged callers outright.
+    return witos::Err::kPerm;
+  }
+  RpcRequest request;
+  request.method = verb;
+  request.args = args;
+  request.uid = uid;
+  request.caller_pid = caller_pid;
+  request.ticket_id = ticket_id_;
+  request.admin = admin_;
+  WITOS_ASSIGN_OR_RETURN(RpcResponse response, channel_->Call(request));
+  if (!response.ok) {
+    return witos::Err::kPerm;
+  }
+  return response.payload;
+}
+
+}  // namespace witbroker

@@ -1,0 +1,104 @@
+// The permission broker (paper §5.4): a host-side service with unlimited
+// access to the host's namespaces. Contained administrators ask it to
+// execute commands on their behalf ("PB ps -a") or to widen their container
+// view. Every request — granted or denied — is written to the secure
+// append-only log and the kernel audit trail.
+
+#ifndef SRC_BROKER_BROKER_H_
+#define SRC_BROKER_BROKER_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/broker/policy.h"
+#include "src/broker/rpc.h"
+#include "src/broker/securelog.h"
+#include "src/os/kernel.h"
+
+namespace witbroker {
+
+// A structured record of one broker request, consumed by the anomaly
+// detector and the case-study accounting.
+struct BrokerEvent {
+  uint64_t time_ns = 0;
+  std::string admin;
+  std::string ticket_id;
+  std::string ticket_class;
+  std::string verb;
+  std::vector<std::string> args;
+  bool granted = false;
+};
+
+class PermissionBroker {
+ public:
+  // `kernel` is the host machine; `host_pid` is the broker's own process on
+  // it (root, full capabilities, host namespaces). The broker binds itself
+  // to `channel`.
+  PermissionBroker(witos::Kernel* kernel, witos::Pid host_pid, PolicyManager* policy,
+                   RpcChannel* channel);
+
+  witos::Pid host_pid() const { return host_pid_; }
+  SecureLog& log() { return log_; }
+  const SecureLog& log() const { return log_; }
+  const std::vector<BrokerEvent>& events() const { return events_; }
+
+  // Maps a ticket id to its class so policy lookups work; the framework
+  // registers each deployed ticket here.
+  void BindTicket(const std::string& ticket_id, const std::string& ticket_class);
+
+  // Extension point: ContainIT registers "mount_volume"; the cluster layer
+  // registers "net_allow". The handler runs with the broker's host
+  // privileges after the policy check passed.
+  using VerbHandler = std::function<RpcResponse(const RpcRequest&)>;
+  void RegisterVerb(const std::string& verb, VerbHandler handler);
+
+  // Exposed for tests; normal callers go through the RpcChannel.
+  RpcResponse Handle(const RpcRequest& request);
+
+ private:
+  RpcResponse Dispatch(const RpcRequest& request);
+  RpcResponse Ok(std::string payload) const;
+  RpcResponse Fail(witos::Err err) const;
+
+  RpcResponse HandlePs(const RpcRequest& request);
+  RpcResponse HandleKill(const RpcRequest& request);
+  RpcResponse HandleReadFile(const RpcRequest& request);
+  RpcResponse HandleInstall(const RpcRequest& request);
+  RpcResponse HandleRestartService(const RpcRequest& request);
+  RpcResponse HandleReboot(const RpcRequest& request);
+  RpcResponse HandleDriverUpdate(const RpcRequest& request);
+
+  witos::Kernel* kernel_;
+  witos::Pid host_pid_;
+  PolicyManager* policy_;
+  SecureLog log_;
+  std::vector<BrokerEvent> events_;
+  std::map<std::string, std::string> ticket_class_;
+  std::map<std::string, VerbHandler> custom_verbs_;
+};
+
+// The in-container client stub. Only privileged users may talk to the
+// broker ("we configure the permission broker client to accept only
+// requests from privileged users").
+class BrokerClient {
+ public:
+  BrokerClient(RpcChannel* channel, std::string ticket_id, std::string admin)
+      : channel_(channel), ticket_id_(std::move(ticket_id)), admin_(std::move(admin)) {}
+
+  // Issues `PB <verb> <args...>` as the in-container user `uid`.
+  witos::Result<std::string> Request(const std::string& verb,
+                                     const std::vector<std::string>& args, witos::Uid uid,
+                                     witos::Pid caller_pid = witos::kNoPid);
+
+ private:
+  RpcChannel* channel_;
+  std::string ticket_id_;
+  std::string admin_;
+};
+
+}  // namespace witbroker
+
+#endif  // SRC_BROKER_BROKER_H_

@@ -1,0 +1,55 @@
+#include "src/broker/policy.h"
+
+namespace witbroker {
+
+void PolicyManager::SetPolicy(const std::string& ticket_class, ClassPolicy policy) {
+  policies_[ticket_class] = std::move(policy);
+}
+
+const ClassPolicy& PolicyManager::PolicyFor(const std::string& ticket_class) const {
+  auto it = policies_.find(ticket_class);
+  return it == policies_.end() ? default_policy_ : it->second;
+}
+
+bool PolicyManager::IsAllowed(const std::string& ticket_class, const std::string& verb,
+                              const std::string& admin) const {
+  const ClassPolicy& policy = PolicyFor(ticket_class);
+  auto denied = policy.denied_for_admin.find(admin);
+  if (denied != policy.denied_for_admin.end() && denied->second.count(verb) > 0) {
+    return false;
+  }
+  if (policy.allow_all) {
+    return true;
+  }
+  return policy.allowed_verbs.count(verb) > 0;
+}
+
+bool PolicyManager::AdmitRate(const std::string& ticket_class, const std::string& admin,
+                              uint64_t now_ns) {
+  const ClassPolicy& policy = PolicyFor(ticket_class);
+  if (policy.max_requests_per_window == 0) {
+    return true;
+  }
+  uint64_t window = now_ns / policy.window_ns;
+  auto& [last_window, count] = rate_[admin];
+  if (last_window != window) {
+    last_window = window;
+    count = 0;
+  }
+  if (count >= policy.max_requests_per_window) {
+    return false;
+  }
+  ++count;
+  return true;
+}
+
+std::vector<std::string> PolicyManager::KnownClasses() const {
+  std::vector<std::string> out;
+  out.reserve(policies_.size());
+  for (const auto& [name, policy] : policies_) {
+    out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace witbroker

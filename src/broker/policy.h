@@ -1,0 +1,65 @@
+// The policy manager: decides which broker verbs each ticket class may use
+// ("The permission broker grants a request if it follows the security policy
+// corresponding to the specific ticket class and IT specialist", §5.4).
+
+#ifndef SRC_BROKER_POLICY_H_
+#define SRC_BROKER_POLICY_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace witbroker {
+
+// The broker's verb vocabulary. Free-form verbs registered at runtime are
+// also supported; these are the built-ins.
+inline constexpr const char* kVerbPs = "ps";
+inline constexpr const char* kVerbKill = "kill";
+inline constexpr const char* kVerbReadFile = "read_file";
+inline constexpr const char* kVerbInstall = "install";
+inline constexpr const char* kVerbRestartService = "restart_service";
+inline constexpr const char* kVerbReboot = "reboot";
+inline constexpr const char* kVerbMountVolume = "mount_volume";
+inline constexpr const char* kVerbNetAllow = "net_allow";
+inline constexpr const char* kVerbDriverUpdate = "driver_update";
+
+struct ClassPolicy {
+  std::set<std::string> allowed_verbs;
+  bool allow_all = false;
+  // Per-admin overrides: verbs additionally denied for specific admins.
+  std::map<std::string, std::set<std::string>> denied_for_admin;
+  // Rate limit: at most this many granted requests per admin per window
+  // (0 = unlimited). Throttles a rogue admin scripting the broker.
+  uint32_t max_requests_per_window = 0;
+  uint64_t window_ns = 60ull * 1000000000ull;
+};
+
+class PolicyManager {
+ public:
+  void SetPolicy(const std::string& ticket_class, ClassPolicy policy);
+  // Default used for classes without an explicit policy.
+  void SetDefaultPolicy(ClassPolicy policy) { default_policy_ = std::move(policy); }
+
+  bool IsAllowed(const std::string& ticket_class, const std::string& verb,
+                 const std::string& admin) const;
+
+  // Rate limiting: counts this request against the admin's window and
+  // returns false when the class's budget is exhausted. Stateless classes
+  // (limit 0) always pass.
+  bool AdmitRate(const std::string& ticket_class, const std::string& admin, uint64_t now_ns);
+
+  std::vector<std::string> KnownClasses() const;
+
+ private:
+  const ClassPolicy& PolicyFor(const std::string& ticket_class) const;
+
+  std::map<std::string, ClassPolicy> policies_;
+  ClassPolicy default_policy_;
+  // admin -> (window index, count) for rate accounting.
+  std::map<std::string, std::pair<uint64_t, uint32_t>> rate_;
+};
+
+}  // namespace witbroker
+
+#endif  // SRC_BROKER_POLICY_H_

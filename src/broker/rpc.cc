@@ -1,0 +1,147 @@
+#include "src/broker/rpc.h"
+
+#include "src/broker/securelog.h"
+
+namespace witbroker {
+
+std::string RpcRequest::Serialize() const {
+  WireWriter writer;
+  writer.PutString(method);
+  writer.PutStringList(args);
+  writer.PutU32(uid);
+  writer.PutU32(static_cast<uint32_t>(caller_pid));
+  writer.PutString(ticket_id);
+  writer.PutString(admin);
+  return writer.Take();
+}
+
+witos::Result<RpcRequest> RpcRequest::Deserialize(std::string_view data) {
+  WireReader reader(data);
+  RpcRequest req;
+  WITOS_ASSIGN_OR_RETURN(req.method, reader.GetString());
+  WITOS_ASSIGN_OR_RETURN(req.args, reader.GetStringList());
+  WITOS_ASSIGN_OR_RETURN(req.uid, reader.GetU32());
+  WITOS_ASSIGN_OR_RETURN(uint32_t pid, reader.GetU32());
+  req.caller_pid = static_cast<witos::Pid>(pid);
+  WITOS_ASSIGN_OR_RETURN(req.ticket_id, reader.GetString());
+  WITOS_ASSIGN_OR_RETURN(req.admin, reader.GetString());
+  if (!reader.AtEnd()) {
+    return witos::Err::kInval;
+  }
+  return req;
+}
+
+std::string RpcResponse::Serialize() const {
+  WireWriter writer;
+  writer.PutBool(ok);
+  writer.PutString(error);
+  writer.PutString(payload);
+  return writer.Take();
+}
+
+witos::Result<RpcResponse> RpcResponse::Deserialize(std::string_view data) {
+  WireReader reader(data);
+  RpcResponse resp;
+  WITOS_ASSIGN_OR_RETURN(resp.ok, reader.GetBool());
+  WITOS_ASSIGN_OR_RETURN(resp.error, reader.GetString());
+  WITOS_ASSIGN_OR_RETURN(resp.payload, reader.GetString());
+  if (!reader.AtEnd()) {
+    return witos::Err::kInval;
+  }
+  return resp;
+}
+
+void RpcChannel::EnableEncryption(uint64_t shared_secret) {
+  encrypted_ = true;
+  key_ = shared_secret;
+}
+
+namespace {
+
+// Deterministic keystream from (key, nonce): iterated FNV over a counter.
+void ApplyKeystream(std::string* data, uint64_t key, uint64_t nonce) {
+  uint64_t state = key ^ (nonce * 0x9e3779b97f4a7c15ull);
+  size_t i = 0;
+  while (i < data->size()) {
+    state = Fnv1a(std::string_view(reinterpret_cast<const char*>(&state), 8));
+    for (int b = 0; b < 8 && i < data->size(); ++b, ++i) {
+      (*data)[i] = static_cast<char>((*data)[i] ^ static_cast<char>((state >> (8 * b)) & 0xff));
+    }
+  }
+}
+
+void AppendU64(std::string* out, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    *out += static_cast<char>((value >> (8 * i)) & 0xff);
+  }
+}
+
+uint64_t ReadU64(std::string_view data) {
+  uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<uint64_t>(static_cast<unsigned char>(data[static_cast<size_t>(i)]))
+             << (8 * i);
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string RpcChannel::Seal(const std::string& plaintext) {
+  uint64_t nonce = ++nonce_;
+  uint64_t mac = Fnv1a(plaintext, key_ ^ nonce);
+  std::string body = plaintext;
+  ApplyKeystream(&body, key_, nonce);
+  std::string frame;
+  AppendU64(&frame, nonce);
+  frame += body;
+  AppendU64(&frame, mac);
+  return frame;
+}
+
+witos::Result<std::string> RpcChannel::Open(const std::string& frame) const {
+  if (frame.size() < 16) {
+    return witos::Err::kIo;
+  }
+  uint64_t nonce = ReadU64(frame);
+  std::string body = frame.substr(8, frame.size() - 16);
+  uint64_t mac = ReadU64(std::string_view(frame).substr(frame.size() - 8));
+  ApplyKeystream(&body, key_, nonce);
+  if (Fnv1a(body, key_ ^ nonce) != mac) {
+    return witos::Err::kIo;  // authentication failure: drop the frame
+  }
+  return body;
+}
+
+witos::Result<RpcResponse> RpcChannel::Call(const RpcRequest& request) {
+  if (handler_ == nullptr) {
+    // The broker process is gone — ContainIT treats this as a fatal event.
+    return witos::Err::kConnRefused;
+  }
+  ++calls_;
+  std::string frame = request.Serialize();
+  if (encrypted_) {
+    frame = Seal(frame);
+  }
+  if (corrupt_next_) {
+    corrupt_next_ = false;
+    frame[frame.size() / 2] = static_cast<char>(frame[frame.size() / 2] ^ 0x40);
+  }
+  bytes_on_wire_ += frame.size();
+  if (encrypted_) {
+    WITOS_ASSIGN_OR_RETURN(frame, Open(frame));
+  }
+  WITOS_ASSIGN_OR_RETURN(RpcRequest decoded, RpcRequest::Deserialize(frame));
+  RpcResponse response = handler_(decoded);
+  std::string response_frame = response.Serialize();
+  if (encrypted_) {
+    response_frame = Seal(response_frame);
+  }
+  bytes_on_wire_ += response_frame.size();
+  if (encrypted_) {
+    WITOS_ASSIGN_OR_RETURN(response_frame, Open(response_frame));
+  }
+  return RpcResponse::Deserialize(response_frame);
+}
+
+}  // namespace witbroker

@@ -1,0 +1,85 @@
+#include "src/broker/securelog.h"
+
+namespace witbroker {
+
+uint64_t Fnv1a(std::string_view data, uint64_t seed) {
+  uint64_t hash = seed;
+  for (char c : data) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+uint64_t SecureLogEntry::ComputeHash(uint64_t seq, uint64_t time_ns, const std::string& payload,
+                                     uint64_t prev_hash) {
+  std::string material;
+  material.reserve(payload.size() + 24);
+  for (int i = 0; i < 8; ++i) {
+    material += static_cast<char>((seq >> (8 * i)) & 0xff);
+  }
+  for (int i = 0; i < 8; ++i) {
+    material += static_cast<char>((time_ns >> (8 * i)) & 0xff);
+  }
+  for (int i = 0; i < 8; ++i) {
+    material += static_cast<char>((prev_hash >> (8 * i)) & 0xff);
+  }
+  material += payload;
+  return Fnv1a(material);
+}
+
+void SecureLog::Append(std::string payload, uint64_t time_ns) {
+  SecureLogEntry entry;
+  entry.seq = entries_.size() + 1;
+  entry.time_ns = time_ns;
+  entry.payload = std::move(payload);
+  entry.prev_hash = entries_.empty() ? 0 : entries_.back().hash;
+  entry.hash = SecureLogEntry::ComputeHash(entry.seq, entry.time_ns, entry.payload,
+                                           entry.prev_hash);
+  for (auto& replica : replicas_) {
+    replica.push_back(entry);
+  }
+  entries_.push_back(std::move(entry));
+}
+
+bool SecureLog::Verify() const {
+  uint64_t prev = 0;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    const SecureLogEntry& entry = entries_[i];
+    if (entry.seq != i + 1 || entry.prev_hash != prev) {
+      return false;
+    }
+    if (entry.hash !=
+        SecureLogEntry::ComputeHash(entry.seq, entry.time_ns, entry.payload, entry.prev_hash)) {
+      return false;
+    }
+    prev = entry.hash;
+  }
+  return true;
+}
+
+size_t SecureLog::AddReplica() {
+  replicas_.push_back(entries_);
+  return replicas_.size() - 1;
+}
+
+bool SecureLog::MatchesReplica(size_t index) const {
+  const auto& replica = replicas_[index];
+  if (replica.size() != entries_.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].hash != replica[i].hash || entries_[i].payload != replica[i].payload) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void SecureLog::TamperForTest(size_t index, std::string new_payload) {
+  if (index < entries_.size()) {
+    entries_[index].payload = std::move(new_payload);
+  }
+}
+
+}  // namespace witbroker

@@ -1,0 +1,62 @@
+// A hash-chained append-only log modelling the paper's "secure append-only
+// storage device" for permission-broker requests (§5.4), with replication to
+// remote stores (Attack 6 defence: "the log files ... can be replicated on
+// a remote append-only storage").
+//
+// Each entry's hash covers its sequence number, timestamp, payload and the
+// previous entry's hash; Verify() detects any in-place tampering.
+
+#ifndef SRC_BROKER_SECURELOG_H_
+#define SRC_BROKER_SECURELOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace witbroker {
+
+// 64-bit FNV-1a.
+uint64_t Fnv1a(std::string_view data, uint64_t seed = 14695981039346656037ull);
+
+struct SecureLogEntry {
+  uint64_t seq = 0;
+  uint64_t time_ns = 0;
+  std::string payload;
+  uint64_t prev_hash = 0;
+  uint64_t hash = 0;
+
+  static uint64_t ComputeHash(uint64_t seq, uint64_t time_ns, const std::string& payload,
+                              uint64_t prev_hash);
+};
+
+class SecureLog {
+ public:
+  void Append(std::string payload, uint64_t time_ns);
+
+  // True if the hash chain is intact.
+  bool Verify() const;
+
+  const std::vector<SecureLogEntry>& entries() const { return entries_; }
+  size_t size() const { return entries_.size(); }
+
+  // Registers a replica; every subsequent append is mirrored. Returns the
+  // replica index.
+  size_t AddReplica();
+  const std::vector<SecureLogEntry>& replica(size_t index) const { return replicas_[index]; }
+  size_t replica_count() const { return replicas_.size(); }
+
+  // Detects divergence between the primary and a replica — evidence of
+  // primary-side tampering even if the chain was recomputed.
+  bool MatchesReplica(size_t index) const;
+
+  // Test hook simulating an attacker rewriting a record in place.
+  void TamperForTest(size_t index, std::string new_payload);
+
+ private:
+  std::vector<SecureLogEntry> entries_;
+  std::vector<std::vector<SecureLogEntry>> replicas_;
+};
+
+}  // namespace witbroker
+
+#endif  // SRC_BROKER_SECURELOG_H_

@@ -1,0 +1,81 @@
+#include "src/broker/wire.h"
+
+namespace witbroker {
+
+void WireWriter::PutU32(uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    buf_ += static_cast<char>((value >> (8 * i)) & 0xff);
+  }
+}
+
+void WireWriter::PutU64(uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    buf_ += static_cast<char>((value >> (8 * i)) & 0xff);
+  }
+}
+
+void WireWriter::PutString(const std::string& value) {
+  PutU32(static_cast<uint32_t>(value.size()));
+  buf_ += value;
+}
+
+void WireWriter::PutStringList(const std::vector<std::string>& values) {
+  PutU32(static_cast<uint32_t>(values.size()));
+  for (const auto& value : values) {
+    PutString(value);
+  }
+}
+
+witos::Result<uint32_t> WireReader::GetU32() {
+  if (pos_ + 4 > data_.size()) {
+    return witos::Err::kInval;
+  }
+  uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<uint32_t>(static_cast<unsigned char>(data_[pos_ + static_cast<size_t>(i)]))
+             << (8 * i);
+  }
+  pos_ += 4;
+  return value;
+}
+
+witos::Result<uint64_t> WireReader::GetU64() {
+  if (pos_ + 8 > data_.size()) {
+    return witos::Err::kInval;
+  }
+  uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<uint64_t>(static_cast<unsigned char>(data_[pos_ + static_cast<size_t>(i)]))
+             << (8 * i);
+  }
+  pos_ += 8;
+  return value;
+}
+
+witos::Result<std::string> WireReader::GetString() {
+  WITOS_ASSIGN_OR_RETURN(uint32_t len, GetU32());
+  if (pos_ + len > data_.size()) {
+    return witos::Err::kInval;
+  }
+  std::string value(data_.substr(pos_, len));
+  pos_ += len;
+  return value;
+}
+
+witos::Result<std::vector<std::string>> WireReader::GetStringList() {
+  WITOS_ASSIGN_OR_RETURN(uint32_t count, GetU32());
+  std::vector<std::string> values;
+  values.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    WITOS_ASSIGN_OR_RETURN(std::string value, GetString());
+    values.push_back(std::move(value));
+  }
+  return values;
+}
+
+witos::Result<bool> WireReader::GetBool() {
+  WITOS_ASSIGN_OR_RETURN(uint32_t value, GetU32());
+  return value != 0;
+}
+
+}  // namespace witbroker

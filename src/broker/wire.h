@@ -1,0 +1,51 @@
+// A tiny tag-length-value wire format standing in for Protocol Buffers
+// (paper §5.4: "we use Google's Protocol Buffers and gRPC for serializing
+// and streaming the data"). Messages are length-delimited fields of
+// primitive types; readers are Result-based and reject truncated input.
+
+#ifndef SRC_BROKER_WIRE_H_
+#define SRC_BROKER_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/os/result.h"
+
+namespace witbroker {
+
+class WireWriter {
+ public:
+  void PutU32(uint32_t value);
+  void PutU64(uint64_t value);
+  void PutString(const std::string& value);
+  void PutStringList(const std::vector<std::string>& values);
+  void PutBool(bool value) { PutU32(value ? 1 : 0); }
+
+  const std::string& data() const { return buf_; }
+  std::string Take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+class WireReader {
+ public:
+  explicit WireReader(std::string_view data) : data_(data) {}
+
+  witos::Result<uint32_t> GetU32();
+  witos::Result<uint64_t> GetU64();
+  witos::Result<std::string> GetString();
+  witos::Result<std::vector<std::string>> GetStringList();
+  witos::Result<bool> GetBool();
+
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace witbroker
+
+#endif  // SRC_BROKER_WIRE_H_

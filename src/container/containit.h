@@ -1,0 +1,118 @@
+// ContainIT: WatchIT's dedicated container software (paper §5.2).
+//
+// Deploying a perforated container executes the Figure 5 recipe on the
+// simulated kernel:
+//   1. a host-side worker mounts the container's filesystem view at a
+//      dedicated /ConFS-<n> mountpoint — the host's whole root through
+//      FUSE+ITFS, a private root, or selected host directories;
+//   2. the container init process is cloned with new namespaces for every
+//      type the spec isolates (the types left out are the holes);
+//   3. init chroots to the mountpoint, mounts its own /proc (bound to its
+//      PID namespace), and the network view / XCL exclusions are installed;
+//   4. the capabilities behind the four container-escape techniques are
+//      stripped (Table 1, attacks 1-4), plus CAP_SYS_ADMIN and
+//      CAP_SYS_MODULE;
+//   5. host-side peer daemons (itfs, snort) are spawned, and a kernel death
+//      hook terminates the whole session if any peer — or the permission
+//      broker — is killed (Attack 7).
+//
+// When the spec shares the host MNT namespace, filesystem monitoring is
+// impossible by construction (§5.6); the deploy skips ITFS/chroot and
+// installs the spec's XCL exclusions instead.
+
+#ifndef SRC_CONTAINER_CONTAINIT_H_
+#define SRC_CONTAINER_CONTAINIT_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/broker/broker.h"
+#include "src/container/spec.h"
+#include "src/fs/itfs.h"
+#include "src/net/socket.h"
+#include "src/os/kernel.h"
+
+namespace witcontain {
+
+using SessionId = uint64_t;
+
+// The host uid contained root maps to in rootless mode.
+inline constexpr witos::Uid kRootlessHostUid = 100000;
+
+struct Session {
+  SessionId id = 0;
+  PerforatedContainerSpec spec;
+  std::string ticket_id;
+  std::string admin;
+
+  witos::Pid host_worker = witos::kNoPid;     // host-side ContainIT process
+  witos::Pid container_init = witos::kNoPid;  // pid 1 inside the container
+  witos::Pid shell = witos::kNoPid;           // admin's shell
+  witos::Pid itfs_daemon = witos::kNoPid;     // host-side peer (watchdogged)
+  witos::Pid sniffer_daemon = witos::kNoPid;  // host-side peer (watchdogged)
+
+  std::string confs_path;  // vfs-space mountpoint, e.g. "/ConFS-1"
+  std::shared_ptr<witfs::Itfs> itfs;          // null when unmonitored
+  std::shared_ptr<witos::MemFs> private_root;  // for kPrivate / kDirs views
+  std::shared_ptr<witnet::Sniffer> sniffer;    // null when unsniffed
+
+  witos::CgroupId cgroup = witos::kRootCgroup;
+
+  bool active = false;
+  std::string termination_reason;
+  uint64_t deploy_duration_ns = 0;
+};
+
+class ContainIt {
+ public:
+  // `net` may be null for filesystem-only tests.
+  ContainIt(witos::Kernel* kernel, witnet::NetStack* net);
+
+  // Watches the broker's process (Attack 7) and registers the on-line
+  // file-sharing and network-widening verbs with it.
+  void AttachBroker(witbroker::PermissionBroker* broker);
+
+  witos::Result<SessionId> Deploy(const PerforatedContainerSpec& spec,
+                                  const std::string& ticket_id, const std::string& admin);
+
+  Session* FindSession(SessionId id);
+  const Session* FindSession(SessionId id) const;
+  Session* FindSessionByTicket(const std::string& ticket_id);
+
+  witos::Status Terminate(SessionId id, const std::string& reason);
+
+  // On-line file sharing (paper §5.5): exposes `host_dir` at
+  // `container_path` inside a *running* container via nsenter + an ITFS
+  // bind mount. Requires the session to have an isolated MNT namespace.
+  witos::Status ShareDirectory(SessionId id, const std::string& host_dir,
+                               const std::string& container_path);
+
+  // Widens a running container's network view (permission broker mechanism
+  // two: "grant the perforated container additional permissions").
+  witos::Status AllowNetworkEndpoint(SessionId id, witnet::Ipv4Addr addr, uint16_t port,
+                                     const std::string& name);
+
+  size_t active_sessions() const;
+  const std::map<SessionId, std::unique_ptr<Session>>& sessions() const { return sessions_; }
+
+ private:
+  witos::Status SetupFilesystemView(Session* session);
+  witos::Status SetupNetworkView(Session* session);
+  void OnProcessDeath(witos::Pid pid);
+  std::shared_ptr<witfs::Itfs> MakeItfs(Session* session,
+                                        std::shared_ptr<witos::Filesystem> lower);
+
+  witos::Kernel* kernel_;
+  witnet::NetStack* net_;
+  witbroker::PermissionBroker* broker_ = nullptr;
+  std::map<SessionId, std::unique_ptr<Session>> sessions_;
+  SessionId next_id_ = 1;
+  uint32_t next_container_addr_ = 1;
+  bool terminating_ = false;  // re-entrancy guard for the watchdog
+};
+
+}  // namespace witcontain
+
+#endif  // SRC_CONTAINER_CONTAINIT_H_

@@ -1,0 +1,66 @@
+#include "src/core/certificate.h"
+
+#include "src/broker/securelog.h"
+
+namespace watchit {
+
+std::string CertStatusName(CertStatus status) {
+  switch (status) {
+    case CertStatus::kValid:
+      return "valid";
+    case CertStatus::kExpired:
+      return "expired";
+    case CertStatus::kRevoked:
+      return "revoked";
+    case CertStatus::kForged:
+      return "forged";
+    case CertStatus::kUnknown:
+      return "unknown";
+  }
+  return "?";
+}
+
+uint64_t CertificateAuthority::Sign(const Certificate& cert) const {
+  std::string material = cert.admin + "|" + cert.machine + "|" + cert.ticket_id + "|" +
+                         cert.ticket_class + "|" + std::to_string(cert.serial) + "|" +
+                         std::to_string(cert.issued_ns) + "|" + std::to_string(cert.expires_ns);
+  return witbroker::Fnv1a(material, secret_);
+}
+
+Certificate CertificateAuthority::Issue(const std::string& admin, const std::string& machine,
+                                        const std::string& ticket_id,
+                                        const std::string& ticket_class, uint64_t now_ns,
+                                        uint64_t lifetime_ns) {
+  Certificate cert;
+  cert.serial = next_serial_++;
+  cert.admin = admin;
+  cert.machine = machine;
+  cert.ticket_id = ticket_id;
+  cert.ticket_class = ticket_class;
+  cert.issued_ns = now_ns;
+  cert.expires_ns = now_ns + lifetime_ns;
+  cert.signature = Sign(cert);
+  issued_[cert.serial] = cert;
+  return cert;
+}
+
+CertStatus CertificateAuthority::Validate(const Certificate& cert, uint64_t now_ns) const {
+  auto it = issued_.find(cert.serial);
+  if (it == issued_.end()) {
+    return CertStatus::kUnknown;
+  }
+  if (cert.signature != Sign(cert)) {
+    return CertStatus::kForged;
+  }
+  if (revoked_.count(cert.serial) > 0) {
+    return CertStatus::kRevoked;
+  }
+  if (now_ns >= cert.expires_ns) {
+    return CertStatus::kExpired;
+  }
+  return CertStatus::kValid;
+}
+
+void CertificateAuthority::Revoke(uint64_t serial) { revoked_[serial] = true; }
+
+}  // namespace watchit

@@ -1,0 +1,63 @@
+// Time-limited login certificates (paper §5.1: "connecting to the deployed
+// perforated containers is enabled via a temporary certificate, which is
+// revoked once the ticket time expires").
+
+#ifndef SRC_CORE_CERTIFICATE_H_
+#define SRC_CORE_CERTIFICATE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/os/result.h"
+
+namespace watchit {
+
+struct Certificate {
+  uint64_t serial = 0;
+  std::string admin;
+  std::string machine;
+  std::string ticket_id;
+  std::string ticket_class;
+  uint64_t issued_ns = 0;
+  uint64_t expires_ns = 0;
+  uint64_t signature = 0;
+};
+
+enum class CertStatus {
+  kValid,
+  kExpired,
+  kRevoked,
+  kForged,
+  kUnknown,
+};
+
+std::string CertStatusName(CertStatus status);
+
+class CertificateAuthority {
+ public:
+  explicit CertificateAuthority(uint64_t secret = 0x57a7c417u) : secret_(secret) {}
+
+  Certificate Issue(const std::string& admin, const std::string& machine,
+                    const std::string& ticket_id, const std::string& ticket_class,
+                    uint64_t now_ns, uint64_t lifetime_ns);
+
+  CertStatus Validate(const Certificate& cert, uint64_t now_ns) const;
+
+  void Revoke(uint64_t serial);
+  bool IsRevoked(uint64_t serial) const { return revoked_.count(serial) > 0; }
+
+  size_t issued_count() const { return issued_.size(); }
+
+ private:
+  uint64_t Sign(const Certificate& cert) const;
+
+  uint64_t secret_;
+  uint64_t next_serial_ = 1;
+  std::map<uint64_t, Certificate> issued_;
+  std::map<uint64_t, bool> revoked_;
+};
+
+}  // namespace watchit
+
+#endif  // SRC_CORE_CERTIFICATE_H_

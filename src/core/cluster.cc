@@ -1,0 +1,81 @@
+#include "src/core/cluster.h"
+
+#include "src/core/ticket_class.h"
+#include "src/workload/topology.h"
+
+namespace watchit {
+
+Cluster::Cluster() {
+  ProvisionServices();
+  RegisterAllImages(&images_);
+}
+
+void Cluster::ProvisionServices() {
+  using witnet::Packet;
+  auto echo_service = [](std::string tag) {
+    return [tag](const Packet& packet) {
+      return tag + ": ok (" + std::to_string(packet.payload.size()) + "B)";
+    };
+  };
+  const struct {
+    const witload::OrgEndpoint* ep;
+    const char* tag;
+  } kServices[] = {
+      {&witload::kLicenseServer, "FLEXLM"},   {&witload::kSoftwareRepo, "REPO"},
+      {&witload::kSharedStorage, "STORAGE"},  {&witload::kBatchServer, "LSF"},
+      {&witload::kCloudManager, "CLOUD"},     {&witload::kDirectoryServer, "LDAP"},
+      {&witload::kTargetMachine, "SSHD"},     {&witload::kEclipseMirror, "HTTPS"},
+      {&witload::kEvilHost, "EXFIL-SINK"},
+  };
+  for (const auto& svc : kServices) {
+    fabric_.AddEndpoint(svc.ep->name, svc.ep->addr);
+    fabric_.AddService(svc.ep->addr, svc.ep->port, echo_service(svc.tag));
+    dns_.AddRecord(svc.ep->name, svc.ep->addr);
+  }
+  // The organizational DNS zone, served from the directory server — name
+  // resolution is subject to each container's network view like any other
+  // traffic.
+  fabric_.AddService(witload::kDirectoryServer.addr, witnet::kDnsPort, dns_.Handler());
+}
+
+Machine& Cluster::AddMachine(const std::string& name, witnet::Ipv4Addr addr) {
+  machines_.push_back(std::make_unique<Machine>(name, addr, &fabric_));
+  fabric_.AddEndpoint(name, addr);
+  return *machines_.back();
+}
+
+Machine* Cluster::FindMachine(const std::string& name) {
+  for (auto& machine : machines_) {
+    if (machine->name() == name) {
+      return machine.get();
+    }
+  }
+  return nullptr;
+}
+
+witos::Result<Deployment> ClusterManager::Deploy(const Ticket& ticket, uint64_t lifetime_ns) {
+  Machine* machine = cluster_->FindMachine(ticket.target_machine);
+  if (machine == nullptr) {
+    return witos::Err::kHostUnreach;
+  }
+  WITOS_ASSIGN_OR_RETURN(witcontain::PerforatedContainerSpec spec,
+                         cluster_->images().Lookup(ticket.assigned_class));
+  machine->broker().BindTicket(ticket.id, ticket.assigned_class);
+  WITOS_ASSIGN_OR_RETURN(witcontain::SessionId session,
+                         machine->containit().Deploy(spec, ticket.id, ticket.admin));
+  Deployment deployment;
+  deployment.session = session;
+  deployment.machine = machine;
+  deployment.ticket_class = ticket.assigned_class;
+  deployment.certificate =
+      cluster_->ca().Issue(ticket.admin, machine->name(), ticket.id, ticket.assigned_class,
+                           machine->kernel().clock().now_ns(), lifetime_ns);
+  return deployment;
+}
+
+witos::Status ClusterManager::Expire(Deployment* deployment) {
+  cluster_->ca().Revoke(deployment->certificate.serial);
+  return deployment->machine->containit().Terminate(deployment->session, "ticket expired");
+}
+
+}  // namespace watchit

@@ -1,0 +1,50 @@
+#include "src/core/framework.h"
+
+namespace watchit {
+
+ItFramework::ItFramework(Config config) : config_(config) {}
+
+ItFramework::~ItFramework() = default;
+
+std::vector<std::string> ItFramework::Preprocess(const std::string& text) const {
+  std::vector<std::string> tokens = pipeline_.Process(text);
+  if (config_.spell_correct && spell_ != nullptr) {
+    tokens = spell_->Correct(tokens);
+  }
+  return tokens;
+}
+
+void ItFramework::TrainOnHistory(
+    const std::vector<std::pair<std::string, std::string>>& text_and_label) {
+  for (const auto& [text, label] : text_and_label) {
+    corpus_.AddDocument(pipeline_.Process(text), label);
+  }
+  spell_ = std::make_unique<witnlp::SpellCorrector>(&corpus_.vocab());
+  lda_ = std::make_unique<witnlp::LdaModel>(&corpus_, config_.lda);
+  lda_->Train();
+  lda_classifier_ = std::make_unique<witnlp::LdaClassifier>(lda_.get(), &corpus_);
+  if (config_.use_naive_bayes) {
+    nb_classifier_ = std::make_unique<witnlp::NaiveBayesClassifier>(&corpus_);
+  }
+}
+
+std::string ItFramework::Classify(const std::string& text) const {
+  if (!trained()) {
+    return "T-11";
+  }
+  std::vector<std::string> tokens = Preprocess(text);
+  if (config_.use_naive_bayes && nb_classifier_ != nullptr) {
+    return nb_classifier_->Classify(tokens);
+  }
+  return lda_classifier_->Classify(tokens);
+}
+
+std::string ItFramework::ClassifyWithReview(const std::string& text,
+                                            const std::string& reviewed_truth) const {
+  std::string predicted = Classify(text);
+  // The supervisor corrects mispredictions before deployment; the
+  // prediction accuracy itself is what Table 4's precision column reports.
+  return reviewed_truth.empty() ? predicted : reviewed_truth;
+}
+
+}  // namespace watchit

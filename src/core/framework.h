@@ -1,0 +1,68 @@
+// The IT framework (paper Figure 3): receives free-text tickets, classifies
+// them against the trained topic model ("Img = classify(Ticket, History)"),
+// and selects the perforated-container image for deployment.
+
+#ifndef SRC_CORE_FRAMEWORK_H_
+#define SRC_CORE_FRAMEWORK_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/ticket.h"
+#include "src/nlp/classifier.h"
+#include "src/nlp/corpus.h"
+#include "src/nlp/lda.h"
+#include "src/nlp/spell.h"
+#include "src/nlp/text.h"
+
+namespace watchit {
+
+class ItFramework {
+ public:
+  struct Config {
+    witnlp::LdaOptions lda;  // defaults: 10 topics, 300 iterations
+    // Use the supervised Naive Bayes classifier instead of LDA alignment.
+    bool use_naive_bayes = false;
+    bool spell_correct = true;
+  };
+
+  ItFramework() : ItFramework(Config()) {}
+  explicit ItFramework(Config config);
+  ~ItFramework();
+
+  // Trains the topic model on historical tickets (text + ground-truth class
+  // labels, which the IT department's manual dispatch provides).
+  void TrainOnHistory(const std::vector<std::pair<std::string, std::string>>& text_and_label);
+
+  bool trained() const { return lda_ != nullptr; }
+
+  // Classifies a ticket's free text into "T-1".."T-11".
+  std::string Classify(const std::string& text) const;
+
+  // Classification with a human-review hook: the supervisor sees the
+  // prediction and may override it (paper: "reviewed by the user or a
+  // supervisor").
+  std::string ClassifyWithReview(const std::string& text,
+                                 const std::string& reviewed_truth) const;
+
+  // Topic model access for the Table 2 bench.
+  const witnlp::LdaModel* lda() const { return lda_.get(); }
+  const witnlp::Corpus& corpus() const { return corpus_; }
+  const witnlp::LdaClassifier* lda_classifier() const { return lda_classifier_.get(); }
+
+ private:
+  std::vector<std::string> Preprocess(const std::string& text) const;
+
+  Config config_;
+  witnlp::TextPipeline pipeline_;
+  witnlp::Corpus corpus_;
+  std::unique_ptr<witnlp::LdaModel> lda_;
+  std::unique_ptr<witnlp::LdaClassifier> lda_classifier_;
+  std::unique_ptr<witnlp::NaiveBayesClassifier> nb_classifier_;
+  std::unique_ptr<witnlp::SpellCorrector> spell_;
+};
+
+}  // namespace watchit
+
+#endif  // SRC_CORE_FRAMEWORK_H_

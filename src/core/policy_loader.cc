@@ -1,0 +1,73 @@
+#include "src/core/policy_loader.h"
+
+#include "src/fs/ruledsl.h"
+#include "src/net/snort_rules.h"
+
+namespace watchit {
+
+PolicyLoadReport LoadMachinePolicies(Machine* machine, witcontain::ImageRepository* repo) {
+  PolicyLoadReport report;
+  witos::Kernel& kernel = machine->kernel();
+  witos::Pid root = kernel.init_pid();
+
+  // Parse first; mutate the repository only if everything is valid.
+  witfs::ParsedPolicy itfs_parsed;
+  bool have_itfs = false;
+  auto itfs_text = kernel.ReadFile(root, "/etc/watchit/itfs.policy");
+  if (itfs_text.ok()) {
+    std::string error;
+    auto parsed = witfs::ParseItfsPolicy(*itfs_text, &error);
+    if (!parsed.ok()) {
+      report.error = "itfs.policy: " + error;
+      return report;
+    }
+    itfs_parsed = std::move(*parsed);
+    report.itfs_rules_loaded = itfs_parsed.rule_count;
+    have_itfs = true;
+  }
+
+  std::vector<witnet::SnifferRule> ids_rules;
+  auto ids_text = kernel.ReadFile(root, "/etc/watchit/ids.rules");
+  if (ids_text.ok()) {
+    std::string error;
+    auto parsed = witnet::ParseSnifferRules(*ids_text, &error);
+    if (!parsed.ok()) {
+      report.error = "ids.rules: " + error;
+      return report;
+    }
+    ids_rules = std::move(*parsed);
+    report.ids_rules_loaded = ids_rules.size();
+  }
+
+  if (!have_itfs && ids_rules.empty()) {
+    return report;  // nothing to load
+  }
+
+  repo->ForEach([&](const std::string& /*name*/, witcontain::PerforatedContainerSpec* spec) {
+    if (have_itfs) {
+      // Appended after the image's own rules: deny rules are never shadowed
+      // (the policy engine scans past log-only matches).
+      spec->fs.policy.Merge(itfs_parsed.policy);
+    }
+    for (const auto& rule : ids_rules) {
+      spec->net.extra_sniffer_rules.push_back(rule);
+    }
+    ++report.images_updated;
+  });
+  return report;
+}
+
+void InstallPolicyFiles(Machine* machine, const std::string& itfs_policy,
+                        const std::string& ids_rules) {
+  witos::MemFs& fs = machine->kernel().root_fs();
+  if (!itfs_policy.empty()) {
+    fs.ProvisionFile("/etc/watchit/itfs.policy", itfs_policy, 0, 0, 0600);
+  }
+  if (!ids_rules.empty()) {
+    fs.ProvisionFile("/etc/watchit/ids.rules", ids_rules, 0, 0, 0600);
+  }
+  // The policy files are part of the measured TCB.
+  machine->tcb().Enroll();
+}
+
+}  // namespace watchit

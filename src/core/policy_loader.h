@@ -1,0 +1,45 @@
+// Policy loading: organization-wide filtering rules live as configuration
+// files inside the TCB-protected /etc/watchit directory of each machine —
+// a rogue admin cannot edit them (the TCB write guard denies it), yet the
+// security team ships policy without recompiling anything.
+//
+//   /etc/watchit/itfs.policy   ITFS rule DSL   (see src/fs/ruledsl.h)
+//   /etc/watchit/ids.rules     IDS rule DSL    (see src/net/snort_rules.h)
+//
+// Loaded rules are appended to every image in the repository as additional
+// hard constraints (the §6.2 "imposing hard constraints on all perforated
+// containers" mechanism, made operational).
+
+#ifndef SRC_CORE_POLICY_LOADER_H_
+#define SRC_CORE_POLICY_LOADER_H_
+
+#include <string>
+
+#include "src/container/image_repo.h"
+#include "src/core/machine.h"
+
+namespace watchit {
+
+struct PolicyLoadReport {
+  size_t itfs_rules_loaded = 0;
+  size_t ids_rules_loaded = 0;
+  size_t images_updated = 0;
+  std::string error;  // parse error, if any
+
+  bool ok() const { return error.empty(); }
+};
+
+// Reads the machine's policy files and appends the parsed rules to every
+// image in `repo`. Missing files are fine (nothing to load); parse errors
+// abort with the offending line in `error` and leave `repo` untouched.
+PolicyLoadReport LoadMachinePolicies(Machine* machine, witcontain::ImageRepository* repo);
+
+// Installs policy files onto a machine (provisioning-time helper). Must run
+// before the TCB is enrolled or via an authorized change; this helper writes
+// through the root filesystem directly and re-enrolls the TCB.
+void InstallPolicyFiles(Machine* machine, const std::string& itfs_policy,
+                        const std::string& ids_rules);
+
+}  // namespace watchit
+
+#endif  // SRC_CORE_POLICY_LOADER_H_

@@ -1,0 +1,71 @@
+// Forensic reporting: assembles the per-session evidence WatchIT collects —
+// kernel audit records, ITFS operation log, sniffer alerts, broker requests
+// and anomaly scores — into one structured incident report. This is the
+// "later analysis and anomaly detection" and "improved investigation
+// capabilities in case of security breach" the paper promises (§1, §4).
+
+#ifndef SRC_CORE_REPORT_H_
+#define SRC_CORE_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/broker/anomaly.h"
+#include "src/core/machine.h"
+
+namespace watchit {
+
+struct SessionForensics {
+  std::string ticket_id;
+  std::string admin;
+  std::string container_class;
+  bool still_active = false;
+  std::string termination_reason;
+
+  // Filesystem activity.
+  size_t fs_ops = 0;
+  size_t fs_denied = 0;
+  std::vector<std::string> denied_paths;
+
+  // Network activity.
+  size_t packets_inspected = 0;
+  size_t packets_blocked = 0;
+  std::vector<std::string> sniffer_hits;
+
+  // Broker escalations.
+  size_t broker_requests = 0;
+  size_t broker_denied = 0;
+  std::vector<std::string> broker_lines;
+  std::vector<std::string> flagged_anomalies;
+
+  // Machine-level security events during the session window.
+  size_t capability_denials = 0;
+  size_t xcl_denials = 0;
+  size_t tcb_violations = 0;
+
+  // A simple 0-100 severity score for triage ordering.
+  int severity = 0;
+};
+
+class ForensicReporter {
+ public:
+  explicit ForensicReporter(Machine* machine) : machine_(machine) {}
+
+  // Collects everything known about a session (active or terminated).
+  witos::Result<SessionForensics> Collect(witcontain::SessionId session_id) const;
+
+  // Renders a human-readable incident report.
+  static std::string Render(const SessionForensics& forensics);
+
+  // Sessions ordered by severity, most suspicious first — the triage queue.
+  std::vector<SessionForensics> TriageQueue() const;
+
+ private:
+  static int Score(const SessionForensics& forensics);
+
+  Machine* machine_;
+};
+
+}  // namespace watchit
+
+#endif  // SRC_CORE_REPORT_H_

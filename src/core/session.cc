@@ -1,0 +1,305 @@
+#include "src/core/session.h"
+
+#include "src/os/path.h"
+#include "src/workload/topology.h"
+
+namespace watchit {
+
+namespace {
+
+witload::BrokerCategory InferCategory(const witload::RequiredOp& op) {
+  if (op.broker_category != witload::BrokerCategory::kNone) {
+    return op.broker_category;
+  }
+  switch (op.kind) {
+    case witload::OpKind::kListProcesses:
+    case witload::OpKind::kKillProcess:
+    case witload::OpKind::kRestartService:
+    case witload::OpKind::kReboot:
+      return witload::BrokerCategory::kProcessManagement;
+    case witload::OpKind::kConnect:
+    case witload::OpKind::kInstallPackage:
+      return witload::BrokerCategory::kNetwork;
+    default:
+      return witload::BrokerCategory::kFilesystem;
+  }
+}
+
+}  // namespace
+
+AdminSession::AdminSession(Machine* machine, witcontain::SessionId session_id,
+                           Certificate certificate, CertificateAuthority* ca)
+    : machine_(machine), session_id_(session_id), certificate_(std::move(certificate)), ca_(ca) {
+  const witcontain::Session* session = machine_->containit().FindSession(session_id_);
+  if (session != nullptr) {
+    shell_ = session->shell;
+    broker_client_ = std::make_unique<witbroker::BrokerClient>(
+        &machine_->broker_channel(), session->ticket_id, session->admin);
+  }
+}
+
+const witcontain::Session* AdminSession::container() const {
+  return machine_->containit().FindSession(session_id_);
+}
+
+witos::Status AdminSession::Login() {
+  if (ca_ != nullptr) {
+    CertStatus status = ca_->Validate(certificate_, machine_->kernel().clock().now_ns());
+    if (status != CertStatus::kValid) {
+      machine_->kernel().audit().Append(witos::AuditEvent::kSessionEvent, shell_, 0,
+                                        "login rejected: " + CertStatusName(status),
+                                        machine_->kernel().clock().now_ns());
+      return witos::Err::kPerm;
+    }
+  }
+  const witcontain::Session* session = container();
+  if (session == nullptr || !session->active) {
+    return witos::Err::kSrch;
+  }
+  logged_in_ = true;
+  return witos::Status::Ok();
+}
+
+witos::Status AdminSession::CheckCert() const {
+  if (!logged_in_) {
+    return witos::Err::kPerm;
+  }
+  if (ca_ != nullptr &&
+      ca_->Validate(certificate_, machine_->kernel().clock().now_ns()) != CertStatus::kValid) {
+    return witos::Err::kPerm;
+  }
+  const witcontain::Session* session = container();
+  if (session == nullptr || !session->active) {
+    return witos::Err::kSrch;
+  }
+  return witos::Status::Ok();
+}
+
+witos::Result<std::string> AdminSession::Hostname() const {
+  WITOS_RETURN_IF_ERROR(CheckCert());
+  return machine_->kernel().GetHostname(shell_);
+}
+
+witos::Result<std::vector<witos::ProcessInfo>> AdminSession::Ps() const {
+  WITOS_RETURN_IF_ERROR(CheckCert());
+  return machine_->kernel().ListProcesses(shell_);
+}
+
+witos::Result<std::vector<witos::DirEntry>> AdminSession::ListDir(
+    const std::string& path) const {
+  WITOS_RETURN_IF_ERROR(CheckCert());
+  return machine_->kernel().ReadDir(shell_, path);
+}
+
+witos::Result<std::string> AdminSession::ReadFile(const std::string& path) const {
+  WITOS_RETURN_IF_ERROR(CheckCert());
+  return machine_->kernel().ReadFile(shell_, path);
+}
+
+witos::Status AdminSession::WriteFile(const std::string& path, const std::string& data) const {
+  WITOS_RETURN_IF_ERROR(CheckCert());
+  return machine_->kernel().WriteFile(shell_, path, data);
+}
+
+witos::Status AdminSession::Kill(witos::Pid local_pid) const {
+  WITOS_RETURN_IF_ERROR(CheckCert());
+  return machine_->kernel().Kill(shell_, local_pid);
+}
+
+witos::Status AdminSession::RestartService(const std::string& name) const {
+  WITOS_RETURN_IF_ERROR(CheckCert());
+  const witcontain::Session* session = container();
+  if (session == nullptr || !session->spec.process_mgmt) {
+    // No control over host services without the process-management set.
+    return witos::Err::kPerm;
+  }
+  machine_->kernel().audit().Append(witos::AuditEvent::kSessionEvent, shell_, 0,
+                                    "restart_service " + name,
+                                    machine_->kernel().clock().now_ns());
+  return witos::Status::Ok();
+}
+
+witos::Status AdminSession::Reboot() const {
+  WITOS_RETURN_IF_ERROR(CheckCert());
+  return machine_->kernel().Reboot(shell_);
+}
+
+witos::NsId AdminSession::ShellNetNs() const {
+  const witos::Process* proc = machine_->kernel().FindProcess(shell_);
+  return proc == nullptr ? witos::kNoNs : proc->ns.Get(witos::NsType::kNet);
+}
+
+witos::Result<std::string> AdminSession::TryConnectInView(const std::string& endpoint,
+                                                          uint16_t port) const {
+  auto addr = witnet::Ipv4Addr::Parse(endpoint);
+  if (!addr.has_value()) {
+    const witload::OrgEndpoint* ep = witload::EndpointByName(endpoint);
+    if (ep == nullptr) {
+      return witos::Err::kHostUnreach;
+    }
+    addr = ep->addr;
+    if (port == 0) {
+      port = ep->port;
+    }
+  }
+  return machine_->net().Request(ShellNetNs(), *addr, port, "hello", witos::kRootUid);
+}
+
+witos::Result<std::string> AdminSession::Connect(const std::string& endpoint,
+                                                 uint16_t port) const {
+  WITOS_RETURN_IF_ERROR(CheckCert());
+  return TryConnectInView(endpoint, port);
+}
+
+witos::Status AdminSession::Chdir(const std::string& path) const {
+  WITOS_RETURN_IF_ERROR(CheckCert());
+  return machine_->kernel().Chdir(shell_, path);
+}
+
+witos::Result<std::string> AdminSession::Cwd() const {
+  WITOS_RETURN_IF_ERROR(CheckCert());
+  return machine_->kernel().GetCwd(shell_);
+}
+
+witos::Result<std::vector<witos::MountEntry>> AdminSession::Mounts() const {
+  WITOS_RETURN_IF_ERROR(CheckCert());
+  return machine_->kernel().MountTable(shell_);
+}
+
+witos::Result<std::string> AdminSession::Pb(const std::string& verb,
+                                            const std::vector<std::string>& args) const {
+  WITOS_RETURN_IF_ERROR(CheckCert());
+  if (broker_client_ == nullptr) {
+    return witos::Err::kConnRefused;
+  }
+  const witos::Process* proc = machine_->kernel().FindProcess(shell_);
+  witos::Uid uid = proc == nullptr ? witos::kOverflowUid : proc->cred.uid;
+  return broker_client_->Request(verb, args, uid, shell_);
+}
+
+void AdminSession::AuditCommand(const std::string& command_line) const {
+  machine_->kernel().audit().Append(witos::AuditEvent::kSessionEvent, shell_, 0,
+                                    "cmd: " + command_line,
+                                    machine_->kernel().clock().now_ns());
+}
+
+OpReplayResult AdminSession::Replay(const witload::RequiredOp& op) {
+  OpReplayResult result;
+  result.op = op;
+  witos::Kernel& kernel = machine_->kernel();
+
+  auto fall_back = [&](const std::string& verb, const std::vector<std::string>& args) {
+    result.used_broker = true;
+    result.category = InferCategory(op);
+    result.broker_ok = Pb(verb, args).ok();
+  };
+
+  switch (op.kind) {
+    case witload::OpKind::kReadFile: {
+      if (ReadFile(op.path).ok()) {
+        result.in_view = true;
+      } else {
+        fall_back(witbroker::kVerbReadFile, {op.path});
+      }
+      break;
+    }
+    case witload::OpKind::kWriteFile: {
+      if (WriteFile(op.path, "watchit-fix\n").ok()) {
+        result.in_view = true;
+      } else {
+        // The paper's flow: ask the broker to map the directory into the
+        // running container, then retry the write through the new mount.
+        fall_back(witbroker::kVerbMountVolume,
+                  {witos::Dirname(op.path), witos::Dirname(op.path)});
+        if (result.broker_ok) {
+          result.broker_ok = WriteFile(op.path, "watchit-fix\n").ok();
+        }
+      }
+      break;
+    }
+    case witload::OpKind::kListDir: {
+      if (ListDir(op.path).ok()) {
+        result.in_view = true;
+      } else {
+        fall_back(witbroker::kVerbReadFile, {op.path});
+      }
+      break;
+    }
+    case witload::OpKind::kConnect: {
+      if (TryConnectInView(op.endpoint_name, op.port).ok()) {
+        result.in_view = true;
+      } else {
+        const witload::OrgEndpoint* ep = witload::EndpointByName(op.endpoint_name);
+        std::string addr = ep != nullptr ? ep->addr.ToString() : op.endpoint_name;
+        fall_back(witbroker::kVerbNetAllow, {addr, std::to_string(op.port)});
+        if (result.broker_ok) {
+          result.broker_ok = TryConnectInView(op.endpoint_name, op.port).ok();
+        }
+      }
+      break;
+    }
+    case witload::OpKind::kListProcesses: {
+      // The op needs the *host* process view: satisfied in view only when
+      // the PID namespace is shared.
+      const witos::Process* proc = kernel.FindProcess(shell_);
+      bool host_view =
+          proc != nullptr && proc->ns.Get(witos::NsType::kPid) ==
+                                 kernel.namespaces().initial(witos::NsType::kPid);
+      if (host_view && Ps().ok()) {
+        result.in_view = true;
+      } else {
+        fall_back(witbroker::kVerbPs, {});
+      }
+      break;
+    }
+    case witload::OpKind::kKillProcess: {
+      // Spawn the runaway victim on the host, then try to kill it from
+      // inside.
+      auto victim = kernel.Clone(kernel.init_pid(), "runaway", 0);
+      if (!victim.ok()) {
+        break;
+      }
+      auto local = kernel.HostToLocalPid(shell_, *victim);
+      if (local.ok() && Kill(*local).ok()) {
+        result.in_view = true;
+      } else {
+        fall_back(witbroker::kVerbKill, {std::to_string(*victim)});
+      }
+      break;
+    }
+    case witload::OpKind::kRestartService: {
+      if (RestartService(op.service).ok()) {
+        result.in_view = true;
+      } else {
+        fall_back(witbroker::kVerbRestartService, {op.service});
+      }
+      break;
+    }
+    case witload::OpKind::kReboot: {
+      if (Reboot().ok()) {
+        result.in_view = true;
+      } else {
+        fall_back(witbroker::kVerbReboot, {});
+      }
+      break;
+    }
+    case witload::OpKind::kInstallPackage: {
+      bool net_ok = TryConnectInView(witload::kSoftwareRepo.name, 0).ok();
+      bool fs_ok = net_ok && WriteFile("/usr/progs/" + op.service, "pkg\n").ok();
+      if (net_ok && fs_ok) {
+        result.in_view = true;
+      } else {
+        fall_back(witbroker::kVerbInstall, {op.service});
+      }
+      break;
+    }
+    case witload::OpKind::kDriverUpdate: {
+      // TCB change: never possible inside the container.
+      fall_back(witbroker::kVerbDriverUpdate, {op.service});
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace watchit

@@ -1,0 +1,87 @@
+// AdminSession: the IT specialist's shell inside a deployed perforated
+// container. Commands run as the container's root through the simulated
+// kernel; "PB"-prefixed commands go to the permission broker (Figure 6).
+//
+// Replay() is the case-study workhorse: it attempts a RequiredOp inside the
+// container view first and falls back to the permission broker when the
+// view is too narrow, recording which Table 4 column the fallback lands in.
+
+#ifndef SRC_CORE_SESSION_H_
+#define SRC_CORE_SESSION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/broker/broker.h"
+#include "src/core/certificate.h"
+#include "src/core/machine.h"
+#include "src/workload/ops.h"
+
+namespace watchit {
+
+struct OpReplayResult {
+  witload::RequiredOp op;
+  bool in_view = false;      // succeeded inside the container
+  bool used_broker = false;  // required a PB request
+  bool broker_ok = false;
+  witload::BrokerCategory category = witload::BrokerCategory::kNone;
+};
+
+class AdminSession {
+ public:
+  // `ca` may be null to skip certificate checks (unit tests).
+  AdminSession(Machine* machine, witcontain::SessionId session_id, Certificate certificate,
+               CertificateAuthority* ca);
+
+  // Validates the certificate against the machine clock.
+  witos::Status Login();
+  bool logged_in() const { return logged_in_; }
+
+  witos::Pid shell() const { return shell_; }
+  const witcontain::Session* container() const;
+
+  // --- In-container commands -------------------------------------------------
+  witos::Result<std::string> Hostname() const;
+  witos::Result<std::vector<witos::ProcessInfo>> Ps() const;
+  witos::Result<std::vector<witos::DirEntry>> ListDir(const std::string& path) const;
+  witos::Result<std::string> ReadFile(const std::string& path) const;
+  witos::Status WriteFile(const std::string& path, const std::string& data) const;
+  witos::Status Kill(witos::Pid local_pid) const;
+  witos::Status RestartService(const std::string& name) const;
+  witos::Status Reboot() const;
+  // Connects to a symbolic endpoint ("license-server") or dotted address.
+  witos::Result<std::string> Connect(const std::string& endpoint, uint16_t port) const;
+  witos::Status Chdir(const std::string& path) const;
+  witos::Result<std::string> Cwd() const;
+  witos::Result<std::vector<witos::MountEntry>> Mounts() const;
+
+  // --- Permission broker ("PB <verb> ...") -----------------------------------
+  witos::Result<std::string> Pb(const std::string& verb,
+                                const std::vector<std::string>& args) const;
+
+  // --- Case-study replay ------------------------------------------------------
+  OpReplayResult Replay(const witload::RequiredOp& op);
+
+  // Session monitoring (principle 3 of §1: "optionally monitoring the
+  // allowed operations executed inside the perforated container"): records
+  // a command the admin typed into the kernel audit trail.
+  void AuditCommand(const std::string& command_line) const;
+
+ private:
+  witos::Status CheckCert() const;
+  witos::NsId ShellNetNs() const;
+  witos::Result<std::string> TryConnectInView(const std::string& endpoint, uint16_t port) const;
+
+  Machine* machine_;
+  witcontain::SessionId session_id_;
+  Certificate certificate_;
+  CertificateAuthority* ca_;
+  std::unique_ptr<witbroker::BrokerClient> broker_client_;
+  witos::Pid shell_ = witos::kNoPid;
+  bool logged_in_ = false;
+};
+
+}  // namespace watchit
+
+#endif  // SRC_CORE_SESSION_H_

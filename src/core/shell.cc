@@ -1,0 +1,298 @@
+#include "src/core/shell.h"
+
+#include <charconv>
+#include <sstream>
+
+namespace watchit {
+
+namespace {
+
+std::vector<std::string> Split(const std::string& line) {
+  std::istringstream stream(line);
+  std::vector<std::string> out;
+  std::string token;
+  while (stream >> token) {
+    out.push_back(std::move(token));
+  }
+  return out;
+}
+
+witos::Pid ParsePid(const std::string& text) {
+  witos::Pid pid = witos::kNoPid;
+  auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), pid);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    return witos::kNoPid;
+  }
+  return pid;
+}
+
+}  // namespace
+
+std::string AdminShell::Errno(const std::string& what, witos::Err err) {
+  return what + ": " + witos::ErrMessage(err) + "\n";
+}
+
+std::string AdminShell::Prompt() const {
+  auto hostname = session_->Hostname();
+  auto cwd = session_->Cwd();
+  return "root@" + (hostname.ok() ? *hostname : "?") + ":" + (cwd.ok() ? *cwd : "?") + "# ";
+}
+
+std::string AdminShell::Execute(const std::string& line) {
+  ++commands_run_;
+  std::vector<std::string> args = Split(line);
+  if (args.empty()) {
+    return "";
+  }
+  // Every keystroke the admin commits is on the record.
+  session_->AuditCommand(line);
+  std::string cmd = args[0];
+  args.erase(args.begin());
+  if (cmd == "ps") {
+    return RunPs(args);
+  }
+  if (cmd == "PB") {
+    return RunPb(args);
+  }
+  if (cmd == "cat") {
+    return RunCat(args);
+  }
+  if (cmd == "echo") {
+    return RunEcho(args);
+  }
+  if (cmd == "ls") {
+    return RunLs(args);
+  }
+  if (cmd == "cd") {
+    return RunCd(args);
+  }
+  if (cmd == "pwd") {
+    auto cwd = session_->Cwd();
+    return cwd.ok() ? *cwd + "\n" : Errno("pwd", cwd.error());
+  }
+  if (cmd == "hostname") {
+    auto hostname = session_->Hostname();
+    return hostname.ok() ? *hostname + "\n" : Errno("hostname", hostname.error());
+  }
+  if (cmd == "whoami") {
+    return "root\n";
+  }
+  if (cmd == "uname") {
+    auto hostname = session_->Hostname();
+    return "Linux " + (hostname.ok() ? *hostname : "?") + " 4.6.3-watchit\n";
+  }
+  if (cmd == "grep") {
+    return RunGrep(args);
+  }
+  if (cmd == "kill") {
+    return RunKill(args);
+  }
+  if (cmd == "service") {
+    return RunService(args);
+  }
+  if (cmd == "reboot") {
+    witos::Status status = session_->Reboot();
+    return status.ok() ? "rebooting...\n" : Errno("reboot", status.error());
+  }
+  if (cmd == "connect") {
+    return RunConnect(args);
+  }
+  if (cmd == "mount") {
+    return RunMount();
+  }
+  if (cmd == "help") {
+    return "commands: ps PB cat echo ls cd pwd hostname whoami uname grep kill "
+           "service reboot connect mount help\n";
+  }
+  return cmd + ": command not found\n";
+}
+
+std::string AdminShell::RunPs(const std::vector<std::string>& /*args*/) const {
+  auto procs = session_->Ps();
+  if (!procs.ok()) {
+    return Errno("ps", procs.error());
+  }
+  std::string out = "PID TTY          TIME CMD\n";
+  for (const auto& info : *procs) {
+    char line[128];
+    std::snprintf(line, sizeof(line), "%3d pts/4    00:00:00 %s%s\n", info.pid,
+                  info.name.c_str(),
+                  info.state == witos::ProcState::kZombie ? " <defunct>" : "");
+    out += line;
+  }
+  return out;
+}
+
+std::string AdminShell::RunPb(const std::vector<std::string>& args) const {
+  if (args.empty()) {
+    return "PB: usage: PB <verb> [args...]\n";
+  }
+  // The paper's UX: "PB ps -a" forwards a shell-looking command; translate
+  // the common case, pass anything else through as a raw verb.
+  std::string verb = args[0];
+  std::vector<std::string> rest(args.begin() + 1, args.end());
+  if (verb == "ps") {
+    rest.clear();  // flags like -a are presentation-only
+  }
+  auto out = session_->Pb(verb, rest);
+  if (!out.ok()) {
+    return Errno("PB " + verb, out.error());
+  }
+  return *out;
+}
+
+std::string AdminShell::RunCat(const std::vector<std::string>& args) const {
+  if (args.empty()) {
+    return "cat: missing operand\n";
+  }
+  auto content = session_->ReadFile(args[0]);
+  if (!content.ok()) {
+    return Errno("cat: " + args[0], content.error());
+  }
+  std::string out = *content;
+  if (!out.empty() && out.back() != '\n') {
+    out += '\n';
+  }
+  return out;
+}
+
+std::string AdminShell::RunEcho(const std::vector<std::string>& args) const {
+  // echo a b c > file   |   echo a b c >> file   |   echo a b c
+  std::string text;
+  std::string target;
+  bool append = false;
+  for (size_t i = 0; i < args.size(); ++i) {
+    if ((args[i] == ">" || args[i] == ">>") && i + 1 < args.size()) {
+      append = args[i] == ">>";
+      target = args[i + 1];
+      break;
+    }
+    if (!text.empty()) {
+      text += ' ';
+    }
+    text += args[i];
+  }
+  if (target.empty()) {
+    return text + "\n";
+  }
+  // Route through the session's kernel write (append via read-modify since
+  // AdminSession::WriteFile truncates).
+  if (append) {
+    auto existing = session_->ReadFile(target);
+    if (existing.ok()) {
+      text = *existing + text;
+    }
+  }
+  witos::Status status = session_->WriteFile(target, text + "\n");
+  return status.ok() ? "" : Errno("echo: " + target, status.error());
+}
+
+std::string AdminShell::RunLs(const std::vector<std::string>& args) const {
+  std::string dir = args.empty() ? "." : args[0];
+  auto entries = session_->ListDir(dir);
+  if (!entries.ok()) {
+    return Errno("ls: " + dir, entries.error());
+  }
+  std::string out;
+  for (const auto& entry : *entries) {
+    out += entry.name;
+    if (entry.type == witos::FileType::kDirectory) {
+      out += '/';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string AdminShell::RunCd(const std::vector<std::string>& args) {
+  std::string dir = args.empty() ? "/" : args[0];
+  witos::Status status = session_->Chdir(dir);
+  return status.ok() ? "" : Errno("cd: " + dir, status.error());
+}
+
+std::string AdminShell::RunGrep(const std::vector<std::string>& args) const {
+  if (args.size() < 2) {
+    return "grep: usage: grep <pattern> <file>\n";
+  }
+  auto content = session_->ReadFile(args[1]);
+  if (!content.ok()) {
+    return Errno("grep: " + args[1], content.error());
+  }
+  std::string out;
+  std::istringstream stream(*content);
+  std::string line;
+  while (std::getline(stream, line)) {
+    if (line.find(args[0]) != std::string::npos) {
+      out += line + "\n";
+    }
+  }
+  return out;
+}
+
+std::string AdminShell::RunKill(const std::vector<std::string>& args) const {
+  if (args.empty()) {
+    return "kill: usage: kill <pid>\n";
+  }
+  witos::Pid pid = ParsePid(args[0]);
+  if (pid == witos::kNoPid) {
+    return "kill: bad pid '" + args[0] + "'\n";
+  }
+  witos::Status status = session_->Kill(pid);
+  return status.ok() ? "" : Errno("kill: (" + args[0] + ")", status.error());
+}
+
+std::string AdminShell::RunService(const std::vector<std::string>& args) const {
+  if (args.size() != 2 || args[1] != "restart") {
+    return "service: usage: service <name> restart\n";
+  }
+  witos::Status status = session_->RestartService(args[0]);
+  if (!status.ok()) {
+    return Errno("service " + args[0], status.error());
+  }
+  return "Restarting " + args[0] + " ... done\n";
+}
+
+std::string AdminShell::RunConnect(const std::vector<std::string>& args) const {
+  if (args.empty()) {
+    return "connect: usage: connect <endpoint> [port]\n";
+  }
+  uint16_t port = 0;
+  if (args.size() > 1) {
+    port = static_cast<uint16_t>(std::atoi(args[1].c_str()));
+  }
+  auto response = session_->Connect(args[0], port);
+  if (!response.ok()) {
+    return Errno("connect: " + args[0], response.error());
+  }
+  return "connected: " + *response + "\n";
+}
+
+std::string AdminShell::RunMount() const {
+  auto mounts = session_->Mounts();
+  if (!mounts.ok()) {
+    return Errno("mount", mounts.error());
+  }
+  std::string out;
+  for (const auto& entry : *mounts) {
+    out += entry.source + " on " + entry.mountpoint + " type " + entry.fs->FsType() +
+           (entry.read_only ? " (ro)" : " (rw)") + "\n";
+  }
+  return out;
+}
+
+std::string AdminShell::Transcript(const std::string& script) {
+  std::string out;
+  std::istringstream stream(script);
+  std::string line;
+  while (std::getline(stream, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    out += Prompt() + line + "\n";
+    out += Execute(line);
+  }
+  out += Prompt() + "\n";
+  return out;
+}
+
+}  // namespace watchit

@@ -1,0 +1,73 @@
+// AdminShell: the interactive shell an IT specialist sees inside a
+// perforated container (Figure 6 of the paper is a transcript of exactly
+// this). A small command interpreter over AdminSession:
+//
+//   ps [-a]               process listing (the container's PID view)
+//   PB <verb> [args...]   escalate through the permission broker
+//   cat <file>            print a file
+//   echo <text> > <file>  write a file (also >> to append)
+//   ls [dir]              list a directory
+//   cd <dir> / pwd        working directory
+//   hostname / whoami / uname
+//   grep <pattern> <file>
+//   kill <pid>
+//   service <name> restart
+//   reboot
+//   connect <endpoint> [port]
+//   mount                 the container's mounted-filesystem table
+//   help
+//
+// Every command returns the terminal output or an errno-style message, so
+// transcripts render exactly like the paper's.
+
+#ifndef SRC_CORE_SHELL_H_
+#define SRC_CORE_SHELL_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/session.h"
+
+namespace watchit {
+
+class AdminShell {
+ public:
+  // `session` must be logged in and outlive the shell.
+  explicit AdminShell(AdminSession* session) : session_(session) {}
+
+  // Executes one command line; returns what the terminal would print
+  // (possibly empty). Unknown commands and failures render as shell-style
+  // error strings rather than hard errors.
+  std::string Execute(const std::string& line);
+
+  // The "user@host:cwd# " prompt string.
+  std::string Prompt() const;
+
+  // Executes a script of newline-separated commands, returning the full
+  // transcript (prompt + command + output), Figure 6 style.
+  std::string Transcript(const std::string& script);
+
+  uint64_t commands_run() const { return commands_run_; }
+
+ private:
+  std::string RunPs(const std::vector<std::string>& args) const;
+  std::string RunPb(const std::vector<std::string>& args) const;
+  std::string RunCat(const std::vector<std::string>& args) const;
+  std::string RunEcho(const std::vector<std::string>& args) const;
+  std::string RunLs(const std::vector<std::string>& args) const;
+  std::string RunCd(const std::vector<std::string>& args);
+  std::string RunGrep(const std::vector<std::string>& args) const;
+  std::string RunKill(const std::vector<std::string>& args) const;
+  std::string RunService(const std::vector<std::string>& args) const;
+  std::string RunConnect(const std::vector<std::string>& args) const;
+  std::string RunMount() const;
+
+  static std::string Errno(const std::string& what, witos::Err err);
+
+  AdminSession* session_;
+  uint64_t commands_run_ = 0;
+};
+
+}  // namespace watchit
+
+#endif  // SRC_CORE_SHELL_H_

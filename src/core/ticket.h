@@ -1,0 +1,28 @@
+// The trouble ticket as it flows through WatchIT (paper Figure 3).
+
+#ifndef SRC_CORE_TICKET_H_
+#define SRC_CORE_TICKET_H_
+
+#include <string>
+#include <vector>
+
+#include "src/workload/ops.h"
+
+namespace watchit {
+
+struct Ticket {
+  std::string id;
+  std::string text;           // free text from the end user
+  std::string reporter;       // end-user identity
+  std::string target_machine; // machine name the ticket concerns
+  std::string assigned_class; // set by classification (+ review)
+  std::string admin;          // IT specialist the ticket is dispatched to
+
+  // Ground truth and required operations, known for synthetic tickets.
+  std::string true_class;
+  std::vector<witload::RequiredOp> ops;
+};
+
+}  // namespace watchit
+
+#endif  // SRC_CORE_TICKET_H_

@@ -1,0 +1,211 @@
+#include "src/core/ticket_class.h"
+
+#include <cassert>
+
+#include "src/workload/ticket_gen.h"
+#include "src/workload/topology.h"
+
+namespace watchit {
+
+namespace {
+
+using witcontain::AllowedEndpoint;
+using witcontain::FsView;
+using witcontain::PerforatedContainerSpec;
+using witload::OrgEndpoint;
+
+AllowedEndpoint Ep(const OrgEndpoint& ep) { return {ep.addr, ep.port, ep.name}; }
+
+// The blanket hard constraints every container carries (§6.2).
+void ApplyHardConstraints(PerforatedContainerSpec* spec) {
+  spec->fs.policy.AddRule(witfs::ItfsPolicy::ProtectPathsRule(WatchItProtectedPaths()));
+  spec->fs.policy.AddRule(witfs::ItfsPolicy::DenyDocumentsRule());
+  spec->net.sniff = true;
+}
+
+PerforatedContainerSpec Base(int index) {
+  PerforatedContainerSpec spec;
+  spec.name = witload::TicketClassName(index) + ": " + witload::TicketClassDescription(index);
+  spec.hostname = "ITContainer";
+  return spec;
+}
+
+}  // namespace
+
+const std::vector<std::string>& WatchItProtectedPaths() {
+  static const std::vector<std::string> kPaths = {
+      "/usr/watchit",            // ContainIT, broker, policy manager binaries
+      "/var/log/watchit",        // local log spool
+      "/etc/watchit",            // policies
+  };
+  return kPaths;
+}
+
+witcontain::PerforatedContainerSpec SpecForTicketClass(int index) {
+  assert(index >= 1 && index <= witload::kNumTicketClasses);
+  PerforatedContainerSpec spec = Base(index);
+  switch (index) {
+    case 1:  // License related: home directory + license server.
+      spec.fs.kind = FsView::Kind::kDirs;
+      spec.fs.visible_dirs = {"/home/user"};
+      spec.net.allowed = {Ep(witload::kLicenseServer)};
+      break;
+    case 2:  // User/password: /etc/ only, no network.
+      spec.fs.kind = FsView::Kind::kDirs;
+      spec.fs.visible_dirs = {"/etc"};
+      break;
+    case 3:  // Shared storage accessibility: home + /etc/ + storage.
+      spec.fs.kind = FsView::Kind::kDirs;
+      spec.fs.visible_dirs = {"/home/user", "/etc"};
+      spec.net.allowed = {Ep(witload::kSharedStorage)};
+      break;
+    case 4:  // Network related: shares the host NET namespace (Figure 1b).
+      spec.process_mgmt = true;
+      spec.isolate.erase(witos::NsType::kPid);
+      spec.isolate.erase(witos::NsType::kNet);
+      spec.net.share_host = true;
+      // The tap on the shared namespace confines traffic to the
+      // organizational network — connectivity repair never needs the wider
+      // internet, and exfiltration attempts are dropped on the wire.
+      spec.net.sniffer_whitelist = {{witnet::Ipv4Addr(10, 0, 0, 0), 8}};
+      spec.fs.kind = FsView::Kind::kDirs;
+      spec.fs.visible_dirs = {"/etc"};
+      break;
+    case 5:  // Slow server: process management + root fs view.
+      spec.process_mgmt = true;
+      spec.isolate.erase(witos::NsType::kPid);
+      spec.fs.kind = FsView::Kind::kWholeRoot;
+      break;
+    case 6:  // Software related: root fs + repo + whitelisted websites.
+      spec.process_mgmt = true;
+      spec.isolate.erase(witos::NsType::kPid);
+      spec.fs.kind = FsView::Kind::kWholeRoot;
+      spec.net.allowed = {Ep(witload::kSoftwareRepo), Ep(witload::kEclipseMirror)};
+      spec.net.sniffer_whitelist = {witload::kWhitelistedWeb};
+      break;
+    case 7:  // Internal VM cloud: ownership config in /etc/ only.
+      spec.fs.kind = FsView::Kind::kDirs;
+      spec.fs.visible_dirs = {"/etc"};
+      break;
+    case 8:  // Permissions: root filesystem view, no network.
+      spec.fs.kind = FsView::Kind::kWholeRoot;
+      break;
+    case 9:  // SSH/VNC/LSF: config files + target machine + batch server.
+      spec.process_mgmt = true;
+      spec.isolate.erase(witos::NsType::kPid);
+      spec.fs.kind = FsView::Kind::kDirs;
+      spec.fs.visible_dirs = {"/home/user", "/etc"};
+      spec.net.allowed = {Ep(witload::kTargetMachine), Ep(witload::kBatchServer)};
+      break;
+    case 10:  // Storage quota: home + shared storage.
+      spec.fs.kind = FsView::Kind::kDirs;
+      spec.fs.visible_dirs = {"/home/user"};
+      spec.net.allowed = {Ep(witload::kSharedStorage)};
+      break;
+    case 11:  // Other: fully isolated, everything tracked and logged.
+      spec.fs.kind = FsView::Kind::kPrivate;
+      break;
+    default:
+      break;
+  }
+  ApplyHardConstraints(&spec);
+  return spec;
+}
+
+witcontain::PerforatedContainerSpec SpecForScriptClass(const std::string& name) {
+  PerforatedContainerSpec spec;
+  spec.name = name + " script container";
+  spec.hostname = "ScriptContainer";
+  if (name == "S-1") {  // config files only
+    spec.fs.kind = FsView::Kind::kDirs;
+    spec.fs.visible_dirs = {"/etc"};
+  } else if (name == "S-2") {  // config + process management
+    spec.fs.kind = FsView::Kind::kDirs;
+    spec.fs.visible_dirs = {"/etc"};
+    spec.process_mgmt = true;
+    spec.isolate.erase(witos::NsType::kPid);
+  } else if (name == "S-3") {  // process management only
+    spec.fs.kind = FsView::Kind::kPrivate;
+    spec.process_mgmt = true;
+    spec.isolate.erase(witos::NsType::kPid);
+  } else if (name == "S-4") {  // network namespace (iptables work)
+    spec.fs.kind = FsView::Kind::kDirs;
+    spec.fs.visible_dirs = {"/etc"};
+    spec.isolate.erase(witos::NsType::kNet);
+    spec.net.share_host = true;
+    spec.net.sniffer_whitelist = {{witnet::Ipv4Addr(10, 0, 0, 0), 8}};
+  } else if (name == "S-5") {  // logs + statistics tools, no network
+    spec.fs.kind = FsView::Kind::kDirs;
+    spec.fs.visible_dirs = {"/var/log", "/usr/bin"};
+  } else if (name == "S-6") {  // service restarts and reboots
+    spec.fs.kind = FsView::Kind::kPrivate;
+    spec.process_mgmt = true;
+    spec.isolate.erase(witos::NsType::kPid);
+  }
+  ApplyHardConstraints(&spec);
+  return spec;
+}
+
+void RegisterAllImages(witcontain::ImageRepository* repo) {
+  for (int i = 1; i <= witload::kNumTicketClasses; ++i) {
+    repo->Register(witload::TicketClassName(i), SpecForTicketClass(i));
+  }
+  for (const char* name : {"S-1", "S-2", "S-3", "S-4", "S-5", "S-6"}) {
+    repo->Register(name, SpecForScriptClass(name));
+  }
+}
+
+void ConfigureBrokerPolicies(witbroker::PolicyManager* policy) {
+  witbroker::ClassPolicy standard;
+  standard.allowed_verbs = {witbroker::kVerbPs,
+                            witbroker::kVerbKill,
+                            witbroker::kVerbReadFile,
+                            witbroker::kVerbInstall,
+                            witbroker::kVerbRestartService,
+                            witbroker::kVerbMountVolume,
+                            witbroker::kVerbNetAllow};
+  for (int i = 1; i <= 10; ++i) {
+    policy->SetPolicy(witload::TicketClassName(i), standard);
+  }
+  // T-11 is where the rare TCB-touching requests land: driver updates go
+  // through the broker so they can be audited and signature-checked.
+  witbroker::ClassPolicy other = standard;
+  other.allowed_verbs.insert(witbroker::kVerbDriverUpdate);
+  other.allowed_verbs.insert(witbroker::kVerbReboot);
+  policy->SetPolicy("T-11", other);
+  // Script containers never talk to the broker.
+  witbroker::ClassPolicy deny_all;
+  for (const char* name : {"S-1", "S-2", "S-3", "S-4", "S-5", "S-6"}) {
+    policy->SetPolicy(name, deny_all);
+  }
+  policy->SetDefaultPolicy(deny_all);
+}
+
+SpecMatrixRow MatrixRowFor(int index) {
+  witcontain::PerforatedContainerSpec spec = SpecForTicketClass(index);
+  SpecMatrixRow row;
+  row.cls = witload::TicketClassName(index);
+  row.description = witload::TicketClassDescription(index);
+  row.process_mgmt = spec.process_mgmt;
+  row.net_namespace_shared = spec.net.share_host;
+  if (spec.fs.kind == FsView::Kind::kWholeRoot) {
+    row.fs_root = true;
+    row.fs_home = true;  // implied
+    row.fs_etc = true;   // implied
+  } else {
+    for (const auto& dir : spec.fs.visible_dirs) {
+      if (dir == "/home/user") {
+        row.fs_home = true;
+      }
+      if (dir == "/etc") {
+        row.fs_etc = true;
+      }
+    }
+  }
+  for (const auto& ep : spec.net.allowed) {
+    row.net_endpoints.push_back(ep.name);
+  }
+  return row;
+}
+
+}  // namespace watchit

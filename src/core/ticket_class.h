@@ -1,0 +1,56 @@
+// Table 3 in code: the permission/isolation matrix mapping each ticket
+// class (T-1..T-11) to a perforated-container spec, plus the Figure 8
+// script containers (S-1..S-6) and the broker policies per class.
+//
+// Every container additionally carries the blanket hard constraints of
+// §6.2 (ticket-stringing defence): an ITFS policy forbidding documents and
+// pictures, ITFS protection of WatchIT's own files, and sniffer rules
+// blocking file-signature and encrypted payloads.
+
+#ifndef SRC_CORE_TICKET_CLASS_H_
+#define SRC_CORE_TICKET_CLASS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/broker/policy.h"
+#include "src/container/image_repo.h"
+#include "src/container/spec.h"
+
+namespace watchit {
+
+// Paths belonging to the WatchIT software itself (Attack 5 defence: "we use
+// ITFS to block accesses to all WatchIT files").
+const std::vector<std::string>& WatchItProtectedPaths();
+
+// Builds the Table 3 perforated container for ticket class `index`
+// (1-based, 1..11).
+witcontain::PerforatedContainerSpec SpecForTicketClass(int index);
+
+// Builds the Figure 8 script containers ("S-1".."S-6").
+witcontain::PerforatedContainerSpec SpecForScriptClass(const std::string& name);
+
+// Registers all ticket + script container images.
+void RegisterAllImages(witcontain::ImageRepository* repo);
+
+// Installs the per-class broker policies: the verbs Table 4 shows each
+// class using, plus driver updates for T-11 only.
+void ConfigureBrokerPolicies(witbroker::PolicyManager* policy);
+
+// A human-readable summary row of a spec (used by the Table 3 bench).
+struct SpecMatrixRow {
+  std::string cls;
+  std::string description;
+  bool process_mgmt = false;
+  bool fs_home = false;
+  bool fs_etc = false;
+  bool fs_root = false;
+  std::vector<std::string> net_endpoints;
+  bool net_namespace_shared = false;
+};
+
+SpecMatrixRow MatrixRowFor(int index);
+
+}  // namespace watchit
+
+#endif  // SRC_CORE_TICKET_CLASS_H_

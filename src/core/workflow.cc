@@ -1,0 +1,113 @@
+#include "src/core/workflow.h"
+
+#include <algorithm>
+
+namespace watchit {
+
+void Dispatcher::AddSpecialist(const std::string& name, std::set<std::string> expertise) {
+  ItSpecialist specialist;
+  specialist.name = name;
+  specialist.expertise = std::move(expertise);
+  roster_.push_back(std::move(specialist));
+}
+
+witos::Result<std::string> Dispatcher::Assign(const std::string& ticket_class) {
+  ItSpecialist* best = nullptr;
+  for (auto& specialist : roster_) {
+    if (specialist.expertise.count(ticket_class) == 0) {
+      continue;
+    }
+    if (options_.single_class_per_admin) {
+      auto pinned = pinned_.find(specialist.name);
+      if (pinned != pinned_.end() && pinned->second != ticket_class) {
+        continue;  // already pinned to a different class
+      }
+    }
+    if (best == nullptr || specialist.open_tickets < best->open_tickets) {
+      best = &specialist;
+    }
+  }
+  if (best == nullptr) {
+    return witos::Err::kSrch;
+  }
+  ++best->open_tickets;
+  ++best->total_assigned;
+  if (options_.single_class_per_admin) {
+    pinned_.emplace(best->name, ticket_class);
+  }
+  return best->name;
+}
+
+void Dispatcher::Complete(const std::string& admin) {
+  for (auto& specialist : roster_) {
+    if (specialist.name == admin && specialist.open_tickets > 0) {
+      --specialist.open_tickets;
+      return;
+    }
+  }
+}
+
+const ItSpecialist* Dispatcher::Find(const std::string& name) const {
+  for (const auto& specialist : roster_) {
+    if (specialist.name == name) {
+      return &specialist;
+    }
+  }
+  return nullptr;
+}
+
+witos::Result<ResolvedTicket> TicketWorkflow::Process(
+    const witload::GeneratedTicket& generated, const std::string& target_machine,
+    const std::string& user_machine) {
+  ResolvedTicket resolved;
+  resolved.predicted_class = framework_->Classify(generated.text);
+  resolved.classified_correctly = resolved.predicted_class == generated.true_class;
+
+  Ticket& ticket = resolved.ticket;
+  ticket.id = generated.id;
+  ticket.text = generated.text;
+  ticket.target_machine = target_machine;
+  // Review corrects mispredictions before deployment (§5.1).
+  ticket.assigned_class =
+      framework_->ClassifyWithReview(generated.text, generated.true_class);
+  ticket.true_class = generated.true_class;
+  ticket.ops = generated.ops;
+
+  WITOS_ASSIGN_OR_RETURN(ticket.admin, dispatcher_->Assign(ticket.assigned_class));
+
+  WITOS_ASSIGN_OR_RETURN(Deployment primary, manager_.Deploy(ticket));
+  resolved.deployments.push_back(primary);
+
+  // T-9 deploys on the user's machine as well.
+  if (ticket.assigned_class == "T-9") {
+    std::string second = user_machine.empty() ? target_machine : user_machine;
+    if (second != target_machine && cluster_->FindMachine(second) != nullptr) {
+      Ticket user_ticket = ticket;
+      user_ticket.target_machine = second;
+      auto user_deployment = manager_.Deploy(user_ticket);
+      if (user_deployment.ok()) {
+        resolved.deployments.push_back(*user_deployment);
+      }
+    }
+  }
+
+  // The specialist works the ticket in the primary session.
+  AdminSession session(primary.machine, primary.session, primary.certificate,
+                       &cluster_->ca());
+  WITOS_RETURN_IF_ERROR(session.Login());
+  resolved.satisfied_in_view = true;
+  for (const auto& op : ticket.ops) {
+    OpReplayResult replay = session.Replay(op);
+    resolved.satisfied_in_view &= !replay.used_broker;
+    resolved.replays.push_back(std::move(replay));
+  }
+
+  for (auto& deployment : resolved.deployments) {
+    (void)manager_.Expire(&deployment);
+  }
+  dispatcher_->Complete(ticket.admin);
+  ++processed_;
+  return resolved;
+}
+
+}  // namespace watchit

@@ -1,0 +1,102 @@
+// The end-to-end IT workflow of §3.1/§5.1: the end user files a ticket, the
+// framework classifies it (with supervisor review), a dispatcher assigns it
+// to a qualified IT specialist, the cluster manager deploys the class's
+// perforated container on the target machine(s), the specialist resolves the
+// ticket inside it, and the deployment expires with the certificate.
+//
+// Dispatch encodes two of the paper's organizational defences:
+//  * tickets go only to specialists whose expertise covers the class
+//    ("dispatches it to an appropriate IT specialist");
+//  * optional single-class hardening — "in large organizations, WatchIT can
+//    be protected from [ticket stringing] by assigning to each IT person
+//    only tickets of the same class" (Attack 10).
+//
+// T-9 (SSH/VNC/LSF) deploys on *both* the user and the target machine:
+// "this container is deployed both on the user and the target machines,
+// since configurations might need to be fixed in both of them" (§7.1.2).
+
+#ifndef SRC_CORE_WORKFLOW_H_
+#define SRC_CORE_WORKFLOW_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/core/cluster.h"
+#include "src/core/framework.h"
+#include "src/core/session.h"
+#include "src/workload/ticket_gen.h"
+
+namespace watchit {
+
+struct ItSpecialist {
+  std::string name;
+  std::set<std::string> expertise;  // ticket classes this person may handle
+  size_t open_tickets = 0;
+  size_t total_assigned = 0;
+};
+
+class Dispatcher {
+ public:
+  struct Options {
+    // Attack-10 hardening: once a specialist handles a class, they only
+    // ever get that class again.
+    bool single_class_per_admin = false;
+  };
+
+  Dispatcher() : Dispatcher(Options()) {}
+  explicit Dispatcher(Options options) : options_(options) {}
+
+  void AddSpecialist(const std::string& name, std::set<std::string> expertise);
+
+  // Picks the least-loaded qualified specialist for the class, or ESRCH.
+  witos::Result<std::string> Assign(const std::string& ticket_class);
+  void Complete(const std::string& admin);
+
+  const ItSpecialist* Find(const std::string& name) const;
+  size_t size() const { return roster_.size(); }
+  // The class each admin is pinned to under single-class hardening.
+  const std::map<std::string, std::string>& pinned_classes() const { return pinned_; }
+
+ private:
+  Options options_;
+  std::vector<ItSpecialist> roster_;
+  std::map<std::string, std::string> pinned_;
+};
+
+struct ResolvedTicket {
+  Ticket ticket;
+  std::string predicted_class;  // before review
+  std::vector<Deployment> deployments;  // one, or two for T-9
+  std::vector<OpReplayResult> replays;
+  bool classified_correctly = false;
+  bool satisfied_in_view = false;  // no broker escalation needed
+};
+
+class TicketWorkflow {
+ public:
+  // All dependencies must outlive the workflow.
+  TicketWorkflow(Cluster* cluster, ItFramework* framework, Dispatcher* dispatcher)
+      : cluster_(cluster), framework_(framework), dispatcher_(dispatcher), manager_(cluster) {}
+
+  // Runs one generated ticket end to end against `target_machine` (and
+  // `user_machine` for the dual-deployment classes, defaulting to the
+  // target). Sessions are expired before returning.
+  witos::Result<ResolvedTicket> Process(const witload::GeneratedTicket& generated,
+                                        const std::string& target_machine,
+                                        const std::string& user_machine = "");
+
+  uint64_t processed() const { return processed_; }
+
+ private:
+  Cluster* cluster_;
+  ItFramework* framework_;
+  Dispatcher* dispatcher_;
+  ClusterManager manager_;
+  uint64_t processed_ = 0;
+};
+
+}  // namespace watchit
+
+#endif  // SRC_CORE_WORKFLOW_H_

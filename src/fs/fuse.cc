@@ -1,0 +1,140 @@
+#include "src/fs/fuse.h"
+
+namespace witfs {
+
+void FuseMount::Cross() const {
+  ++crossings_;
+  if (clock_ != nullptr) {
+    clock_->Advance(clock_->costs().fuse_crossing_ns);
+  }
+}
+
+witos::Result<witos::Stat> FuseMount::Open(const std::string& path, uint32_t flags,
+                                           witos::Mode mode, const witos::Credentials& cred) {
+  Cross();
+  auto st = user_fs_->Open(path, flags, mode, cred);
+  if (passthrough_lower_ != nullptr) {
+    if (st.ok()) {
+      approved_.insert(path);  // subsequent data ops bypass the daemon
+    } else {
+      approved_.erase(path);
+    }
+  }
+  return st;
+}
+
+witos::Result<size_t> FuseMount::ReadAt(const std::string& path, uint64_t offset, size_t size,
+                                        std::string* out, const witos::Credentials& cred) {
+  if (passthrough_lower_ != nullptr && Approved(path)) {
+    ++passthrough_ops_;
+    return passthrough_lower_->ReadAt(path, offset, size, out, cred);
+  }
+  Cross();
+  auto n = user_fs_->ReadAt(path, offset, size, out, cred);
+  if (n.ok() && clock_ != nullptr) {
+    // The extra request copy through the FUSE protocol buffer.
+    clock_->Advance(*n * clock_->costs().fuse_per_byte_tenth_ns / 10);
+  }
+  return n;
+}
+
+witos::Result<size_t> FuseMount::WriteAt(const std::string& path, uint64_t offset,
+                                         const std::string& data,
+                                         const witos::Credentials& cred) {
+  if (passthrough_lower_ != nullptr && Approved(path)) {
+    ++passthrough_ops_;
+    return passthrough_lower_->WriteAt(path, offset, data, cred);
+  }
+  Cross();
+  if (clock_ != nullptr) {
+    clock_->Advance(data.size() * clock_->costs().fuse_per_byte_tenth_ns / 10);
+  }
+  return user_fs_->WriteAt(path, offset, data, cred);
+}
+
+witos::Status FuseMount::Truncate(const std::string& path, uint64_t size,
+                                  const witos::Credentials& cred) {
+  Cross();
+  return user_fs_->Truncate(path, size, cred);
+}
+
+witos::Result<witos::Stat> FuseMount::GetAttr(const std::string& path,
+                                              const witos::Credentials& cred) {
+  Cross();
+  return user_fs_->GetAttr(path, cred);
+}
+
+witos::Result<std::vector<witos::DirEntry>> FuseMount::ReadDir(const std::string& path,
+                                                               const witos::Credentials& cred) {
+  Cross();
+  return user_fs_->ReadDir(path, cred);
+}
+
+witos::Status FuseMount::MkDir(const std::string& path, witos::Mode mode,
+                               const witos::Credentials& cred) {
+  Cross();
+  return user_fs_->MkDir(path, mode, cred);
+}
+
+witos::Status FuseMount::Unlink(const std::string& path, const witos::Credentials& cred) {
+  Cross();
+  approved_.erase(path);
+  return user_fs_->Unlink(path, cred);
+}
+
+witos::Status FuseMount::RmDir(const std::string& path, const witos::Credentials& cred) {
+  Cross();
+  return user_fs_->RmDir(path, cred);
+}
+
+witos::Status FuseMount::Rename(const std::string& from, const std::string& to,
+                                const witos::Credentials& cred) {
+  Cross();
+  approved_.erase(from);
+  approved_.erase(to);
+  return user_fs_->Rename(from, to, cred);
+}
+
+witos::Status FuseMount::Chmod(const std::string& path, witos::Mode mode,
+                               const witos::Credentials& cred) {
+  Cross();
+  return user_fs_->Chmod(path, mode, cred);
+}
+
+witos::Status FuseMount::Chown(const std::string& path, witos::Uid uid, witos::Gid gid,
+                               const witos::Credentials& cred) {
+  Cross();
+  return user_fs_->Chown(path, uid, gid, cred);
+}
+
+witos::Status FuseMount::MkNod(const std::string& path, witos::FileType type,
+                               witos::DeviceId rdev, witos::Mode mode,
+                               const witos::Credentials& cred) {
+  Cross();
+  return user_fs_->MkNod(path, type, rdev, mode, cred);
+}
+
+witos::Status FuseMount::Link(const std::string& oldpath, const std::string& newpath,
+                              const witos::Credentials& cred) {
+  Cross();
+  return user_fs_->Link(oldpath, newpath, cred);
+}
+
+witos::Status FuseMount::SymLink(const std::string& target, const std::string& linkpath,
+                                 const witos::Credentials& cred) {
+  Cross();
+  return user_fs_->SymLink(target, linkpath, cred);
+}
+
+witos::Result<std::string> FuseMount::ReadLink(const std::string& path,
+                                               const witos::Credentials& cred) {
+  Cross();
+  return user_fs_->ReadLink(path, cred);
+}
+
+witos::Result<witos::FsStats> FuseMount::StatFs() const {
+  Cross();
+  return user_fs_->StatFs();
+}
+
+}  // namespace witfs

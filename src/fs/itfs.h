@@ -1,0 +1,95 @@
+// Itfs: the IT File-System — WatchIT's userspace monitoring filesystem
+// (paper §5.3).
+//
+// Itfs wraps a lower filesystem (the real disk fs) and
+//   * evaluates the ItfsPolicy on every operation, denying or logging;
+//   * in signature mode, reads the head of the file on open to classify the
+//     content (charging the extra read on the clock);
+//   * performs lower-filesystem operations with the credentials of the user
+//     who invoked ITFS on the host — FUSE semantics: "the user logged in to
+//     the container inherits the privileges of the user that invokes the
+//     ITFS on the host". Mounted by root, Itfs therefore grants contained
+//     admins superuser power over exactly the files it exposes.
+//
+// The full Figure 5 stack is:  kernel mount -> FuseMount -> Itfs -> MemFs.
+
+#ifndef SRC_FS_ITFS_H_
+#define SRC_FS_ITFS_H_
+
+#include <memory>
+#include <string>
+
+#include "src/fs/itfs_policy.h"
+#include "src/fs/oplog.h"
+#include "src/os/audit.h"
+#include "src/os/clock.h"
+#include "src/os/filesystem.h"
+
+namespace witfs {
+
+class Itfs : public witos::Filesystem {
+ public:
+  // `invoker` is the host user who mounted ITFS (root for admin containers).
+  // `clock` and `audit` may be null (tests).
+  Itfs(std::shared_ptr<witos::Filesystem> lower, ItfsPolicy policy, witos::Credentials invoker,
+       witos::SimClock* clock = nullptr, witos::AuditLog* audit = nullptr);
+
+  std::string FsType() const override { return "itfs"; }
+  bool Cacheable() const override { return lower_->Cacheable(); }
+
+  witos::Result<witos::Stat> Open(const std::string& path, uint32_t flags, witos::Mode mode,
+                                  const witos::Credentials& cred) override;
+  witos::Result<size_t> ReadAt(const std::string& path, uint64_t offset, size_t size,
+                               std::string* out, const witos::Credentials& cred) override;
+  witos::Result<size_t> WriteAt(const std::string& path, uint64_t offset,
+                                const std::string& data,
+                                const witos::Credentials& cred) override;
+  witos::Status Truncate(const std::string& path, uint64_t size,
+                         const witos::Credentials& cred) override;
+  witos::Result<witos::Stat> GetAttr(const std::string& path,
+                                     const witos::Credentials& cred) override;
+  witos::Result<std::vector<witos::DirEntry>> ReadDir(const std::string& path,
+                                                      const witos::Credentials& cred) override;
+  witos::Status MkDir(const std::string& path, witos::Mode mode,
+                      const witos::Credentials& cred) override;
+  witos::Status Unlink(const std::string& path, const witos::Credentials& cred) override;
+  witos::Status RmDir(const std::string& path, const witos::Credentials& cred) override;
+  witos::Status Rename(const std::string& from, const std::string& to,
+                       const witos::Credentials& cred) override;
+  witos::Status Chmod(const std::string& path, witos::Mode mode,
+                      const witos::Credentials& cred) override;
+  witos::Status Chown(const std::string& path, witos::Uid uid, witos::Gid gid,
+                      const witos::Credentials& cred) override;
+  witos::Status MkNod(const std::string& path, witos::FileType type, witos::DeviceId rdev,
+                      witos::Mode mode, const witos::Credentials& cred) override;
+  witos::Status Link(const std::string& oldpath, const std::string& newpath,
+                     const witos::Credentials& cred) override;
+  witos::Status SymLink(const std::string& target, const std::string& linkpath,
+                        const witos::Credentials& cred) override;
+  witos::Result<std::string> ReadLink(const std::string& path,
+                                      const witos::Credentials& cred) override;
+  witos::Result<witos::FsStats> StatFs() const override;
+
+  OpLog& oplog() { return oplog_; }
+  const OpLog& oplog() const { return oplog_; }
+  ItfsPolicy& policy() { return policy_; }
+  const ItfsPolicy& policy() const { return policy_; }
+
+ private:
+  // Policy gate: logs the access and returns EACCES if a deny rule fires.
+  // In signature mode fetches head bytes for content rules (charging the
+  // extra read cost).
+  witos::Status Gate(ItfsOpKind op, const std::string& path, const witos::Credentials& cred,
+                     bool fetch_head);
+
+  std::shared_ptr<witos::Filesystem> lower_;
+  ItfsPolicy policy_;
+  witos::Credentials invoker_;
+  witos::SimClock* clock_;
+  witos::AuditLog* audit_;
+  OpLog oplog_;
+};
+
+}  // namespace witfs
+
+#endif  // SRC_FS_ITFS_H_

@@ -1,0 +1,135 @@
+#include "src/fs/itfs_policy.h"
+
+#include <algorithm>
+
+#include "src/os/path.h"
+
+namespace witfs {
+
+std::string ItfsOpKindName(ItfsOpKind op) {
+  switch (op) {
+    case ItfsOpKind::kOpen:
+      return "open";
+    case ItfsOpKind::kRead:
+      return "read";
+    case ItfsOpKind::kWrite:
+      return "write";
+    case ItfsOpKind::kReaddir:
+      return "readdir";
+    case ItfsOpKind::kUnlink:
+      return "unlink";
+    case ItfsOpKind::kRename:
+      return "rename";
+    case ItfsOpKind::kAttr:
+      return "attr";
+  }
+  return "?";
+}
+
+const std::vector<std::string>& DocumentExtensions() {
+  static const std::vector<std::string> kExts = {
+      "doc", "docx", "xls", "xlsx", "ppt", "pptx", "pdf", "odt",  "ods",
+      "jpg", "jpeg", "png", "gif",  "bmp", "tif",  "csv", "eml",  "msg",
+  };
+  return kExts;
+}
+
+void ItfsPolicy::AddRule(ItfsRule rule) { rules_.push_back(std::move(rule)); }
+
+void ItfsPolicy::Merge(const ItfsPolicy& other) {
+  for (const auto& rule : other.rules_) {
+    rules_.push_back(rule);
+  }
+  if (other.mode_ == InspectionMode::kSignature) {
+    mode_ = InspectionMode::kSignature;
+  }
+}
+
+bool ItfsPolicy::NeedsContent() const {
+  if (mode_ != InspectionMode::kSignature) {
+    return false;
+  }
+  return std::any_of(rules_.begin(), rules_.end(), [](const ItfsRule& r) {
+    return !r.signatures.empty() || r.custom != nullptr;
+  });
+}
+
+PolicyDecision ItfsPolicy::Evaluate(ItfsOpKind op, const std::string& path,
+                                    std::string_view head) const {
+  bool is_write = op == ItfsOpKind::kWrite || op == ItfsOpKind::kUnlink ||
+                  op == ItfsOpKind::kRename;
+  std::string ext = witos::Extension(path);
+  FileClass cls = FileClass::kUnknown;
+  bool cls_computed = false;
+  // A matching log-only rule records its name but does NOT shield the access
+  // from later deny rules — logging never grants immunity.
+  std::string log_rule;
+  for (const auto& rule : rules_) {
+    if (rule.write_only && !is_write) {
+      continue;
+    }
+    bool matched = false;
+    if (!rule.extensions.empty() &&
+        std::find(rule.extensions.begin(), rule.extensions.end(), ext) != rule.extensions.end()) {
+      matched = true;
+    }
+    if (!matched && !rule.path_prefixes.empty()) {
+      for (const auto& prefix : rule.path_prefixes) {
+        if (witos::PathIsUnder(path, prefix)) {
+          matched = true;
+          break;
+        }
+      }
+    }
+    if (!matched && mode_ == InspectionMode::kSignature && !rule.signatures.empty() &&
+        !head.empty()) {
+      if (!cls_computed) {
+        cls = DetectSignature(head);
+        cls_computed = true;
+      }
+      matched = std::find(rule.signatures.begin(), rule.signatures.end(), cls) !=
+                rule.signatures.end();
+    }
+    if (!matched && rule.custom != nullptr) {
+      matched = rule.custom(path, head);
+    }
+    if (matched) {
+      if (rule.action == RuleAction::kDeny) {
+        return {true, rule.name};
+      }
+      if (log_rule.empty()) {
+        log_rule = rule.name;
+      }
+    }
+  }
+  return {false, log_rule};
+}
+
+ItfsRule ItfsPolicy::DenyDocumentsRule() {
+  ItfsRule rule;
+  rule.name = "deny-documents";
+  rule.action = RuleAction::kDeny;
+  rule.extensions = DocumentExtensions();
+  rule.signatures = {FileClass::kJpeg, FileClass::kPng,       FileClass::kGif,
+                     FileClass::kPdf,  FileClass::kZipOffice, FileClass::kOleOffice};
+  return rule;
+}
+
+ItfsRule ItfsPolicy::ProtectPathsRule(std::vector<std::string> prefixes) {
+  ItfsRule rule;
+  rule.name = "protect-watchit";
+  rule.action = RuleAction::kDeny;
+  rule.path_prefixes = std::move(prefixes);
+  return rule;
+}
+
+ItfsRule ItfsPolicy::ReadOnlyRule(std::vector<std::string> prefixes) {
+  ItfsRule rule;
+  rule.name = "read-only";
+  rule.action = RuleAction::kDeny;
+  rule.path_prefixes = std::move(prefixes);
+  rule.write_only = true;
+  return rule;
+}
+
+}  // namespace witfs

@@ -1,0 +1,45 @@
+#include "src/fs/oplog.h"
+
+namespace witfs {
+
+size_t OpLog::denied_count() const {
+  size_t n = 0;
+  for (const auto& rec : records_) {
+    if (rec.denied) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::vector<OpRecord> OpLog::Denied() const {
+  std::vector<OpRecord> out;
+  for (const auto& rec : records_) {
+    if (rec.denied) {
+      out.push_back(rec);
+    }
+  }
+  return out;
+}
+
+std::vector<OpRecord> OpLog::ForPath(const std::string& path) const {
+  std::vector<OpRecord> out;
+  for (const auto& rec : records_) {
+    if (rec.path == path) {
+      out.push_back(rec);
+    }
+  }
+  return out;
+}
+
+size_t OpLog::CountMatching(const std::function<bool(const OpRecord&)>& pred) const {
+  size_t n = 0;
+  for (const auto& rec : records_) {
+    if (pred(rec)) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace witfs

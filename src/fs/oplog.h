@@ -1,0 +1,44 @@
+// The ITFS operation log: every file operation a perforated container
+// performs is recorded here for later analysis (paper: "all filesystem
+// operations ... were monitored").
+
+#ifndef SRC_FS_OPLOG_H_
+#define SRC_FS_OPLOG_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/fs/itfs_policy.h"
+#include "src/os/types.h"
+
+namespace witfs {
+
+struct OpRecord {
+  uint64_t time_ns = 0;
+  ItfsOpKind op = ItfsOpKind::kOpen;
+  std::string path;
+  witos::Uid uid = 0;
+  bool denied = false;
+  std::string rule;  // policy rule that fired, if any
+};
+
+class OpLog {
+ public:
+  void Record(OpRecord rec) { records_.push_back(std::move(rec)); }
+
+  const std::vector<OpRecord>& records() const { return records_; }
+  size_t size() const { return records_.size(); }
+  size_t denied_count() const;
+  std::vector<OpRecord> Denied() const;
+  std::vector<OpRecord> ForPath(const std::string& path) const;
+  size_t CountMatching(const std::function<bool(const OpRecord&)>& pred) const;
+  void Clear() { records_.clear(); }
+
+ private:
+  std::vector<OpRecord> records_;
+};
+
+}  // namespace witfs
+
+#endif  // SRC_FS_OPLOG_H_

@@ -1,0 +1,168 @@
+#include "src/fs/ruledsl.h"
+
+#include <charconv>
+#include <sstream>
+#include <vector>
+
+namespace witfs {
+
+namespace {
+
+std::vector<std::string> SplitCsv(const std::string& text) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : text) {
+    if (c == ',') {
+      if (!cur.empty()) {
+        out.push_back(std::move(cur));
+        cur.clear();
+      }
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) {
+    out.push_back(std::move(cur));
+  }
+  return out;
+}
+
+std::vector<std::string> Tokens(const std::string& line) {
+  std::istringstream stream(line);
+  std::vector<std::string> out;
+  std::string token;
+  while (stream >> token) {
+    if (token[0] == '#') {
+      break;
+    }
+    out.push_back(std::move(token));
+  }
+  return out;
+}
+
+bool Fail(std::string* error_out, size_t line_no, const std::string& message) {
+  if (error_out != nullptr) {
+    *error_out = "line " + std::to_string(line_no) + ": " + message;
+  }
+  return false;
+}
+
+}  // namespace
+
+FileClass FileClassFromName(const std::string& name) {
+  for (FileClass cls : {FileClass::kText, FileClass::kJpeg, FileClass::kPng, FileClass::kGif,
+                        FileClass::kPdf, FileClass::kZipOffice, FileClass::kOleOffice,
+                        FileClass::kElf, FileClass::kGzip, FileClass::kEncrypted}) {
+    if (FileClassName(cls) == name) {
+      return cls;
+    }
+  }
+  return FileClass::kUnknown;
+}
+
+witos::Result<ParsedPolicy> ParseItfsPolicy(const std::string& text, std::string* error_out) {
+  ParsedPolicy parsed;
+  std::istringstream stream(text);
+  std::string line;
+  size_t line_no = 0;
+  size_t auto_name = 0;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    std::vector<std::string> tokens = Tokens(line);
+    if (tokens.empty()) {
+      continue;
+    }
+    const std::string& head = tokens[0];
+
+    if (head == "mode") {
+      if (tokens.size() != 2 || (tokens[1] != "extension" && tokens[1] != "signature")) {
+        Fail(error_out, line_no, "mode expects 'extension' or 'signature'");
+        return witos::Err::kInval;
+      }
+      parsed.policy.set_inspection_mode(tokens[1] == "signature"
+                                            ? InspectionMode::kSignature
+                                            : InspectionMode::kExtensionOnly);
+      continue;
+    }
+    if (head == "scan-limit") {
+      size_t limit = 0;
+      if (tokens.size() != 2 ||
+          std::from_chars(tokens[1].data(), tokens[1].data() + tokens[1].size(), limit).ec !=
+              std::errc()) {
+        Fail(error_out, line_no, "scan-limit expects a byte count");
+        return witos::Err::kInval;
+      }
+      parsed.policy.set_content_scan_limit(limit);
+      continue;
+    }
+    if (head == "log-all") {
+      if (tokens.size() != 2 || (tokens[1] != "on" && tokens[1] != "off")) {
+        Fail(error_out, line_no, "log-all expects on|off");
+        return witos::Err::kInval;
+      }
+      parsed.policy.set_log_all(tokens[1] == "on");
+      continue;
+    }
+
+    if (head != "deny" && head != "log") {
+      Fail(error_out, line_no, "unknown action '" + head + "'");
+      return witos::Err::kInval;
+    }
+    ItfsRule rule;
+    rule.action = head == "deny" ? RuleAction::kDeny : RuleAction::kLogOnly;
+    bool has_selector = false;
+    for (size_t i = 1; i < tokens.size(); ++i) {
+      const std::string& token = tokens[i];
+      if (token == "write-only") {
+        rule.write_only = true;
+        continue;
+      }
+      size_t colon = token.find(':');
+      size_t equals = token.find('=');
+      if (equals != std::string::npos && token.compare(0, equals, "name") == 0) {
+        rule.name = token.substr(equals + 1);
+        continue;
+      }
+      if (colon == std::string::npos) {
+        Fail(error_out, line_no, "expected selector, got '" + token + "'");
+        return witos::Err::kInval;
+      }
+      std::string kind = token.substr(0, colon);
+      std::vector<std::string> values = SplitCsv(token.substr(colon + 1));
+      if (values.empty()) {
+        Fail(error_out, line_no, "empty selector '" + kind + "'");
+        return witos::Err::kInval;
+      }
+      if (kind == "ext") {
+        rule.extensions.insert(rule.extensions.end(), values.begin(), values.end());
+      } else if (kind == "signature") {
+        for (const auto& value : values) {
+          FileClass cls = FileClassFromName(value);
+          if (cls == FileClass::kUnknown) {
+            Fail(error_out, line_no, "unknown signature class '" + value + "'");
+            return witos::Err::kInval;
+          }
+          rule.signatures.push_back(cls);
+        }
+      } else if (kind == "path") {
+        rule.path_prefixes.insert(rule.path_prefixes.end(), values.begin(), values.end());
+      } else {
+        Fail(error_out, line_no, "unknown selector kind '" + kind + "'");
+        return witos::Err::kInval;
+      }
+      has_selector = true;
+    }
+    if (!has_selector) {
+      Fail(error_out, line_no, "rule has no selector");
+      return witos::Err::kInval;
+    }
+    if (rule.name.empty()) {
+      rule.name = "rule-" + std::to_string(++auto_name);
+    }
+    parsed.policy.AddRule(std::move(rule));
+    ++parsed.rule_count;
+  }
+  return parsed;
+}
+
+}  // namespace witfs

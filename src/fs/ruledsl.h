@@ -1,0 +1,57 @@
+// A small text DSL for ITFS policies, so organizations can ship filtering
+// rules as configuration (paper §5.3: "ITFS exposes an API for integrating
+// user-supplied detection rules ... so that each organization can create
+// customized file filtering").
+//
+// Line-based; '#' starts a comment. Grammar per line:
+//
+//   <action> <selector>[ <selector>...] [write-only] [name=<rule-name>]
+//
+//   action    := deny | log
+//   selector  := ext:<e1,e2,...>            match by file extension
+//              | signature:<class,...>      match by content class (see
+//                                           FileClassName: pdf, jpeg, png,
+//                                           gif, zip-office, ole-office,
+//                                           elf, gzip, encrypted, text)
+//              | path:<p1,p2,...>           match by path prefix
+//   option    := write-only                 rule fires only on mutations
+//
+// Directives:
+//   mode extension|signature                inspection mode
+//   scan-limit <bytes>                      signature head-scan depth
+//   log-all on|off
+//
+// Example:
+//   mode signature
+//   deny ext:pdf,docx,xlsx name=no-documents
+//   deny signature:jpeg,png,zip-office
+//   deny path:/usr/watchit,/etc/watchit name=protect-watchit
+//   log  path:/etc
+//   deny ext:key write-only
+
+#ifndef SRC_FS_RULEDSL_H_
+#define SRC_FS_RULEDSL_H_
+
+#include <string>
+
+#include "src/fs/itfs_policy.h"
+#include "src/os/result.h"
+
+namespace witfs {
+
+struct ParsedPolicy {
+  ItfsPolicy policy;
+  size_t rule_count = 0;
+};
+
+// Parses a policy document. On syntax error returns EINVAL and, if
+// `error_out` is non-null, a "line N: message" description.
+witos::Result<ParsedPolicy> ParseItfsPolicy(const std::string& text,
+                                            std::string* error_out = nullptr);
+
+// Maps "pdf"/"zip-office"/... back to a FileClass; kUnknown on failure.
+FileClass FileClassFromName(const std::string& name);
+
+}  // namespace witfs
+
+#endif  // SRC_FS_RULEDSL_H_

@@ -1,0 +1,127 @@
+#include "src/fs/signature.h"
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+namespace witfs {
+
+std::string FileClassName(FileClass cls) {
+  switch (cls) {
+    case FileClass::kUnknown:
+      return "unknown";
+    case FileClass::kText:
+      return "text";
+    case FileClass::kJpeg:
+      return "jpeg";
+    case FileClass::kPng:
+      return "png";
+    case FileClass::kGif:
+      return "gif";
+    case FileClass::kPdf:
+      return "pdf";
+    case FileClass::kZipOffice:
+      return "zip-office";
+    case FileClass::kOleOffice:
+      return "ole-office";
+    case FileClass::kElf:
+      return "elf";
+    case FileClass::kGzip:
+      return "gzip";
+    case FileClass::kEncrypted:
+      return "encrypted";
+  }
+  return "?";
+}
+
+bool IsDocumentOrImage(FileClass cls) {
+  switch (cls) {
+    case FileClass::kJpeg:
+    case FileClass::kPng:
+    case FileClass::kGif:
+    case FileClass::kPdf:
+    case FileClass::kZipOffice:
+    case FileClass::kOleOffice:
+      return true;
+    default:
+      return false;
+  }
+}
+
+double ShannonEntropy(std::string_view data) {
+  if (data.empty()) {
+    return 0.0;
+  }
+  std::array<uint32_t, 256> hist{};
+  for (char c : data) {
+    ++hist[static_cast<unsigned char>(c)];
+  }
+  double entropy = 0.0;
+  const double n = static_cast<double>(data.size());
+  for (uint32_t count : hist) {
+    if (count == 0) {
+      continue;
+    }
+    double p = static_cast<double>(count) / n;
+    entropy -= p * std::log2(p);
+  }
+  return entropy;
+}
+
+namespace {
+
+bool StartsWith(std::string_view data, std::string_view prefix) {
+  return data.size() >= prefix.size() && data.substr(0, prefix.size()) == prefix;
+}
+
+bool LooksLikeText(std::string_view head) {
+  if (head.empty()) {
+    return true;
+  }
+  size_t printable = 0;
+  for (char c : head) {
+    unsigned char u = static_cast<unsigned char>(c);
+    if (u == '\n' || u == '\r' || u == '\t' || (u >= 0x20 && u < 0x7f)) {
+      ++printable;
+    }
+  }
+  return static_cast<double>(printable) / static_cast<double>(head.size()) > 0.95;
+}
+
+}  // namespace
+
+FileClass DetectSignature(std::string_view head) {
+  if (StartsWith(head, "\xFF\xD8\xFF")) {
+    return FileClass::kJpeg;
+  }
+  if (StartsWith(head, "\x89PNG\r\n\x1a\n")) {
+    return FileClass::kPng;
+  }
+  if (StartsWith(head, "GIF87a") || StartsWith(head, "GIF89a")) {
+    return FileClass::kGif;
+  }
+  if (StartsWith(head, "%PDF-")) {
+    return FileClass::kPdf;
+  }
+  if (StartsWith(head, "PK\x03\x04")) {
+    return FileClass::kZipOffice;
+  }
+  if (StartsWith(head, "\xD0\xCF\x11\xE0\xA1\xB1\x1A\xE1")) {
+    return FileClass::kOleOffice;
+  }
+  if (StartsWith(head, "\x7f" "ELF")) {
+    return FileClass::kElf;
+  }
+  if (StartsWith(head, "\x1f\x8b")) {
+    return FileClass::kGzip;
+  }
+  if (LooksLikeText(head)) {
+    return FileClass::kText;
+  }
+  if (head.size() >= 32 && ShannonEntropy(head) > 7.2) {
+    return FileClass::kEncrypted;
+  }
+  return FileClass::kUnknown;
+}
+
+}  // namespace witfs

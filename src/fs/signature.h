@@ -1,0 +1,51 @@
+// File-content signature detection ("magic bytes") and an entropy estimator.
+//
+// ITFS uses signatures to classify files by their actual content rather than
+// their name (paper §5.3: "read the file from the underlying filesystem,
+// detect its type according to its signature, and deny access if the file is
+// a picture or a document"). The entropy estimator supports the network
+// sniffer's encrypted-exfiltration detection (Attack 8).
+
+#ifndef SRC_FS_SIGNATURE_H_
+#define SRC_FS_SIGNATURE_H_
+
+#include <string>
+#include <string_view>
+
+namespace witfs {
+
+enum class FileClass {
+  kUnknown = 0,
+  kText,
+  kJpeg,
+  kPng,
+  kGif,
+  kPdf,
+  kZipOffice,  // zip container: docx/xlsx/pptx/jar
+  kOleOffice,  // legacy doc/xls/ppt
+  kElf,
+  kGzip,
+  kEncrypted,  // no known signature + high entropy
+};
+
+std::string FileClassName(FileClass cls);
+
+// True for content classes the paper treats as "documents or pictures" —
+// the data an IT person should never need.
+bool IsDocumentOrImage(FileClass cls);
+
+// Classifies content by its first bytes. `head` should hold at least the
+// first 16 bytes of the file (fewer is fine; detection degrades gracefully).
+// If no signature matches and the sample's entropy exceeds ~7.2 bits/byte
+// the content is classified kEncrypted.
+FileClass DetectSignature(std::string_view head);
+
+// Shannon entropy of the sample, in bits per byte (0..8).
+double ShannonEntropy(std::string_view data);
+
+// Number of leading file bytes a signature check needs.
+inline constexpr size_t kSignatureHeadBytes = 64;
+
+}  // namespace witfs
+
+#endif  // SRC_FS_SIGNATURE_H_

@@ -1,0 +1,66 @@
+#include "src/net/ip.h"
+
+#include <charconv>
+
+namespace witnet {
+
+std::optional<Ipv4Addr> Ipv4Addr::Parse(const std::string& text) {
+  uint32_t parts[4];
+  size_t pos = 0;
+  for (int i = 0; i < 4; ++i) {
+    size_t end = i < 3 ? text.find('.', pos) : text.size();
+    if (end == std::string::npos) {
+      return std::nullopt;
+    }
+    uint32_t v = 0;
+    auto [ptr, ec] = std::from_chars(text.data() + pos, text.data() + end, v);
+    if (ec != std::errc() || ptr != text.data() + end || v > 255) {
+      return std::nullopt;
+    }
+    parts[i] = v;
+    pos = end + 1;
+  }
+  return Ipv4Addr((parts[0] << 24) | (parts[1] << 16) | (parts[2] << 8) | parts[3]);
+}
+
+std::string Ipv4Addr::ToString() const {
+  return std::to_string((value_ >> 24) & 0xff) + "." + std::to_string((value_ >> 16) & 0xff) +
+         "." + std::to_string((value_ >> 8) & 0xff) + "." + std::to_string(value_ & 0xff);
+}
+
+std::optional<Cidr> Cidr::Parse(const std::string& text) {
+  size_t slash = text.find('/');
+  if (slash == std::string::npos) {
+    auto addr = Ipv4Addr::Parse(text);
+    if (!addr) {
+      return std::nullopt;
+    }
+    return Cidr::Host(*addr);
+  }
+  auto addr = Ipv4Addr::Parse(text.substr(0, slash));
+  if (!addr) {
+    return std::nullopt;
+  }
+  uint32_t len = 0;
+  const char* begin = text.data() + slash + 1;
+  const char* end = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, len);
+  if (ec != std::errc() || ptr != end || len > 32) {
+    return std::nullopt;
+  }
+  return Cidr{*addr, static_cast<uint8_t>(len)};
+}
+
+bool Cidr::Contains(Ipv4Addr addr) const {
+  if (prefix_len == 0) {
+    return true;
+  }
+  uint32_t mask = prefix_len >= 32 ? 0xffffffffu : ~((1u << (32 - prefix_len)) - 1u);
+  return (addr.value() & mask) == (base.value() & mask);
+}
+
+std::string Cidr::ToString() const {
+  return base.ToString() + "/" + std::to_string(prefix_len);
+}
+
+}  // namespace witnet

@@ -1,0 +1,50 @@
+// IPv4 addressing primitives for the simulated organizational network.
+
+#ifndef SRC_NET_IP_H_
+#define SRC_NET_IP_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace witnet {
+
+// An IPv4 address in host byte order.
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() = default;
+  constexpr explicit Ipv4Addr(uint32_t value) : value_(value) {}
+  constexpr Ipv4Addr(uint8_t a, uint8_t b, uint8_t c, uint8_t d)
+      : value_((static_cast<uint32_t>(a) << 24) | (static_cast<uint32_t>(b) << 16) |
+               (static_cast<uint32_t>(c) << 8) | d) {}
+
+  static std::optional<Ipv4Addr> Parse(const std::string& text);
+
+  uint32_t value() const { return value_; }
+  std::string ToString() const;
+
+  friend bool operator==(const Ipv4Addr&, const Ipv4Addr&) = default;
+  friend auto operator<=>(const Ipv4Addr&, const Ipv4Addr&) = default;
+
+ private:
+  uint32_t value_ = 0;
+};
+
+// A CIDR block, e.g. 10.0.0.0/8.
+struct Cidr {
+  Ipv4Addr base;
+  uint8_t prefix_len = 32;
+
+  static std::optional<Cidr> Parse(const std::string& text);
+  static Cidr Host(Ipv4Addr addr) { return {addr, 32}; }
+  static Cidr Any() { return {Ipv4Addr(0), 0}; }
+
+  bool Contains(Ipv4Addr addr) const;
+  std::string ToString() const;
+
+  friend bool operator==(const Cidr&, const Cidr&) = default;
+};
+
+}  // namespace witnet
+
+#endif  // SRC_NET_IP_H_

@@ -1,0 +1,52 @@
+#include "src/net/netns.h"
+
+namespace witnet {
+
+bool NetNsPayload::HasRouteTo(Ipv4Addr addr) const {
+  for (const auto& route : routes) {
+    if (route.dst.Contains(addr)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<Ipv4Addr> NetNsPayload::SourceAddrFor(Ipv4Addr dst) const {
+  for (const auto& route : routes) {
+    if (!route.dst.Contains(dst)) {
+      continue;
+    }
+    for (const auto& dev : devices) {
+      if (dev.name == route.dev) {
+        return dev.addr;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+void NetNsPayload::AddDevice(std::string name, Ipv4Addr addr) {
+  devices.push_back({std::move(name), addr});
+}
+
+void NetNsPayload::AddRoute(Cidr dst, std::string dev, std::string comment) {
+  routes.push_back({dst, std::move(dev), std::move(comment)});
+}
+
+void NetNsPayload::AllowEndpoint(Ipv4Addr addr, uint16_t port, std::string comment) {
+  std::string dev = devices.empty() ? "eth0" : devices.front().name;
+  AddRoute(Cidr::Host(addr), dev, comment);
+  firewall.AllowHost(addr, port, std::move(comment));
+}
+
+NetNsPayload* NetNsRegistry::Find(witos::NsId id) {
+  auto it = payloads_.find(id);
+  return it == payloads_.end() ? nullptr : &it->second;
+}
+
+const NetNsPayload* NetNsRegistry::Find(witos::NsId id) const {
+  auto it = payloads_.find(id);
+  return it == payloads_.end() ? nullptr : &it->second;
+}
+
+}  // namespace witnet

@@ -1,0 +1,35 @@
+#include "src/net/network.h"
+
+namespace witnet {
+
+Endpoint& Network::AddEndpoint(const std::string& name, Ipv4Addr addr) {
+  Endpoint& ep = endpoints_[addr.value()];
+  ep.name = name;
+  ep.addr = addr;
+  return ep;
+}
+
+void Network::AddService(Ipv4Addr addr, uint16_t port, ServiceHandler handler) {
+  auto it = endpoints_.find(addr.value());
+  if (it == endpoints_.end()) {
+    AddEndpoint(addr.ToString(), addr);
+    it = endpoints_.find(addr.value());
+  }
+  it->second.services[port] = std::move(handler);
+}
+
+const Endpoint* Network::Find(Ipv4Addr addr) const {
+  auto it = endpoints_.find(addr.value());
+  return it == endpoints_.end() ? nullptr : &it->second;
+}
+
+const Endpoint* Network::FindByName(const std::string& name) const {
+  for (const auto& [value, ep] : endpoints_) {
+    if (ep.name == name) {
+      return &ep;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace witnet

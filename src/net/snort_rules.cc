@@ -1,0 +1,171 @@
+#include "src/net/snort_rules.h"
+
+#include <charconv>
+#include <sstream>
+
+#include "src/fs/ruledsl.h"
+
+namespace witnet {
+
+namespace {
+
+std::vector<std::string> SplitCsv(const std::string& text) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : text) {
+    if (c == ',') {
+      if (!cur.empty()) {
+        out.push_back(std::move(cur));
+        cur.clear();
+      }
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) {
+    out.push_back(std::move(cur));
+  }
+  return out;
+}
+
+bool Fail(std::string* error_out, size_t line_no, const std::string& message) {
+  if (error_out != nullptr) {
+    *error_out = "line " + std::to_string(line_no) + ": " + message;
+  }
+  return false;
+}
+
+// Splits a line into tokens, keeping content:"..." quoted strings whole.
+std::vector<std::string> Tokens(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cur;
+  bool in_quotes = false;
+  for (char c : line) {
+    if (c == '"') {
+      in_quotes = !in_quotes;
+      cur += c;
+    } else if (!in_quotes && (c == ' ' || c == '\t')) {
+      if (!cur.empty()) {
+        out.push_back(std::move(cur));
+        cur.clear();
+      }
+    } else if (!in_quotes && c == '#') {
+      break;
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) {
+    out.push_back(std::move(cur));
+  }
+  return out;
+}
+
+}  // namespace
+
+witos::Result<std::vector<SnifferRule>> ParseSnifferRules(const std::string& text,
+                                                          std::string* error_out) {
+  std::vector<SnifferRule> rules;
+  std::istringstream stream(text);
+  std::string line;
+  size_t line_no = 0;
+  size_t auto_name = 0;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    std::vector<std::string> tokens = Tokens(line);
+    if (tokens.empty()) {
+      continue;
+    }
+    const std::string& head = tokens[0];
+    if (head != "block" && head != "alert") {
+      Fail(error_out, line_no, "unknown action '" + head + "'");
+      return witos::Err::kInval;
+    }
+    SnifferRule rule;
+    rule.action = head == "block" ? SnifferAction::kBlock : SnifferAction::kAlert;
+    bool has_match = false;
+    for (size_t i = 1; i < tokens.size(); ++i) {
+      const std::string& token = tokens[i];
+      if (token.compare(0, 5, "name=") == 0) {
+        rule.name = token.substr(5);
+        continue;
+      }
+      if (token.compare(0, 8, "entropy>") == 0) {
+        double threshold = 0.0;
+        std::string value = token.substr(8);
+        auto [ptr, ec] = std::from_chars(value.data(), value.data() + value.size(), threshold);
+        if (ec != std::errc() || ptr != value.data() + value.size()) {
+          Fail(error_out, line_no, "bad entropy threshold '" + value + "'");
+          return witos::Err::kInval;
+        }
+        rule.entropy_above = threshold;
+        has_match = true;
+        continue;
+      }
+      size_t colon = token.find(':');
+      if (colon == std::string::npos) {
+        Fail(error_out, line_no, "expected match, got '" + token + "'");
+        return witos::Err::kInval;
+      }
+      std::string kind = token.substr(0, colon);
+      std::string rest = token.substr(colon + 1);
+      if (kind == "signature") {
+        for (const auto& value : SplitCsv(rest)) {
+          witfs::FileClass cls = witfs::FileClassFromName(value);
+          if (cls == witfs::FileClass::kUnknown) {
+            Fail(error_out, line_no, "unknown signature class '" + value + "'");
+            return witos::Err::kInval;
+          }
+          rule.payload_signatures.push_back(cls);
+        }
+        has_match = true;
+      } else if (kind == "dst-not-in") {
+        std::vector<Cidr> whitelist;
+        for (const auto& value : SplitCsv(rest)) {
+          auto cidr = Cidr::Parse(value);
+          if (!cidr.has_value()) {
+            Fail(error_out, line_no, "bad CIDR '" + value + "'");
+            return witos::Err::kInval;
+          }
+          whitelist.push_back(*cidr);
+        }
+        if (whitelist.empty()) {
+          Fail(error_out, line_no, "empty whitelist");
+          return witos::Err::kInval;
+        }
+        rule.dst_whitelist = std::move(whitelist);
+        has_match = true;
+      } else if (kind == "content") {
+        if (rest.size() < 2 || rest.front() != '"' || rest.back() != '"') {
+          Fail(error_out, line_no, "content expects a quoted literal");
+          return witos::Err::kInval;
+        }
+        rule.payload_contains = rest.substr(1, rest.size() - 2);
+        has_match = true;
+      } else {
+        Fail(error_out, line_no, "unknown match kind '" + kind + "'");
+        return witos::Err::kInval;
+      }
+    }
+    if (!has_match) {
+      Fail(error_out, line_no, "rule has no match");
+      return witos::Err::kInval;
+    }
+    if (rule.name.empty()) {
+      rule.name = "snort-rule-" + std::to_string(++auto_name);
+    }
+    rules.push_back(std::move(rule));
+  }
+  return rules;
+}
+
+witos::Status LoadSnifferRules(Sniffer* sniffer, const std::string& text,
+                               std::string* error_out) {
+  WITOS_ASSIGN_OR_RETURN(std::vector<SnifferRule> rules, ParseSnifferRules(text, error_out));
+  for (auto& rule : rules) {
+    sniffer->AddRule(std::move(rule));
+  }
+  return witos::Status::Ok();
+}
+
+}  // namespace witnet

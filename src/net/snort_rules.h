@@ -1,0 +1,42 @@
+// A Snort-flavoured text DSL for the IDS sniffer, so network detection
+// rules ship as configuration alongside the ITFS policy files.
+//
+// Line-based; '#' starts a comment. Grammar per line:
+//
+//   <action> <match>[ <match>...] [name=<rule-name>]
+//
+//   action := block | alert
+//   match  := signature:<class,...>         payload carries a file magic
+//           | entropy><threshold>           high-entropy (encrypted) payload
+//           | dst-not-in:<cidr,...>         destination outside the whitelist
+//           | content:"<literal>"           payload substring
+//
+// Example:
+//   block signature:pdf,jpeg,zip-office name=no-doc-exfil
+//   block entropy>7.2
+//   block dst-not-in:10.0.0.0/8,93.184.216.0/24
+//   alert content:"CONFIDENTIAL"
+
+#ifndef SRC_NET_SNORT_RULES_H_
+#define SRC_NET_SNORT_RULES_H_
+
+#include <string>
+#include <vector>
+
+#include "src/net/sniffer.h"
+#include "src/os/result.h"
+
+namespace witnet {
+
+// Parses a rules document into sniffer rules. On syntax error returns
+// EINVAL and, if `error_out` is non-null, a "line N: message" description.
+witos::Result<std::vector<SnifferRule>> ParseSnifferRules(const std::string& text,
+                                                          std::string* error_out = nullptr);
+
+// Convenience: parse + install into a sniffer.
+witos::Status LoadSnifferRules(Sniffer* sniffer, const std::string& text,
+                               std::string* error_out = nullptr);
+
+}  // namespace witnet
+
+#endif  // SRC_NET_SNORT_RULES_H_

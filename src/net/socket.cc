@@ -1,0 +1,114 @@
+#include "src/net/socket.h"
+
+namespace witnet {
+
+void NetStack::Audit(witos::AuditEvent event, witos::Uid uid, const std::string& detail) {
+  if (audit_ != nullptr) {
+    audit_->Append(event, witos::kNoPid, uid, detail,
+                   clock_ != nullptr ? clock_->now_ns() : 0);
+  }
+}
+
+witos::Result<ConnId> NetStack::Connect(witos::NsId ns, Ipv4Addr dst, uint16_t port,
+                                        witos::Uid uid) {
+  NetNsPayload* payload = netns_.Find(ns);
+  if (payload == nullptr) {
+    return witos::Err::kNetUnreach;
+  }
+  if (!payload->HasRouteTo(dst)) {
+    Audit(witos::AuditEvent::kNetworkBlocked, uid,
+          "no route to " + dst.ToString() + ":" + std::to_string(port));
+    return witos::Err::kNetUnreach;
+  }
+  if (payload->firewall.Evaluate(FwDirection::kEgress, dst, port) == FwAction::kDrop) {
+    Audit(witos::AuditEvent::kNetworkBlocked, uid,
+          "firewall drop " + dst.ToString() + ":" + std::to_string(port));
+    return witos::Err::kHostUnreach;
+  }
+  const Endpoint* ep = fabric_->Find(dst);
+  if (ep == nullptr) {
+    return witos::Err::kHostUnreach;
+  }
+  if (ep->services.count(port) == 0) {
+    Audit(witos::AuditEvent::kNetworkBlocked, uid,
+          "connection refused " + dst.ToString() + ":" + std::to_string(port));
+    return witos::Err::kConnRefused;
+  }
+  Connection conn;
+  conn.net_ns = ns;
+  conn.src = payload->SourceAddrFor(dst).value_or(Ipv4Addr());
+  conn.dst = dst;
+  conn.port = port;
+  conn.uid = uid;
+  ConnId id = next_conn_++;
+  conns_.emplace(id, conn);
+  Audit(witos::AuditEvent::kNetworkFlow, uid,
+        "connect " + dst.ToString() + ":" + std::to_string(port));
+  return id;
+}
+
+witos::Result<std::string> NetStack::Send(ConnId conn_id, const std::string& payload) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) {
+    return witos::Err::kNotConn;
+  }
+  Connection& conn = it->second;
+  Packet packet{conn.src, conn.dst, conn.port, payload};
+
+  NetNsPayload* ns = netns_.Find(conn.net_ns);
+  if (ns != nullptr && ns->sniffer != nullptr) {
+    InspectionResult inspection =
+        ns->sniffer->Inspect(packet, clock_ != nullptr ? clock_->now_ns() : 0);
+    if (inspection.blocked) {
+      std::string rules;
+      for (const auto& rule : inspection.fired_rules) {
+        rules += rules.empty() ? rule : "," + rule;
+      }
+      Audit(witos::AuditEvent::kNetworkBlocked, conn.uid,
+            "sniffer blocked " + std::to_string(payload.size()) + "B to " +
+                conn.dst.ToString() + " [" + rules + "]");
+      return witos::Err::kTimedOut;
+    }
+  }
+  const Endpoint* ep = fabric_->Find(conn.dst);
+  if (ep == nullptr) {
+    return witos::Err::kHostUnreach;
+  }
+  auto service = ep->services.find(conn.port);
+  if (service == ep->services.end()) {
+    return witos::Err::kConnRefused;
+  }
+  conn.bytes_sent += payload.size();
+  fabric_->CountDelivery();
+  if (clock_ != nullptr) {
+    // Model wire time: syscall + per-byte cost.
+    clock_->Advance(clock_->costs().syscall_ns +
+                    payload.size() * clock_->costs().fs_per_byte_tenth_ns / 10);
+  }
+  return service->second(packet);
+}
+
+witos::Status NetStack::Close(ConnId conn) {
+  if (conns_.erase(conn) == 0) {
+    return witos::Err::kNotConn;
+  }
+  return witos::Status::Ok();
+}
+
+witos::Result<std::string> NetStack::Request(witos::NsId ns, Ipv4Addr dst, uint16_t port,
+                                             const std::string& payload, witos::Uid uid) {
+  WITOS_ASSIGN_OR_RETURN(ConnId conn, Connect(ns, dst, port, uid));
+  auto response = Send(conn, payload);
+  (void)Close(conn);
+  if (!response.ok()) {
+    return response.error();
+  }
+  return *response;
+}
+
+const Connection* NetStack::FindConn(ConnId conn) const {
+  auto it = conns_.find(conn);
+  return it == conns_.end() ? nullptr : &it->second;
+}
+
+}  // namespace witnet

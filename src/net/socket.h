@@ -1,0 +1,77 @@
+// NetStack: one machine's TCP/IP-ish socket layer.
+//
+// A connection attempt from a NET namespace walks the same gauntlet real
+// container traffic does: routing table -> egress firewall -> IDS sniffer ->
+// fabric delivery. Failures map to familiar errno values:
+//   no route            -> ENETUNREACH
+//   firewall drop       -> EHOSTUNREACH
+//   sniffer block       -> ETIMEDOUT   (silently dropped packets)
+//   no such endpoint    -> EHOSTUNREACH
+//   port closed         -> ECONNREFUSED
+
+#ifndef SRC_NET_SOCKET_H_
+#define SRC_NET_SOCKET_H_
+
+#include <map>
+#include <string>
+
+#include "src/net/netns.h"
+#include "src/net/network.h"
+#include "src/os/audit.h"
+#include "src/os/clock.h"
+#include "src/os/result.h"
+
+namespace witnet {
+
+using ConnId = uint64_t;
+
+struct Connection {
+  witos::NsId net_ns = witos::kNoNs;
+  Ipv4Addr src;
+  Ipv4Addr dst;
+  uint16_t port = 0;
+  witos::Uid uid = 0;
+  uint64_t bytes_sent = 0;
+};
+
+class NetStack {
+ public:
+  // `fabric` is the shared organizational network; `audit`/`clock` may be
+  // null in unit tests.
+  NetStack(Network* fabric, witos::AuditLog* audit = nullptr,
+           witos::SimClock* clock = nullptr)
+      : fabric_(fabric), audit_(audit), clock_(clock) {}
+
+  NetNsRegistry& namespaces() { return netns_; }
+  const NetNsRegistry& namespaces() const { return netns_; }
+
+  // Opens a connection from namespace `ns` to dst:port.
+  witos::Result<ConnId> Connect(witos::NsId ns, Ipv4Addr dst, uint16_t port, witos::Uid uid);
+
+  // Sends a request payload on the connection and returns the service's
+  // response. The outbound packet passes the namespace's sniffer.
+  witos::Result<std::string> Send(ConnId conn, const std::string& payload);
+
+  witos::Status Close(ConnId conn);
+
+  // One-shot request/response helper.
+  witos::Result<std::string> Request(witos::NsId ns, Ipv4Addr dst, uint16_t port,
+                                     const std::string& payload, witos::Uid uid);
+
+  const Connection* FindConn(ConnId conn) const;
+  size_t open_connections() const { return conns_.size(); }
+
+ private:
+  void Audit(witos::AuditEvent event, witos::Uid uid, const std::string& detail);
+
+  Network* fabric_;
+  witos::AuditLog* audit_;
+  witos::SimClock* clock_;
+  NetNsRegistry netns_;
+  std::map<ConnId, Connection> conns_;
+  ConnId next_conn_ = 1;
+};
+
+}  // namespace witnet
+
+#endif  // SRC_NET_SOCKET_H_

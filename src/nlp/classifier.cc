@@ -1,0 +1,194 @@
+#include "src/nlp/classifier.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace witnlp {
+
+LdaClassifier::LdaClassifier(const LdaModel* model, const Corpus* corpus)
+    : model_(model), corpus_(corpus) {
+  // Align each topic with the majority label among training documents whose
+  // most probable topic it is.
+  std::vector<std::map<std::string, int>> votes(
+      static_cast<size_t>(model_->num_topics()));
+  for (size_t d = 0; d < corpus_->size(); ++d) {
+    const Document& doc = corpus_->docs()[d];
+    if (doc.label.empty()) {
+      continue;
+    }
+    std::vector<double> theta = model_->DocTopicDist(d);
+    size_t top = static_cast<size_t>(
+        std::max_element(theta.begin(), theta.end()) - theta.begin());
+    ++votes[top][doc.label];
+  }
+  topic_labels_.resize(votes.size());
+  for (size_t k = 0; k < votes.size(); ++k) {
+    int best = -1;
+    for (const auto& [label, count] : votes[k]) {
+      if (count > best) {
+        best = count;
+        topic_labels_[k] = label;
+      }
+    }
+    if (topic_labels_[k].empty()) {
+      topic_labels_[k] = "other";
+    }
+  }
+
+  // Build unigram models per label and collect orphan labels.
+  const size_t V = corpus_->vocab().size();
+  std::map<std::string, std::vector<uint64_t>> word_counts;
+  std::map<std::string, uint64_t> token_totals;
+  std::map<std::string, uint64_t> doc_counts;
+  uint64_t total_docs = 0;
+  for (const auto& doc : corpus_->docs()) {
+    if (doc.label.empty()) {
+      continue;
+    }
+    auto& counts = word_counts[doc.label];
+    counts.resize(V, 0);
+    for (int w : doc.word_ids) {
+      ++counts[static_cast<size_t>(w)];
+      ++token_totals[doc.label];
+    }
+    ++doc_counts[doc.label];
+    ++total_docs;
+  }
+  for (auto& [label, counts] : word_counts) {
+    counts.resize(V, 0);
+    std::vector<double> log_probs(V);
+    double denom = static_cast<double>(token_totals[label]) + static_cast<double>(V);
+    for (size_t w = 0; w < V; ++w) {
+      log_probs[w] = std::log((static_cast<double>(counts[w]) + 1.0) / denom);
+    }
+    label_log_prob_[label] = std::move(log_probs);
+    label_log_prior_[label] = std::log(static_cast<double>(doc_counts[label]) /
+                                       static_cast<double>(std::max<uint64_t>(total_docs, 1)));
+    if (std::find(topic_labels_.begin(), topic_labels_.end(), label) == topic_labels_.end()) {
+      orphan_labels_.push_back(label);
+    }
+  }
+}
+
+double LdaClassifier::UnigramLogProb(const std::string& label,
+                                     const std::vector<int>& ids) const {
+  auto prob_it = label_log_prob_.find(label);
+  auto prior_it = label_log_prior_.find(label);
+  if (prob_it == label_log_prob_.end() || prior_it == label_log_prior_.end()) {
+    return -1e300;
+  }
+  double score = prior_it->second;
+  for (int w : ids) {
+    score += prob_it->second[static_cast<size_t>(w)];
+  }
+  return score;
+}
+
+std::string LdaClassifier::Classify(const std::vector<std::string>& tokens) const {
+  std::vector<int> ids = corpus_->ToIds(tokens);
+  if (ids.empty()) {
+    return "other";
+  }
+  int topic = model_->MostLikelyTopic(ids);
+  std::string label = topic_labels_[static_cast<size_t>(topic)];
+  if (!orphan_labels_.empty()) {
+    double lda_label_score = UnigramLogProb(label, ids);
+    for (const auto& orphan : orphan_labels_) {
+      if (UnigramLogProb(orphan, ids) > lda_label_score) {
+        label = orphan;
+        lda_label_score = UnigramLogProb(orphan, ids);
+      }
+    }
+  }
+  return label;
+}
+
+NaiveBayesClassifier::NaiveBayesClassifier(const Corpus* corpus) : corpus_(corpus) {
+  const size_t V = corpus_->vocab().size();
+  // Collect labels.
+  for (const auto& doc : corpus_->docs()) {
+    if (doc.label.empty()) {
+      continue;
+    }
+    if (label_index_.emplace(doc.label, labels_.size()).second) {
+      labels_.push_back(doc.label);
+    }
+  }
+  const size_t L = labels_.size();
+  std::vector<uint64_t> doc_counts(L, 0);
+  std::vector<std::vector<uint64_t>> word_counts(L, std::vector<uint64_t>(V, 0));
+  std::vector<uint64_t> token_totals(L, 0);
+  uint64_t total_docs = 0;
+  for (const auto& doc : corpus_->docs()) {
+    if (doc.label.empty()) {
+      continue;
+    }
+    size_t l = label_index_.at(doc.label);
+    ++doc_counts[l];
+    ++total_docs;
+    for (int w : doc.word_ids) {
+      ++word_counts[l][static_cast<size_t>(w)];
+      ++token_totals[l];
+    }
+  }
+  log_prior_.resize(L);
+  log_cond_.assign(L, std::vector<double>(V));
+  for (size_t l = 0; l < L; ++l) {
+    log_prior_[l] = std::log(static_cast<double>(doc_counts[l]) /
+                             static_cast<double>(std::max<uint64_t>(total_docs, 1)));
+    double denom = static_cast<double>(token_totals[l]) + static_cast<double>(V);
+    for (size_t w = 0; w < V; ++w) {
+      log_cond_[l][w] = std::log((static_cast<double>(word_counts[l][w]) + 1.0) / denom);
+    }
+  }
+}
+
+std::string NaiveBayesClassifier::Classify(const std::vector<std::string>& tokens) const {
+  if (labels_.empty()) {
+    return "other";
+  }
+  std::vector<int> ids = corpus_->ToIds(tokens);
+  size_t best = 0;
+  double best_score = -1e300;
+  for (size_t l = 0; l < labels_.size(); ++l) {
+    double score = log_prior_[l];
+    for (int w : ids) {
+      score += log_cond_[l][static_cast<size_t>(w)];
+    }
+    if (score > best_score) {
+      best_score = score;
+      best = l;
+    }
+  }
+  return labels_[best];
+}
+
+ClassificationReport EvaluateClassifier(
+    const std::vector<std::pair<std::string, std::string>>& truth_vs_predicted) {
+  ClassificationReport report;
+  report.total = truth_vs_predicted.size();
+  std::map<std::string, size_t> truth_count;
+  std::map<std::string, size_t> predicted_count;
+  std::map<std::string, size_t> correct_count;
+  size_t correct = 0;
+  for (const auto& [truth, predicted] : truth_vs_predicted) {
+    ++truth_count[truth];
+    ++predicted_count[predicted];
+    if (truth == predicted) {
+      ++correct_count[truth];
+      ++correct;
+    }
+  }
+  for (const auto& [label, n] : truth_count) {
+    size_t tp = correct_count.count(label) != 0 ? correct_count[label] : 0;
+    size_t pred = predicted_count.count(label) != 0 ? predicted_count[label] : 0;
+    report.precision[label] =
+        pred == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(pred);
+    report.recall[label] = static_cast<double>(tp) / static_cast<double>(n);
+  }
+  report.accuracy =
+      report.total == 0 ? 0.0 : static_cast<double>(correct) / static_cast<double>(report.total);
+  return report;
+}
+
+}  // namespace witnlp

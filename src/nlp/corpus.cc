@@ -1,0 +1,56 @@
+#include "src/nlp/corpus.h"
+
+#include <cassert>
+
+namespace witnlp {
+
+int Vocabulary::GetOrAdd(const std::string& word) {
+  auto it = ids_.find(word);
+  if (it != ids_.end()) {
+    return it->second;
+  }
+  int id = static_cast<int>(words_.size());
+  ids_.emplace(word, id);
+  words_.push_back(word);
+  counts_.push_back(0);
+  return id;
+}
+
+int Vocabulary::IdOf(const std::string& word) const {
+  auto it = ids_.find(word);
+  return it == ids_.end() ? -1 : it->second;
+}
+
+const std::string& Vocabulary::WordOf(int id) const {
+  assert(id >= 0 && static_cast<size_t>(id) < words_.size());
+  return words_[static_cast<size_t>(id)];
+}
+
+size_t Corpus::AddDocument(const std::vector<std::string>& tokens, std::string label) {
+  Document doc;
+  doc.id = static_cast<int>(docs_.size());
+  doc.label = std::move(label);
+  doc.word_ids.reserve(tokens.size());
+  for (const auto& token : tokens) {
+    int id = vocab_.GetOrAdd(token);
+    vocab_.Bump(id);
+    doc.word_ids.push_back(id);
+    ++total_tokens_;
+  }
+  docs_.push_back(std::move(doc));
+  return docs_.size() - 1;
+}
+
+std::vector<int> Corpus::ToIds(const std::vector<std::string>& tokens) const {
+  std::vector<int> out;
+  out.reserve(tokens.size());
+  for (const auto& token : tokens) {
+    int id = vocab_.IdOf(token);
+    if (id >= 0) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+}  // namespace witnlp

@@ -1,0 +1,62 @@
+// Vocabulary and document corpus containers for topic modelling.
+
+#ifndef SRC_NLP_CORPUS_H_
+#define SRC_NLP_CORPUS_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace witnlp {
+
+class Vocabulary {
+ public:
+  // Returns the id, adding the word if new.
+  int GetOrAdd(const std::string& word);
+  // Returns the id or -1.
+  int IdOf(const std::string& word) const;
+  const std::string& WordOf(int id) const;
+  size_t size() const { return words_.size(); }
+  // Total corpus-wide occurrences of the word (maintained by Corpus).
+  uint64_t CountOf(int id) const { return counts_[static_cast<size_t>(id)]; }
+  void Bump(int id) { ++counts_[static_cast<size_t>(id)]; }
+
+  const std::vector<std::string>& words() const { return words_; }
+
+ private:
+  std::unordered_map<std::string, int> ids_;
+  std::vector<std::string> words_;
+  std::vector<uint64_t> counts_;
+};
+
+struct Document {
+  std::vector<int> word_ids;
+  std::string label;  // ground-truth class, empty when unknown
+  int id = 0;
+};
+
+class Corpus {
+ public:
+  Vocabulary& vocab() { return vocab_; }
+  const Vocabulary& vocab() const { return vocab_; }
+
+  // Adds a tokenized document; returns its index.
+  size_t AddDocument(const std::vector<std::string>& tokens, std::string label = "");
+
+  // Translates tokens against the existing vocabulary, dropping unknown
+  // words (for held-out / inference documents).
+  std::vector<int> ToIds(const std::vector<std::string>& tokens) const;
+
+  const std::vector<Document>& docs() const { return docs_; }
+  size_t size() const { return docs_.size(); }
+  uint64_t total_tokens() const { return total_tokens_; }
+
+ private:
+  Vocabulary vocab_;
+  std::vector<Document> docs_;
+  uint64_t total_tokens_ = 0;
+};
+
+}  // namespace witnlp
+
+#endif  // SRC_NLP_CORPUS_H_

@@ -1,0 +1,73 @@
+#include "src/nlp/obfuscate.h"
+
+#include <cctype>
+
+namespace witnlp {
+
+Obfuscator::Obfuscator() {
+  AddPrefix("srv-", "<server>");
+  AddPrefix("server-", "<server>");
+  AddPrefix("lnx-", "<server>");
+  AddPrefix("vm-", "<vm>");
+  AddPrefix("proj-", "<project>");
+  AddPrefix("/gpfs", "<sharedstorage>");
+  AddPrefix("/nfs", "<sharedstorage>");
+  AddPrefix("/shared", "<sharedstorage>");
+}
+
+void Obfuscator::AddName(const std::string& name, const std::string& placeholder) {
+  names_.emplace_back(name, placeholder);
+}
+
+void Obfuscator::AddPrefix(const std::string& prefix, const std::string& placeholder) {
+  prefixes_.emplace_back(prefix, placeholder);
+}
+
+bool Obfuscator::LooksLikeIp(const std::string& token) {
+  int dots = 0;
+  int digits_in_part = 0;
+  for (char c : token) {
+    if (c == '.') {
+      if (digits_in_part == 0) {
+        return false;
+      }
+      ++dots;
+      digits_in_part = 0;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      if (++digits_in_part > 3) {
+        return false;
+      }
+    } else {
+      return false;
+    }
+  }
+  return dots == 3 && digits_in_part > 0;
+}
+
+std::string Obfuscator::Apply(const std::string& token) const {
+  if (LooksLikeIp(token)) {
+    return "<ip>";
+  }
+  for (const auto& [name, placeholder] : names_) {
+    if (token == name) {
+      return placeholder;
+    }
+  }
+  for (const auto& [prefix, placeholder] : prefixes_) {
+    if (token.size() >= prefix.size() && token.compare(0, prefix.size(), prefix) == 0) {
+      return placeholder;
+    }
+  }
+  return token;
+}
+
+std::vector<std::string> Obfuscator::Apply(const std::vector<std::string>& tokens) const {
+  std::vector<std::string> out;
+  out.reserve(tokens.size());
+  for (const auto& token : tokens) {
+    out.push_back(Apply(token));
+  }
+  return out;
+}
+
+}  // namespace witnlp

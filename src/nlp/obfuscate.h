@@ -1,0 +1,41 @@
+// Obfuscation of confidential ticket content (paper §7.1.1): server names,
+// IP addresses, project names, shared-storage paths and the like are
+// replaced with angle-bracket placeholders, exactly as Table 2 shows
+// (<IP>, <Server>, <VM>, <Shared Storage>, ...).
+
+#ifndef SRC_NLP_OBFUSCATE_H_
+#define SRC_NLP_OBFUSCATE_H_
+
+#include <string>
+#include <vector>
+
+namespace witnlp {
+
+class Obfuscator {
+ public:
+  // Installs the default rules: IPv4 addresses -> "<ip>", tokens with known
+  // infrastructure prefixes ("srv-", "vm-", "lnx-", ...) -> their class
+  // placeholder, storage paths ("/gpfs/...", "/nfs/...") -> "<sharedstorage>".
+  Obfuscator();
+
+  // Adds an organization-specific dictionary entry: any token equal to
+  // `name` becomes `placeholder`.
+  void AddName(const std::string& name, const std::string& placeholder);
+  // Any token starting with `prefix` becomes `placeholder`.
+  void AddPrefix(const std::string& prefix, const std::string& placeholder);
+
+  // Maps one token to itself or its placeholder.
+  std::string Apply(const std::string& token) const;
+  std::vector<std::string> Apply(const std::vector<std::string>& tokens) const;
+
+  // True if the token parses as a dotted IPv4 address.
+  static bool LooksLikeIp(const std::string& token);
+
+ private:
+  std::vector<std::pair<std::string, std::string>> names_;
+  std::vector<std::pair<std::string, std::string>> prefixes_;
+};
+
+}  // namespace witnlp
+
+#endif  // SRC_NLP_OBFUSCATE_H_

@@ -1,0 +1,61 @@
+#include "src/nlp/spell.h"
+
+#include <algorithm>
+
+namespace witnlp {
+
+int SpellCorrector::EditDistanceCapped(const std::string& a, const std::string& b) {
+  const int cap = 3;
+  if (std::abs(static_cast<int>(a.size()) - static_cast<int>(b.size())) >= cap) {
+    return cap;
+  }
+  const size_t n = a.size();
+  const size_t m = b.size();
+  std::vector<std::vector<int>> d(n + 1, std::vector<int>(m + 1, 0));
+  for (size_t i = 0; i <= n; ++i) {
+    d[i][0] = static_cast<int>(i);
+  }
+  for (size_t j = 0; j <= m; ++j) {
+    d[0][j] = static_cast<int>(j);
+  }
+  for (size_t i = 1; i <= n; ++i) {
+    for (size_t j = 1; j <= m; ++j) {
+      int cost = a[i - 1] == b[j - 1] ? 0 : 1;
+      d[i][j] = std::min({d[i - 1][j] + 1, d[i][j - 1] + 1, d[i - 1][j - 1] + cost});
+      if (i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1]) {
+        d[i][j] = std::min(d[i][j], d[i - 2][j - 2] + 1);  // transposition
+      }
+    }
+  }
+  return std::min(d[n][m], cap);
+}
+
+std::string SpellCorrector::Correct(const std::string& token) const {
+  if (vocab_->IdOf(token) >= 0 || token.size() < 3 || token.front() == '<') {
+    return token;
+  }
+  const std::string* best = nullptr;
+  uint64_t best_count = 0;
+  for (size_t id = 0; id < vocab_->size(); ++id) {
+    const std::string& candidate = vocab_->WordOf(static_cast<int>(id));
+    if (EditDistanceCapped(token, candidate) == 1) {
+      uint64_t count = vocab_->CountOf(static_cast<int>(id));
+      if (count > best_count) {
+        best_count = count;
+        best = &candidate;
+      }
+    }
+  }
+  return best != nullptr ? *best : token;
+}
+
+std::vector<std::string> SpellCorrector::Correct(const std::vector<std::string>& tokens) const {
+  std::vector<std::string> out;
+  out.reserve(tokens.size());
+  for (const auto& token : tokens) {
+    out.push_back(Correct(token));
+  }
+  return out;
+}
+
+}  // namespace witnlp

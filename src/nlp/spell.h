@@ -1,0 +1,35 @@
+// Spelling correction against a vocabulary (the paper applies spelling
+// correction before classifying evaluation tickets, §7.1.3).
+//
+// Norvig-style: a token absent from the vocabulary is replaced with the
+// most frequent vocabulary word within edit distance one (insert, delete,
+// substitute, transpose); unknown tokens with no close match pass through.
+
+#ifndef SRC_NLP_SPELL_H_
+#define SRC_NLP_SPELL_H_
+
+#include <string>
+#include <vector>
+
+#include "src/nlp/corpus.h"
+
+namespace witnlp {
+
+class SpellCorrector {
+ public:
+  // `vocab` must outlive the corrector.
+  explicit SpellCorrector(const Vocabulary* vocab) : vocab_(vocab) {}
+
+  std::string Correct(const std::string& token) const;
+  std::vector<std::string> Correct(const std::vector<std::string>& tokens) const;
+
+  // Damerau-Levenshtein distance capped at 2 (returns 3 for anything more).
+  static int EditDistanceCapped(const std::string& a, const std::string& b);
+
+ private:
+  const Vocabulary* vocab_;
+};
+
+}  // namespace witnlp
+
+#endif  // SRC_NLP_SPELL_H_

@@ -1,0 +1,353 @@
+#include "src/nlp/stemmer.h"
+
+namespace witnlp {
+
+namespace {
+
+// Working state over the word buffer, following Porter's original
+// formulation: b is the buffer, k the offset of the last character, j the
+// end of the stem during suffix matching. Indices are signed because the
+// algorithm relies on j == -1 for whole-word suffixes.
+class Stemmer {
+ public:
+  explicit Stemmer(std::string word)
+      : b_(std::move(word)), k_(static_cast<int>(b_.size()) - 1) {}
+
+  std::string Run() {
+    if (b_.size() <= 2) {
+      return b_;
+    }
+    Step1a();
+    Step1b();
+    Step1c();
+    Step2();
+    Step3();
+    Step4();
+    Step5a();
+    Step5b();
+    return b_.substr(0, static_cast<size_t>(k_ + 1));
+  }
+
+ private:
+  char At(int i) const { return b_[static_cast<size_t>(i)]; }
+
+  bool IsConsonant(int i) const {
+    switch (At(i)) {
+      case 'a':
+      case 'e':
+      case 'i':
+      case 'o':
+      case 'u':
+        return false;
+      case 'y':
+        return i == 0 ? true : !IsConsonant(i - 1);
+      default:
+        return true;
+    }
+  }
+
+  // m(): the number of consonant-vowel sequences in [0, j_].
+  int Measure() const {
+    int n = 0;
+    int i = 0;
+    for (;;) {
+      if (i > j_) {
+        return n;
+      }
+      if (!IsConsonant(i)) {
+        break;
+      }
+      ++i;
+    }
+    ++i;
+    for (;;) {
+      for (;;) {
+        if (i > j_) {
+          return n;
+        }
+        if (IsConsonant(i)) {
+          break;
+        }
+        ++i;
+      }
+      ++i;
+      ++n;
+      for (;;) {
+        if (i > j_) {
+          return n;
+        }
+        if (!IsConsonant(i)) {
+          break;
+        }
+        ++i;
+      }
+      ++i;
+    }
+  }
+
+  bool VowelInStem() const {
+    for (int i = 0; i <= j_; ++i) {
+      if (!IsConsonant(i)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool DoubleConsonant(int i) const {
+    if (i < 1) {
+      return false;
+    }
+    return At(i) == At(i - 1) && IsConsonant(i);
+  }
+
+  // cvc(i): consonant-vowel-consonant ending at i, where the final
+  // consonant is not w, x or y.
+  bool Cvc(int i) const {
+    if (i < 2 || !IsConsonant(i) || IsConsonant(i - 1) || !IsConsonant(i - 2)) {
+      return false;
+    }
+    char ch = At(i);
+    return ch != 'w' && ch != 'x' && ch != 'y';
+  }
+
+  bool Ends(std::string_view suffix) {
+    int len = static_cast<int>(suffix.size());
+    if (len > k_ + 1) {
+      return false;
+    }
+    if (b_.compare(static_cast<size_t>(k_ + 1 - len), suffix.size(), suffix) != 0) {
+      return false;
+    }
+    j_ = k_ - len;
+    return true;
+  }
+
+  // Replaces (j_, k_] with repl; assumes the buffer ends at k_.
+  void SetTo(std::string_view repl) {
+    b_.resize(static_cast<size_t>(k_ + 1));
+    b_.replace(static_cast<size_t>(j_ + 1), static_cast<size_t>(k_ - j_), repl);
+    k_ = static_cast<int>(b_.size()) - 1;
+  }
+
+  void ReplaceIfM(std::string_view suffix, std::string_view repl) {
+    if (Ends(suffix) && Measure() > 0) {
+      SetTo(repl);
+    }
+  }
+
+  void Truncate() { b_.resize(static_cast<size_t>(k_ + 1)); }
+
+  void Step1a() {
+    if (At(k_) == 's') {
+      if (Ends("sses")) {
+        k_ -= 2;
+      } else if (Ends("ies")) {
+        SetTo("i");
+      } else if (k_ >= 1 && At(k_ - 1) != 's') {
+        --k_;
+      }
+    }
+    Truncate();
+  }
+
+  void Step1b() {
+    bool cleanup = false;
+    if (Ends("eed")) {
+      if (Measure() > 0) {
+        --k_;
+      }
+    } else if (Ends("ed") && VowelInStem()) {
+      k_ = j_;
+      cleanup = true;
+    } else if (Ends("ing") && VowelInStem()) {
+      k_ = j_;
+      cleanup = true;
+    }
+    Truncate();
+    if (cleanup) {
+      if (Ends("at")) {
+        SetTo("ate");
+      } else if (Ends("bl")) {
+        SetTo("ble");
+      } else if (Ends("iz")) {
+        SetTo("ize");
+      } else if (DoubleConsonant(k_)) {
+        char ch = At(k_);
+        if (ch != 'l' && ch != 's' && ch != 'z') {
+          --k_;
+          Truncate();
+        }
+      } else {
+        j_ = k_;
+        if (Measure() == 1 && Cvc(k_)) {
+          b_ += 'e';
+          k_ = static_cast<int>(b_.size()) - 1;
+        }
+      }
+    }
+  }
+
+  void Step1c() {
+    if (Ends("y") && VowelInStem()) {
+      b_[static_cast<size_t>(k_)] = 'i';
+    }
+  }
+
+  void Step2() {
+    if (k_ < 2) {
+      return;
+    }
+    switch (At(k_ - 1)) {
+      case 'a':
+        ReplaceIfM("ational", "ate");
+        ReplaceIfM("tional", "tion");
+        break;
+      case 'c':
+        ReplaceIfM("enci", "ence");
+        ReplaceIfM("anci", "ance");
+        break;
+      case 'e':
+        ReplaceIfM("izer", "ize");
+        break;
+      case 'l':
+        ReplaceIfM("abli", "able");
+        ReplaceIfM("alli", "al");
+        ReplaceIfM("entli", "ent");
+        ReplaceIfM("eli", "e");
+        ReplaceIfM("ousli", "ous");
+        break;
+      case 'o':
+        ReplaceIfM("ization", "ize");
+        ReplaceIfM("ation", "ate");
+        ReplaceIfM("ator", "ate");
+        break;
+      case 's':
+        ReplaceIfM("alism", "al");
+        ReplaceIfM("iveness", "ive");
+        ReplaceIfM("fulness", "ful");
+        ReplaceIfM("ousness", "ous");
+        break;
+      case 't':
+        ReplaceIfM("aliti", "al");
+        ReplaceIfM("iviti", "ive");
+        ReplaceIfM("biliti", "ble");
+        break;
+      default:
+        break;
+    }
+  }
+
+  void Step3() {
+    switch (At(k_)) {
+      case 'e':
+        ReplaceIfM("icate", "ic");
+        ReplaceIfM("ative", "");
+        ReplaceIfM("alize", "al");
+        break;
+      case 'i':
+        ReplaceIfM("iciti", "ic");
+        break;
+      case 'l':
+        ReplaceIfM("ical", "ic");
+        ReplaceIfM("ful", "");
+        break;
+      case 's':
+        ReplaceIfM("ness", "");
+        break;
+      default:
+        break;
+    }
+  }
+
+  void Step4() {
+    if (k_ < 2) {
+      return;
+    }
+    bool matched = false;
+    switch (At(k_ - 1)) {
+      case 'a':
+        matched = Ends("al");
+        break;
+      case 'c':
+        matched = Ends("ance") || Ends("ence");
+        break;
+      case 'e':
+        matched = Ends("er");
+        break;
+      case 'i':
+        matched = Ends("ic");
+        break;
+      case 'l':
+        matched = Ends("able") || Ends("ible");
+        break;
+      case 'n':
+        matched = Ends("ant") || Ends("ement") || Ends("ment") || Ends("ent");
+        break;
+      case 'o':
+        if (Ends("ion") && j_ >= 0 && (At(j_) == 's' || At(j_) == 't')) {
+          matched = true;
+        } else {
+          matched = Ends("ou");
+        }
+        break;
+      case 's':
+        matched = Ends("ism");
+        break;
+      case 't':
+        matched = Ends("ate") || Ends("iti");
+        break;
+      case 'u':
+        matched = Ends("ous");
+        break;
+      case 'v':
+        matched = Ends("ive");
+        break;
+      case 'z':
+        matched = Ends("ize");
+        break;
+      default:
+        break;
+    }
+    if (matched && Measure() > 1) {
+      k_ = j_;
+      Truncate();
+    }
+  }
+
+  void Step5a() {
+    j_ = k_;
+    if (At(k_) == 'e') {
+      int m = Measure();
+      if (m > 1 || (m == 1 && !Cvc(k_ - 1))) {
+        --k_;
+      }
+    }
+    Truncate();
+  }
+
+  void Step5b() {
+    j_ = k_;
+    if (At(k_) == 'l' && DoubleConsonant(k_) && Measure() > 1) {
+      --k_;
+    }
+    Truncate();
+  }
+
+  std::string b_;
+  int k_ = -1;  // index of last character
+  int j_ = -1;  // end of stem during suffix matching
+};
+
+}  // namespace
+
+std::string PorterStem(std::string_view word) {
+  for (char c : word) {
+    if (c < 'a' || c > 'z') {
+      return std::string(word);  // only pure lower-case ASCII words are stemmed
+    }
+  }
+  return Stemmer(std::string(word)).Run();
+}
+
+}  // namespace witnlp

@@ -1,0 +1,18 @@
+// The Porter stemming algorithm (Porter, 1980), implemented in full:
+// steps 1a, 1b (+cleanup), 1c, 2, 3, 4, 5a, 5b.
+
+#ifndef SRC_NLP_STEMMER_H_
+#define SRC_NLP_STEMMER_H_
+
+#include <string>
+#include <string_view>
+
+namespace witnlp {
+
+// Returns the Porter stem of a lower-case ASCII word. Words shorter than
+// three characters are returned unchanged.
+std::string PorterStem(std::string_view word);
+
+}  // namespace witnlp
+
+#endif  // SRC_NLP_STEMMER_H_

@@ -1,0 +1,29 @@
+#include "src/nlp/stopwords.h"
+
+namespace witnlp {
+
+const std::unordered_set<std::string>& StopWords() {
+  static const std::unordered_set<std::string> kWords = {
+      // English function words.
+      "a", "about", "after", "again", "all", "also", "am", "an", "and", "any", "are", "as",
+      "at", "be", "because", "been", "before", "being", "below", "between", "both", "but",
+      "by", "can", "cannot", "could", "did", "do", "does", "doing", "down", "during", "each",
+      "few", "for", "from", "further", "get", "got", "had", "has", "have", "having", "he",
+      "her", "here", "hers", "him", "his", "how", "i", "if", "in", "into", "is", "it", "its",
+      "just", "me", "more", "most", "my", "no", "nor", "not", "now", "of", "off", "on",
+      "once", "only", "or", "other", "our", "out", "over", "own", "same", "she", "should",
+      "so", "some", "still", "such", "than", "that", "the", "their", "them", "then", "there",
+      "these", "they", "this", "those", "through", "to", "too", "under", "until", "up",
+      "very", "was", "we", "were", "what", "when", "where", "which", "while", "who", "whom",
+      "why", "will", "with", "would", "you", "your", "yours",
+      // Ticket pleasantries that carry no signal (paper §7.1.1).
+      "hello", "hi", "hey", "please", "thanks", "thank", "regards", "dear", "kindly", "asap",
+      "urgent", "help", "issue", "problem", "need", "needs", "trying", "tried", "seems",
+      "unable", "something", "someone", "anyone",
+  };
+  return kWords;
+}
+
+bool IsStopWord(const std::string& word) { return StopWords().count(word) > 0; }
+
+}  // namespace witnlp

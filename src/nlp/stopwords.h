@@ -1,0 +1,19 @@
+// Stop words plus the paper's "common words that do not add information
+// (like 'hello' and 'please')".
+
+#ifndef SRC_NLP_STOPWORDS_H_
+#define SRC_NLP_STOPWORDS_H_
+
+#include <string>
+#include <unordered_set>
+
+namespace witnlp {
+
+// The shared stopword set (English function words + ticket pleasantries).
+const std::unordered_set<std::string>& StopWords();
+
+bool IsStopWord(const std::string& word);
+
+}  // namespace witnlp
+
+#endif  // SRC_NLP_STOPWORDS_H_

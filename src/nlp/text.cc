@@ -1,0 +1,75 @@
+#include "src/nlp/text.h"
+
+#include <cctype>
+
+#include "src/nlp/obfuscate.h"
+#include "src/nlp/stemmer.h"
+#include "src/nlp/stopwords.h"
+
+namespace witnlp {
+
+namespace {
+
+bool IsTokenChar(char c) {
+  unsigned char u = static_cast<unsigned char>(c);
+  return std::isalnum(u) != 0 || c == '-' || c == '.' || c == '_' || c == '/' || c == '<' ||
+         c == '>';
+}
+
+}  // namespace
+
+std::vector<std::string> Tokenize(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::string cur;
+  for (char c : text) {
+    if (IsTokenChar(c)) {
+      cur += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else if (!cur.empty()) {
+      // Strip trailing sentence punctuation that survived ('.', '-').
+      while (!cur.empty() && (cur.back() == '.' || cur.back() == '-')) {
+        cur.pop_back();
+      }
+      if (!cur.empty()) {
+        tokens.push_back(std::move(cur));
+      }
+      cur.clear();
+    }
+  }
+  if (!cur.empty()) {
+    while (!cur.empty() && (cur.back() == '.' || cur.back() == '-')) {
+      cur.pop_back();
+    }
+    if (!cur.empty()) {
+      tokens.push_back(std::move(cur));
+    }
+  }
+  return tokens;
+}
+
+TextPipeline::TextPipeline(Options options) : options_(options) {}
+
+std::vector<std::string> TextPipeline::Process(std::string_view text) const {
+  static const Obfuscator kObfuscator;
+  std::vector<std::string> tokens = Tokenize(text);
+  if (options_.obfuscate) {
+    tokens = kObfuscator.Apply(tokens);
+  }
+  std::vector<std::string> out;
+  out.reserve(tokens.size());
+  for (auto& token : tokens) {
+    if (options_.remove_stopwords && IsStopWord(token)) {
+      continue;
+    }
+    if (token.size() < 2) {
+      continue;
+    }
+    if (options_.stem && token.front() != '<') {
+      out.push_back(PorterStem(token));
+    } else {
+      out.push_back(std::move(token));
+    }
+  }
+  return out;
+}
+
+}  // namespace witnlp

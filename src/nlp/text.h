@@ -1,0 +1,39 @@
+// Tokenization and the text preprocessing pipeline used on IT tickets
+// (paper §7.1.1: "word stemming, stop word removal, deletion of common words
+// that do not add information, and obfuscation of confidential information").
+
+#ifndef SRC_NLP_TEXT_H_
+#define SRC_NLP_TEXT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace witnlp {
+
+// Lower-cases and splits on non-token characters. Tokens keep internal
+// '-', '.', '_' and digits so that "srv-042", "10.0.3.7" and "matlab2016"
+// survive as single tokens for the obfuscator.
+std::vector<std::string> Tokenize(std::string_view text);
+
+// Composable preprocessing: tokenize -> obfuscate -> stopword-filter -> stem.
+class TextPipeline {
+ public:
+  struct Options {
+    bool stem = true;
+    bool remove_stopwords = true;
+    bool obfuscate = true;
+  };
+
+  TextPipeline() : TextPipeline(Options()) {}
+  explicit TextPipeline(Options options);
+
+  std::vector<std::string> Process(std::string_view text) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace witnlp
+
+#endif  // SRC_NLP_TEXT_H_

@@ -1,0 +1,76 @@
+#include "src/os/audit.h"
+
+#include <utility>
+
+namespace witos {
+
+std::string AuditEventName(AuditEvent ev) {
+  switch (ev) {
+    case AuditEvent::kSyscallDenied:
+      return "SYSCALL_DENIED";
+    case AuditEvent::kCapabilityDenied:
+      return "CAPABILITY_DENIED";
+    case AuditEvent::kXclDenied:
+      return "XCL_DENIED";
+    case AuditEvent::kFileAccess:
+      return "FILE_ACCESS";
+    case AuditEvent::kFileDenied:
+      return "FILE_DENIED";
+    case AuditEvent::kNetworkFlow:
+      return "NETWORK_FLOW";
+    case AuditEvent::kNetworkBlocked:
+      return "NETWORK_BLOCKED";
+    case AuditEvent::kBrokerRequest:
+      return "BROKER_REQUEST";
+    case AuditEvent::kBrokerDenied:
+      return "BROKER_DENIED";
+    case AuditEvent::kContainerDeployed:
+      return "CONTAINER_DEPLOYED";
+    case AuditEvent::kContainerTerminated:
+      return "CONTAINER_TERMINATED";
+    case AuditEvent::kTcbViolation:
+      return "TCB_VIOLATION";
+    case AuditEvent::kSessionEvent:
+      return "SESSION_EVENT";
+  }
+  return "UNKNOWN";
+}
+
+void AuditLog::Append(AuditEvent event, Pid pid, Uid uid, std::string detail, uint64_t time_ns) {
+  AuditRecord rec;
+  rec.seq = next_seq_++;
+  rec.time_ns = time_ns;
+  rec.event = event;
+  rec.pid = pid;
+  rec.uid = uid;
+  rec.detail = std::move(detail);
+  for (const auto& sink : replicas_) {
+    sink(rec);
+  }
+  records_.push_back(std::move(rec));
+}
+
+std::vector<AuditRecord> AuditLog::Filter(
+    const std::function<bool(const AuditRecord&)>& pred) const {
+  std::vector<AuditRecord> out;
+  for (const auto& rec : records_) {
+    if (pred(rec)) {
+      out.push_back(rec);
+    }
+  }
+  return out;
+}
+
+size_t AuditLog::CountEvent(AuditEvent event) const {
+  size_t n = 0;
+  for (const auto& rec : records_) {
+    if (rec.event == event) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+void AuditLog::AddReplica(Sink sink) { replicas_.push_back(std::move(sink)); }
+
+}  // namespace witos

@@ -1,0 +1,92 @@
+// A minimal cgroup (pids-controller-style): bounds how many live processes
+// a group may hold. ContainIT places every perforated container in its own
+// cgroup so a rogue admin cannot fork-bomb the host from inside the sandbox
+// — confinement covers resources, not just views.
+
+#ifndef SRC_OS_CGROUP_H_
+#define SRC_OS_CGROUP_H_
+
+#include <map>
+#include <string>
+
+#include "src/os/types.h"
+
+namespace witos {
+
+using CgroupId = uint64_t;
+inline constexpr CgroupId kRootCgroup = 0;  // unbounded
+
+struct Cgroup {
+  CgroupId id = kRootCgroup;
+  std::string name;
+  uint32_t max_processes = 0;  // 0 = unlimited
+  uint32_t live_processes = 0;
+  uint64_t total_forks = 0;    // lifetime counter
+  uint64_t fork_failures = 0;  // denied by the limit
+};
+
+class CgroupRegistry {
+ public:
+  CgroupRegistry() {
+    Cgroup root;
+    root.name = "root";
+    groups_.emplace(kRootCgroup, root);
+  }
+
+  CgroupId Create(const std::string& name, uint32_t max_processes) {
+    Cgroup group;
+    group.id = next_id_++;
+    group.name = name;
+    group.max_processes = max_processes;
+    CgroupId id = group.id;
+    groups_.emplace(id, group);
+    return id;
+  }
+
+  Cgroup* Find(CgroupId id) {
+    auto it = groups_.find(id);
+    return it == groups_.end() ? nullptr : &it->second;
+  }
+  const Cgroup* Find(CgroupId id) const {
+    auto it = groups_.find(id);
+    return it == groups_.end() ? nullptr : &it->second;
+  }
+
+  // Charges one process against the group; false when the pids limit is hit.
+  bool TryCharge(CgroupId id) {
+    Cgroup* group = Find(id);
+    if (group == nullptr) {
+      return false;
+    }
+    ++group->total_forks;
+    if (group->max_processes != 0 && group->live_processes >= group->max_processes) {
+      ++group->fork_failures;
+      return false;
+    }
+    ++group->live_processes;
+    return true;
+  }
+
+  void Uncharge(CgroupId id) {
+    Cgroup* group = Find(id);
+    if (group != nullptr && group->live_processes > 0) {
+      --group->live_processes;
+    }
+  }
+
+  void Remove(CgroupId id) {
+    if (id != kRootCgroup) {
+      groups_.erase(id);
+    }
+  }
+
+  size_t size() const { return groups_.size(); }
+
+ private:
+  std::map<CgroupId, Cgroup> groups_;
+  CgroupId next_id_ = 1;
+};
+
+}  // namespace witos
+
+#endif  // SRC_OS_CGROUP_H_

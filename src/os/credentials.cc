@@ -1,0 +1,139 @@
+#include "src/os/credentials.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace witos {
+
+namespace {
+constexpr uint32_t kAllCapsMask =
+    (1u << static_cast<uint32_t>(Capability::kMaxValue)) - 1u;
+}  // namespace
+
+std::string CapabilityName(Capability cap) {
+  switch (cap) {
+    case Capability::kSysChroot:
+      return "CAP_SYS_CHROOT";
+    case Capability::kSysPtrace:
+      return "CAP_SYS_PTRACE";
+    case Capability::kMknod:
+      return "CAP_MKNOD";
+    case Capability::kSysRawMem:
+      return "CAP_SYS_RAWMEM";
+    case Capability::kSysAdmin:
+      return "CAP_SYS_ADMIN";
+    case Capability::kSysBoot:
+      return "CAP_SYS_BOOT";
+    case Capability::kSysModule:
+      return "CAP_SYS_MODULE";
+    case Capability::kKill:
+      return "CAP_KILL";
+    case Capability::kNetAdmin:
+      return "CAP_NET_ADMIN";
+    case Capability::kChown:
+      return "CAP_CHOWN";
+    case Capability::kDacOverride:
+      return "CAP_DAC_OVERRIDE";
+    case Capability::kSetuid:
+      return "CAP_SETUID";
+    case Capability::kSysNice:
+      return "CAP_SYS_NICE";
+    case Capability::kAuditWrite:
+      return "CAP_AUDIT_WRITE";
+    case Capability::kMaxValue:
+      break;
+  }
+  return "CAP_?";
+}
+
+CapabilitySet::CapabilitySet(std::initializer_list<Capability> caps) {
+  for (Capability cap : caps) {
+    Add(cap);
+  }
+}
+
+CapabilitySet CapabilitySet::Full() {
+  CapabilitySet set;
+  set.bits_ = kAllCapsMask;
+  return set;
+}
+
+CapabilitySet CapabilitySet::Empty() { return CapabilitySet(); }
+
+bool CapabilitySet::Has(Capability cap) const {
+  return (bits_ & (1u << static_cast<uint32_t>(cap))) != 0;
+}
+
+void CapabilitySet::Add(Capability cap) { bits_ |= 1u << static_cast<uint32_t>(cap); }
+
+void CapabilitySet::Remove(Capability cap) { bits_ &= ~(1u << static_cast<uint32_t>(cap)); }
+
+CapabilitySet CapabilitySet::Minus(const CapabilitySet& other) const {
+  CapabilitySet out;
+  out.bits_ = bits_ & ~other.bits_;
+  return out;
+}
+
+CapabilitySet CapabilitySet::Intersect(const CapabilitySet& other) const {
+  CapabilitySet out;
+  out.bits_ = bits_ & other.bits_;
+  return out;
+}
+
+bool CapabilitySet::IsSubsetOf(const CapabilitySet& other) const {
+  return (bits_ & ~other.bits_) == 0;
+}
+
+size_t CapabilitySet::count() const { return static_cast<size_t>(std::popcount(bits_)); }
+
+std::vector<Capability> CapabilitySet::ToList() const {
+  std::vector<Capability> out;
+  for (uint32_t i = 0; i < static_cast<uint32_t>(Capability::kMaxValue); ++i) {
+    auto cap = static_cast<Capability>(i);
+    if (Has(cap)) {
+      out.push_back(cap);
+    }
+  }
+  return out;
+}
+
+std::string CapabilitySet::ToString() const {
+  std::string out;
+  for (Capability cap : ToList()) {
+    if (!out.empty()) {
+      out += ",";
+    }
+    out += CapabilityName(cap);
+  }
+  return out.empty() ? "(none)" : out;
+}
+
+bool Credentials::InGroup(Gid g) const {
+  if (gid == g) {
+    return true;
+  }
+  return std::find(supplementary_gids.begin(), supplementary_gids.end(), g) !=
+         supplementary_gids.end();
+}
+
+bool CheckPosixAccess(const Credentials& cred, Uid owner, Gid group, Mode mode, uint32_t want) {
+  if (cred.HasCap(Capability::kDacOverride)) {
+    // CAP_DAC_OVERRIDE bypasses read/write checks always; exec requires at
+    // least one exec bit somewhere, as on Linux.
+    if ((want & kAccessExec) == 0) {
+      return true;
+    }
+    return (mode & 0111) != 0;
+  }
+  uint32_t granted;
+  if (cred.uid == owner) {
+    granted = (mode >> 6) & 07u;
+  } else if (cred.InGroup(group)) {
+    granted = (mode >> 3) & 07u;
+  } else {
+    granted = mode & 07u;
+  }
+  return (want & ~granted) == 0;
+}
+
+}  // namespace witos

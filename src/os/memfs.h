@@ -1,0 +1,110 @@
+// MemFs: the in-memory disk filesystem standing in for ext4.
+//
+// A full inode tree with POSIX permissions, ownership, symlinks, device
+// nodes, rename and link counts. Charges simulated time through an optional
+// SimClock so benchmarks see a realistic cost structure (metadata ops vs.
+// per-byte transfer).
+
+#ifndef SRC_OS_MEMFS_H_
+#define SRC_OS_MEMFS_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/os/clock.h"
+#include "src/os/filesystem.h"
+
+namespace witos {
+
+class MemFs : public Filesystem {
+ public:
+  // `clock` may be null (no time accounting); if set it must outlive the fs.
+  explicit MemFs(std::string fs_type = "ext4", SimClock* clock = nullptr);
+
+  std::string FsType() const override { return fs_type_; }
+
+  Result<Stat> Open(const std::string& path, uint32_t flags, Mode mode,
+                    const Credentials& cred) override;
+  Result<size_t> ReadAt(const std::string& path, uint64_t offset, size_t size, std::string* out,
+                        const Credentials& cred) override;
+  Result<size_t> WriteAt(const std::string& path, uint64_t offset, const std::string& data,
+                         const Credentials& cred) override;
+  Status Truncate(const std::string& path, uint64_t size, const Credentials& cred) override;
+  Result<Stat> GetAttr(const std::string& path, const Credentials& cred) override;
+  Result<std::vector<DirEntry>> ReadDir(const std::string& path,
+                                        const Credentials& cred) override;
+  Status MkDir(const std::string& path, Mode mode, const Credentials& cred) override;
+  Status Unlink(const std::string& path, const Credentials& cred) override;
+  Status RmDir(const std::string& path, const Credentials& cred) override;
+  Status Rename(const std::string& from, const std::string& to,
+                const Credentials& cred) override;
+  Status Chmod(const std::string& path, Mode mode, const Credentials& cred) override;
+  Status Chown(const std::string& path, Uid uid, Gid gid, const Credentials& cred) override;
+  Status MkNod(const std::string& path, FileType type, DeviceId rdev, Mode mode,
+               const Credentials& cred) override;
+  Status Link(const std::string& oldpath, const std::string& newpath,
+              const Credentials& cred) override;
+  Status SymLink(const std::string& target, const std::string& linkpath,
+                 const Credentials& cred) override;
+  Result<std::string> ReadLink(const std::string& path, const Credentials& cred) override;
+  Result<FsStats> StatFs() const override;
+
+  // --- Setup conveniences (host-side provisioning, bypassing permissions) ---
+
+  // Creates all missing directories along `path` (root-owned, 0755).
+  void ProvisionDir(const std::string& path);
+  // Creates `path` (and parent dirs) with `content`, owned by (uid, gid).
+  void ProvisionFile(const std::string& path, const std::string& content, Uid uid = kRootUid,
+                     Gid gid = kRootGid, Mode mode = kModeDefaultFile);
+  void ProvisionSymlink(const std::string& linkpath, const std::string& target);
+  // Appends `data` to `path` (creating it if needed) without permission
+  // checks or kernel mediation — for trusted host daemons (audit spool).
+  void ProvisionAppend(const std::string& path, const std::string& data);
+  void ProvisionDevice(const std::string& path, DeviceId rdev, Mode mode = 0600);
+
+  // Direct content access for tests/benchmarks (no permission checks).
+  Result<std::string> SlurpForTest(const std::string& path) const;
+
+  // Total operations served, for benchmark sanity checks.
+  uint64_t op_count() const { return op_count_; }
+
+ private:
+  struct Node {
+    FileType type = FileType::kRegular;
+    Mode mode = kModeDefaultFile;
+    Uid uid = kRootUid;
+    Gid gid = kRootGid;
+    InodeNum inode = 0;
+    DeviceId rdev = 0;
+    uint64_t mtime_ticks = 0;
+    uint32_t nlink_extra = 0;  // hard links beyond the first name
+    std::string data;                                   // regular file / symlink target
+    std::map<std::string, std::shared_ptr<Node>> children;  // directory
+  };
+
+  // Walks to the node at `path`; checks exec (search) permission on every
+  // traversed directory.
+  Result<std::shared_ptr<Node>> Walk(const std::string& path, const Credentials& cred) const;
+  // Walks to the parent directory of `path`, returning (parent, leaf name).
+  Result<std::pair<std::shared_ptr<Node>, std::string>> WalkParent(const std::string& path,
+                                                                   const Credentials& cred) const;
+  Stat StatOf(const Node& node) const;
+  std::shared_ptr<Node> NewNode(FileType type, Mode mode, const Credentials& cred);
+  void Charge(uint64_t ns) const;
+  void ChargeMeta() const;
+  void ChargeMutation() const;
+  void ChargeBytes(size_t n) const;
+
+  std::string fs_type_;
+  SimClock* clock_;
+  std::shared_ptr<Node> root_;
+  InodeNum next_inode_ = 2;  // 1 is the root, ext2 tradition
+  mutable uint64_t op_count_ = 0;
+  uint64_t used_bytes_ = 0;
+};
+
+}  // namespace witos
+
+#endif  // SRC_OS_MEMFS_H_

@@ -1,0 +1,60 @@
+#include "src/os/pagecache.h"
+
+namespace witos {
+
+const std::string* PageCache::Lookup(const Filesystem* fs, const std::string& path,
+                                     uint64_t block) const {
+  auto it = blocks_.find(Key(fs, path, block));
+  if (it == blocks_.end()) {
+    return nullptr;
+  }
+  ++hits_;
+  return &it->second;
+}
+
+void PageCache::Insert(const Filesystem* fs, const std::string& path, uint64_t block,
+                       std::string data) {
+  if (data.size() > capacity_) {
+    return;
+  }
+  if (bytes_ + data.size() > capacity_) {
+    Clear();
+  }
+  auto [it, inserted] = blocks_.insert_or_assign(Key(fs, path, block), std::move(data));
+  if (inserted) {
+    bytes_ += it->second.size();
+  }
+}
+
+void PageCache::InvalidateRange(const Filesystem* fs, const std::string& path, uint64_t offset,
+                                uint64_t len) {
+  if (len == 0) {
+    return;
+  }
+  uint64_t first = offset / kBlockSize;
+  uint64_t last = (offset + len - 1) / kBlockSize;
+  for (uint64_t block = first; block <= last; ++block) {
+    auto it = blocks_.find(Key(fs, path, block));
+    if (it != blocks_.end()) {
+      bytes_ -= it->second.size();
+      blocks_.erase(it);
+    }
+  }
+}
+
+void PageCache::InvalidateFile(const Filesystem* fs, const std::string& path) {
+  Key low(fs, path, 0);
+  Key high(fs, path, ~0ull);
+  auto it = blocks_.lower_bound(low);
+  while (it != blocks_.end() && it->first <= high) {
+    bytes_ -= it->second.size();
+    it = blocks_.erase(it);
+  }
+}
+
+void PageCache::Clear() {
+  blocks_.clear();
+  bytes_ = 0;
+}
+
+}  // namespace witos

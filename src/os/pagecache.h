@@ -1,0 +1,64 @@
+// The kernel page cache: 128KB blocks keyed by (filesystem, path, block).
+//
+// Sitting *above* the mounted filesystem — and therefore above any FUSE
+// stack — the cache is what gives cached random IO (SysBench) near-native
+// performance through ITFS while cold streaming reads (grep) and
+// metadata-heavy loops (Postmark) pay the full interposition cost, exactly
+// the behaviour Figure 9 of the paper reports.
+//
+// Policy: read misses fetch whole covering blocks through the filesystem
+// (readahead); writes update fully covered blocks and invalidate partially
+// covered ones; capacity overflow clears the cache (crude, deterministic).
+
+#ifndef SRC_OS_PAGECACHE_H_
+#define SRC_OS_PAGECACHE_H_
+
+#include <map>
+#include <string>
+#include <tuple>
+
+namespace witos {
+
+class Filesystem;
+
+class PageCache {
+ public:
+  static constexpr uint64_t kBlockSize = 128 * 1024;
+
+  explicit PageCache(uint64_t capacity_bytes = 64ull * 1024 * 1024)
+      : capacity_(capacity_bytes) {}
+
+  // Returns the cached block or nullptr. A present block may be short (the
+  // file's EOF block).
+  const std::string* Lookup(const Filesystem* fs, const std::string& path,
+                            uint64_t block) const;
+
+  void Insert(const Filesystem* fs, const std::string& path, uint64_t block, std::string data);
+
+  // Invalidates the blocks covering [offset, offset+len) of the file; a
+  // write that exactly covers a block may Insert() instead.
+  void InvalidateRange(const Filesystem* fs, const std::string& path, uint64_t offset,
+                       uint64_t len);
+  // Invalidates everything cached for the file (truncate/unlink/rename).
+  void InvalidateFile(const Filesystem* fs, const std::string& path);
+
+  void Clear();
+
+  uint64_t bytes() const { return bytes_; }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  void CountMiss() const { ++misses_; }
+
+ private:
+  using Key = std::tuple<const Filesystem*, std::string, uint64_t>;
+
+  std::map<Key, std::string> blocks_;
+  uint64_t capacity_;
+  uint64_t bytes_ = 0;
+  mutable uint64_t hits_ = 0;
+  mutable uint64_t misses_ = 0;
+};
+
+}  // namespace witos
+
+#endif  // SRC_OS_PAGECACHE_H_

@@ -1,0 +1,142 @@
+#include "src/os/path.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace witos {
+
+std::vector<std::string> SplitPath(std::string_view path) {
+  std::vector<std::string> parts;
+  size_t i = 0;
+  while (i < path.size()) {
+    while (i < path.size() && path[i] == '/') {
+      ++i;
+    }
+    size_t start = i;
+    while (i < path.size() && path[i] != '/') {
+      ++i;
+    }
+    if (i > start) {
+      std::string_view comp = path.substr(start, i - start);
+      if (comp != ".") {
+        parts.emplace_back(comp);
+      }
+    }
+  }
+  return parts;
+}
+
+std::string NormalizePath(std::string_view path) {
+  std::vector<std::string> stack;
+  for (auto& comp : SplitPath(path)) {
+    if (comp == "..") {
+      if (!stack.empty()) {
+        stack.pop_back();
+      }
+      // ".." at the root is clamped, as in a chroot jail.
+    } else {
+      stack.push_back(std::move(comp));
+    }
+  }
+  if (stack.empty()) {
+    return "/";
+  }
+  std::string out;
+  for (const auto& comp : stack) {
+    out += '/';
+    out += comp;
+  }
+  return out;
+}
+
+std::string ResolvePath(std::string_view cwd, std::string_view path) {
+  if (IsAbsolutePath(path)) {
+    return NormalizePath(path);
+  }
+  return NormalizePath(JoinPath(cwd, path));
+}
+
+std::string JoinPath(std::string_view a, std::string_view b) {
+  if (a.empty()) {
+    return std::string(b);
+  }
+  if (b.empty()) {
+    return std::string(a);
+  }
+  std::string out(a);
+  if (out.back() == '/' && b.front() == '/') {
+    out.append(b.substr(1));
+  } else if (out.back() != '/' && b.front() != '/') {
+    out += '/';
+    out.append(b);
+  } else {
+    out.append(b);
+  }
+  return out;
+}
+
+bool PathIsUnder(std::string_view path, std::string_view prefix) {
+  if (prefix == "/") {
+    return IsAbsolutePath(path);
+  }
+  if (path == prefix) {
+    return true;
+  }
+  return path.size() > prefix.size() && path.substr(0, prefix.size()) == prefix &&
+         path[prefix.size()] == '/';
+}
+
+std::string RebasePath(std::string_view path, std::string_view old_prefix,
+                       std::string_view new_prefix) {
+  std::string_view rest;
+  if (old_prefix == "/") {
+    rest = path.substr(1);
+  } else if (path.size() > old_prefix.size()) {
+    rest = path.substr(old_prefix.size() + 1);  // skip the separating '/'
+  }
+  if (rest.empty()) {
+    return std::string(new_prefix);
+  }
+  if (new_prefix == "/") {
+    return "/" + std::string(rest);
+  }
+  return std::string(new_prefix) + "/" + std::string(rest);
+}
+
+std::string Basename(std::string_view path) {
+  if (path == "/" || path.empty()) {
+    return "/";
+  }
+  size_t pos = path.find_last_of('/');
+  if (pos == std::string_view::npos) {
+    return std::string(path);
+  }
+  return std::string(path.substr(pos + 1));
+}
+
+std::string Dirname(std::string_view path) {
+  if (path == "/" || path.empty()) {
+    return "/";
+  }
+  size_t pos = path.find_last_of('/');
+  if (pos == std::string_view::npos || pos == 0) {
+    return "/";
+  }
+  return std::string(path.substr(0, pos));
+}
+
+std::string Extension(std::string_view path) {
+  std::string base = Basename(path);
+  size_t pos = base.find_last_of('.');
+  if (pos == std::string::npos || pos == 0 || pos + 1 == base.size()) {
+    return "";
+  }
+  std::string ext = base.substr(pos + 1);
+  std::transform(ext.begin(), ext.end(), ext.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return ext;
+}
+
+bool IsAbsolutePath(std::string_view path) { return !path.empty() && path.front() == '/'; }
+
+}  // namespace witos

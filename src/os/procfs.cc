@@ -1,0 +1,209 @@
+#include "src/os/procfs.h"
+
+#include <charconv>
+
+#include "src/os/kernel.h"
+#include "src/os/path.h"
+
+namespace witos {
+
+namespace {
+
+// Parses a path component as a pid; returns kNoPid on failure.
+Pid ParsePid(const std::string& comp) {
+  Pid pid = kNoPid;
+  auto [ptr, ec] = std::from_chars(comp.data(), comp.data() + comp.size(), pid);
+  if (ec != std::errc() || ptr != comp.data() + comp.size()) {
+    return kNoPid;
+  }
+  return pid;
+}
+
+Stat DirStat() {
+  Stat st;
+  st.type = FileType::kDirectory;
+  st.mode = 0555;
+  return st;
+}
+
+Stat FileStat(uint64_t size) {
+  Stat st;
+  st.type = FileType::kRegular;
+  st.mode = 0444;
+  st.size = size;
+  return st;
+}
+
+}  // namespace
+
+// Lists the processes visible in this procfs instance's PID namespace.
+static std::vector<ProcessInfo> VisibleProcesses(Kernel* kernel, NsId pid_ns) {
+  std::vector<ProcessInfo> out;
+  auto& registry = kernel->namespaces();
+  if (!registry.Exists(pid_ns)) {
+    return out;
+  }
+  const PidNamespace& view = registry.Pidns(pid_ns);
+  for (const auto& [host_pid, local_pid] : view.host_to_local) {
+    const Process* proc = kernel->FindProcess(host_pid);
+    if (proc == nullptr) {
+      continue;
+    }
+    if (!registry.PidNsIsDescendant(proc->ns.Get(NsType::kPid), pid_ns)) {
+      continue;
+    }
+    ProcessInfo info;
+    info.pid = local_pid;
+    info.host_pid = host_pid;
+    info.name = proc->name;
+    info.uid = proc->cred.uid;
+    info.state = proc->state;
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+Result<std::string> ProcFs::Render(const std::string& path) const {
+  auto parts = SplitPath(path);
+  if (parts.size() == 2) {
+    Pid local = ParsePid(parts[0]);
+    if (local == kNoPid) {
+      return Err::kNoEnt;
+    }
+    for (const auto& info : VisibleProcesses(kernel_, pid_ns_)) {
+      if (info.pid != local) {
+        continue;
+      }
+      if (parts[1] == "status") {
+        return "Name:\t" + info.name + "\nPid:\t" + std::to_string(info.pid) + "\nUid:\t" +
+               std::to_string(info.uid) + "\nState:\t" +
+               (info.state == ProcState::kRunning ? "R (running)" : "Z (zombie)") + "\n";
+      }
+      if (parts[1] == "cmdline") {
+        return info.name + "\n";
+      }
+      if (parts[1] == "ns") {
+        // Mirrors /proc/<pid>/ns/*: one "type:[id]" line per namespace.
+        const Process* proc = kernel_->FindProcess(info.host_pid);
+        if (proc == nullptr) {
+          return Err::kNoEnt;
+        }
+        std::string out;
+        for (size_t t = 0; t < kNsTypeCount; ++t) {
+          out += NsTypeName(static_cast<NsType>(t)) + ":[" +
+                 std::to_string(proc->ns.ids[t]) + "]\n";
+        }
+        return out;
+      }
+      return Err::kNoEnt;
+    }
+    return Err::kNoEnt;
+  }
+  if (parts.size() == 1 && parts[0] == "uptime") {
+    return std::to_string(kernel_->clock().now_ns() / 1000000000ull) + "\n";
+  }
+  return Err::kNoEnt;
+}
+
+Result<Stat> ProcFs::Open(const std::string& path, uint32_t flags, Mode /*mode*/,
+                          const Credentials& cred) {
+  if ((flags & (kOpenWrite | kOpenCreate | kOpenTrunc | kOpenAppend)) != 0) {
+    return Err::kRoFs;
+  }
+  return GetAttr(path, cred);
+}
+
+Result<size_t> ProcFs::ReadAt(const std::string& path, uint64_t offset, size_t size,
+                              std::string* out, const Credentials& /*cred*/) {
+  WITOS_ASSIGN_OR_RETURN(std::string content, Render(path));
+  out->clear();
+  if (offset >= content.size()) {
+    return size_t{0};
+  }
+  size_t n = std::min(size, content.size() - static_cast<size_t>(offset));
+  out->assign(content, static_cast<size_t>(offset), n);
+  return n;
+}
+
+Result<size_t> ProcFs::WriteAt(const std::string&, uint64_t, const std::string&,
+                               const Credentials&) {
+  return Err::kRoFs;
+}
+
+Status ProcFs::Truncate(const std::string&, uint64_t, const Credentials&) { return Err::kRoFs; }
+
+Result<Stat> ProcFs::GetAttr(const std::string& path, const Credentials& /*cred*/) {
+  auto parts = SplitPath(path);
+  if (parts.empty()) {
+    return DirStat();
+  }
+  if (parts.size() == 1) {
+    if (parts[0] == "uptime") {
+      WITOS_ASSIGN_OR_RETURN(std::string content, Render(path));
+      return FileStat(content.size());
+    }
+    Pid local = ParsePid(parts[0]);
+    if (local == kNoPid) {
+      return Err::kNoEnt;
+    }
+    for (const auto& info : VisibleProcesses(kernel_, pid_ns_)) {
+      if (info.pid == local) {
+        return DirStat();
+      }
+    }
+    return Err::kNoEnt;
+  }
+  WITOS_ASSIGN_OR_RETURN(std::string content, Render(path));
+  return FileStat(content.size());
+}
+
+Result<std::vector<DirEntry>> ProcFs::ReadDir(const std::string& path,
+                                              const Credentials& /*cred*/) {
+  auto parts = SplitPath(path);
+  std::vector<DirEntry> out;
+  if (parts.empty()) {
+    for (const auto& info : VisibleProcesses(kernel_, pid_ns_)) {
+      out.push_back({std::to_string(info.pid), FileType::kDirectory, 0});
+    }
+    out.push_back({"uptime", FileType::kRegular, 0});
+    return out;
+  }
+  if (parts.size() == 1) {
+    Pid local = ParsePid(parts[0]);
+    if (local == kNoPid) {
+      return Err::kNotDir;
+    }
+    for (const auto& info : VisibleProcesses(kernel_, pid_ns_)) {
+      if (info.pid == local) {
+        out.push_back({"status", FileType::kRegular, 0});
+        out.push_back({"cmdline", FileType::kRegular, 0});
+        out.push_back({"ns", FileType::kRegular, 0});
+        return out;
+      }
+    }
+    return Err::kNoEnt;
+  }
+  return Err::kNotDir;
+}
+
+Status ProcFs::MkDir(const std::string&, Mode, const Credentials&) { return Err::kRoFs; }
+Status ProcFs::Unlink(const std::string&, const Credentials&) { return Err::kRoFs; }
+Status ProcFs::RmDir(const std::string&, const Credentials&) { return Err::kRoFs; }
+Status ProcFs::Rename(const std::string&, const std::string&, const Credentials&) {
+  return Err::kRoFs;
+}
+Status ProcFs::Chmod(const std::string&, Mode, const Credentials&) { return Err::kRoFs; }
+Status ProcFs::Chown(const std::string&, Uid, Gid, const Credentials&) { return Err::kRoFs; }
+Status ProcFs::MkNod(const std::string&, FileType, DeviceId, Mode, const Credentials&) {
+  return Err::kRoFs;
+}
+Status ProcFs::SymLink(const std::string&, const std::string&, const Credentials&) {
+  return Err::kRoFs;
+}
+Result<std::string> ProcFs::ReadLink(const std::string&, const Credentials&) {
+  return Err::kInval;
+}
+
+Result<FsStats> ProcFs::StatFs() const { return FsStats{}; }
+
+}  // namespace witos

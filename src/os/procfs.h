@@ -1,0 +1,62 @@
+// ProcFs: a /proc filesystem reflecting one PID namespace.
+//
+// Each mount of procfs is bound to the PID namespace of the mounting
+// process, exactly as on Linux — this is why a container with its own PID
+// namespace sees only its own processes in /proc even when it shares the
+// host's filesystem.
+
+#ifndef SRC_OS_PROCFS_H_
+#define SRC_OS_PROCFS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/os/filesystem.h"
+#include "src/os/namespaces.h"
+
+namespace witos {
+
+class Kernel;
+
+class ProcFs : public Filesystem {
+ public:
+  ProcFs(Kernel* kernel, NsId pid_ns) : kernel_(kernel), pid_ns_(pid_ns) {}
+
+  std::string FsType() const override { return "proc"; }
+  bool Cacheable() const override { return false; }  // always-fresh pseudo-fs
+
+  Result<Stat> Open(const std::string& path, uint32_t flags, Mode mode,
+                    const Credentials& cred) override;
+  Result<size_t> ReadAt(const std::string& path, uint64_t offset, size_t size, std::string* out,
+                        const Credentials& cred) override;
+  Result<size_t> WriteAt(const std::string& path, uint64_t offset, const std::string& data,
+                         const Credentials& cred) override;
+  Status Truncate(const std::string& path, uint64_t size, const Credentials& cred) override;
+  Result<Stat> GetAttr(const std::string& path, const Credentials& cred) override;
+  Result<std::vector<DirEntry>> ReadDir(const std::string& path,
+                                        const Credentials& cred) override;
+  Status MkDir(const std::string& path, Mode mode, const Credentials& cred) override;
+  Status Unlink(const std::string& path, const Credentials& cred) override;
+  Status RmDir(const std::string& path, const Credentials& cred) override;
+  Status Rename(const std::string& from, const std::string& to,
+                const Credentials& cred) override;
+  Status Chmod(const std::string& path, Mode mode, const Credentials& cred) override;
+  Status Chown(const std::string& path, Uid uid, Gid gid, const Credentials& cred) override;
+  Status MkNod(const std::string& path, FileType type, DeviceId rdev, Mode mode,
+               const Credentials& cred) override;
+  Status SymLink(const std::string& target, const std::string& linkpath,
+                 const Credentials& cred) override;
+  Result<std::string> ReadLink(const std::string& path, const Credentials& cred) override;
+  Result<FsStats> StatFs() const override;
+
+ private:
+  // Renders the content of a proc file, or ENOENT.
+  Result<std::string> Render(const std::string& path) const;
+
+  Kernel* kernel_;
+  NsId pid_ns_;
+};
+
+}  // namespace witos
+
+#endif  // SRC_OS_PROCFS_H_

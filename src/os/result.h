@@ -1,0 +1,87 @@
+// Result<T>: value-or-error return type used by every fallible operation in
+// the simulator. Expected failures (ENOENT, EACCES, ...) are data, not
+// exceptions, matching how a kernel reports errors to callers.
+
+#ifndef SRC_OS_RESULT_H_
+#define SRC_OS_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "src/os/types.h"
+
+namespace witos {
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  // Implicit construction from a value or from an error code keeps call
+  // sites terse: `return Err::kNoEnt;` / `return stat;`.
+  Result(T value) : value_(std::move(value)), err_(Err::kOk) {}  // NOLINT
+  Result(Err err) : err_(err) { assert(err != Err::kOk); }       // NOLINT
+
+  bool ok() const { return err_ == Err::kOk; }
+  Err error() const { return err_; }
+
+  T& value() {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const {
+    assert(ok());
+    return *value_;
+  }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  T value_or(T fallback) const { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  std::optional<T> value_;
+  Err err_;
+};
+
+// Specialization-free void variant.
+class [[nodiscard]] Status {
+ public:
+  Status() : err_(Err::kOk) {}
+  Status(Err err) : err_(err) {}  // NOLINT
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return err_ == Err::kOk; }
+  Err error() const { return err_; }
+
+ private:
+  Err err_;
+};
+
+// Propagate an error from an expression yielding Result<T>/Status.
+#define WITOS_RETURN_IF_ERROR(expr)         \
+  do {                                      \
+    auto _witos_status = (expr);            \
+    if (!_witos_status.ok()) {              \
+      return _witos_status.error();         \
+    }                                       \
+  } while (0)
+
+#define WITOS_CONCAT_INNER(a, b) a##b
+#define WITOS_CONCAT(a, b) WITOS_CONCAT_INNER(a, b)
+
+#define WITOS_ASSIGN_OR_RETURN_IMPL(var, lhs, expr) \
+  auto var = (expr);                                \
+  if (!var.ok()) {                                  \
+    return var.error();                             \
+  }                                                 \
+  lhs = std::move(*var)
+
+// Evaluate expr (Result<T>), propagate error, else bind the value.
+#define WITOS_ASSIGN_OR_RETURN(lhs, expr) \
+  WITOS_ASSIGN_OR_RETURN_IMPL(WITOS_CONCAT(_witos_res_, __LINE__), lhs, expr)
+
+}  // namespace witos
+
+#endif  // SRC_OS_RESULT_H_

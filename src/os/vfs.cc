@@ -1,0 +1,202 @@
+#include "src/os/vfs.h"
+
+#include <deque>
+
+#include "src/os/path.h"
+
+namespace witos {
+
+namespace {
+constexpr int kMaxSymlinkDepth = 40;
+}  // namespace
+
+Status Vfs::AddMount(NsId mnt_ns, MountEntry entry) {
+  entry.mountpoint = NormalizePath(entry.mountpoint);
+  entry.fs_root = NormalizePath(entry.fs_root);
+  auto& table = registry_->Mnt(mnt_ns).table;
+  for (const auto& existing : table) {
+    if (existing.mountpoint == entry.mountpoint) {
+      return Err::kBusy;
+    }
+  }
+  table.push_back(std::move(entry));
+  return Status::Ok();
+}
+
+Status Vfs::RemoveMount(NsId mnt_ns, const std::string& mountpoint) {
+  std::string norm = NormalizePath(mountpoint);
+  auto& table = registry_->Mnt(mnt_ns).table;
+  // Refuse to unmount a mount that has submounts.
+  for (const auto& entry : table) {
+    if (entry.mountpoint != norm && PathIsUnder(entry.mountpoint, norm)) {
+      return Err::kBusy;
+    }
+  }
+  for (auto it = table.begin(); it != table.end(); ++it) {
+    if (it->mountpoint == norm) {
+      table.erase(it);
+      return Status::Ok();
+    }
+  }
+  return Err::kInval;
+}
+
+size_t Vfs::RemoveMountsUnder(NsId mnt_ns, const std::string& prefix) {
+  std::string norm = NormalizePath(prefix);
+  auto& table = registry_->Mnt(mnt_ns).table;
+  size_t before = table.size();
+  std::erase_if(table,
+                [&norm](const MountEntry& entry) { return PathIsUnder(entry.mountpoint, norm); });
+  return before - table.size();
+}
+
+Result<MountEntry> Vfs::FindMount(NsId mnt_ns, const std::string& vfs_path) const {
+  const auto& table = registry_->Mnt(mnt_ns).table;
+  const MountEntry* best = nullptr;
+  size_t best_len = 0;
+  for (const auto& entry : table) {
+    if (PathIsUnder(vfs_path, entry.mountpoint)) {
+      size_t len = entry.mountpoint.size();
+      if (best == nullptr || len > best_len) {
+        best = &entry;
+        best_len = len;
+      }
+    }
+  }
+  if (best == nullptr) {
+    return Err::kNoEnt;
+  }
+  return *best;
+}
+
+Result<ResolvedPath> Vfs::Resolve(const VfsContext& ctx, std::string_view user_path,
+                                  bool follow_final, bool allow_missing_final) const {
+  if (user_path.size() > 4096) {
+    return Err::kNameTooLong;
+  }
+  // Work queue of path components, jail-space.
+  std::deque<std::string> todo;
+  auto push_all = [&todo](std::string_view p) {
+    auto parts = SplitPath(p);
+    for (auto it = parts.rbegin(); it != parts.rend(); ++it) {
+      todo.push_front(std::move(*it));
+    }
+  };
+  std::string cur = "/";
+  if (IsAbsolutePath(user_path)) {
+    push_all(user_path);
+  } else {
+    // push_all prepends, so push the relative path first and the cwd after:
+    // the cwd components must be consumed before the path's.
+    push_all(user_path);
+    push_all(ctx.cwd);
+  }
+
+  int symlink_depth = 0;
+  auto stat_at = [&](const std::string& jail_path) -> Result<Stat> {
+    std::string vfs_path = jail_path == "/" ? ctx.root : JoinPath(ctx.root, jail_path.substr(1));
+    auto mount = FindMount(ctx.mnt_ns, vfs_path);
+    if (!mount.ok()) {
+      return mount.error();
+    }
+    std::string fs_path = RebasePath(vfs_path, mount->mountpoint, mount->fs_root);
+    return mount->fs->GetAttr(fs_path, ctx.cred);
+  };
+
+  while (!todo.empty()) {
+    std::string comp = std::move(todo.front());
+    todo.pop_front();
+    if (comp == "..") {
+      // Clamp at the jail root, as chroot does.
+      if (cur != "/") {
+        cur = Dirname(cur);
+      }
+      continue;
+    }
+    std::string next = cur == "/" ? "/" + comp : cur + "/" + comp;
+    bool is_final = todo.empty();
+    // XCL enforcement happens *before* the lookup so that exclusion masks
+    // even the existence of the subtree ("cannot be accessed by processes
+    // that belong to that namespace, disregarding the user privileges").
+    {
+      std::string vfs_next = JoinPath(ctx.root, next.substr(1));
+      if (ctx.xcl_ns != kNoNs && registry_->Xcl(ctx.xcl_ns).IsExcluded(vfs_next)) {
+        if (audit_ != nullptr) {
+          audit_->Append(AuditEvent::kXclDenied, ctx.pid, ctx.cred.uid, vfs_next, 0);
+        }
+        return Err::kAcces;
+      }
+    }
+    auto st = stat_at(next);
+    if (!st.ok()) {
+      if (st.error() == Err::kNoEnt && is_final && allow_missing_final) {
+        // Parent must exist and be a directory.
+        auto parent_st = stat_at(cur);
+        if (!parent_st.ok()) {
+          return parent_st.error();
+        }
+        if (parent_st->type != FileType::kDirectory) {
+          return Err::kNotDir;
+        }
+        cur = next;
+        std::string vfs_path = JoinPath(ctx.root, cur.substr(1));
+        if (ctx.xcl_ns != kNoNs && registry_->Xcl(ctx.xcl_ns).IsExcluded(vfs_path)) {
+          if (audit_ != nullptr) {
+            audit_->Append(AuditEvent::kXclDenied, ctx.pid, ctx.cred.uid, vfs_path, 0);
+          }
+          return Err::kAcces;
+        }
+        WITOS_ASSIGN_OR_RETURN(MountEntry mount, FindMount(ctx.mnt_ns, vfs_path));
+        ResolvedPath out;
+        out.jail_path = cur;
+        out.vfs_path = vfs_path;
+        out.fs = mount.fs;
+        out.fs_path = RebasePath(vfs_path, mount.mountpoint, mount.fs_root);
+        out.read_only = mount.read_only;
+        out.exists = false;
+        return out;
+      }
+      return st.error();
+    }
+    if (st->type == FileType::kSymlink && (!is_final || follow_final)) {
+      if (++symlink_depth > kMaxSymlinkDepth) {
+        return Err::kLoop;
+      }
+      std::string vfs_path = JoinPath(ctx.root, next.substr(1));
+      WITOS_ASSIGN_OR_RETURN(MountEntry mount, FindMount(ctx.mnt_ns, vfs_path));
+      std::string fs_path = RebasePath(vfs_path, mount.mountpoint, mount.fs_root);
+      WITOS_ASSIGN_OR_RETURN(std::string target, mount.fs->ReadLink(fs_path, ctx.cred));
+      if (IsAbsolutePath(target)) {
+        // Absolute targets restart at the *jail* root — chroot semantics.
+        cur = "/";
+      }
+      push_all(target);
+      continue;
+    }
+    if (!is_final && st->type != FileType::kDirectory) {
+      return Err::kNotDir;
+    }
+    cur = next;
+  }
+
+  std::string vfs_path = cur == "/" ? ctx.root : JoinPath(ctx.root, cur.substr(1));
+  // XCL enforcement: the canonical vfs path must not fall in an excluded
+  // subtree, "disregarding the user privileges" (paper §5.6).
+  if (ctx.xcl_ns != kNoNs && registry_->Xcl(ctx.xcl_ns).IsExcluded(vfs_path)) {
+    if (audit_ != nullptr) {
+      audit_->Append(AuditEvent::kXclDenied, ctx.pid, ctx.cred.uid, vfs_path, 0);
+    }
+    return Err::kAcces;
+  }
+  WITOS_ASSIGN_OR_RETURN(MountEntry mount, FindMount(ctx.mnt_ns, vfs_path));
+  ResolvedPath out;
+  out.jail_path = cur;
+  out.vfs_path = vfs_path;
+  out.fs = mount.fs;
+  out.fs_path = RebasePath(vfs_path, mount.mountpoint, mount.fs_root);
+  out.read_only = mount.read_only;
+  out.exists = true;
+  return out;
+}
+
+}  // namespace witos

@@ -1,0 +1,243 @@
+#include "src/workload/fs_workloads.h"
+
+#include <random>
+
+namespace witload {
+
+namespace {
+
+// Generates `size` bytes of line-oriented text, planting `needle` on
+// roughly one line in fifty.
+std::string MakeTextContent(size_t size, const std::string& needle, std::mt19937* rng) {
+  static const char* kWords[] = {"config", "service", "daemon", "status", "info",
+                                 "warn",   "request", "update", "value",  "node"};
+  std::uniform_int_distribution<size_t> word_dist(0, 9);
+  std::uniform_int_distribution<int> needle_dist(0, 49);
+  std::string out;
+  out.reserve(size + 64);
+  while (out.size() < size) {
+    std::string line;
+    for (int i = 0; i < 8; ++i) {
+      line += kWords[word_dist(*rng)];
+      line += ' ';
+    }
+    if (needle_dist(*rng) == 0) {
+      line += needle;
+    }
+    line += '\n';
+    out += line;
+  }
+  out.resize(size);
+  return out;
+}
+
+size_t CountMatches(const std::string& content, const std::string& pattern) {
+  size_t matches = 0;
+  size_t pos = 0;
+  while ((pos = content.find(pattern, pos)) != std::string::npos) {
+    ++matches;
+    pos += pattern.size();
+  }
+  return matches;
+}
+
+}  // namespace
+
+uint64_t PopulateTree(witos::Kernel* kernel, witos::Pid pid, const std::string& dir,
+                      size_t num_files, size_t file_size, size_t subdirs,
+                      const std::string& needle, uint32_t seed) {
+  std::mt19937 rng(seed);
+  (void)kernel->MkDir(pid, dir);
+  uint64_t bytes = 0;
+  for (size_t s = 0; s < subdirs; ++s) {
+    (void)kernel->MkDir(pid, dir + "/d" + std::to_string(s));
+  }
+  for (size_t i = 0; i < num_files; ++i) {
+    std::string path = dir + "/d" + std::to_string(i % subdirs) + "/f" + std::to_string(i) +
+                       ".log";
+    std::string content = MakeTextContent(file_size, needle, &rng);
+    bytes += content.size();
+    (void)kernel->WriteFile(pid, path, content);
+  }
+  return bytes;
+}
+
+WorkloadStats RunGrep(witos::Kernel* kernel, witos::Pid pid, const std::string& dir,
+                      const std::string& pattern) {
+  WorkloadStats stats;
+  uint64_t start = kernel->clock().now_ns();
+
+  // Iterative DFS over the directory tree.
+  std::vector<std::string> todo = {dir};
+  while (!todo.empty()) {
+    std::string cur = todo.back();
+    todo.pop_back();
+    auto entries = kernel->ReadDir(pid, cur);
+    ++stats.ops;
+    if (!entries.ok()) {
+      ++stats.failures;
+      continue;
+    }
+    for (const auto& entry : *entries) {
+      std::string path = cur + "/" + entry.name;
+      if (entry.type == witos::FileType::kDirectory) {
+        todo.push_back(path);
+        continue;
+      }
+      auto content = kernel->ReadFile(pid, path);
+      ++stats.ops;
+      if (!content.ok()) {
+        ++stats.failures;
+        continue;
+      }
+      stats.bytes += content->size();
+      stats.matches += CountMatches(*content, pattern);
+    }
+  }
+  stats.sim_ns = kernel->clock().now_ns() - start;
+  return stats;
+}
+
+WorkloadStats RunPostmark(witos::Kernel* kernel, witos::Pid pid, const std::string& dir,
+                          const PostmarkConfig& config) {
+  WorkloadStats stats;
+  std::mt19937 rng(config.seed);
+  std::uniform_int_distribution<size_t> size_dist(config.min_size, config.max_size);
+  std::uniform_int_distribution<int> action_dist(0, 3);
+
+  (void)kernel->MkDir(pid, dir);
+  uint64_t start = kernel->clock().now_ns();
+
+  std::vector<std::string> pool;
+  pool.reserve(config.initial_files);
+  uint64_t file_counter = 0;
+  auto create_file = [&]() {
+    std::string path = dir + "/pm" + std::to_string(file_counter++);
+    std::string content = MakeTextContent(size_dist(rng), "needle", &rng);
+    stats.bytes += content.size();
+    ++stats.ops;
+    if (kernel->WriteFile(pid, path, content).ok()) {
+      pool.push_back(path);
+    } else {
+      ++stats.failures;
+    }
+  };
+  for (size_t i = 0; i < config.initial_files; ++i) {
+    create_file();
+  }
+  for (size_t t = 0; t < config.transactions; ++t) {
+    int action = action_dist(rng);
+    if (pool.empty()) {
+      create_file();
+      continue;
+    }
+    std::uniform_int_distribution<size_t> pick(0, pool.size() - 1);
+    size_t idx = pick(rng);
+    switch (action) {
+      case 0: {  // read
+        auto content = kernel->ReadFile(pid, pool[idx]);
+        ++stats.ops;
+        if (content.ok()) {
+          stats.bytes += content->size();
+        } else {
+          ++stats.failures;
+        }
+        break;
+      }
+      case 1: {  // append
+        std::string chunk = MakeTextContent(1024, "needle", &rng);
+        ++stats.ops;
+        if (kernel->WriteFile(pid, pool[idx], chunk, /*append=*/true).ok()) {
+          stats.bytes += chunk.size();
+        } else {
+          ++stats.failures;
+        }
+        break;
+      }
+      case 2: {  // delete
+        ++stats.ops;
+        if (kernel->Unlink(pid, pool[idx]).ok()) {
+          pool[idx] = pool.back();
+          pool.pop_back();
+        } else {
+          ++stats.failures;
+        }
+        break;
+      }
+      default:
+        create_file();
+        break;
+    }
+  }
+  stats.sim_ns = kernel->clock().now_ns() - start;
+  return stats;
+}
+
+WorkloadStats RunSysbench(witos::Kernel* kernel, witos::Pid pid, const std::string& dir,
+                          const SysbenchConfig& config) {
+  WorkloadStats stats;
+  std::mt19937 rng(config.seed);
+
+  (void)kernel->MkDir(pid, dir);
+  // Prepare phase: lay out the large files (not timed, as in sysbench
+  // prepare vs run).
+  std::vector<std::string> files;
+  for (size_t i = 0; i < config.num_files; ++i) {
+    std::string path = dir + "/sb" + std::to_string(i) + ".dat";
+    std::string chunk(1 << 20, 'x');
+    for (size_t written = 0; written < config.file_size; written += chunk.size()) {
+      (void)kernel->WriteFile(pid, path, chunk, /*append=*/true);
+    }
+    files.push_back(path);
+  }
+
+  // Like real sysbench fileio, files are opened once and kept open for the
+  // whole run; the transaction loop is pure pread/pwrite.
+  std::vector<witos::Fd> fds;
+  for (const auto& path : files) {
+    auto fd = kernel->Open(pid, path, witos::kOpenRead | witos::kOpenWrite);
+    if (fd.ok()) {
+      fds.push_back(*fd);
+    }
+  }
+  if (fds.empty()) {
+    stats.failures = config.io_ops;
+    return stats;
+  }
+
+  uint64_t start = kernel->clock().now_ns();
+  std::uniform_int_distribution<size_t> file_pick(0, fds.size() - 1);
+  std::uniform_int_distribution<uint64_t> offset_dist(
+      0, config.file_size > config.block_size ? config.file_size - config.block_size : 0);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  std::string block(config.block_size, 'y');
+
+  for (size_t i = 0; i < config.io_ops; ++i) {
+    witos::Fd fd = fds[file_pick(rng)];
+    uint64_t offset = offset_dist(rng);
+    ++stats.ops;
+    (void)kernel->Lseek(pid, fd, offset);
+    if (coin(rng) < config.read_fraction) {
+      auto data = kernel->Read(pid, fd, config.block_size);
+      if (data.ok()) {
+        stats.bytes += data->size();
+      } else {
+        ++stats.failures;
+      }
+    } else {
+      auto written = kernel->Write(pid, fd, block);
+      if (written.ok()) {
+        stats.bytes += *written;
+      } else {
+        ++stats.failures;
+      }
+    }
+  }
+  stats.sim_ns = kernel->clock().now_ns() - start;
+  for (witos::Fd fd : fds) {
+    (void)kernel->Close(pid, fd);
+  }
+  return stats;
+}
+
+}  // namespace witload

@@ -1,0 +1,70 @@
+// Filesystem benchmark workloads for the Figure 9 reproduction:
+//   * grep   — recursive scan of a directory tree (typical admin task);
+//   * Postmark-like — many small files, create/read/append/delete
+//     transactions (Katcher 1997, configured 5KB-256KB as in the paper);
+//   * SysBench-like fileio — a few large files, random block reads/writes.
+//
+// All workloads run through the kernel syscall layer as a real process, so
+// every open/read/write pays the modelled syscall cost plus whatever the
+// mounted filesystem stack (ext4 vs FUSE+ITFS) charges. Results are read
+// off the simulated clock.
+
+#ifndef SRC_WORKLOAD_FS_WORKLOADS_H_
+#define SRC_WORKLOAD_FS_WORKLOADS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/os/kernel.h"
+
+namespace witload {
+
+struct WorkloadStats {
+  uint64_t sim_ns = 0;     // simulated time consumed
+  uint64_t ops = 0;        // logical operations performed
+  uint64_t bytes = 0;      // payload bytes moved
+  uint64_t matches = 0;    // grep: matching lines found
+  uint64_t failures = 0;   // operations that returned an error
+};
+
+// Populates `dir` (created if needed) with `num_files` files of
+// `file_size` bytes each, split into `subdirs` subdirectories. Content is
+// text with `needle` planted on ~1/50 lines. Returns bytes written.
+// Executes as `pid` through the kernel.
+uint64_t PopulateTree(witos::Kernel* kernel, witos::Pid pid, const std::string& dir,
+                      size_t num_files, size_t file_size, size_t subdirs,
+                      const std::string& needle, uint32_t seed);
+
+// grep -r `pattern` `dir`: recursive readdir + full read + line scan.
+WorkloadStats RunGrep(witos::Kernel* kernel, witos::Pid pid, const std::string& dir,
+                      const std::string& pattern);
+
+struct PostmarkConfig {
+  size_t initial_files = 200;
+  size_t transactions = 1000;
+  size_t min_size = 5 * 1024;
+  size_t max_size = 256 * 1024;
+  uint32_t seed = 99;
+};
+
+// The Postmark transaction loop: random create/delete/read/append over a
+// pool of small files.
+WorkloadStats RunPostmark(witos::Kernel* kernel, witos::Pid pid, const std::string& dir,
+                          const PostmarkConfig& config);
+
+struct SysbenchConfig {
+  size_t num_files = 4;
+  size_t file_size = 8 * 1024 * 1024;
+  size_t io_ops = 2000;
+  size_t block_size = 16 * 1024;
+  double read_fraction = 0.7;
+  uint32_t seed = 7;
+};
+
+// SysBench fileio rndrw: random block reads/writes over a few large files.
+WorkloadStats RunSysbench(witos::Kernel* kernel, witos::Pid pid, const std::string& dir,
+                          const SysbenchConfig& config);
+
+}  // namespace witload
+
+#endif  // SRC_WORKLOAD_FS_WORKLOADS_H_

@@ -1,0 +1,31 @@
+#include "src/workload/ops.h"
+
+namespace witload {
+
+std::string OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kReadFile:
+      return "read_file";
+    case OpKind::kWriteFile:
+      return "write_file";
+    case OpKind::kListDir:
+      return "list_dir";
+    case OpKind::kConnect:
+      return "connect";
+    case OpKind::kListProcesses:
+      return "list_processes";
+    case OpKind::kKillProcess:
+      return "kill_process";
+    case OpKind::kRestartService:
+      return "restart_service";
+    case OpKind::kReboot:
+      return "reboot";
+    case OpKind::kInstallPackage:
+      return "install_package";
+    case OpKind::kDriverUpdate:
+      return "driver_update";
+  }
+  return "?";
+}
+
+}  // namespace witload

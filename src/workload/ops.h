@@ -1,0 +1,53 @@
+// RequiredOp: the unit of "what an admin actually did" when handling a
+// ticket or running a maintenance script. The case-study harness replays
+// these inside the deployed perforated container and falls back to the
+// permission broker when the container view is too narrow — exactly how the
+// paper audited its 398 evaluation tickets (§7.1.3).
+
+#ifndef SRC_WORKLOAD_OPS_H_
+#define SRC_WORKLOAD_OPS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace witload {
+
+enum class OpKind : uint8_t {
+  kReadFile,
+  kWriteFile,
+  kListDir,
+  kConnect,         // reach endpoint_addr:port
+  kListProcesses,   // host process view
+  kKillProcess,     // kill a host process
+  kRestartService,
+  kReboot,
+  kInstallPackage,  // from the software repository
+  kDriverUpdate,    // TCB change; always needs the broker + policy signature
+};
+
+std::string OpKindName(OpKind kind);
+
+// Which Table 4 broker column an out-of-view op lands in.
+enum class BrokerCategory : uint8_t {
+  kNone,
+  kProcessManagement,
+  kFilesystem,
+  kNetwork,
+};
+
+struct RequiredOp {
+  OpKind kind = OpKind::kReadFile;
+  std::string path;           // filesystem ops
+  std::string service;        // restart/install/kill label
+  std::string endpoint_name;  // connect ops: symbolic endpoint
+  uint16_t port = 0;
+  // True when the generator deliberately planted an op outside the class
+  // container's view (drives Table 4's broker columns).
+  bool beyond_view = false;
+  BrokerCategory broker_category = BrokerCategory::kNone;
+};
+
+}  // namespace witload
+
+#endif  // SRC_WORKLOAD_OPS_H_

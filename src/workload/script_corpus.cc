@@ -1,0 +1,130 @@
+#include "src/workload/script_corpus.h"
+
+#include "src/workload/topology.h"
+
+namespace witload {
+
+namespace {
+
+RequiredOp Read(std::string path) {
+  RequiredOp op;
+  op.kind = OpKind::kReadFile;
+  op.path = std::move(path);
+  return op;
+}
+
+RequiredOp Write(std::string path) {
+  RequiredOp op;
+  op.kind = OpKind::kWriteFile;
+  op.path = std::move(path);
+  return op;
+}
+
+RequiredOp Restart(std::string service) {
+  RequiredOp op;
+  op.kind = OpKind::kRestartService;
+  op.service = std::move(service);
+  return op;
+}
+
+RequiredOp ListProcs() {
+  RequiredOp op;
+  op.kind = OpKind::kListProcesses;
+  return op;
+}
+
+RequiredOp RebootOp() {
+  RequiredOp op;
+  op.kind = OpKind::kReboot;
+  return op;
+}
+
+RequiredOp Connect(const OrgEndpoint& ep) {
+  RequiredOp op;
+  op.kind = OpKind::kConnect;
+  op.endpoint_name = ep.name;
+  op.port = ep.port;
+  return op;
+}
+
+// What a tampered script would try: read documents and exfiltrate.
+std::vector<RequiredOp> ExfiltrationAttempt() {
+  RequiredOp steal = Read("/home/user/documents/payroll.xlsx");
+  RequiredOp exfil = Connect(kEvilHost);
+  return {steal, exfil};
+}
+
+ItScript Script(std::string name, ScriptFamily family, std::string cls,
+                std::vector<RequiredOp> ops) {
+  ItScript script;
+  script.name = std::move(name);
+  script.family = family;
+  script.container_class = std::move(cls);
+  script.ops = std::move(ops);
+  script.tampered_ops = ExfiltrationAttempt();
+  return script;
+}
+
+}  // namespace
+
+std::vector<ItScript> ChefPuppetScripts() {
+  const ScriptFamily cp = ScriptFamily::kChefPuppet;
+  return {
+      // S-1 (60%): configuration verification — specific config files only.
+      Script("verify-ntp-conf", cp, "S-1", {Read("/etc/ntp.conf"), Write("/etc/ntp.conf")}),
+      Script("verify-resolv", cp, "S-1", {Read("/etc/resolv.conf")}),
+      Script("verify-sudoers", cp, "S-1", {Read("/etc/sudoers")}),
+      Script("sync-motd", cp, "S-1", {Write("/etc/motd")}),
+      Script("verify-hosts", cp, "S-1", {Read("/etc/hosts"), Write("/etc/hosts")}),
+      Script("audit-passwd-perms", cp, "S-1", {Read("/etc/passwd"), Read("/etc/shadow")}),
+      Script("verify-fstab", cp, "S-1", {Read("/etc/fstab")}),
+      Script("sync-ldap-conf", cp, "S-1", {Write("/etc/ldap.conf")}),
+      Script("verify-sshd-config", cp, "S-1", {Read("/etc/ssh/sshd_config")}),
+      Script("rotate-login-defs", cp, "S-1", {Write("/etc/login.defs")}),
+      Script("verify-limits", cp, "S-1", {Read("/etc/security/limits.conf")}),
+      Script("verify-timezone", cp, "S-1", {Read("/etc/timezone"), Write("/etc/timezone")}),
+      // S-2 (20%): configuration + service restarts.
+      Script("ntp-resync", cp, "S-2",
+             {Write("/etc/ntp.conf"), Restart("ntpd"), ListProcs()}),
+      Script("sshd-refresh", cp, "S-2",
+             {Write("/etc/ssh/sshd_config"), Restart("sshd")}),
+      Script("cron-reload", cp, "S-2", {Write("/etc/crontab"), Restart("cron")}),
+      Script("syslog-rotate", cp, "S-2",
+             {Write("/etc/rsyslog.conf"), Restart("rsyslog"), ListProcs()}),
+      // S-3 (10%): process management only.
+      Script("kill-stale-agents", cp, "S-3", {ListProcs(), Restart("chef-client")}),
+      Script("service-watchdog", cp, "S-3", {ListProcs(), Restart("puppet-agent")}),
+      // S-4 (10%): iptables / routing — needs the host network namespace.
+      Script("iptables-verify", cp, "S-4",
+             {Read("/etc/iptables.rules"), Connect(kDirectoryServer)}),
+      Script("route-audit", cp, "S-4",
+             {Read("/etc/network/interfaces"), Connect(kTargetMachine)}),
+  };
+}
+
+std::vector<ItScript> ClusterManagementScripts() {
+  const ScriptFamily cm = ScriptFamily::kClusterMgmt;
+  return {
+      // S-5 (~80%): read logs + statistics tools, no network.
+      Script("spark-executor-stats", cm, "S-5",
+             {Read("/var/log/spark/executor.log"), Read("/usr/bin/mpstat")}),
+      Script("swift-ring-health", cm, "S-5", {Read("/var/log/swift/proxy.log")}),
+      Script("collect-gc-stats", cm, "S-5", {Read("/var/log/spark/gc.log")}),
+      Script("scan-oom-events", cm, "S-5", {Read("/var/log/syslog")}),
+      Script("io-latency-report", cm, "S-5",
+             {Read("/usr/bin/iostat"), Read("/var/log/sar.dat")}),
+      Script("executor-failure-scan", cm, "S-5", {Read("/var/log/spark/driver.log")}),
+      Script("swift-replicator-audit", cm, "S-5",
+             {Read("/var/log/swift/replicator.log")}),
+      Script("cpu-usage-rollup", cm, "S-5", {Read("/usr/bin/mpstat")}),
+      Script("disk-capacity-check", cm, "S-5", {Read("/var/log/df.log")}),
+      Script("job-queue-depth", cm, "S-5", {Read("/var/log/spark/scheduler.log")}),
+      Script("network-error-scan", cm, "S-5", {Read("/var/log/netstat.log")}),
+      // S-6 (~20%): service restarts and reboots.
+      Script("restart-spark-workers", cm, "S-6",
+             {ListProcs(), Restart("spark-worker"), RebootOp()}),
+      Script("swift-service-cycle", cm, "S-6", {ListProcs(), Restart("swift-object")}),
+  };
+}
+
+}  // namespace witload

@@ -1,0 +1,49 @@
+// The IT maintenance-script corpus of §7.2: twenty Chef/Puppet scripts
+// (time sync, permission & configuration verification, service restarts,
+// ...) and thirteen Apache Spark / IBM Swift cluster-management scripts
+// (statistics collection, log scanning, service restarts, reboots).
+//
+// Each script is a named list of RequiredOps plus the script container
+// class Figure 8 assigns it (S-1..S-4 for Chef/Puppet, S-5..S-6 for cluster
+// management). The script sandbox runner replays the ops inside the mapped
+// container and verifies that the maximal-isolation mapping suffices.
+
+#ifndef SRC_WORKLOAD_SCRIPT_CORPUS_H_
+#define SRC_WORKLOAD_SCRIPT_CORPUS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/workload/ops.h"
+
+namespace witload {
+
+enum class ScriptFamily : uint8_t {
+  kChefPuppet,
+  kClusterMgmt,
+};
+
+struct ItScript {
+  std::string name;
+  ScriptFamily family = ScriptFamily::kChefPuppet;
+  // Figure 8 container class: "S-1".."S-4" (Chef/Puppet), "S-5"/"S-6"
+  // (cluster management).
+  std::string container_class;
+  std::vector<RequiredOp> ops;
+  // A tampered variant would additionally attempt these (exfiltration /
+  // malware); a correctly sandboxed run must see them all fail.
+  std::vector<RequiredOp> tampered_ops;
+};
+
+// The 20 Chef/Puppet scripts: 12 config-file-only (S-1, 60%), 4 config +
+// process management (S-2, 20%), 2 process-management-only (S-3, 10%),
+// 2 needing the network namespace for iptables work (S-4, 10%).
+std::vector<ItScript> ChefPuppetScripts();
+
+// The 13 cluster-management scripts: 10-11 reading logs + statistics tools
+// (S-5, ~80%), the rest restarting services / rebooting (S-6, ~20%).
+std::vector<ItScript> ClusterManagementScripts();
+
+}  // namespace witload
+
+#endif  // SRC_WORKLOAD_SCRIPT_CORPUS_H_

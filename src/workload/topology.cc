@@ -1,0 +1,21 @@
+#include "src/workload/topology.h"
+
+namespace witload {
+
+std::vector<OrgEndpoint> AllOrgEndpoints() {
+  return {kLicenseServer, kSoftwareRepo,  kSharedStorage, kBatchServer,
+          kCloudManager,  kDirectoryServer, kTargetMachine, kEclipseMirror,
+          kEvilHost};
+}
+
+const OrgEndpoint* EndpointByName(const std::string& name) {
+  static const std::vector<OrgEndpoint> kAll = AllOrgEndpoints();
+  for (const auto& ep : kAll) {
+    if (name == ep.name) {
+      return &ep;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace witload

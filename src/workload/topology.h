@@ -1,0 +1,61 @@
+// The canonical organizational topology shared by the ticket generator, the
+// Table 3 container specs and the cluster builder: one place naming the
+// license server, software repository, shared storage, batch server, VM
+// cloud manager and the whitelisted external websites.
+
+#ifndef SRC_WORKLOAD_TOPOLOGY_H_
+#define SRC_WORKLOAD_TOPOLOGY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/net/ip.h"
+
+namespace witload {
+
+struct OrgEndpoint {
+  const char* name;
+  witnet::Ipv4Addr addr;
+  uint16_t port;
+};
+
+// Well-known organizational services.
+inline constexpr uint16_t kLicensePort = 27000;  // FlexLM
+inline constexpr uint16_t kRepoPort = 80;
+inline constexpr uint16_t kStoragePort = 445;
+inline constexpr uint16_t kBatchPort = 1966;     // LSF
+inline constexpr uint16_t kCloudPort = 8774;     // EC2-style API
+inline constexpr uint16_t kSshPort = 22;
+inline constexpr uint16_t kWebPort = 443;
+
+inline const OrgEndpoint kLicenseServer{"license-server", witnet::Ipv4Addr(10, 0, 0, 10),
+                                        kLicensePort};
+inline const OrgEndpoint kSoftwareRepo{"software-repo", witnet::Ipv4Addr(10, 0, 0, 20),
+                                       kRepoPort};
+inline const OrgEndpoint kSharedStorage{"shared-storage", witnet::Ipv4Addr(10, 0, 0, 30),
+                                        kStoragePort};
+inline const OrgEndpoint kBatchServer{"batch-server", witnet::Ipv4Addr(10, 0, 0, 40),
+                                      kBatchPort};
+inline const OrgEndpoint kCloudManager{"vm-cloud", witnet::Ipv4Addr(10, 0, 0, 50), kCloudPort};
+inline const OrgEndpoint kDirectoryServer{"ldap", witnet::Ipv4Addr(10, 0, 0, 60), 389};
+
+// The ticket's target machine (the end-user's workstation).
+inline const OrgEndpoint kTargetMachine{"target-machine", witnet::Ipv4Addr(10, 0, 1, 100),
+                                        kSshPort};
+
+// Whitelisted software-download websites (T-6's controlled web access).
+inline const witnet::Cidr kWhitelistedWeb{witnet::Ipv4Addr(93, 184, 216, 0), 24};
+inline const OrgEndpoint kEclipseMirror{"eclipse-mirror", witnet::Ipv4Addr(93, 184, 216, 34),
+                                        kWebPort};
+// A non-whitelisted exfiltration target, for attack scenarios.
+inline const OrgEndpoint kEvilHost{"evil-host", witnet::Ipv4Addr(203, 0, 113, 66), kWebPort};
+
+// All organizational endpoints a fabric should be provisioned with.
+std::vector<OrgEndpoint> AllOrgEndpoints();
+
+// Symbolic name -> endpoint (returns nullptr when unknown).
+const OrgEndpoint* EndpointByName(const std::string& name);
+
+}  // namespace witload
+
+#endif  // SRC_WORKLOAD_TOPOLOGY_H_

@@ -1,0 +1,260 @@
+// Tests for the permission-broker stack: wire format, RPC framing, secure
+// log, policy manager, broker semantics and anomaly detection.
+
+#include <gtest/gtest.h>
+
+#include "src/broker/anomaly.h"
+#include "src/broker/broker.h"
+#include "src/broker/securelog.h"
+
+namespace witbroker {
+namespace {
+
+TEST(WireTest, RoundTripPrimitives) {
+  WireWriter writer;
+  writer.PutU32(0xdeadbeef);
+  writer.PutU64(0x1122334455667788ull);
+  writer.PutString("hello");
+  writer.PutStringList({"a", "", "ccc"});
+  writer.PutBool(true);
+  WireReader reader(writer.data());
+  EXPECT_EQ(*reader.GetU32(), 0xdeadbeefu);
+  EXPECT_EQ(*reader.GetU64(), 0x1122334455667788ull);
+  EXPECT_EQ(*reader.GetString(), "hello");
+  EXPECT_EQ(*reader.GetStringList(), (std::vector<std::string>{"a", "", "ccc"}));
+  EXPECT_TRUE(*reader.GetBool());
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(WireTest, TruncatedInputRejected) {
+  WireWriter writer;
+  writer.PutString("hello");
+  std::string data = writer.data();
+  data.resize(data.size() - 2);
+  WireReader reader(data);
+  EXPECT_FALSE(reader.GetString().ok());
+}
+
+TEST(RpcTest, RequestResponseRoundTrip) {
+  RpcRequest req;
+  req.method = "ps";
+  req.args = {"-a"};
+  req.uid = 0;
+  req.caller_pid = 42;
+  req.ticket_id = "TKT-1";
+  req.admin = "alice";
+  auto decoded = RpcRequest::Deserialize(req.Serialize());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->method, "ps");
+  EXPECT_EQ(decoded->args, req.args);
+  EXPECT_EQ(decoded->caller_pid, 42);
+  EXPECT_EQ(decoded->admin, "alice");
+
+  RpcResponse resp;
+  resp.ok = true;
+  resp.payload = "PID...";
+  auto decoded_resp = RpcResponse::Deserialize(resp.Serialize());
+  ASSERT_TRUE(decoded_resp.ok());
+  EXPECT_TRUE(decoded_resp->ok);
+  EXPECT_EQ(decoded_resp->payload, "PID...");
+}
+
+TEST(RpcTest, TrailingGarbageRejected) {
+  RpcRequest req;
+  req.method = "ps";
+  std::string frame = req.Serialize() + "junk";
+  EXPECT_FALSE(RpcRequest::Deserialize(frame).ok());
+}
+
+TEST(RpcTest, UnboundChannelRefusesConnections) {
+  RpcChannel channel;
+  RpcRequest req;
+  req.method = "ps";
+  EXPECT_EQ(channel.Call(req).error(), witos::Err::kConnRefused);
+}
+
+TEST(SecureLogTest, ChainVerifies) {
+  SecureLog log;
+  log.Append("entry one", 100);
+  log.Append("entry two", 200);
+  log.Append("entry three", 300);
+  EXPECT_TRUE(log.Verify());
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.entries()[1].prev_hash, log.entries()[0].hash);
+}
+
+TEST(SecureLogTest, TamperingDetected) {
+  SecureLog log;
+  log.Append("GRANT alice ps", 100);
+  log.Append("GRANT alice kill 7", 200);
+  EXPECT_TRUE(log.Verify());
+  log.TamperForTest(0, "GRANT alice nothing-to-see");
+  EXPECT_FALSE(log.Verify());
+}
+
+TEST(SecureLogTest, ReplicaDivergenceDetected) {
+  SecureLog log;
+  log.Append("a", 1);
+  size_t replica = log.AddReplica();
+  log.Append("b", 2);
+  EXPECT_TRUE(log.MatchesReplica(replica));
+  log.TamperForTest(1, "b-tampered");
+  EXPECT_FALSE(log.MatchesReplica(replica));
+}
+
+TEST(PolicyManagerTest, PerClassAndPerAdminRules) {
+  PolicyManager policy;
+  ClassPolicy p;
+  p.allowed_verbs = {"ps", "kill"};
+  p.denied_for_admin["mallory"] = {"kill"};
+  policy.SetPolicy("T-5", p);
+  EXPECT_TRUE(policy.IsAllowed("T-5", "ps", "alice"));
+  EXPECT_TRUE(policy.IsAllowed("T-5", "kill", "alice"));
+  EXPECT_FALSE(policy.IsAllowed("T-5", "reboot", "alice"));
+  EXPECT_FALSE(policy.IsAllowed("T-5", "kill", "mallory"));
+  // Unknown class falls back to the (deny-all) default.
+  EXPECT_FALSE(policy.IsAllowed("T-99", "ps", "alice"));
+}
+
+class BrokerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    broker_pid_ = *kernel_.Clone(1, "PermissionBroker", 0);
+    ClassPolicy standard;
+    standard.allowed_verbs = {kVerbPs, kVerbKill, kVerbReadFile, kVerbInstall,
+                              kVerbRestartService};
+    policy_.SetPolicy("T-1", standard);
+    broker_ = std::make_unique<PermissionBroker>(&kernel_, broker_pid_, &policy_, &channel_);
+    broker_->BindTicket("TKT-1", "T-1");
+    client_ = std::make_unique<BrokerClient>(&channel_, "TKT-1", "alice");
+  }
+
+  witos::Kernel kernel_{"host"};
+  witos::Pid broker_pid_ = witos::kNoPid;
+  PolicyManager policy_;
+  RpcChannel channel_;
+  std::unique_ptr<PermissionBroker> broker_;
+  std::unique_ptr<BrokerClient> client_;
+};
+
+TEST_F(BrokerTest, PsShowsHostProcesses) {
+  auto out = client_->Request(kVerbPs, {}, witos::kRootUid);
+  ASSERT_TRUE(out.ok());
+  EXPECT_NE(out->find("init"), std::string::npos);
+  EXPECT_NE(out->find("PermissionBroker"), std::string::npos);
+}
+
+TEST_F(BrokerTest, UnprivilegedClientRejectedLocally) {
+  auto out = client_->Request(kVerbPs, {}, /*uid=*/1000);
+  EXPECT_EQ(out.error(), witos::Err::kPerm);
+  // The request never reached the broker.
+  EXPECT_TRUE(broker_->events().empty());
+}
+
+TEST_F(BrokerTest, DisallowedVerbDeniedAndLogged) {
+  auto out = client_->Request(kVerbReboot, {}, witos::kRootUid);
+  EXPECT_FALSE(out.ok());
+  ASSERT_EQ(broker_->events().size(), 1u);
+  EXPECT_FALSE(broker_->events()[0].granted);
+  EXPECT_EQ(broker_->log().size(), 1u);
+  EXPECT_EQ(broker_->log().entries()[0].payload.substr(0, 4), "DENY");
+  EXPECT_EQ(kernel_.audit().CountEvent(witos::AuditEvent::kBrokerDenied), 1u);
+}
+
+TEST_F(BrokerTest, GrantedRequestsAreChainLogged) {
+  ASSERT_TRUE(client_->Request(kVerbPs, {}, witos::kRootUid).ok());
+  ASSERT_TRUE(client_->Request(kVerbRestartService, {"sshd"}, witos::kRootUid).ok());
+  EXPECT_EQ(broker_->log().size(), 2u);
+  EXPECT_TRUE(broker_->log().Verify());
+  EXPECT_EQ(kernel_.audit().CountEvent(witos::AuditEvent::kBrokerRequest), 2u);
+}
+
+TEST_F(BrokerTest, KillExecutesOnBehalf) {
+  witos::Pid victim = *kernel_.Clone(1, "runaway", 0);
+  auto out = client_->Request(kVerbKill, {std::to_string(victim)}, witos::kRootUid);
+  ASSERT_TRUE(out.ok());
+  EXPECT_FALSE(kernel_.ProcessAlive(victim));
+}
+
+TEST_F(BrokerTest, ReadFileExecutesWithHostView) {
+  ASSERT_TRUE(kernel_.WriteFile(1, "/etc/motd", "host motd").ok());
+  auto out = client_->Request(kVerbReadFile, {"/etc/motd"}, witos::kRootUid);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, "host motd");
+}
+
+TEST_F(BrokerTest, InstallWritesPackage) {
+  ASSERT_TRUE(kernel_.MkDir(1, "/usr/progs").ok());
+  auto out = client_->Request(kVerbInstall, {"toolbox"}, witos::kRootUid);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(kernel_.ReadFile(1, "/usr/progs/toolbox").ok());
+}
+
+TEST_F(BrokerTest, UnknownVerbIsNoSys) {
+  ClassPolicy open;
+  open.allow_all = true;
+  policy_.SetPolicy("T-1", open);
+  auto out = client_->Request("frobnicate", {}, witos::kRootUid);
+  EXPECT_FALSE(out.ok());
+}
+
+TEST_F(BrokerTest, CustomVerbDispatch) {
+  ClassPolicy open;
+  open.allow_all = true;
+  policy_.SetPolicy("T-1", open);
+  broker_->RegisterVerb("custom", [](const RpcRequest& req) {
+    RpcResponse resp;
+    resp.ok = true;
+    resp.payload = "custom:" + req.args[0];
+    return resp;
+  });
+  auto out = client_->Request("custom", {"arg"}, witos::kRootUid);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, "custom:arg");
+}
+
+TEST(AnomalyTest, UnusualVerbFlagged) {
+  std::vector<BrokerEvent> history;
+  for (int i = 0; i < 200; ++i) {
+    history.push_back({static_cast<uint64_t>(i) * uint64_t{1000000000}, "alice", "T", "T-1",
+                       "ps", {}, true});
+  }
+  AnomalyDetector detector;
+  detector.Fit(history);
+  BrokerEvent usual{500, "alice", "T", "T-1", "ps", {}, true};
+  BrokerEvent weird{501, "alice", "T", "T-8", "read_file", {"/etc/shadow"}, true};
+  EXPECT_LT(detector.Surprise(usual), detector.Surprise(weird));
+  auto scores = detector.Analyze({usual, weird});
+  EXPECT_FALSE(scores[0].flagged);
+  EXPECT_TRUE(scores[1].flagged);
+}
+
+TEST(AnomalyTest, RateBurstFlagged) {
+  std::vector<BrokerEvent> history;
+  AnomalyDetector::Options options;
+  options.surprise_threshold = 100.0;  // disable the categorical detector
+  AnomalyDetector detector(options);
+  // One request per minute for an hour, then 50 in one minute.
+  std::vector<BrokerEvent> stream;
+  for (int i = 0; i < 60; ++i) {
+    stream.push_back({static_cast<uint64_t>(i) * uint64_t{60000000000}, "bob", "T", "T-1",
+                      "ps", {}, true});
+  }
+  for (int i = 0; i < 50; ++i) {
+    stream.push_back({uint64_t{61} * uint64_t{60000000000} + static_cast<uint64_t>(i), "bob", "T", "T-1",
+                      "read_file", {}, true});
+  }
+  detector.Fit(stream);
+  auto scores = detector.Analyze(stream);
+  size_t flagged = 0;
+  for (size_t i = 0; i < 60; ++i) {
+    EXPECT_FALSE(scores[i].flagged);
+  }
+  for (size_t i = 60; i < scores.size(); ++i) {
+    flagged += scores[i].flagged ? 1u : 0u;
+  }
+  EXPECT_EQ(flagged, 50u);
+}
+
+}  // namespace
+}  // namespace witbroker

@@ -1,0 +1,75 @@
+// End-to-end case-study regression: a scaled-down §7.1 run must reproduce
+// the paper's qualitative claims.
+
+#include "src/core/case_study.h"
+
+#include <gtest/gtest.h>
+
+namespace watchit {
+namespace {
+
+class CaseStudyTest : public ::testing::Test {
+ protected:
+  static const CaseStudyResult& Result() {
+    static const CaseStudyResult kResult = [] {
+      CaseStudyConfig config;
+      config.train_tickets = 1200;
+      config.eval_tickets = 398;
+      config.lda.iterations = 200;
+      return RunCaseStudy(config);
+    }();
+    return kResult;
+  }
+};
+
+TEST_F(CaseStudyTest, OverallPrecisionMatchesPaperBand) {
+  // Paper: 95% overall classification precision.
+  EXPECT_GE(Result().total.precision, 88.0);
+}
+
+TEST_F(CaseStudyTest, ContainerSatisfactionMatchesPaperBand) {
+  // Paper: 92% of tickets satisfied without the broker.
+  EXPECT_GE(Result().total.satisfied, 85.0);
+  EXPECT_LE(Result().total.satisfied, 97.0);
+}
+
+TEST_F(CaseStudyTest, IsolationAggregatesMatchPaper) {
+  // Paper: full FS view denied 62%, network view isolated 98%.
+  EXPECT_NEAR(Result().full_fs_view_denied, 62.0, 8.0);
+  EXPECT_GE(Result().network_view_isolated, 95.0);
+  // Process view compartmentalized in a substantial minority (paper: 36%).
+  EXPECT_GE(Result().process_view_isolated, 25.0);
+  EXPECT_LE(Result().process_view_isolated, 55.0);
+  // Web access only for the software class (paper: 32%).
+  EXPECT_NEAR(Result().web_access_allowed, 30.0, 8.0);
+}
+
+TEST_F(CaseStudyTest, BrokerColumnsMatchPaperShape) {
+  // Paper totals: proc 1%, fs -, net 7%. Network dominates.
+  EXPECT_GT(Result().total.pb_net, Result().total.pb_proc);
+  EXPECT_LE(Result().total.pb_proc, 5.0);
+  EXPECT_NEAR(Result().total.pb_net, 7.0, 4.0);
+  // T-4, T-9, T-10 never used the broker in the paper.
+  for (const auto& row : Result().rows) {
+    if (row.cls == "T-4" || row.cls == "T-9" || row.cls == "T-10") {
+      EXPECT_EQ(row.pb_proc + row.pb_fs + row.pb_net, 0.0) << row.cls;
+      EXPECT_EQ(row.satisfied, 100.0) << row.cls;
+    }
+  }
+}
+
+TEST_F(CaseStudyTest, EverythingWasMonitoredAndLogged) {
+  EXPECT_GT(Result().fs_ops_logged, 0u);
+  EXPECT_GT(Result().broker_requests, 0u);
+  EXPECT_TRUE(Result().secure_log_intact);
+}
+
+TEST_F(CaseStudyTest, Table4Renders) {
+  std::string table = FormatTable4(Result());
+  EXPECT_NE(table.find("T-1"), std::string::npos);
+  EXPECT_NE(table.find("Total"), std::string::npos);
+  EXPECT_NE(table.find("network view isolated"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace watchit

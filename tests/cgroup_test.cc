@@ -1,0 +1,111 @@
+// Cgroup (pids controller) tests: resource confinement of perforated
+// containers — a rogue admin cannot fork-bomb the host from inside.
+
+#include "src/os/cgroup.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/cluster.h"
+#include "src/core/session.h"
+#include "src/core/ticket_class.h"
+
+namespace witos {
+namespace {
+
+TEST(CgroupRegistryTest, ChargeUnchargeLimits) {
+  CgroupRegistry registry;
+  CgroupId group = registry.Create("test", 2);
+  EXPECT_TRUE(registry.TryCharge(group));
+  EXPECT_TRUE(registry.TryCharge(group));
+  EXPECT_FALSE(registry.TryCharge(group));  // limit hit
+  EXPECT_EQ(registry.Find(group)->fork_failures, 1u);
+  registry.Uncharge(group);
+  EXPECT_TRUE(registry.TryCharge(group));
+  // The root cgroup is unlimited.
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(registry.TryCharge(kRootCgroup));
+  }
+}
+
+TEST(CgroupKernelTest, ChildrenInheritAndLimitApplies) {
+  Kernel kernel("host");
+  CgroupId group = kernel.cgroups().Create("jail", 3);
+  Pid leader = *kernel.Clone(1, "leader", 0);
+  ASSERT_TRUE(kernel.AssignCgroup(leader, group).ok());
+  // leader occupies 1 slot; two children fit, the third fork fails.
+  Pid a = *kernel.Clone(leader, "a", 0);
+  ASSERT_TRUE(kernel.Clone(leader, "b", 0).ok());
+  EXPECT_EQ(kernel.Clone(leader, "c", 0).error(), Err::kAgain);
+  // Children inherited the group.
+  EXPECT_EQ(kernel.FindProcess(a)->cgroup, group);
+  // Death frees a slot.
+  ASSERT_TRUE(kernel.Exit(a, 0).ok());
+  EXPECT_TRUE(kernel.Clone(leader, "c", 0).ok());
+  // Host forks are unaffected throughout.
+  EXPECT_TRUE(kernel.Clone(1, "host-proc", 0).ok());
+}
+
+TEST(CgroupKernelTest, AssignRequiresSysAdmin) {
+  Kernel kernel("host");
+  CgroupId group = kernel.cgroups().Create("jail", 3);
+  Pid child = *kernel.Clone(1, "child", 0);
+  ASSERT_TRUE(kernel.CapDrop(child, {Capability::kSysAdmin}).ok());
+  EXPECT_EQ(kernel.AssignCgroup(child, group).error(), Err::kPerm);
+}
+
+TEST(CgroupContainerTest, ForkBombContained) {
+  watchit::Cluster cluster;
+  watchit::Machine& machine = cluster.AddMachine("userpc", witnet::Ipv4Addr(10, 0, 1, 50));
+  // A tight session: room for init + shell + a few more.
+  witcontain::PerforatedContainerSpec spec = watchit::SpecForTicketClass(6);
+  spec.max_processes = 6;
+  cluster.images().Register("T-6S", spec);
+
+  watchit::ClusterManager manager(&cluster);
+  watchit::Ticket ticket;
+  ticket.id = "TKT-FORKBOMB";
+  ticket.target_machine = "userpc";
+  ticket.assigned_class = "T-6S";
+  ticket.admin = "mallory";
+  auto deployment = manager.Deploy(ticket);
+  ASSERT_TRUE(deployment.ok());
+  const witcontain::Session* session =
+      machine.containit().FindSession(deployment->session);
+  witos::Kernel& kernel = machine.kernel();
+
+  size_t before = kernel.process_count();
+  // :(){ :|:& };:  — the fork bomb, from the shell.
+  size_t spawned = 0;
+  for (int i = 0; i < 1000; ++i) {
+    auto pid = kernel.Clone(session->shell, "bomb", 0);
+    if (pid.ok()) {
+      ++spawned;
+    }
+  }
+  // Bounded by the session's pids budget, not by the host's capacity.
+  EXPECT_LE(spawned, 6u);
+  EXPECT_LE(kernel.process_count() - before, 6u);
+  EXPECT_GT(kernel.cgroups().Find(session->cgroup)->fork_failures, 900u);
+  // The host itself still forks fine.
+  EXPECT_TRUE(kernel.Clone(1, "business-as-usual", 0).ok());
+}
+
+TEST(CgroupContainerTest, TerminateReleasesGroup) {
+  watchit::Cluster cluster;
+  watchit::Machine& machine = cluster.AddMachine("userpc", witnet::Ipv4Addr(10, 0, 1, 50));
+  watchit::ClusterManager manager(&cluster);
+  watchit::Ticket ticket;
+  ticket.id = "TKT-CG";
+  ticket.target_machine = "userpc";
+  ticket.assigned_class = "T-1";
+  ticket.admin = "alice";
+  auto deployment = manager.Deploy(ticket);
+  ASSERT_TRUE(deployment.ok());
+  witos::CgroupId group = machine.containit().FindSession(deployment->session)->cgroup;
+  EXPECT_NE(machine.kernel().cgroups().Find(group), nullptr);
+  ASSERT_TRUE(manager.Expire(&*deployment).ok());
+  EXPECT_EQ(machine.kernel().cgroups().Find(group), nullptr);
+}
+
+}  // namespace
+}  // namespace witos

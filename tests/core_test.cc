@@ -1,0 +1,224 @@
+// Tests for certificates, TCB integrity, machines/cluster and the IT
+// framework.
+
+#include <gtest/gtest.h>
+
+#include "src/core/case_study.h"
+#include "src/core/cluster.h"
+#include "src/core/session.h"
+#include "src/core/ticket_class.h"
+#include "src/workload/ticket_gen.h"
+#include "src/workload/topology.h"
+
+namespace watchit {
+namespace {
+
+TEST(CertificateTest, IssueValidateLifecycle) {
+  CertificateAuthority ca;
+  Certificate cert = ca.Issue("alice", "userpc", "TKT-1", "T-1", 1000, 500);
+  EXPECT_EQ(ca.Validate(cert, 1200), CertStatus::kValid);
+  EXPECT_EQ(ca.Validate(cert, 1500), CertStatus::kExpired);
+  ca.Revoke(cert.serial);
+  EXPECT_EQ(ca.Validate(cert, 1200), CertStatus::kRevoked);
+}
+
+TEST(CertificateTest, TamperingIsForgery) {
+  CertificateAuthority ca;
+  Certificate cert = ca.Issue("alice", "userpc", "TKT-1", "T-1", 0, 1000);
+  Certificate forged = cert;
+  forged.admin = "mallory";
+  EXPECT_EQ(ca.Validate(forged, 10), CertStatus::kForged);
+  forged = cert;
+  forged.expires_ns = 1ull << 60;
+  EXPECT_EQ(ca.Validate(forged, 10), CertStatus::kForged);
+  Certificate unknown;
+  unknown.serial = 424242;
+  EXPECT_EQ(ca.Validate(unknown, 10), CertStatus::kUnknown);
+}
+
+TEST(CertificateTest, DifferentSecretsProduceDifferentSignatures) {
+  CertificateAuthority a(1), b(2);
+  Certificate cert_a = a.Issue("x", "m", "t", "c", 0, 1);
+  Certificate cert_b = b.Issue("x", "m", "t", "c", 0, 1);
+  EXPECT_NE(cert_a.signature, cert_b.signature);
+}
+
+TEST(TcbTest, EnrollAndValidate) {
+  witos::Kernel kernel("host");
+  kernel.root_fs().ProvisionFile("/usr/watchit/bin", "v1");
+  Tcb tcb(&kernel, {"/usr/watchit"});
+  tcb.Enroll();
+  EXPECT_TRUE(tcb.ValidateBoot());
+  // Out-of-band tampering (before the guard) breaks the measurement.
+  kernel.root_fs().ProvisionFile("/usr/watchit/bin", "evil");
+  EXPECT_FALSE(tcb.ValidateBoot());
+}
+
+TEST(TcbTest, GuardBlocksWritesAndModules) {
+  witos::Kernel kernel("host");
+  kernel.root_fs().ProvisionFile("/usr/watchit/bin", "v1");
+  kernel.root_fs().ProvisionDir("/lib/modules");
+  Tcb tcb(&kernel, {"/usr/watchit"});
+  tcb.Enroll();
+  tcb.InstallGuard();
+  EXPECT_EQ(kernel.WriteFile(1, "/usr/watchit/bin", "evil").error(), witos::Err::kPerm);
+  EXPECT_TRUE(tcb.ValidateBoot());
+  EXPECT_EQ(kernel.LoadModule(1, "rootkit").error(), witos::Err::kPerm);
+  tcb.AuthorizeModule("good-driver");
+  EXPECT_TRUE(kernel.LoadModule(1, "good-driver").ok());
+  // Unprotected paths unaffected.
+  EXPECT_TRUE(kernel.WriteFile(1, "/tmp/scratch", "fine").ok());
+}
+
+TEST(MachineTest, BootsTrustedAndProvisioned) {
+  witnet::Network fabric;
+  Machine machine("userpc", witnet::Ipv4Addr(10, 0, 1, 50), &fabric);
+  EXPECT_TRUE(machine.tcb_intact());
+  EXPECT_TRUE(machine.kernel().ProcessAlive(machine.broker_pid()));
+  EXPECT_TRUE(machine.kernel().ReadFile(1, "/etc/passwd").ok());
+  EXPECT_TRUE(machine.kernel().ReadFile(1, "/home/user/documents/payroll.xlsx").ok());
+}
+
+TEST(ClusterTest, ServicesRespondOnFabric) {
+  Cluster cluster;
+  Machine& machine = cluster.AddMachine("userpc", witnet::Ipv4Addr(10, 0, 1, 50));
+  // The host's own namespace has a default route: all services reachable.
+  witos::NsId host_ns = machine.NetNsOf(1);
+  auto resp = machine.net().Request(host_ns, witload::kLicenseServer.addr,
+                                    witload::kLicenseServer.port, "checkout", 0);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->substr(0, 6), "FLEXLM");
+}
+
+TEST(ClusterManagerTest, DeployBindsTicketIssuesCert) {
+  Cluster cluster;
+  cluster.AddMachine("userpc", witnet::Ipv4Addr(10, 0, 1, 50));
+  ClusterManager manager(&cluster);
+  Ticket ticket;
+  ticket.id = "TKT-9";
+  ticket.target_machine = "userpc";
+  ticket.assigned_class = "T-9";
+  ticket.admin = "alice";
+  auto deployment = manager.Deploy(ticket);
+  ASSERT_TRUE(deployment.ok());
+  EXPECT_EQ(deployment->certificate.ticket_class, "T-9");
+  EXPECT_EQ(cluster.ca().Validate(deployment->certificate,
+                                  deployment->machine->kernel().clock().now_ns()),
+            CertStatus::kValid);
+  ASSERT_TRUE(manager.Expire(&*deployment).ok());
+  EXPECT_EQ(cluster.ca().Validate(deployment->certificate, 0), CertStatus::kRevoked);
+  // Unknown machine / class fail cleanly.
+  ticket.target_machine = "ghost";
+  EXPECT_FALSE(manager.Deploy(ticket).ok());
+  ticket.target_machine = "userpc";
+  ticket.assigned_class = "T-99";
+  EXPECT_FALSE(manager.Deploy(ticket).ok());
+}
+
+TEST(FrameworkTest, ClassifiesSyntheticTickets) {
+  witload::TicketGenerator::Options options;
+  options.seed = 3;
+  witload::TicketGenerator gen(options);
+  auto history = gen.GenerateBatch(800, witload::TicketGenerator::HistoricalDistribution());
+  std::vector<std::pair<std::string, std::string>> labelled;
+  for (const auto& t : history) {
+    labelled.emplace_back(t.text, t.true_class);
+  }
+  ItFramework::Config config;
+  config.lda.iterations = 150;
+  ItFramework framework(config);
+  framework.TrainOnHistory(labelled);
+  ASSERT_TRUE(framework.trained());
+
+  // Held-out tickets: overall accuracy should be solidly above chance.
+  witload::TicketGenerator::Options eval_options;
+  eval_options.seed = 99;
+  eval_options.typo_rate = 0.03;
+  witload::TicketGenerator eval_gen(eval_options);
+  auto eval = eval_gen.GenerateBatch(200, witload::TicketGenerator::HistoricalDistribution());
+  size_t correct = 0;
+  for (const auto& t : eval) {
+    correct += framework.Classify(t.text) == t.true_class ? 1u : 0u;
+  }
+  EXPECT_GT(correct, 140u) << "accuracy " << correct << "/200";
+  // Review overrides the prediction.
+  EXPECT_EQ(framework.ClassifyWithReview(eval[0].text, "T-7"), "T-7");
+}
+
+TEST(SessionTest, CommandsRespectView) {
+  Cluster cluster;
+  Machine& machine = cluster.AddMachine("userpc", witnet::Ipv4Addr(10, 0, 1, 50));
+  ClusterManager manager(&cluster);
+  Ticket ticket;
+  ticket.id = "TKT-1";
+  ticket.target_machine = "userpc";
+  ticket.assigned_class = "T-1";
+  ticket.admin = "alice";
+  auto deployment = manager.Deploy(ticket);
+  ASSERT_TRUE(deployment.ok());
+  AdminSession session(&machine, deployment->session, deployment->certificate, &cluster.ca());
+  ASSERT_TRUE(session.Login().ok());
+
+  EXPECT_EQ(*session.Hostname(), "ITContainer");
+  EXPECT_TRUE(session.ReadFile("/home/user/.matlab/license.lic").ok());
+  EXPECT_FALSE(session.ReadFile("/etc/shadow").ok());
+  EXPECT_TRUE(session.Connect("license-server", 0).ok());
+  EXPECT_FALSE(session.Connect("shared-storage", 0).ok());
+  EXPECT_FALSE(session.RestartService("sshd").ok());  // no process mgmt in T-1
+  EXPECT_FALSE(session.Reboot().ok());
+  auto ps = session.Ps();
+  ASSERT_TRUE(ps.ok());
+  EXPECT_EQ(ps->size(), 2u);
+  // The PB prefix works, mirroring Figure 6.
+  auto pb_ps = session.Pb(witbroker::kVerbPs, {});
+  ASSERT_TRUE(pb_ps.ok());
+  EXPECT_NE(pb_ps->find("PermissionBroker"), std::string::npos);
+}
+
+TEST(SessionTest, ReplayFallsBackToBroker) {
+  Cluster cluster;
+  Machine& machine = cluster.AddMachine("userpc", witnet::Ipv4Addr(10, 0, 1, 50));
+  ClusterManager manager(&cluster);
+  Ticket ticket;
+  ticket.id = "TKT-2";
+  ticket.target_machine = "userpc";
+  ticket.assigned_class = "T-1";
+  ticket.admin = "alice";
+  auto deployment = manager.Deploy(ticket);
+  ASSERT_TRUE(deployment.ok());
+  AdminSession session(&machine, deployment->session, deployment->certificate, &cluster.ca());
+  ASSERT_TRUE(session.Login().ok());
+
+  // In-view op: home-directory write.
+  witload::RequiredOp write_op;
+  write_op.kind = witload::OpKind::kWriteFile;
+  write_op.path = "/home/user/.matlab/license.lic";
+  auto r1 = session.Replay(write_op);
+  EXPECT_TRUE(r1.in_view);
+  EXPECT_FALSE(r1.used_broker);
+
+  // Out-of-view op: host process listing (T-1 has an isolated PID ns).
+  witload::RequiredOp ps_op;
+  ps_op.kind = witload::OpKind::kListProcesses;
+  auto r2 = session.Replay(ps_op);
+  EXPECT_FALSE(r2.in_view);
+  EXPECT_TRUE(r2.used_broker);
+  EXPECT_TRUE(r2.broker_ok);
+  EXPECT_EQ(r2.category, witload::BrokerCategory::kProcessManagement);
+
+  // Out-of-view network op: the broker widens the view, then it works.
+  witload::RequiredOp net_op;
+  net_op.kind = witload::OpKind::kConnect;
+  net_op.endpoint_name = "software-repo";
+  net_op.port = 80;
+  auto r3 = session.Replay(net_op);
+  EXPECT_FALSE(r3.in_view);
+  EXPECT_TRUE(r3.used_broker);
+  EXPECT_TRUE(r3.broker_ok);
+  EXPECT_EQ(r3.category, witload::BrokerCategory::kNetwork);
+  // After the grant, the endpoint is in view for subsequent attempts.
+  EXPECT_TRUE(session.Connect("software-repo", 80).ok());
+}
+
+}  // namespace
+}  // namespace watchit

@@ -1,0 +1,114 @@
+#include "src/os/credentials.h"
+
+#include <gtest/gtest.h>
+
+namespace witos {
+namespace {
+
+TEST(CapabilitySetTest, AddRemoveHas) {
+  CapabilitySet set;
+  EXPECT_TRUE(set.empty());
+  set.Add(Capability::kSysChroot);
+  EXPECT_TRUE(set.Has(Capability::kSysChroot));
+  EXPECT_FALSE(set.Has(Capability::kSysPtrace));
+  set.Remove(Capability::kSysChroot);
+  EXPECT_FALSE(set.Has(Capability::kSysChroot));
+}
+
+TEST(CapabilitySetTest, FullContainsEverything) {
+  CapabilitySet full = CapabilitySet::Full();
+  for (uint32_t i = 0; i < static_cast<uint32_t>(Capability::kMaxValue); ++i) {
+    EXPECT_TRUE(full.Has(static_cast<Capability>(i)));
+  }
+  EXPECT_EQ(full.count(), static_cast<size_t>(Capability::kMaxValue));
+}
+
+TEST(CapabilitySetTest, MinusAndIntersect) {
+  CapabilitySet a = {Capability::kSysChroot, Capability::kSysPtrace, Capability::kMknod};
+  CapabilitySet b = {Capability::kSysPtrace};
+  CapabilitySet diff = a.Minus(b);
+  EXPECT_TRUE(diff.Has(Capability::kSysChroot));
+  EXPECT_FALSE(diff.Has(Capability::kSysPtrace));
+  CapabilitySet inter = a.Intersect(b);
+  EXPECT_EQ(inter, b);
+  EXPECT_TRUE(b.IsSubsetOf(a));
+  EXPECT_FALSE(a.IsSubsetOf(b));
+}
+
+TEST(CapabilitySetTest, NamesAreDistinct) {
+  EXPECT_EQ(CapabilityName(Capability::kSysRawMem), "CAP_SYS_RAWMEM");
+  EXPECT_EQ(CapabilityName(Capability::kSysChroot), "CAP_SYS_CHROOT");
+}
+
+TEST(PosixAccessTest, OwnerGroupOtherBits) {
+  Credentials owner;
+  owner.uid = 1000;
+  owner.gid = 1000;
+  owner.caps = CapabilitySet::Empty();
+
+  // rw- r-- ---
+  EXPECT_TRUE(CheckPosixAccess(owner, 1000, 1000, 0640, kAccessRead | kAccessWrite));
+  EXPECT_FALSE(CheckPosixAccess(owner, 1000, 1000, 0640, kAccessExec));
+
+  Credentials group_member;
+  group_member.uid = 2000;
+  group_member.gid = 1000;
+  group_member.caps = CapabilitySet::Empty();
+  EXPECT_TRUE(CheckPosixAccess(group_member, 1000, 1000, 0640, kAccessRead));
+  EXPECT_FALSE(CheckPosixAccess(group_member, 1000, 1000, 0640, kAccessWrite));
+
+  Credentials other;
+  other.uid = 3000;
+  other.gid = 3000;
+  other.caps = CapabilitySet::Empty();
+  EXPECT_FALSE(CheckPosixAccess(other, 1000, 1000, 0640, kAccessRead));
+}
+
+TEST(PosixAccessTest, SupplementaryGroups) {
+  Credentials cred;
+  cred.uid = 2000;
+  cred.gid = 2000;
+  cred.supplementary_gids = {100, 1000};
+  cred.caps = CapabilitySet::Empty();
+  EXPECT_TRUE(CheckPosixAccess(cred, 1, 1000, 0060, kAccessRead | kAccessWrite));
+}
+
+TEST(PosixAccessTest, DacOverrideBypassesRw) {
+  Credentials root;
+  root.uid = 0;
+  root.caps = {Capability::kDacOverride};
+  EXPECT_TRUE(CheckPosixAccess(root, 1000, 1000, 0000, kAccessRead | kAccessWrite));
+  // Exec still needs at least one x bit, as on Linux.
+  EXPECT_FALSE(CheckPosixAccess(root, 1000, 1000, 0644, kAccessExec));
+  EXPECT_TRUE(CheckPosixAccess(root, 1000, 1000, 0100, kAccessExec));
+}
+
+TEST(PosixAccessTest, RootWithoutDacOverrideIsOrdinary) {
+  Credentials stripped;
+  stripped.uid = 0;
+  stripped.caps = CapabilitySet::Empty();
+  EXPECT_FALSE(CheckPosixAccess(stripped, 1000, 1000, 0600, kAccessRead));
+}
+
+// Property: owner bits dominate — if the owner bit grants access, the owner
+// check passes regardless of group/other bits.
+class ModeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ModeSweep, OwnerBitsGovernOwner) {
+  Mode mode = static_cast<Mode>(GetParam());
+  Credentials owner;
+  owner.uid = 7;
+  owner.gid = 7;
+  owner.caps = CapabilitySet::Empty();
+  uint32_t owner_bits = (mode >> 6) & 07u;
+  for (uint32_t want : {kAccessRead, kAccessWrite, kAccessExec}) {
+    EXPECT_EQ(CheckPosixAccess(owner, 7, 99, mode, want), (want & ~owner_bits) == 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOwnerModes, ModeSweep,
+                         ::testing::Values(0000, 0100, 0200, 0300, 0400, 0500, 0600, 0700,
+                                           0755, 0644, 0777));
+
+}  // namespace
+}  // namespace witos

@@ -1,0 +1,102 @@
+// Tests for the hardening extensions: broker rate limiting, rootless
+// containers, and the machine-local persisted audit spool.
+
+#include <gtest/gtest.h>
+
+#include "src/core/cluster.h"
+#include "src/core/session.h"
+#include "src/core/ticket_class.h"
+
+namespace watchit {
+namespace {
+
+class HardeningTest : public ::testing::Test {
+ protected:
+  HardeningTest() : machine_(&cluster_.AddMachine("userpc", witnet::Ipv4Addr(10, 0, 1, 50))) {}
+
+  Deployment Deploy(const std::string& cls, const std::string& id) {
+    ClusterManager manager(&cluster_);
+    Ticket ticket;
+    ticket.id = id;
+    ticket.target_machine = "userpc";
+    ticket.assigned_class = cls;
+    ticket.admin = "mallory";
+    return *manager.Deploy(ticket);
+  }
+
+  Cluster cluster_;
+  Machine* machine_;
+};
+
+TEST_F(HardeningTest, BrokerRateLimitThrottlesBursts) {
+  witbroker::ClassPolicy throttled;
+  throttled.allowed_verbs = {witbroker::kVerbPs};
+  throttled.max_requests_per_window = 5;
+  machine_->policy().SetPolicy("T-5", throttled);
+
+  Deployment deployment = Deploy("T-5", "TKT-RL");
+  AdminSession session(machine_, deployment.session, deployment.certificate, &cluster_.ca());
+  ASSERT_TRUE(session.Login().ok());
+  size_t granted = 0;
+  for (int i = 0; i < 20; ++i) {
+    granted += session.Pb(witbroker::kVerbPs, {}).ok() ? 1u : 0u;
+  }
+  EXPECT_EQ(granted, 5u);  // the burst was throttled
+  // The denials are on the record for the anomaly pipeline.
+  size_t denied = 0;
+  for (const auto& event : machine_->broker().events()) {
+    denied += event.granted ? 0 : 1;
+  }
+  EXPECT_EQ(denied, 15u);
+  // A new window refills the budget.
+  machine_->kernel().clock().Advance(61ull * 1000000000ull);
+  EXPECT_TRUE(session.Pb(witbroker::kVerbPs, {}).ok());
+}
+
+TEST_F(HardeningTest, RootlessContainerLosesPrivilegedReach) {
+  witcontain::PerforatedContainerSpec spec = SpecForTicketClass(1);
+  spec.map_root_to_host_root = false;
+  cluster_.images().Register("T-1R", spec);
+  machine_->kernel().root_fs().ProvisionFile("/home/user/private.txt", "user-owned", 1000,
+                                             1000, 0600);
+
+  Deployment deployment = Deploy("T-1R", "TKT-ROOTLESS");
+  AdminSession session(machine_, deployment.session, deployment.certificate, &cluster_.ca());
+  ASSERT_TRUE(session.Login().ok());
+  // World-readable files in view still work...
+  EXPECT_TRUE(session.ReadFile("/home/user/.matlab/license.lic").ok());
+  // ...but the contained "root" has no power over other users' private
+  // files: the ITFS invoker is an unprivileged host uid.
+  EXPECT_EQ(session.ReadFile("/home/user/private.txt").error(), witos::Err::kAcces);
+  EXPECT_FALSE(session.WriteFile("/home/user/private.txt", "x").ok());
+}
+
+TEST_F(HardeningTest, RootfulContainerKeepsPrivilegedReach) {
+  machine_->kernel().root_fs().ProvisionFile("/home/user/private.txt", "user-owned", 1000,
+                                             1000, 0600);
+  Deployment deployment = Deploy("T-1", "TKT-ROOTFUL");
+  AdminSession session(machine_, deployment.session, deployment.certificate, &cluster_.ca());
+  ASSERT_TRUE(session.Login().ok());
+  EXPECT_TRUE(session.ReadFile("/home/user/private.txt").ok());
+}
+
+TEST_F(HardeningTest, AuditTrailPersistedToGuardedSpool) {
+  // Generate some audited activity.
+  Deployment deployment = Deploy("T-6", "TKT-SPOOL");
+  AdminSession session(machine_, deployment.session, deployment.certificate, &cluster_.ca());
+  ASSERT_TRUE(session.Login().ok());
+  (void)session.ReadFile("/home/user/documents/payroll.xlsx");  // denied, audited
+
+  auto spool = machine_->kernel().root_fs().SlurpForTest("/var/log/watchit/audit.log");
+  ASSERT_TRUE(spool.ok());
+  EXPECT_NE(spool->find("CONTAINER_DEPLOYED"), std::string::npos);
+  EXPECT_NE(spool->find("FILE_DENIED"), std::string::npos);
+  // The spool cannot be rewritten through the kernel, by anyone.
+  EXPECT_EQ(machine_->kernel().WriteFile(1, "/var/log/watchit/audit.log", "").error(),
+            witos::Err::kPerm);
+  // Its growth does not break the boot measurement.
+  EXPECT_TRUE(machine_->tcb_intact());
+}
+
+}  // namespace
+}  // namespace watchit

@@ -1,0 +1,209 @@
+#include "src/fs/itfs.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/fs/fuse.h"
+#include "src/os/memfs.h"
+
+namespace witfs {
+namespace {
+
+witos::Credentials Root() { return witos::Credentials{}; }
+
+witos::Credentials Admin() {
+  witos::Credentials cred;
+  cred.uid = 0;
+  cred.caps = witos::CapabilitySet::Empty();
+  return cred;
+}
+
+std::shared_ptr<witos::MemFs> MakeLower() {
+  auto lower = std::make_shared<witos::MemFs>();
+  lower->ProvisionFile("/etc/passwd", "root:x:0:0\n");
+  lower->ProvisionFile("/home/payroll.xlsx", std::string("PK\x03\x04") + "salaries");
+  lower->ProvisionFile("/home/photo.jpg", "\xFF\xD8\xFF\xE0jfif");
+  lower->ProvisionFile("/home/disguised.log", "%PDF-1.4 secret report");
+  lower->ProvisionFile("/home/notes.txt", "todo\n");
+  lower->ProvisionFile("/usr/watchit/broker", "\x7f" "ELF");
+  return lower;
+}
+
+TEST(ItfsTest, AllowsAndLogsNormalAccess) {
+  ItfsPolicy policy;
+  policy.AddRule(ItfsPolicy::DenyDocumentsRule());
+  Itfs itfs(MakeLower(), std::move(policy), Root());
+  std::string buf;
+  ASSERT_TRUE(itfs.ReadAt("/etc/passwd", 0, 100, &buf, Admin()).ok());
+  EXPECT_EQ(buf, "root:x:0:0\n");
+  EXPECT_GE(itfs.oplog().size(), 1u);
+  EXPECT_EQ(itfs.oplog().denied_count(), 0u);
+}
+
+TEST(ItfsTest, DeniesDocumentsByExtension) {
+  ItfsPolicy policy;
+  policy.AddRule(ItfsPolicy::DenyDocumentsRule());
+  Itfs itfs(MakeLower(), std::move(policy), Root());
+  EXPECT_EQ(itfs.Open("/home/payroll.xlsx", witos::kOpenRead, 0, Admin()).error(),
+            witos::Err::kAcces);
+  EXPECT_EQ(itfs.Open("/home/photo.jpg", witos::kOpenRead, 0, Admin()).error(),
+            witos::Err::kAcces);
+  // Extension mode misses content smuggled under an innocent name.
+  EXPECT_TRUE(itfs.Open("/home/disguised.log", witos::kOpenRead, 0, Admin()).ok());
+  EXPECT_EQ(itfs.oplog().denied_count(), 2u);
+}
+
+TEST(ItfsTest, SignatureModeCatchesDisguisedContent) {
+  ItfsPolicy policy;
+  policy.AddRule(ItfsPolicy::DenyDocumentsRule());
+  policy.set_inspection_mode(InspectionMode::kSignature);
+  Itfs itfs(MakeLower(), std::move(policy), Root());
+  // The PDF hiding behind a .log name is caught by its magic bytes.
+  EXPECT_EQ(itfs.Open("/home/disguised.log", witos::kOpenRead, 0, Admin()).error(),
+            witos::Err::kAcces);
+  EXPECT_TRUE(itfs.Open("/home/notes.txt", witos::kOpenRead, 0, Admin()).ok());
+}
+
+TEST(ItfsTest, VisibleButNotOpenable) {
+  // "can block access to specific files even if the contained administrator
+  // can see that they exist" (§1).
+  ItfsPolicy policy;
+  policy.AddRule(ItfsPolicy::DenyDocumentsRule());
+  Itfs itfs(MakeLower(), std::move(policy), Root());
+  auto st = itfs.GetAttr("/home/payroll.xlsx", Admin());
+  ASSERT_TRUE(st.ok());
+  EXPECT_GT(st->size, 0u);
+  auto entries = itfs.ReadDir("/home", Admin());
+  ASSERT_TRUE(entries.ok());
+  bool listed = false;
+  for (const auto& entry : *entries) {
+    listed |= entry.name == "payroll.xlsx";
+  }
+  EXPECT_TRUE(listed);
+  EXPECT_EQ(itfs.Open("/home/payroll.xlsx", witos::kOpenRead, 0, Admin()).error(),
+            witos::Err::kAcces);
+}
+
+TEST(ItfsTest, ProtectsWatchItFiles) {
+  ItfsPolicy policy;
+  policy.AddRule(ItfsPolicy::ProtectPathsRule({"/usr/watchit"}));
+  Itfs itfs(MakeLower(), std::move(policy), Root());
+  EXPECT_EQ(itfs.Open("/usr/watchit/broker", witos::kOpenRead, 0, Admin()).error(),
+            witos::Err::kAcces);
+  EXPECT_EQ(itfs.Unlink("/usr/watchit/broker", Admin()).error(), witos::Err::kAcces);
+  EXPECT_EQ(itfs.Rename("/usr/watchit/broker", "/tmp/b", Admin()).error(),
+            witos::Err::kAcces);
+}
+
+TEST(ItfsTest, ReadOnlyRuleBlocksWritesAllowsReads) {
+  ItfsPolicy policy;
+  policy.AddRule(ItfsPolicy::ReadOnlyRule({"/etc"}));
+  Itfs itfs(MakeLower(), std::move(policy), Root());
+  std::string buf;
+  EXPECT_TRUE(itfs.ReadAt("/etc/passwd", 0, 10, &buf, Admin()).ok());
+  EXPECT_EQ(itfs.WriteAt("/etc/passwd", 0, "x", Admin()).error(), witos::Err::kAcces);
+  EXPECT_EQ(itfs.Truncate("/etc/passwd", 0, Admin()).error(), witos::Err::kAcces);
+}
+
+TEST(ItfsTest, CustomDetectorRule) {
+  ItfsPolicy policy;
+  ItfsRule rule;
+  rule.name = "no-salary-data";
+  rule.action = RuleAction::kDeny;
+  rule.custom = [](const std::string& path, std::string_view) {
+    return path.find("payroll") != std::string::npos;
+  };
+  policy.AddRule(std::move(rule));
+  Itfs itfs(MakeLower(), std::move(policy), Root());
+  EXPECT_EQ(itfs.Open("/home/payroll.xlsx", witos::kOpenRead, 0, Admin()).error(),
+            witos::Err::kAcces);
+  EXPECT_TRUE(itfs.Open("/home/notes.txt", witos::kOpenRead, 0, Admin()).ok());
+}
+
+TEST(ItfsTest, LogOnlyRuleAllowsButTags) {
+  ItfsPolicy policy;
+  ItfsRule rule;
+  rule.name = "watch-etc";
+  rule.action = RuleAction::kLogOnly;
+  rule.path_prefixes = {"/etc"};
+  policy.AddRule(std::move(rule));
+  policy.set_log_all(false);
+  Itfs itfs(MakeLower(), std::move(policy), Root());
+  std::string buf;
+  ASSERT_TRUE(itfs.ReadAt("/etc/passwd", 0, 10, &buf, Admin()).ok());
+  ASSERT_EQ(itfs.oplog().size(), 1u);
+  EXPECT_EQ(itfs.oplog().records()[0].rule, "watch-etc");
+  EXPECT_FALSE(itfs.oplog().records()[0].denied);
+  // Unmatched paths are not logged when log_all is off.
+  ASSERT_TRUE(itfs.ReadAt("/home/notes.txt", 0, 4, &buf, Admin()).ok());
+  EXPECT_EQ(itfs.oplog().size(), 1u);
+}
+
+TEST(ItfsTest, InvokerPrivilegesSubstituteCallerPrivileges) {
+  // FUSE semantics: the contained admin inherits the invoker's (root's)
+  // power over exposed files, even for files owned by others.
+  auto lower = std::make_shared<witos::MemFs>();
+  lower->ProvisionFile("/data/file", "owned by uid 1000", 1000, 1000, 0600);
+  Itfs itfs(lower, ItfsPolicy(), Root());
+  witos::Credentials contained_admin = Admin();
+  std::string buf;
+  EXPECT_TRUE(itfs.ReadAt("/data/file", 0, 100, &buf, contained_admin).ok());
+  EXPECT_TRUE(itfs.WriteAt("/data/file", 0, "fixed", contained_admin).ok());
+}
+
+TEST(ItfsTest, HardLinkCannotSmuggleDeniedContent) {
+  // Renaming/linking a blocked document to an innocent name must not
+  // launder it past the extension filter.
+  ItfsPolicy policy;
+  policy.AddRule(ItfsPolicy::DenyDocumentsRule());
+  policy.set_inspection_mode(InspectionMode::kSignature);
+  Itfs itfs(MakeLower(), std::move(policy), Root());
+  EXPECT_EQ(itfs.Link("/home/payroll.xlsx", "/home/innocent.log", Admin()).error(),
+            witos::Err::kAcces);
+  EXPECT_EQ(itfs.Rename("/home/payroll.xlsx", "/home/innocent.log", Admin()).error(),
+            witos::Err::kAcces);
+  // Linking clean content is fine.
+  EXPECT_TRUE(itfs.Link("/home/notes.txt", "/home/notes-link.txt", Admin()).ok());
+  std::string buf;
+  EXPECT_TRUE(itfs.ReadAt("/home/notes-link.txt", 0, 16, &buf, Admin()).ok());
+}
+
+TEST(FuseMountTest, ChargesCrossingCostPerOperation) {
+  witos::SimClock clock;
+  auto lower = std::make_shared<witos::MemFs>();
+  lower->ProvisionFile("/f", "data");
+  auto itfs = std::make_shared<Itfs>(lower, ItfsPolicy(), Root(), &clock);
+  FuseMount fuse(itfs, &clock);
+
+  uint64_t t0 = clock.now_ns();
+  std::string buf;
+  ASSERT_TRUE(fuse.ReadAt("/f", 0, 4, &buf, Admin()).ok());
+  uint64_t t1 = clock.now_ns();
+  EXPECT_GE(t1 - t0, clock.costs().fuse_crossing_ns);
+  EXPECT_EQ(fuse.crossings(), 1u);
+
+  // Direct access to the lower fs pays no crossing.
+  uint64_t t2 = clock.now_ns();
+  ASSERT_TRUE(lower->ReadAt("/f", 0, 4, &buf, Admin()).ok());
+  EXPECT_LT(clock.now_ns() - t2, clock.costs().fuse_crossing_ns);
+}
+
+TEST(FuseMountTest, ForwardsAllOperations) {
+  auto lower = std::make_shared<witos::MemFs>();
+  FuseMount fuse(lower, nullptr);
+  ASSERT_TRUE(fuse.MkDir("/d", 0755, Root()).ok());
+  ASSERT_TRUE(fuse.Open("/d/f", witos::kOpenCreate | witos::kOpenWrite, 0644, Root()).ok());
+  ASSERT_TRUE(fuse.WriteAt("/d/f", 0, "x", Root()).ok());
+  ASSERT_TRUE(fuse.Rename("/d/f", "/d/g", Root()).ok());
+  ASSERT_TRUE(fuse.Chmod("/d/g", 0600, Root()).ok());
+  ASSERT_TRUE(fuse.SymLink("/d/g", "/link", Root()).ok());
+  EXPECT_EQ(*fuse.ReadLink("/link", Root()), "/d/g");
+  ASSERT_TRUE(fuse.Unlink("/d/g", Root()).ok());
+  ASSERT_TRUE(fuse.RmDir("/d", Root()).ok());
+  EXPECT_EQ(fuse.FsType(), "fuse.ext4");
+  EXPECT_GE(fuse.crossings(), 9u);
+}
+
+}  // namespace
+}  // namespace witfs

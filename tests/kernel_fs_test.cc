@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include "src/os/kernel.h"
+
+namespace witos {
+namespace {
+
+class KernelFsTest : public ::testing::Test {
+ protected:
+  Kernel kernel_{"host"};
+  Pid init_ = 1;
+};
+
+TEST_F(KernelFsTest, OpenReadWriteThroughFdTable) {
+  ASSERT_TRUE(kernel_.WriteFile(init_, "/tmp/f", "hello world").ok());
+  auto fd = kernel_.Open(init_, "/tmp/f", kOpenRead);
+  ASSERT_TRUE(fd.ok());
+  EXPECT_EQ(*kernel_.Read(init_, *fd, 5), "hello");
+  EXPECT_EQ(*kernel_.Read(init_, *fd, 100), " world");  // cursor advanced
+  EXPECT_EQ(kernel_.Read(init_, *fd, 10)->size(), 0u);  // EOF
+  ASSERT_TRUE(kernel_.Close(init_, *fd).ok());
+  EXPECT_EQ(kernel_.Read(init_, *fd, 1).error(), Err::kBadf);
+}
+
+TEST_F(KernelFsTest, AppendModeSeeksToEnd) {
+  ASSERT_TRUE(kernel_.WriteFile(init_, "/tmp/log", "line1\n").ok());
+  ASSERT_TRUE(kernel_.WriteFile(init_, "/tmp/log", "line2\n", /*append=*/true).ok());
+  EXPECT_EQ(*kernel_.ReadFile(init_, "/tmp/log"), "line1\nline2\n");
+}
+
+TEST_F(KernelFsTest, ReadOnDirectoryFails) {
+  EXPECT_EQ(kernel_.ReadFile(init_, "/etc").error(), Err::kIsDir);
+}
+
+TEST_F(KernelFsTest, WriteWithoutWriteFlagFails) {
+  ASSERT_TRUE(kernel_.WriteFile(init_, "/tmp/f", "x").ok());
+  auto fd = kernel_.Open(init_, "/tmp/f", kOpenRead);
+  ASSERT_TRUE(fd.ok());
+  EXPECT_EQ(kernel_.Write(init_, *fd, "y").error(), Err::kBadf);
+}
+
+TEST_F(KernelFsTest, ChdirAndRelativePaths) {
+  ASSERT_TRUE(kernel_.MkDir(init_, "/work").ok());
+  ASSERT_TRUE(kernel_.Chdir(init_, "/work").ok());
+  EXPECT_EQ(*kernel_.GetCwd(init_), "/work");
+  ASSERT_TRUE(kernel_.WriteFile(init_, "notes.txt", "hi").ok());
+  EXPECT_EQ(*kernel_.ReadFile(init_, "/work/notes.txt"), "hi");
+}
+
+TEST_F(KernelFsTest, ChrootConfinesAndClampsDotDot) {
+  ASSERT_TRUE(kernel_.MkDir(init_, "/jail").ok());
+  ASSERT_TRUE(kernel_.WriteFile(init_, "/jail/inside", "in").ok());
+  ASSERT_TRUE(kernel_.WriteFile(init_, "/outside", "out").ok());
+  Pid child = *kernel_.Clone(init_, "jailed", 0);
+  ASSERT_TRUE(kernel_.Chroot(child, "/jail").ok());
+  EXPECT_EQ(*kernel_.ReadFile(child, "/inside"), "in");
+  EXPECT_EQ(kernel_.ReadFile(child, "/outside").error(), Err::kNoEnt);
+  // ".." escape attempts are clamped at the jail root.
+  EXPECT_EQ(kernel_.ReadFile(child, "/../outside").error(), Err::kNoEnt);
+  EXPECT_EQ(kernel_.ReadFile(child, "/../../../../outside").error(), Err::kNoEnt);
+}
+
+TEST_F(KernelFsTest, ChrootRequiresCapability) {
+  ASSERT_TRUE(kernel_.MkDir(init_, "/jail").ok());
+  Pid child = *kernel_.Clone(init_, "stripped", 0);
+  ASSERT_TRUE(kernel_.CapDrop(child, {Capability::kSysChroot}).ok());
+  EXPECT_EQ(kernel_.Chroot(child, "/jail").error(), Err::kPerm);
+}
+
+TEST_F(KernelFsTest, SymlinkFollowedInsideJail) {
+  ASSERT_TRUE(kernel_.MkDir(init_, "/jail").ok());
+  ASSERT_TRUE(kernel_.WriteFile(init_, "/jail/etc-file", "jailed etc").ok());
+  ASSERT_TRUE(kernel_.WriteFile(init_, "/etc-file", "host etc").ok());
+  // Absolute symlink: resolves against the *jail* root.
+  ASSERT_TRUE(kernel_.SymLink(init_, "/etc-file", "/jail/link").ok());
+  Pid child = *kernel_.Clone(init_, "jailed", 0);
+  ASSERT_TRUE(kernel_.Chroot(child, "/jail").ok());
+  EXPECT_EQ(*kernel_.ReadFile(child, "/link"), "jailed etc");
+}
+
+TEST_F(KernelFsTest, SymlinkLoopDetected) {
+  ASSERT_TRUE(kernel_.SymLink(init_, "/b", "/a").ok());
+  ASSERT_TRUE(kernel_.SymLink(init_, "/a", "/b").ok());
+  EXPECT_EQ(kernel_.ReadFile(init_, "/a").error(), Err::kLoop);
+}
+
+TEST_F(KernelFsTest, LstatDoesNotFollow) {
+  ASSERT_TRUE(kernel_.WriteFile(init_, "/target", "x").ok());
+  ASSERT_TRUE(kernel_.SymLink(init_, "/target", "/link").ok());
+  EXPECT_EQ(kernel_.StatPath(init_, "/link")->type, FileType::kRegular);
+  EXPECT_EQ(kernel_.LstatPath(init_, "/link")->type, FileType::kSymlink);
+}
+
+TEST_F(KernelFsTest, MknodDeviceRequiresCapability) {
+  Pid child = *kernel_.Clone(init_, "stripped", 0);
+  ASSERT_TRUE(kernel_.CapDrop(child, {Capability::kMknod}).ok());
+  EXPECT_EQ(kernel_.MkNod(child, "/tmp/sda", FileType::kBlockDevice, 8).error(), Err::kPerm);
+  // Regular files and fifos are still fine.
+  EXPECT_TRUE(kernel_.MkNod(child, "/tmp/fifo", FileType::kFifo, 0).ok());
+  // With the capability, device creation works.
+  EXPECT_TRUE(kernel_.MkNod(init_, "/tmp/sda", FileType::kBlockDevice, 8).ok());
+}
+
+TEST_F(KernelFsTest, DevMemRequiresRawMemCapability) {
+  Pid child = *kernel_.Clone(init_, "stripped", 0);
+  ASSERT_TRUE(kernel_.CapDrop(child, {Capability::kSysRawMem}).ok());
+  EXPECT_EQ(kernel_.Open(child, "/dev/mem", kOpenRead).error(), Err::kPerm);
+  EXPECT_EQ(kernel_.Open(child, "/dev/kmem", kOpenRead).error(), Err::kPerm);
+  // init retains the new capability and can read simulated memory.
+  auto fd = kernel_.Open(init_, "/dev/mem", kOpenRead);
+  ASSERT_TRUE(fd.ok());
+  auto data = kernel_.Read(init_, *fd, 16);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->substr(0, 8), "PHYSMEM.");
+}
+
+TEST_F(KernelFsTest, DevNullAndZero) {
+  auto fd = kernel_.Open(init_, "/dev/zero", kOpenRead);
+  ASSERT_TRUE(fd.ok());
+  EXPECT_EQ(*kernel_.Read(init_, *fd, 4), std::string(4, '\0'));
+  auto null_fd = kernel_.Open(init_, "/dev/null", kOpenRead | kOpenWrite);
+  ASSERT_TRUE(null_fd.ok());
+  EXPECT_EQ(kernel_.Read(init_, *null_fd, 4)->size(), 0u);
+  EXPECT_EQ(*kernel_.Write(init_, *null_fd, "discard"), 7u);
+}
+
+TEST_F(KernelFsTest, MountNamespaceCopyOnClone) {
+  auto extra = std::make_shared<MemFs>("tmpfs");
+  extra->ProvisionFile("/data", "extra-fs");
+  ASSERT_TRUE(kernel_.MkDir(init_, "/mnt").ok());
+
+  Pid contained = *kernel_.Clone(init_, "contained", kCloneNewMnt);
+  // Mount inside the container's namespace: invisible to the host.
+  ASSERT_TRUE(kernel_.Mount(contained, extra, "/mnt", "tmpfs").ok());
+  EXPECT_EQ(*kernel_.ReadFile(contained, "/mnt/data"), "extra-fs");
+  EXPECT_EQ(kernel_.ReadFile(init_, "/mnt/data").error(), Err::kNoEnt);
+}
+
+TEST_F(KernelFsTest, MountRequiresSysAdmin) {
+  auto extra = std::make_shared<MemFs>("tmpfs");
+  ASSERT_TRUE(kernel_.MkDir(init_, "/mnt").ok());
+  Pid child = *kernel_.Clone(init_, "stripped", 0);
+  ASSERT_TRUE(kernel_.CapDrop(child, {Capability::kSysAdmin}).ok());
+  EXPECT_EQ(kernel_.Mount(child, extra, "/mnt", "tmpfs").error(), Err::kPerm);
+}
+
+TEST_F(KernelFsTest, BindMountExposesSubtree) {
+  ASSERT_TRUE(kernel_.MkDir(init_, "/home/user").ok());
+  ASSERT_TRUE(kernel_.WriteFile(init_, "/home/user/doc.txt", "content").ok());
+  ASSERT_TRUE(kernel_.MkDir(init_, "/view").ok());
+  ASSERT_TRUE(
+      kernel_.BindMount(init_, kernel_.root_fs_ptr(), "/home/user", "/view", "bind").ok());
+  EXPECT_EQ(*kernel_.ReadFile(init_, "/view/doc.txt"), "content");
+}
+
+TEST_F(KernelFsTest, ReadOnlyMountRejectsWrites) {
+  auto extra = std::make_shared<MemFs>("tmpfs");
+  extra->ProvisionFile("/data", "x");
+  ASSERT_TRUE(kernel_.MkDir(init_, "/mnt").ok());
+  ASSERT_TRUE(kernel_.Mount(init_, extra, "/mnt", "tmpfs", /*read_only=*/true).ok());
+  EXPECT_EQ(*kernel_.ReadFile(init_, "/mnt/data"), "x");
+  EXPECT_EQ(kernel_.WriteFile(init_, "/mnt/data", "y").error(), Err::kRoFs);
+  EXPECT_EQ(kernel_.Unlink(init_, "/mnt/data").error(), Err::kRoFs);
+}
+
+TEST_F(KernelFsTest, UmountAndBusySemantics) {
+  auto a = std::make_shared<MemFs>("tmpfs");
+  a->ProvisionDir("/inner");
+  auto b = std::make_shared<MemFs>("tmpfs");
+  ASSERT_TRUE(kernel_.MkDir(init_, "/m").ok());
+  ASSERT_TRUE(kernel_.Mount(init_, a, "/m", "a").ok());
+  ASSERT_TRUE(kernel_.Mount(init_, b, "/m/inner", "b").ok());
+  EXPECT_EQ(kernel_.Umount(init_, "/m").error(), Err::kBusy);  // has submount
+  ASSERT_TRUE(kernel_.Umount(init_, "/m/inner").ok());
+  ASSERT_TRUE(kernel_.Umount(init_, "/m").ok());
+}
+
+TEST_F(KernelFsTest, MountTableViewFromJail) {
+  ASSERT_TRUE(kernel_.MkDir(init_, "/jail").ok());
+  auto jail_fs = std::make_shared<MemFs>("tmpfs");
+  jail_fs->ProvisionDir("/proc");
+  ASSERT_TRUE(kernel_.Mount(init_, jail_fs, "/jail", "tmpfs").ok());
+  Pid child = *kernel_.Clone(init_, "jailed", kCloneNewMnt);
+  ASSERT_TRUE(kernel_.Chroot(child, "/jail").ok());
+  auto table = kernel_.MountTable(child);
+  ASSERT_TRUE(table.ok());
+  ASSERT_EQ(table->size(), 1u);
+  EXPECT_EQ((*table)[0].mountpoint, "/");  // presented jail-relative
+  // The host still sees its own full table.
+  auto host_table = kernel_.MountTable(init_);
+  EXPECT_GE(host_table->size(), 2u);
+}
+
+TEST_F(KernelFsTest, HardLinksShareContent) {
+  ASSERT_TRUE(kernel_.WriteFile(init_, "/tmp/original", "shared content").ok());
+  ASSERT_TRUE(kernel_.Link(init_, "/tmp/original", "/tmp/alias").ok());
+  EXPECT_EQ(*kernel_.ReadFile(init_, "/tmp/alias"), "shared content");
+  // Writes through one name are visible through the other.
+  ASSERT_TRUE(kernel_.WriteFile(init_, "/tmp/alias", "updated").ok());
+  EXPECT_EQ(*kernel_.ReadFile(init_, "/tmp/original"), "updated");
+  // Both stats report the same inode and nlink 2.
+  auto st_a = kernel_.StatPath(init_, "/tmp/original");
+  auto st_b = kernel_.StatPath(init_, "/tmp/alias");
+  EXPECT_EQ(st_a->inode, st_b->inode);
+  EXPECT_EQ(st_a->nlink, 2u);
+  // Removing one name keeps the inode alive under the other.
+  ASSERT_TRUE(kernel_.Unlink(init_, "/tmp/original").ok());
+  EXPECT_EQ(*kernel_.ReadFile(init_, "/tmp/alias"), "updated");
+  EXPECT_EQ(kernel_.StatPath(init_, "/tmp/alias")->nlink, 1u);
+}
+
+TEST_F(KernelFsTest, HardLinkRules) {
+  ASSERT_TRUE(kernel_.WriteFile(init_, "/tmp/f", "x").ok());
+  // Directories cannot be hard-linked.
+  EXPECT_EQ(kernel_.Link(init_, "/tmp", "/tmp2").error(), Err::kPerm);
+  // Existing targets are rejected.
+  ASSERT_TRUE(kernel_.WriteFile(init_, "/tmp/g", "y").ok());
+  EXPECT_EQ(kernel_.Link(init_, "/tmp/f", "/tmp/g").error(), Err::kExist);
+  // Cross-filesystem links are EXDEV.
+  auto other = std::make_shared<MemFs>("tmpfs");
+  ASSERT_TRUE(kernel_.MkDir(init_, "/mnt").ok());
+  ASSERT_TRUE(kernel_.Mount(init_, other, "/mnt", "tmpfs").ok());
+  EXPECT_EQ(kernel_.Link(init_, "/tmp/f", "/mnt/f").error(), Err::kXdev);
+}
+
+TEST_F(KernelFsTest, WriteGuardDeniesProtectedPaths) {
+  ASSERT_TRUE(kernel_.WriteFile(init_, "/usr/watchit-core", "tcb").ok());
+  kernel_.SetWriteGuard([](const std::string& path, const Credentials&) {
+    return path != "/usr/watchit-core";
+  });
+  EXPECT_EQ(kernel_.WriteFile(init_, "/usr/watchit-core", "tampered").error(), Err::kPerm);
+  EXPECT_EQ(kernel_.Unlink(init_, "/usr/watchit-core").error(), Err::kPerm);
+  EXPECT_EQ(*kernel_.ReadFile(init_, "/usr/watchit-core"), "tcb");
+  EXPECT_EQ(kernel_.audit().CountEvent(AuditEvent::kTcbViolation), 2u);
+}
+
+}  // namespace
+}  // namespace witos

@@ -1,0 +1,160 @@
+// LDA and classifier tests on a synthetic corpus with known structure.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "src/nlp/classifier.h"
+#include "src/nlp/corpus.h"
+#include "src/nlp/lda.h"
+
+namespace witnlp {
+namespace {
+
+// Three well-separated synthetic topics.
+const std::vector<std::vector<std::string>>& TopicWords() {
+  static const std::vector<std::vector<std::string>> kTopics = {
+      {"license", "matlab", "toolbox", "expired", "flexlm"},
+      {"network", "ping", "dns", "firewall", "unreachable"},
+      {"disk", "quota", "space", "storage", "full"},
+  };
+  return kTopics;
+}
+
+Corpus MakeCorpus(size_t docs_per_topic, uint32_t seed) {
+  std::mt19937 rng(seed);
+  Corpus corpus;
+  for (size_t topic = 0; topic < TopicWords().size(); ++topic) {
+    const auto& vocab = TopicWords()[topic];
+    std::uniform_int_distribution<size_t> pick(0, vocab.size() - 1);
+    for (size_t d = 0; d < docs_per_topic; ++d) {
+      std::vector<std::string> words;
+      for (int i = 0; i < 12; ++i) {
+        words.push_back(vocab[pick(rng)]);
+      }
+      corpus.AddDocument(words, "topic-" + std::to_string(topic));
+    }
+  }
+  return corpus;
+}
+
+class LdaTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    corpus_ = MakeCorpus(60, 5);
+    LdaOptions options;
+    options.num_topics = 3;
+    options.iterations = 200;
+    options.seed = 9;
+    model_ = std::make_unique<LdaModel>(&corpus_, options);
+    model_->Train();
+  }
+  Corpus corpus_;
+  std::unique_ptr<LdaModel> model_;
+};
+
+TEST_F(LdaTest, TopicWordDistributionsSumToOne) {
+  for (int k = 0; k < model_->num_topics(); ++k) {
+    double total = 0.0;
+    for (size_t w = 0; w < corpus_.vocab().size(); ++w) {
+      total += model_->TopicWordProb(k, static_cast<int>(w));
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST_F(LdaTest, DocTopicDistributionsSumToOne) {
+  for (size_t d = 0; d < corpus_.size(); d += 17) {
+    std::vector<double> theta = model_->DocTopicDist(d);
+    double total = 0.0;
+    for (double p : theta) {
+      total += p;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST_F(LdaTest, RecoversPlantedTopics) {
+  // Each learned topic's top words should come from exactly one planted
+  // topic's vocabulary.
+  for (int k = 0; k < 3; ++k) {
+    auto top = model_->TopWords(k, 3);
+    ASSERT_EQ(top.size(), 3u);
+    int source = -1;
+    for (size_t planted = 0; planted < TopicWords().size(); ++planted) {
+      const auto& vocab = TopicWords()[planted];
+      if (std::find(vocab.begin(), vocab.end(), top[0].word) != vocab.end()) {
+        source = static_cast<int>(planted);
+      }
+    }
+    ASSERT_NE(source, -1);
+    for (const auto& tw : top) {
+      const auto& vocab = TopicWords()[static_cast<size_t>(source)];
+      EXPECT_NE(std::find(vocab.begin(), vocab.end(), tw.word), vocab.end())
+          << "topic " << k << " mixes planted topics: " << tw.word;
+    }
+  }
+}
+
+TEST_F(LdaTest, InferenceAssignsHeldOutDocsCorrectly) {
+  LdaClassifier classifier(model_.get(), &corpus_);
+  // A fresh document about networking.
+  std::vector<std::string> doc = {"ping", "dns", "firewall", "ping", "unreachable", "network"};
+  EXPECT_EQ(classifier.Classify(doc), "topic-1");
+  std::vector<std::string> doc2 = {"matlab", "license", "expired", "toolbox"};
+  EXPECT_EQ(classifier.Classify(doc2), "topic-0");
+}
+
+TEST_F(LdaTest, LogLikelihoodBetterThanUniform) {
+  double ll = model_->LogLikelihoodPerToken();
+  double uniform_ll = -std::log(static_cast<double>(corpus_.vocab().size()));
+  EXPECT_GT(ll, uniform_ll);
+}
+
+TEST_F(LdaTest, DeterministicGivenSeed) {
+  LdaOptions options;
+  options.num_topics = 3;
+  options.iterations = 50;
+  options.seed = 33;
+  LdaModel a(&corpus_, options);
+  a.Train();
+  LdaModel b(&corpus_, options);
+  b.Train();
+  for (int k = 0; k < 3; ++k) {
+    EXPECT_EQ(a.TopWords(k, 5)[0].word, b.TopWords(k, 5)[0].word);
+  }
+}
+
+TEST(NaiveBayesTest, ClassifiesSeparableCorpus) {
+  Corpus corpus = MakeCorpus(40, 21);
+  NaiveBayesClassifier nb(&corpus);
+  EXPECT_EQ(nb.Classify({"quota", "disk", "full"}), "topic-2");
+  EXPECT_EQ(nb.Classify({"matlab", "flexlm"}), "topic-0");
+  EXPECT_EQ(nb.labels().size(), 3u);
+}
+
+TEST(EvaluateClassifierTest, PrecisionRecallAccuracy) {
+  std::vector<std::pair<std::string, std::string>> results = {
+      {"a", "a"}, {"a", "a"}, {"a", "b"},  // a: 2/3 recall
+      {"b", "b"},                          // b predicted 2x, correct 1x
+  };
+  ClassificationReport report = EvaluateClassifier(results);
+  EXPECT_NEAR(report.accuracy, 0.75, 1e-9);
+  EXPECT_NEAR(report.recall["a"], 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(report.precision["a"], 1.0, 1e-9);      // all predicted-a were a
+  EXPECT_NEAR(report.precision["b"], 0.5, 1e-9);
+  EXPECT_EQ(report.total, 4u);
+}
+
+TEST(CorpusTest, VocabularyAndUnknownWords) {
+  Corpus corpus;
+  corpus.AddDocument({"alpha", "beta", "alpha"});
+  EXPECT_EQ(corpus.vocab().size(), 2u);
+  EXPECT_EQ(corpus.vocab().CountOf(corpus.vocab().IdOf("alpha")), 2u);
+  auto ids = corpus.ToIds({"alpha", "gamma", "beta"});
+  EXPECT_EQ(ids.size(), 2u);  // gamma dropped
+  EXPECT_EQ(corpus.total_tokens(), 3u);
+}
+
+}  // namespace
+}  // namespace witnlp

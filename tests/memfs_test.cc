@@ -1,0 +1,188 @@
+#include "src/os/memfs.h"
+
+#include <gtest/gtest.h>
+
+namespace witos {
+namespace {
+
+Credentials Root() { return Credentials{}; }
+
+Credentials User(Uid uid) {
+  Credentials cred;
+  cred.uid = uid;
+  cred.gid = uid;
+  cred.caps = CapabilitySet::Empty();
+  return cred;
+}
+
+class MemFsTest : public ::testing::Test {
+ protected:
+  MemFs fs_;
+};
+
+TEST_F(MemFsTest, CreateWriteRead) {
+  auto st = fs_.Open("/hello.txt", kOpenCreate | kOpenWrite, 0644, Root());
+  ASSERT_TRUE(st.ok());
+  ASSERT_TRUE(fs_.WriteAt("/hello.txt", 0, "hi there", Root()).ok());
+  std::string buf;
+  auto n = fs_.ReadAt("/hello.txt", 0, 100, &buf, Root());
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(buf, "hi there");
+}
+
+TEST_F(MemFsTest, ReadAtOffsetAndPastEof) {
+  fs_.ProvisionFile("/f", "abcdef");
+  std::string buf;
+  ASSERT_TRUE(fs_.ReadAt("/f", 2, 2, &buf, Root()).ok());
+  EXPECT_EQ(buf, "cd");
+  auto n = fs_.ReadAt("/f", 10, 5, &buf, Root());
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 0u);
+}
+
+TEST_F(MemFsTest, WriteExtendsFile) {
+  fs_.ProvisionFile("/f", "ab");
+  ASSERT_TRUE(fs_.WriteAt("/f", 4, "xy", Root()).ok());
+  auto st = fs_.GetAttr("/f", Root());
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->size, 6u);
+  std::string buf;
+  ASSERT_TRUE(fs_.ReadAt("/f", 0, 10, &buf, Root()).ok());
+  EXPECT_EQ(buf, std::string("ab\0\0xy", 6));
+}
+
+TEST_F(MemFsTest, OpenNonexistentFails) {
+  EXPECT_EQ(fs_.Open("/nope", kOpenRead, 0, Root()).error(), Err::kNoEnt);
+}
+
+TEST_F(MemFsTest, OpenExclFailsOnExisting) {
+  fs_.ProvisionFile("/f", "x");
+  EXPECT_EQ(fs_.Open("/f", kOpenCreate | kOpenExcl | kOpenWrite, 0644, Root()).error(),
+            Err::kExist);
+}
+
+TEST_F(MemFsTest, TruncOnOpenClearsContent) {
+  fs_.ProvisionFile("/f", "content");
+  ASSERT_TRUE(fs_.Open("/f", kOpenWrite | kOpenTrunc, 0644, Root()).ok());
+  auto st = fs_.GetAttr("/f", Root());
+  EXPECT_EQ(st->size, 0u);
+}
+
+TEST_F(MemFsTest, MkDirAndReadDir) {
+  ASSERT_TRUE(fs_.MkDir("/d", 0755, Root()).ok());
+  fs_.ProvisionFile("/d/a", "1");
+  fs_.ProvisionFile("/d/b", "2");
+  auto entries = fs_.ReadDir("/d", Root());
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 2u);
+  EXPECT_EQ((*entries)[0].name, "a");
+  EXPECT_EQ((*entries)[1].name, "b");
+}
+
+TEST_F(MemFsTest, MkDirExistingFails) {
+  ASSERT_TRUE(fs_.MkDir("/d", 0755, Root()).ok());
+  EXPECT_EQ(fs_.MkDir("/d", 0755, Root()).error(), Err::kExist);
+}
+
+TEST_F(MemFsTest, UnlinkAndRmdirSemantics) {
+  fs_.ProvisionFile("/d/f", "x");
+  EXPECT_EQ(fs_.Unlink("/d", Root()).error(), Err::kIsDir);
+  EXPECT_EQ(fs_.RmDir("/d", Root()).error(), Err::kNotEmpty);
+  ASSERT_TRUE(fs_.Unlink("/d/f", Root()).ok());
+  ASSERT_TRUE(fs_.RmDir("/d", Root()).ok());
+  EXPECT_EQ(fs_.GetAttr("/d", Root()).error(), Err::kNoEnt);
+}
+
+TEST_F(MemFsTest, RenameMovesNode) {
+  fs_.ProvisionFile("/a/x", "data");
+  fs_.ProvisionDir("/b");
+  ASSERT_TRUE(fs_.Rename("/a/x", "/b/y", Root()).ok());
+  EXPECT_EQ(fs_.GetAttr("/a/x", Root()).error(), Err::kNoEnt);
+  std::string buf;
+  ASSERT_TRUE(fs_.ReadAt("/b/y", 0, 10, &buf, Root()).ok());
+  EXPECT_EQ(buf, "data");
+}
+
+TEST_F(MemFsTest, RenameIntoOwnSubtreeRejected) {
+  fs_.ProvisionDir("/a/b");
+  EXPECT_EQ(fs_.Rename("/a", "/a/b/c", Root()).error(), Err::kInval);
+}
+
+TEST_F(MemFsTest, PermissionDeniedForOtherUser) {
+  fs_.ProvisionFile("/secret", "classified", 0, 0, 0600);
+  std::string buf;
+  EXPECT_EQ(fs_.ReadAt("/secret", 0, 10, &buf, User(1000)).error(), Err::kAcces);
+  EXPECT_EQ(fs_.WriteAt("/secret", 0, "x", User(1000)).error(), Err::kAcces);
+}
+
+TEST_F(MemFsTest, DirectorySearchPermissionEnforced) {
+  fs_.ProvisionFile("/locked/f", "x");
+  Credentials root;
+  ASSERT_TRUE(fs_.Chmod("/locked", 0700, root).ok());
+  std::string buf;
+  EXPECT_EQ(fs_.ReadAt("/locked/f", 0, 1, &buf, User(1000)).error(), Err::kAcces);
+}
+
+TEST_F(MemFsTest, ChmodOnlyOwnerOrDacOverride) {
+  fs_.ProvisionFile("/f", "x", 1000, 1000, 0644);
+  EXPECT_EQ(fs_.Chmod("/f", 0600, User(2000)).error(), Err::kPerm);
+  EXPECT_TRUE(fs_.Chmod("/f", 0600, User(1000)).ok());
+  EXPECT_TRUE(fs_.Chmod("/f", 0644, Root()).ok());
+}
+
+TEST_F(MemFsTest, ChownRequiresCapability) {
+  fs_.ProvisionFile("/f", "x");
+  EXPECT_EQ(fs_.Chown("/f", 1000, 1000, User(1000)).error(), Err::kPerm);
+  EXPECT_TRUE(fs_.Chown("/f", 1000, 1000, Root()).ok());
+  auto st = fs_.GetAttr("/f", Root());
+  EXPECT_EQ(st->uid, 1000u);
+}
+
+TEST_F(MemFsTest, SymlinkRoundTrip) {
+  fs_.ProvisionSymlink("/link", "/target");
+  auto target = fs_.ReadLink("/link", Root());
+  ASSERT_TRUE(target.ok());
+  EXPECT_EQ(*target, "/target");
+  auto st = fs_.GetAttr("/link", Root());
+  EXPECT_EQ(st->type, FileType::kSymlink);
+  EXPECT_EQ(fs_.ReadLink("/nonlink", Root()).error(), Err::kNoEnt);
+}
+
+TEST_F(MemFsTest, DeviceNodes) {
+  fs_.ProvisionDevice("/dev/mem", 1, 0600);
+  auto st = fs_.GetAttr("/dev/mem", Root());
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->type, FileType::kCharDevice);
+  EXPECT_EQ(st->rdev, 1u);
+}
+
+TEST_F(MemFsTest, StatFsTracksUsedBytes) {
+  auto before = fs_.StatFs();
+  fs_.ProvisionFile("/f", std::string(1000, 'x'));
+  auto after = fs_.StatFs();
+  EXPECT_EQ(after->used_bytes - before->used_bytes, 1000u);
+  ASSERT_TRUE(fs_.Unlink("/f", Root()).ok());
+  auto freed = fs_.StatFs();
+  EXPECT_EQ(freed->used_bytes, before->used_bytes);
+}
+
+TEST_F(MemFsTest, TruncateAdjustsSize) {
+  fs_.ProvisionFile("/f", "123456");
+  ASSERT_TRUE(fs_.Truncate("/f", 3, Root()).ok());
+  EXPECT_EQ(fs_.GetAttr("/f", Root())->size, 3u);
+  ASSERT_TRUE(fs_.Truncate("/f", 8, Root()).ok());
+  EXPECT_EQ(fs_.GetAttr("/f", Root())->size, 8u);
+}
+
+TEST_F(MemFsTest, ClockChargedForOperations) {
+  SimClock clock;
+  MemFs timed("ext4", &clock);
+  timed.ProvisionFile("/f", std::string(1 << 20, 'a'));
+  uint64_t before = clock.now_ns();
+  std::string buf;
+  ASSERT_TRUE(timed.ReadAt("/f", 0, 1 << 20, &buf, Root()).ok());
+  EXPECT_GT(clock.now_ns(), before);
+}
+
+}  // namespace
+}  // namespace witos

@@ -1,0 +1,119 @@
+// NamespaceRegistry unit tests: identity, refcounting, copy semantics and
+// the per-type payload behaviours that ContainIT builds on.
+
+#include "src/os/namespaces.h"
+
+#include <gtest/gtest.h>
+
+namespace witos {
+namespace {
+
+TEST(NamespaceRegistryTest, InitialNamespacesExistForAllTypes) {
+  NamespaceRegistry registry;
+  for (size_t i = 0; i < kNsTypeCount; ++i) {
+    auto type = static_cast<NsType>(i);
+    NsId id = registry.initial(type);
+    EXPECT_TRUE(registry.Exists(id));
+    EXPECT_EQ(registry.TypeOf(id), type);
+  }
+  EXPECT_EQ(registry.live_count(), kNsTypeCount);
+}
+
+TEST(NamespaceRegistryTest, RefcountingDestroysUnreferenced) {
+  NamespaceRegistry registry;
+  NsId id = registry.Create(NsType::kUts, registry.initial(NsType::kUts));
+  registry.Ref(id);
+  registry.Ref(id);
+  registry.Unref(id);
+  EXPECT_TRUE(registry.Exists(id));
+  registry.Unref(id);
+  EXPECT_FALSE(registry.Exists(id));
+}
+
+TEST(NamespaceRegistryTest, UtsCopiesHostname) {
+  NamespaceRegistry registry;
+  registry.Uts(registry.initial(NsType::kUts)).hostname = "original";
+  NsId copy = registry.Create(NsType::kUts, registry.initial(NsType::kUts));
+  EXPECT_EQ(registry.Uts(copy).hostname, "original");
+  registry.Uts(copy).hostname = "changed";
+  EXPECT_EQ(registry.Uts(registry.initial(NsType::kUts)).hostname, "original");
+}
+
+TEST(NamespaceRegistryTest, MntCopiesTableSnapshot) {
+  NamespaceRegistry registry;
+  NsId initial = registry.initial(NsType::kMnt);
+  MountEntry entry;
+  entry.source = "sda";
+  entry.mountpoint = "/";
+  registry.Mnt(initial).table.push_back(entry);
+  NsId copy = registry.Create(NsType::kMnt, initial);
+  ASSERT_EQ(registry.Mnt(copy).table.size(), 1u);
+  // Divergence after the copy.
+  MountEntry extra;
+  extra.mountpoint = "/mnt";
+  registry.Mnt(copy).table.push_back(extra);
+  EXPECT_EQ(registry.Mnt(initial).table.size(), 1u);
+  EXPECT_EQ(registry.Mnt(copy).table.size(), 2u);
+}
+
+TEST(NamespaceRegistryTest, PidHierarchyLevelsAndDescendants) {
+  NamespaceRegistry registry;
+  NsId root = registry.initial(NsType::kPid);
+  NsId child = registry.Create(NsType::kPid, root);
+  NsId grandchild = registry.Create(NsType::kPid, child);
+  EXPECT_EQ(registry.Pidns(child).level, 1u);
+  EXPECT_EQ(registry.Pidns(grandchild).level, 2u);
+  EXPECT_TRUE(registry.PidNsIsDescendant(grandchild, root));
+  EXPECT_TRUE(registry.PidNsIsDescendant(grandchild, child));
+  EXPECT_TRUE(registry.PidNsIsDescendant(child, child));
+  EXPECT_FALSE(registry.PidNsIsDescendant(root, child));
+  NsId sibling = registry.Create(NsType::kPid, root);
+  EXPECT_FALSE(registry.PidNsIsDescendant(grandchild, sibling));
+}
+
+TEST(NamespaceRegistryTest, XclInheritsExclusionTable) {
+  NamespaceRegistry registry;
+  NsId parent = registry.Create(NsType::kXcl, registry.initial(NsType::kXcl));
+  registry.Xcl(parent).excluded = {"/secret", "/vault"};
+  NsId child = registry.Create(NsType::kXcl, parent);
+  EXPECT_EQ(registry.Xcl(child).excluded.size(), 2u);
+  EXPECT_EQ(registry.Xcl(child).parent, parent);
+  // Divergence after inheritance.
+  registry.Xcl(child).excluded.push_back("/more");
+  EXPECT_EQ(registry.Xcl(parent).excluded.size(), 2u);
+}
+
+TEST(XclNamespaceTest, ExclusionMatching) {
+  XclNamespace xcl;
+  xcl.excluded = {"/secret", "/home/user/documents"};
+  EXPECT_TRUE(xcl.IsExcluded("/secret"));
+  EXPECT_TRUE(xcl.IsExcluded("/secret/deep/file"));
+  EXPECT_TRUE(xcl.IsExcluded("/home/user/documents/x.pdf"));
+  EXPECT_FALSE(xcl.IsExcluded("/secrets"));  // no partial component match
+  EXPECT_FALSE(xcl.IsExcluded("/home/user"));
+  EXPECT_FALSE(xcl.IsExcluded("/"));
+}
+
+TEST(UidNamespaceTest, RangeMappingAndOverflow) {
+  UidNamespace ns;
+  ns.uid_map = {{0, 100000, 1}, {1000, 1000, 50}};
+  EXPECT_EQ(ns.MapUidToHost(0), 100000u);     // rootless-style root mapping
+  EXPECT_EQ(ns.MapUidToHost(1000), 1000u);    // identity range start
+  EXPECT_EQ(ns.MapUidToHost(1049), 1049u);    // inside the range
+  EXPECT_EQ(ns.MapUidToHost(1050), kOverflowUid);  // one past the range
+  EXPECT_EQ(ns.MapUidToHost(5), kOverflowUid);     // unmapped
+}
+
+TEST(CloneFlagsTest, EveryTypeHasADistinctFlag) {
+  uint32_t seen = 0;
+  for (size_t i = 0; i < kNsTypeCount; ++i) {
+    uint32_t flag = CloneFlagFor(static_cast<NsType>(i));
+    EXPECT_NE(flag, 0u);
+    EXPECT_EQ(seen & flag, 0u);  // no duplicates
+    seen |= flag;
+  }
+  EXPECT_EQ(NsTypeName(NsType::kXcl), "xcl");
+}
+
+}  // namespace
+}  // namespace witos

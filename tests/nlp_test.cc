@@ -1,0 +1,158 @@
+// Tests for the NLP substrate: tokenizer, Porter stemmer, stopwords,
+// obfuscation, spell correction.
+
+#include <gtest/gtest.h>
+
+#include "src/nlp/obfuscate.h"
+#include "src/nlp/spell.h"
+#include "src/nlp/stemmer.h"
+#include "src/nlp/stopwords.h"
+#include "src/nlp/text.h"
+
+namespace witnlp {
+namespace {
+
+TEST(TokenizeTest, LowercasesAndSplits) {
+  auto tokens = Tokenize("Hello, my MATLAB license EXPIRED!");
+  EXPECT_EQ(tokens,
+            (std::vector<std::string>{"hello", "my", "matlab", "license", "expired"}));
+}
+
+TEST(TokenizeTest, KeepsEntityTokens) {
+  auto tokens = Tokenize("cannot ping 10.0.3.7 from srv-042 under /gpfs/projects");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"cannot", "ping", "10.0.3.7", "from", "srv-042",
+                                              "under", "/gpfs/projects"}));
+}
+
+TEST(TokenizeTest, StripsTrailingPunctuation) {
+  auto tokens = Tokenize("server is down.");
+  EXPECT_EQ(tokens.back(), "down");
+}
+
+// Classic Porter test vectors.
+struct StemCase {
+  const char* in;
+  const char* out;
+};
+
+class PorterVectors : public ::testing::TestWithParam<StemCase> {};
+
+TEST_P(PorterVectors, MatchesReference) {
+  EXPECT_EQ(PorterStem(GetParam().in), GetParam().out);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Reference, PorterVectors,
+    ::testing::Values(StemCase{"caresses", "caress"}, StemCase{"ponies", "poni"},
+                      StemCase{"ties", "ti"}, StemCase{"caress", "caress"},
+                      StemCase{"cats", "cat"}, StemCase{"feed", "feed"},
+                      StemCase{"agreed", "agre"}, StemCase{"plastered", "plaster"},
+                      StemCase{"bled", "bled"}, StemCase{"motoring", "motor"},
+                      StemCase{"sing", "sing"}, StemCase{"conflated", "conflat"},
+                      StemCase{"troubled", "troubl"}, StemCase{"sized", "size"},
+                      StemCase{"hopping", "hop"}, StemCase{"tanned", "tan"},
+                      StemCase{"falling", "fall"}, StemCase{"hissing", "hiss"},
+                      StemCase{"fizzed", "fizz"}, StemCase{"failing", "fail"},
+                      StemCase{"filing", "file"}, StemCase{"happy", "happi"},
+                      StemCase{"sky", "sky"}, StemCase{"relational", "relat"},
+                      StemCase{"conditional", "condit"}, StemCase{"rational", "ration"},
+                      StemCase{"valenci", "valenc"}, StemCase{"digitizer", "digit"},
+                      StemCase{"conformabli", "conform"}, StemCase{"radicalli", "radic"},
+                      StemCase{"differentli", "differ"}, StemCase{"vileli", "vile"},
+                      StemCase{"analogousli", "analog"}, StemCase{"vietnamization", "vietnam"},
+                      StemCase{"predication", "predic"}, StemCase{"operator", "oper"},
+                      StemCase{"feudalism", "feudal"}, StemCase{"decisiveness", "decis"},
+                      StemCase{"hopefulness", "hope"}, StemCase{"callousness", "callous"},
+                      StemCase{"formaliti", "formal"}, StemCase{"sensitiviti", "sensit"},
+                      StemCase{"sensibiliti", "sensibl"}, StemCase{"triplicate", "triplic"},
+                      StemCase{"formative", "form"}, StemCase{"formalize", "formal"},
+                      StemCase{"electriciti", "electr"}, StemCase{"electrical", "electr"},
+                      StemCase{"hopeful", "hope"}, StemCase{"goodness", "good"},
+                      StemCase{"revival", "reviv"}, StemCase{"allowance", "allow"},
+                      StemCase{"inference", "infer"}, StemCase{"airliner", "airlin"},
+                      StemCase{"gyroscopic", "gyroscop"}, StemCase{"adjustable", "adjust"},
+                      StemCase{"defensible", "defens"}, StemCase{"irritant", "irrit"},
+                      StemCase{"replacement", "replac"}, StemCase{"adjustment", "adjust"},
+                      StemCase{"dependent", "depend"}, StemCase{"adoption", "adopt"},
+                      StemCase{"homologou", "homolog"}, StemCase{"communism", "commun"},
+                      StemCase{"activate", "activ"}, StemCase{"angulariti", "angular"},
+                      StemCase{"homologous", "homolog"}, StemCase{"effective", "effect"},
+                      StemCase{"bowdlerize", "bowdler"}, StemCase{"probate", "probat"},
+                      StemCase{"rate", "rate"}, StemCase{"cease", "ceas"},
+                      StemCase{"controll", "control"}, StemCase{"roll", "roll"}));
+
+TEST(PorterTest, ShortWordsUnchanged) {
+  EXPECT_EQ(PorterStem("a"), "a");
+  EXPECT_EQ(PorterStem("is"), "is");
+  EXPECT_EQ(PorterStem("be"), "be");
+}
+
+TEST(PorterTest, NonAlphaPassesThrough) {
+  EXPECT_EQ(PorterStem("10.0.0.1"), "10.0.0.1");
+  EXPECT_EQ(PorterStem("srv-042"), "srv-042");
+  EXPECT_EQ(PorterStem("<ip>"), "<ip>");
+}
+
+TEST(StopwordsTest, CommonWordsAndPleasantries) {
+  EXPECT_TRUE(IsStopWord("the"));
+  EXPECT_TRUE(IsStopWord("hello"));
+  EXPECT_TRUE(IsStopWord("please"));
+  EXPECT_FALSE(IsStopWord("matlab"));
+  EXPECT_FALSE(IsStopWord("license"));
+}
+
+TEST(ObfuscatorTest, ReplacesConfidentialEntities) {
+  Obfuscator obf;
+  EXPECT_EQ(obf.Apply(std::string("10.13.37.1")), "<ip>");
+  EXPECT_EQ(obf.Apply(std::string("srv-042")), "<server>");
+  EXPECT_EQ(obf.Apply(std::string("vm-7")), "<vm>");
+  EXPECT_EQ(obf.Apply(std::string("/gpfs/projects/secret")), "<sharedstorage>");
+  EXPECT_EQ(obf.Apply(std::string("matlab")), "matlab");
+}
+
+TEST(ObfuscatorTest, CustomDictionary) {
+  Obfuscator obf;
+  obf.AddName("manhattan", "<project>");
+  EXPECT_EQ(obf.Apply(std::string("manhattan")), "<project>");
+}
+
+TEST(ObfuscatorTest, IpDetectionEdgeCases) {
+  EXPECT_TRUE(Obfuscator::LooksLikeIp("1.2.3.4"));
+  EXPECT_FALSE(Obfuscator::LooksLikeIp("1.2.3"));
+  EXPECT_FALSE(Obfuscator::LooksLikeIp("1.2.3.4.5"));
+  EXPECT_FALSE(Obfuscator::LooksLikeIp("1..3.4"));
+  EXPECT_FALSE(Obfuscator::LooksLikeIp("version1.2.3.4"));
+  EXPECT_FALSE(Obfuscator::LooksLikeIp("1234.1.1.1"));
+}
+
+TEST(PipelineTest, FullPreprocessing) {
+  TextPipeline pipeline;
+  auto tokens = pipeline.Process("Hello, please help: my matlab LICENSES on srv-042 expired");
+  // "hello"/"please"/"help"/"my"/"on" are stopwords; license is stemmed;
+  // srv-042 is obfuscated.
+  EXPECT_EQ(tokens, (std::vector<std::string>{"matlab", "licens", "<server>", "expir"}));
+}
+
+TEST(SpellTest, EditDistance) {
+  EXPECT_EQ(SpellCorrector::EditDistanceCapped("abc", "abc"), 0);
+  EXPECT_EQ(SpellCorrector::EditDistanceCapped("abc", "abd"), 1);
+  EXPECT_EQ(SpellCorrector::EditDistanceCapped("abc", "acb"), 1);  // transposition
+  EXPECT_EQ(SpellCorrector::EditDistanceCapped("abc", "ab"), 1);
+  EXPECT_EQ(SpellCorrector::EditDistanceCapped("abc", "xyz"), 3);  // capped
+}
+
+TEST(SpellTest, CorrectsToMostFrequentNeighbor) {
+  Corpus corpus;
+  corpus.AddDocument({"license", "license", "license", "licence"});
+  SpellCorrector spell(&corpus.vocab());
+  EXPECT_EQ(spell.Correct(std::string("licens")), "license");
+  // In-vocabulary words pass through.
+  EXPECT_EQ(spell.Correct(std::string("licence")), "licence");
+  // Far-away garbage passes through.
+  EXPECT_EQ(spell.Correct(std::string("zzzzzz")), "zzzzzz");
+  // Placeholders are never "corrected".
+  EXPECT_EQ(spell.Correct(std::string("<ip>")), "<ip>");
+}
+
+}  // namespace
+}  // namespace witnlp

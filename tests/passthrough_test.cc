@@ -1,0 +1,102 @@
+// Pass-through read/write (paper §7.3): data ops bypass the ITFS daemon
+// after an approved open — faster, same policy enforcement at open time.
+
+#include <gtest/gtest.h>
+
+#include "src/container/containit.h"
+#include "src/fs/fuse.h"
+#include "src/fs/itfs.h"
+#include "src/os/memfs.h"
+
+namespace witfs {
+namespace {
+
+witos::Credentials Root() { return witos::Credentials{}; }
+
+class PassthroughTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    lower_ = std::make_shared<witos::MemFs>("ext4", &clock_);
+    lower_->ProvisionFile("/data/notes.txt", "hello passthrough");
+    lower_->ProvisionFile("/data/secret.pdf", "%PDF-1.4 classified");
+    ItfsPolicy policy;
+    policy.AddRule(ItfsPolicy::DenyDocumentsRule());
+    itfs_ = std::make_shared<Itfs>(lower_, std::move(policy), Root(), &clock_);
+    fuse_ = std::make_shared<FuseMount>(itfs_, &clock_);
+    fuse_->EnablePassthrough(lower_);
+  }
+
+  witos::SimClock clock_;
+  std::shared_ptr<witos::MemFs> lower_;
+  std::shared_ptr<Itfs> itfs_;
+  std::shared_ptr<FuseMount> fuse_;
+};
+
+TEST_F(PassthroughTest, ApprovedOpenEnablesDirectData) {
+  ASSERT_TRUE(fuse_->Open("/data/notes.txt", witos::kOpenRead, 0, Root()).ok());
+  uint64_t crossings_before = fuse_->crossings();
+  std::string buf;
+  ASSERT_TRUE(fuse_->ReadAt("/data/notes.txt", 0, 64, &buf, Root()).ok());
+  EXPECT_EQ(buf, "hello passthrough");
+  // No userspace round trip for the data op.
+  EXPECT_EQ(fuse_->crossings(), crossings_before);
+  EXPECT_EQ(fuse_->passthrough_ops(), 1u);
+}
+
+TEST_F(PassthroughTest, PolicyStillEnforcedAtOpen) {
+  EXPECT_EQ(fuse_->Open("/data/secret.pdf", witos::kOpenRead, 0, Root()).error(),
+            witos::Err::kAcces);
+  // The denied file never becomes passthrough-eligible: a direct data read
+  // still takes the monitored path (and is what the kernel would do only
+  // after a successful open anyway).
+  std::string buf;
+  uint64_t crossings_before = fuse_->crossings();
+  (void)fuse_->ReadAt("/data/secret.pdf", 0, 16, &buf, Root());
+  EXPECT_GT(fuse_->crossings(), crossings_before);
+}
+
+TEST_F(PassthroughTest, UnlinkRevokesApproval) {
+  ASSERT_TRUE(fuse_->Open("/data/notes.txt", witos::kOpenRead, 0, Root()).ok());
+  ASSERT_TRUE(fuse_->Unlink("/data/notes.txt", Root()).ok());
+  lower_->ProvisionFile("/data/notes.txt", "recreated");
+  std::string buf;
+  uint64_t crossings_before = fuse_->crossings();
+  ASSERT_TRUE(fuse_->ReadAt("/data/notes.txt", 0, 16, &buf, Root()).ok());
+  EXPECT_GT(fuse_->crossings(), crossings_before);  // back through the daemon
+}
+
+TEST_F(PassthroughTest, DataOpsCheaperThanDaemonPath) {
+  ASSERT_TRUE(fuse_->Open("/data/notes.txt", witos::kOpenRead, 0, Root()).ok());
+  std::string buf;
+  uint64_t t0 = clock_.now_ns();
+  ASSERT_TRUE(fuse_->ReadAt("/data/notes.txt", 0, 16, &buf, Root()).ok());
+  uint64_t passthrough_cost = clock_.now_ns() - t0;
+
+  // The same read through a non-passthrough mount.
+  FuseMount plain(itfs_, &clock_);
+  uint64_t t1 = clock_.now_ns();
+  ASSERT_TRUE(plain.ReadAt("/data/notes.txt", 0, 16, &buf, Root()).ok());
+  uint64_t daemon_cost = clock_.now_ns() - t1;
+  EXPECT_LT(passthrough_cost + clock_.costs().fuse_crossing_ns, daemon_cost + 1);
+}
+
+TEST(PassthroughContainerTest, WholeRootPassthroughContainer) {
+  witos::Kernel kernel("host");
+  kernel.root_fs().ProvisionFile("/home/user/notes.txt", "data");
+  kernel.root_fs().ProvisionFile("/home/user/doc.pdf", "%PDF-1.4 secret");
+  witcontain::ContainIt containit(&kernel, nullptr);
+  witcontain::PerforatedContainerSpec spec;
+  spec.name = "pt";
+  spec.fs.kind = witcontain::FsView::Kind::kWholeRoot;
+  spec.fs.policy.AddRule(witfs::ItfsPolicy::DenyDocumentsRule());
+  spec.fs.passthrough = true;
+  auto id = containit.Deploy(spec, "TKT", "alice");
+  ASSERT_TRUE(id.ok());
+  witos::Pid shell = containit.FindSession(*id)->shell;
+  // Reads work and the document filter still bites.
+  EXPECT_EQ(*kernel.ReadFile(shell, "/home/user/notes.txt"), "data");
+  EXPECT_EQ(kernel.ReadFile(shell, "/home/user/doc.pdf").error(), witos::Err::kAcces);
+}
+
+}  // namespace
+}  // namespace witfs

@@ -1,0 +1,103 @@
+#include "src/os/path.h"
+
+#include <gtest/gtest.h>
+
+namespace witos {
+namespace {
+
+TEST(PathTest, SplitDropsDotAndEmpty) {
+  EXPECT_EQ(SplitPath("/a//b/./c"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(SplitPath("/").empty());
+  EXPECT_TRUE(SplitPath("").empty());
+  EXPECT_EQ(SplitPath("a/b"), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(PathTest, SplitKeepsDotDot) {
+  EXPECT_EQ(SplitPath("/a/../b"), (std::vector<std::string>{"a", "..", "b"}));
+}
+
+TEST(PathTest, NormalizeBasics) {
+  EXPECT_EQ(NormalizePath("/"), "/");
+  EXPECT_EQ(NormalizePath(""), "/");
+  EXPECT_EQ(NormalizePath("/a/b/"), "/a/b");
+  EXPECT_EQ(NormalizePath("//a///b"), "/a/b");
+  EXPECT_EQ(NormalizePath("/a/./b"), "/a/b");
+}
+
+TEST(PathTest, NormalizeClampsDotDotAtRoot) {
+  EXPECT_EQ(NormalizePath("/.."), "/");
+  EXPECT_EQ(NormalizePath("/../../etc"), "/etc");
+  EXPECT_EQ(NormalizePath("/a/../../b"), "/b");
+  EXPECT_EQ(NormalizePath("/a/b/../c"), "/a/c");
+}
+
+TEST(PathTest, ResolveRelativeAgainstCwd) {
+  EXPECT_EQ(ResolvePath("/home/user", "docs"), "/home/user/docs");
+  EXPECT_EQ(ResolvePath("/home/user", "../other"), "/home/other");
+  EXPECT_EQ(ResolvePath("/home/user", "/abs"), "/abs");
+}
+
+TEST(PathTest, JoinHandlesSlashes) {
+  EXPECT_EQ(JoinPath("/a", "b"), "/a/b");
+  EXPECT_EQ(JoinPath("/a/", "/b"), "/a/b");
+  EXPECT_EQ(JoinPath("/a/", "b"), "/a/b");
+  EXPECT_EQ(JoinPath("/a", "/b"), "/a/b");
+  EXPECT_EQ(JoinPath("", "b"), "b");
+  EXPECT_EQ(JoinPath("/a", ""), "/a");
+}
+
+TEST(PathTest, PathIsUnder) {
+  EXPECT_TRUE(PathIsUnder("/a/b", "/a"));
+  EXPECT_TRUE(PathIsUnder("/a", "/a"));
+  EXPECT_TRUE(PathIsUnder("/anything", "/"));
+  EXPECT_FALSE(PathIsUnder("/ab", "/a"));  // no partial-component match
+  EXPECT_FALSE(PathIsUnder("/a", "/a/b"));
+}
+
+TEST(PathTest, RebasePath) {
+  EXPECT_EQ(RebasePath("/ConFS/etc/passwd", "/ConFS", "/"), "/etc/passwd");
+  EXPECT_EQ(RebasePath("/etc/passwd", "/", "/jail"), "/jail/etc/passwd");
+  EXPECT_EQ(RebasePath("/ConFS", "/ConFS", "/"), "/");
+  EXPECT_EQ(RebasePath("/a/x", "/a", "/b/c"), "/b/c/x");
+}
+
+TEST(PathTest, BasenameDirname) {
+  EXPECT_EQ(Basename("/a/b/c"), "c");
+  EXPECT_EQ(Basename("/"), "/");
+  EXPECT_EQ(Dirname("/a/b/c"), "/a/b");
+  EXPECT_EQ(Dirname("/a"), "/");
+  EXPECT_EQ(Dirname("/"), "/");
+}
+
+TEST(PathTest, ExtensionLowercasesAndHandlesEdgeCases) {
+  EXPECT_EQ(Extension("/x/report.PDF"), "pdf");
+  EXPECT_EQ(Extension("/x/archive.tar.gz"), "gz");
+  EXPECT_EQ(Extension("/x/noext"), "");
+  EXPECT_EQ(Extension("/x/.hidden"), "");
+  EXPECT_EQ(Extension("/x/trailing."), "");
+}
+
+// Property sweep: normalization is idempotent and always yields an absolute
+// path without dot components.
+class NormalizeProperty : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(NormalizeProperty, IdempotentAbsoluteClean) {
+  std::string norm = NormalizePath(GetParam());
+  EXPECT_TRUE(IsAbsolutePath(norm));
+  EXPECT_EQ(NormalizePath(norm), norm);
+  for (const auto& comp : SplitPath(norm)) {
+    EXPECT_NE(comp, ".");
+    EXPECT_NE(comp, "..");
+  }
+  if (norm != "/") {
+    EXPECT_NE(norm.back(), '/');
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Paths, NormalizeProperty,
+                         ::testing::Values("/", "", "a/b/c", "/a/../../../b", "/./././x",
+                                           "////", "/a/b/c/../../../..", "x/../y/../z",
+                                           "/etc//passwd/", "../..", "/a/./b/./c/./"));
+
+}  // namespace
+}  // namespace witos

@@ -1,0 +1,95 @@
+// ProcFs tests: the per-PID-namespace /proc view.
+
+#include "src/os/procfs.h"
+
+#include <gtest/gtest.h>
+
+#include "src/os/kernel.h"
+
+namespace witos {
+namespace {
+
+class ProcFsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    worker_ = *kernel_.Clone(1, "worker", 0);
+    contained_ = *kernel_.Clone(1, "contained", kCloneNewPid | kCloneNewMnt);
+    // Mount a procfs bound to the *container's* PID namespace inside it.
+    auto procfs = std::make_shared<ProcFs>(
+        &kernel_, kernel_.FindProcess(contained_)->ns.Get(NsType::kPid));
+    ASSERT_TRUE(kernel_.Mount(contained_, procfs, "/proc", "proc").ok());
+    // And a host-wide procfs for the host.
+    auto host_procfs =
+        std::make_shared<ProcFs>(&kernel_, kernel_.namespaces().initial(NsType::kPid));
+    ASSERT_TRUE(kernel_.Mount(1, host_procfs, "/proc", "proc").ok());
+  }
+
+  Kernel kernel_{"host"};
+  Pid worker_ = kNoPid;
+  Pid contained_ = kNoPid;
+};
+
+TEST_F(ProcFsTest, RootListingReflectsNamespace) {
+  auto host_entries = kernel_.ReadDir(1, "/proc");
+  ASSERT_TRUE(host_entries.ok());
+  size_t host_pids = 0;
+  for (const auto& entry : *host_entries) {
+    host_pids += entry.type == FileType::kDirectory ? 1 : 0;
+  }
+  EXPECT_EQ(host_pids, 3u);  // init, worker, contained
+
+  auto inner_entries = kernel_.ReadDir(contained_, "/proc");
+  ASSERT_TRUE(inner_entries.ok());
+  size_t inner_pids = 0;
+  for (const auto& entry : *inner_entries) {
+    inner_pids += entry.type == FileType::kDirectory ? 1 : 0;
+  }
+  EXPECT_EQ(inner_pids, 1u);  // only itself, as pid 1
+}
+
+TEST_F(ProcFsTest, StatusRendersLocalPid) {
+  auto status = kernel_.ReadFile(contained_, "/proc/1/status");
+  ASSERT_TRUE(status.ok());
+  EXPECT_NE(status->find("Name:\tcontained"), std::string::npos);
+  EXPECT_NE(status->find("Pid:\t1"), std::string::npos);
+}
+
+TEST_F(ProcFsTest, CmdlineAndUptime) {
+  EXPECT_EQ(*kernel_.ReadFile(1, "/proc/1/cmdline"), "init\n");
+  kernel_.clock().Advance(5ull * 1000000000ull);
+  EXPECT_EQ(*kernel_.ReadFile(1, "/proc/uptime"), "5\n");
+}
+
+TEST_F(ProcFsTest, NsFileShowsNamespaceIds) {
+  auto ns = kernel_.ReadFile(contained_, "/proc/1/ns");
+  ASSERT_TRUE(ns.ok());
+  EXPECT_NE(ns->find("pid:["), std::string::npos);
+  EXPECT_NE(ns->find("mnt:["), std::string::npos);
+  // The contained process's pid ns id differs from the host's.
+  auto host_ns = kernel_.ReadFile(1, "/proc/1/ns");
+  ASSERT_TRUE(host_ns.ok());
+  EXPECT_NE(*ns, *host_ns);
+}
+
+TEST_F(ProcFsTest, NonexistentPidIsNoEnt) {
+  EXPECT_EQ(kernel_.ReadFile(1, "/proc/999/status").error(), Err::kNoEnt);
+  EXPECT_EQ(kernel_.ReadFile(1, "/proc/abc/status").error(), Err::kNoEnt);
+}
+
+TEST_F(ProcFsTest, ReadOnly) {
+  EXPECT_EQ(kernel_.WriteFile(1, "/proc/1/status", "hacked").error(), Err::kRoFs);
+  EXPECT_EQ(kernel_.MkDir(1, "/proc/evil").error(), Err::kRoFs);
+  EXPECT_EQ(kernel_.Unlink(1, "/proc/uptime").error(), Err::kRoFs);
+}
+
+TEST_F(ProcFsTest, DeadPidDisappears) {
+  ASSERT_TRUE(kernel_.ReadFile(1, "/proc/" + std::to_string(worker_) + "/status").ok());
+  ASSERT_TRUE(kernel_.Exit(worker_, 0).ok());
+  ASSERT_TRUE(kernel_.Wait(1).ok());  // reap
+  // No DropCaches needed: procfs is uncacheable, so the view is fresh.
+  EXPECT_EQ(kernel_.ReadFile(1, "/proc/" + std::to_string(worker_) + "/status").error(),
+            Err::kNoEnt);
+}
+
+}  // namespace
+}  // namespace witos

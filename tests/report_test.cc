@@ -1,0 +1,109 @@
+// Forensic reporting tests: a benign session scores low; a probing rogue
+// floats to the top of the triage queue.
+
+#include "src/core/report.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/cluster.h"
+#include "src/core/session.h"
+
+namespace watchit {
+namespace {
+
+class ReportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    machine_ = &cluster_.AddMachine("userpc", witnet::Ipv4Addr(10, 0, 1, 50));
+    manager_ = std::make_unique<ClusterManager>(&cluster_);
+  }
+
+  Deployment Deploy(const std::string& cls, const std::string& id, const std::string& admin) {
+    Ticket ticket;
+    ticket.id = id;
+    ticket.target_machine = "userpc";
+    ticket.assigned_class = cls;
+    ticket.admin = admin;
+    return *manager_->Deploy(ticket);
+  }
+
+  Cluster cluster_;
+  Machine* machine_ = nullptr;
+  std::unique_ptr<ClusterManager> manager_;
+};
+
+TEST_F(ReportTest, BenignSessionScoresLow) {
+  Deployment deployment = Deploy("T-1", "TKT-GOOD", "alice");
+  AdminSession session(machine_, deployment.session, deployment.certificate, &cluster_.ca());
+  ASSERT_TRUE(session.Login().ok());
+  ASSERT_TRUE(session.ReadFile("/home/user/.matlab/license.lic").ok());
+  ASSERT_TRUE(session.Connect("license-server", 0).ok());
+
+  ForensicReporter reporter(machine_);
+  auto forensics = reporter.Collect(deployment.session);
+  ASSERT_TRUE(forensics.ok());
+  EXPECT_EQ(forensics->admin, "alice");
+  EXPECT_GT(forensics->fs_ops, 0u);
+  EXPECT_EQ(forensics->fs_denied, 0u);
+  EXPECT_EQ(forensics->severity, 0);
+  std::string rendered = ForensicReporter::Render(*forensics);
+  EXPECT_NE(rendered.find("TKT-GOOD"), std::string::npos);
+  EXPECT_NE(rendered.find("severity: 0"), std::string::npos);
+}
+
+TEST_F(ReportTest, ProbingSessionScoresHighAndTriagesFirst) {
+  Deployment good = Deploy("T-1", "TKT-GOOD", "alice");
+  AdminSession good_session(machine_, good.session, good.certificate, &cluster_.ca());
+  ASSERT_TRUE(good_session.Login().ok());
+  (void)good_session.ReadFile("/home/user/.matlab/license.lic");
+
+  Deployment bad = Deploy("T-6", "TKT-BAD", "mallory");
+  AdminSession bad_session(machine_, bad.session, bad.certificate, &cluster_.ca());
+  ASSERT_TRUE(bad_session.Login().ok());
+  witos::Kernel& kernel = machine_->kernel();
+  witos::Pid shell = bad_session.shell();
+  // Probe the sandbox: chroot escape, /dev/mem, classified file.
+  (void)kernel.MkDir(shell, "/tmp/jailbreak");
+  (void)kernel.Chroot(shell, "/tmp/jailbreak");
+  (void)kernel.Open(shell, "/dev/mem", witos::kOpenRead);
+  (void)bad_session.ReadFile("/home/user/documents/payroll.xlsx");
+  (void)bad_session.ReadFile("/home/user/documents/patients.pdf");
+
+  ForensicReporter reporter(machine_);
+  auto bad_forensics = reporter.Collect(bad.session);
+  ASSERT_TRUE(bad_forensics.ok());
+  EXPECT_GE(bad_forensics->capability_denials, 2u);
+  EXPECT_GE(bad_forensics->fs_denied, 2u);
+  EXPECT_GT(bad_forensics->severity, 30);
+  EXPECT_FALSE(bad_forensics->denied_paths.empty());
+
+  auto queue = reporter.TriageQueue();
+  ASSERT_EQ(queue.size(), 2u);
+  EXPECT_EQ(queue[0].ticket_id, "TKT-BAD");
+  EXPECT_EQ(queue[1].ticket_id, "TKT-GOOD");
+  EXPECT_GT(queue[0].severity, queue[1].severity);
+}
+
+TEST_F(ReportTest, BrokerActivityAppearsInReport) {
+  Deployment deployment = Deploy("T-5", "TKT-PB", "alice");
+  AdminSession session(machine_, deployment.session, deployment.certificate, &cluster_.ca());
+  ASSERT_TRUE(session.Login().ok());
+  ASSERT_TRUE(session.Pb(witbroker::kVerbPs, {}).ok());
+  ASSERT_FALSE(session.Pb(witbroker::kVerbDriverUpdate, {"rootkit"}).ok());  // denied
+
+  ForensicReporter reporter(machine_);
+  auto forensics = reporter.Collect(deployment.session);
+  ASSERT_TRUE(forensics.ok());
+  EXPECT_EQ(forensics->broker_requests, 2u);
+  EXPECT_EQ(forensics->broker_denied, 1u);
+  std::string rendered = ForensicReporter::Render(*forensics);
+  EXPECT_NE(rendered.find("DENY driver_update rootkit"), std::string::npos);
+}
+
+TEST_F(ReportTest, UnknownSessionIsSrch) {
+  ForensicReporter reporter(machine_);
+  EXPECT_EQ(reporter.Collect(999).error(), witos::Err::kSrch);
+}
+
+}  // namespace
+}  // namespace watchit

@@ -1,0 +1,100 @@
+// Transport encryption on the broker channel (paper §5.4's SSL note).
+
+#include <gtest/gtest.h>
+
+#include "src/broker/rpc.h"
+
+namespace witbroker {
+namespace {
+
+RpcChannel::Handler EchoHandler() {
+  return [](const RpcRequest& request) {
+    RpcResponse resp;
+    resp.ok = true;
+    resp.payload = "echo:" + request.method;
+    return resp;
+  };
+}
+
+TEST(RpcCryptoTest, EncryptedCallRoundTrips) {
+  RpcChannel channel;
+  channel.Bind(EchoHandler());
+  channel.EnableEncryption(0x5ec23e7);
+  EXPECT_TRUE(channel.encrypted());
+  RpcRequest request;
+  request.method = "ps";
+  request.admin = "alice";
+  auto response = channel.Call(request);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->payload, "echo:ps");
+}
+
+TEST(RpcCryptoTest, CiphertextDiffersFromPlaintextLength) {
+  RpcChannel plain;
+  plain.Bind(EchoHandler());
+  RpcChannel encrypted;
+  encrypted.Bind(EchoHandler());
+  encrypted.EnableEncryption(42);
+  RpcRequest request;
+  request.method = "kill";
+  request.args = {"7"};
+  ASSERT_TRUE(plain.Call(request).ok());
+  ASSERT_TRUE(encrypted.Call(request).ok());
+  // Nonce + MAC add 16 bytes per frame (two frames per call).
+  EXPECT_EQ(encrypted.bytes_on_wire(), plain.bytes_on_wire() + 32);
+}
+
+TEST(RpcCryptoTest, TamperedFrameRejected) {
+  RpcChannel channel;
+  bool handler_ran = false;
+  channel.Bind([&handler_ran](const RpcRequest&) {
+    handler_ran = true;
+    RpcResponse resp;
+    resp.ok = true;
+    return resp;
+  });
+  channel.EnableEncryption(99);
+  channel.CorruptNextFrameForTest();
+  RpcRequest request;
+  request.method = "ps";
+  auto response = channel.Call(request);
+  EXPECT_FALSE(response.ok());
+  EXPECT_EQ(response.error(), witos::Err::kIo);
+  // The MITM-corrupted request never reached the broker.
+  EXPECT_FALSE(handler_ran);
+}
+
+TEST(RpcCryptoTest, UnencryptedCorruptionBreaksFraming) {
+  // Without encryption, a flipped byte may corrupt fields silently or break
+  // framing — the MAC is what turns tampering into a hard failure.
+  RpcChannel channel;
+  channel.Bind(EchoHandler());
+  channel.CorruptNextFrameForTest();
+  RpcRequest request;
+  request.method = "ps";
+  request.ticket_id = "TKT-123456";
+  (void)channel.Call(request);  // may succeed with garbled fields — no MAC
+  SUCCEED();
+}
+
+TEST(RpcCryptoTest, FramesUseFreshNonces) {
+  RpcChannel channel;
+  std::vector<std::string> seen_methods;
+  channel.Bind([&seen_methods](const RpcRequest& request) {
+    seen_methods.push_back(request.method);
+    RpcResponse resp;
+    resp.ok = true;
+    return resp;
+  });
+  channel.EnableEncryption(7);
+  RpcRequest request;
+  request.method = "ps";
+  // Two identical requests: both must decrypt correctly despite distinct
+  // keystreams (no keystream reuse).
+  ASSERT_TRUE(channel.Call(request).ok());
+  ASSERT_TRUE(channel.Call(request).ok());
+  EXPECT_EQ(seen_methods, (std::vector<std::string>{"ps", "ps"}));
+}
+
+}  // namespace
+}  // namespace witbroker

@@ -1,0 +1,153 @@
+// Tests for the ITFS policy DSL and the Snort-flavoured sniffer rule DSL.
+
+#include <gtest/gtest.h>
+
+#include "src/fs/itfs.h"
+#include "src/fs/ruledsl.h"
+#include "src/net/snort_rules.h"
+#include "src/os/memfs.h"
+
+namespace witfs {
+namespace {
+
+TEST(RuleDslTest, ParsesFullPolicy) {
+  const char* text = R"(
+# organizational filtering policy
+mode signature
+scan-limit 4096
+log-all off
+deny ext:pdf,docx,xlsx name=no-documents
+deny signature:jpeg,png,zip-office
+deny path:/usr/watchit,/etc/watchit name=protect-watchit
+log  path:/etc
+deny ext:key write-only
+)";
+  std::string error;
+  auto parsed = ParseItfsPolicy(text, &error);
+  ASSERT_TRUE(parsed.ok()) << error;
+  EXPECT_EQ(parsed->rule_count, 5u);
+  EXPECT_EQ(parsed->policy.inspection_mode(), InspectionMode::kSignature);
+  EXPECT_EQ(parsed->policy.content_scan_limit(), 4096u);
+  EXPECT_FALSE(parsed->policy.log_all());
+}
+
+TEST(RuleDslTest, ParsedPolicyEnforces) {
+  const char* text = R"(
+deny ext:pdf name=no-pdf
+deny path:/usr/watchit
+log  path:/etc name=watch-etc
+deny ext:conf write-only name=ro-conf
+)";
+  auto parsed = ParseItfsPolicy(text);
+  ASSERT_TRUE(parsed.ok());
+  const ItfsPolicy& policy = parsed->policy;
+  EXPECT_TRUE(policy.Evaluate(ItfsOpKind::kOpen, "/home/x.pdf", "").deny);
+  EXPECT_TRUE(policy.Evaluate(ItfsOpKind::kOpen, "/usr/watchit/bin", "").deny);
+  auto log_hit = policy.Evaluate(ItfsOpKind::kOpen, "/etc/passwd", "");
+  EXPECT_FALSE(log_hit.deny);
+  EXPECT_EQ(log_hit.rule, "watch-etc");
+  // write-only: reads pass, writes denied.
+  EXPECT_FALSE(policy.Evaluate(ItfsOpKind::kOpen, "/etc/app.conf", "").deny);
+  EXPECT_TRUE(policy.Evaluate(ItfsOpKind::kWrite, "/etc/app.conf", "").deny);
+}
+
+TEST(RuleDslTest, ParsedPolicyWorksInsideItfs) {
+  auto lower = std::make_shared<witos::MemFs>();
+  lower->ProvisionFile("/home/report.pdf", "%PDF");
+  lower->ProvisionFile("/home/notes.txt", "ok");
+  auto parsed = ParseItfsPolicy("deny ext:pdf\n");
+  ASSERT_TRUE(parsed.ok());
+  Itfs itfs(lower, parsed->policy, witos::Credentials{});
+  witos::Credentials admin;
+  EXPECT_EQ(itfs.Open("/home/report.pdf", witos::kOpenRead, 0, admin).error(),
+            witos::Err::kAcces);
+  EXPECT_TRUE(itfs.Open("/home/notes.txt", witos::kOpenRead, 0, admin).ok());
+}
+
+struct BadPolicyCase {
+  const char* text;
+  const char* why;
+};
+
+class BadPolicy : public ::testing::TestWithParam<BadPolicyCase> {};
+
+TEST_P(BadPolicy, Rejected) {
+  std::string error;
+  auto parsed = ParseItfsPolicy(GetParam().text, &error);
+  EXPECT_FALSE(parsed.ok()) << GetParam().why;
+  EXPECT_FALSE(error.empty());
+  EXPECT_EQ(error.compare(0, 5, "line "), 0) << error;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, BadPolicy,
+    ::testing::Values(BadPolicyCase{"allow ext:pdf\n", "unknown action"},
+                      BadPolicyCase{"deny\n", "no selector"},
+                      BadPolicyCase{"deny gibberish\n", "not a selector"},
+                      BadPolicyCase{"deny signature:virus\n", "unknown class"},
+                      BadPolicyCase{"deny color:red\n", "unknown selector kind"},
+                      BadPolicyCase{"mode paranoid\n", "bad mode"},
+                      BadPolicyCase{"scan-limit lots\n", "bad scan limit"},
+                      BadPolicyCase{"log-all maybe\n", "bad log-all"}));
+
+TEST(RuleDslTest, FileClassNamesRoundTrip) {
+  for (FileClass cls : {FileClass::kText, FileClass::kJpeg, FileClass::kPdf,
+                        FileClass::kZipOffice, FileClass::kEncrypted}) {
+    EXPECT_EQ(FileClassFromName(FileClassName(cls)), cls);
+  }
+  EXPECT_EQ(FileClassFromName("virus"), FileClass::kUnknown);
+}
+
+}  // namespace
+}  // namespace witfs
+
+namespace witnet {
+namespace {
+
+TEST(SnortRulesTest, ParsesAndEnforces) {
+  const char* text = R"(
+# exfiltration defences
+block signature:pdf,jpeg,zip-office name=no-doc-exfil
+block entropy>7.2
+block dst-not-in:10.0.0.0/8 name=org-only
+alert content:"CONFIDENTIAL" name=keyword
+)";
+  Sniffer sniffer;
+  std::string error;
+  ASSERT_TRUE(LoadSnifferRules(&sniffer, text, &error).ok()) << error;
+
+  // Document payload blocked.
+  EXPECT_TRUE(
+      sniffer.Inspect({Ipv4Addr(), Ipv4Addr(10, 0, 0, 1), 80, "%PDF-1.4 data"}, 0).blocked);
+  // Off-org destination blocked.
+  EXPECT_TRUE(
+      sniffer.Inspect({Ipv4Addr(), Ipv4Addr(203, 0, 113, 9), 80, "plain"}, 0).blocked);
+  // Keyword only alerts.
+  auto result =
+      sniffer.Inspect({Ipv4Addr(), Ipv4Addr(10, 0, 0, 1), 80, "this is CONFIDENTIAL"}, 0);
+  EXPECT_FALSE(result.blocked);
+  ASSERT_EQ(result.fired_rules.size(), 1u);
+  EXPECT_EQ(result.fired_rules[0], "keyword");
+  // Benign in-org traffic passes clean.
+  EXPECT_FALSE(sniffer.Inspect({Ipv4Addr(), Ipv4Addr(10, 0, 0, 1), 80, "hello"}, 0).blocked);
+}
+
+TEST(SnortRulesTest, QuotedContentKeepsSpaces) {
+  auto rules = ParseSnifferRules("alert content:\"top secret\"\n");
+  ASSERT_TRUE(rules.ok());
+  ASSERT_EQ(rules->size(), 1u);
+  EXPECT_EQ((*rules)[0].payload_contains, "top secret");
+}
+
+TEST(SnortRulesTest, BadRulesRejectedWithLineInfo) {
+  std::string error;
+  EXPECT_FALSE(ParseSnifferRules("drop signature:pdf\n", &error).ok());
+  EXPECT_NE(error.find("line 1"), std::string::npos);
+  EXPECT_FALSE(ParseSnifferRules("block entropy>high\n", &error).ok());
+  EXPECT_FALSE(ParseSnifferRules("block dst-not-in:999.1.1.1\n", &error).ok());
+  EXPECT_FALSE(ParseSnifferRules("block\n", &error).ok());
+  EXPECT_FALSE(ParseSnifferRules("block content:unquoted\n", &error).ok());
+}
+
+}  // namespace
+}  // namespace witnet

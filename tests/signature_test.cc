@@ -1,0 +1,65 @@
+#include "src/fs/signature.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace witfs {
+namespace {
+
+TEST(SignatureTest, DetectsCommonFormats) {
+  EXPECT_EQ(DetectSignature("\xFF\xD8\xFF\xE0 jfif"), FileClass::kJpeg);
+  EXPECT_EQ(DetectSignature("\x89PNG\r\n\x1a\n...."), FileClass::kPng);
+  EXPECT_EQ(DetectSignature("GIF89a...."), FileClass::kGif);
+  EXPECT_EQ(DetectSignature("%PDF-1.7 ..."), FileClass::kPdf);
+  EXPECT_EQ(DetectSignature(std::string("PK\x03\x04") + "word/"), FileClass::kZipOffice);
+  EXPECT_EQ(DetectSignature("\xD0\xCF\x11\xE0\xA1\xB1\x1A\xE1"), FileClass::kOleOffice);
+  EXPECT_EQ(DetectSignature(std::string("\x7f") + "ELF\x02"), FileClass::kElf);
+  EXPECT_EQ(DetectSignature("\x1f\x8b\x08"), FileClass::kGzip);
+}
+
+TEST(SignatureTest, PlainTextIsText) {
+  EXPECT_EQ(DetectSignature("hello world\nthis is a config file\n"), FileClass::kText);
+  EXPECT_EQ(DetectSignature(""), FileClass::kText);
+}
+
+TEST(SignatureTest, HighEntropyIsEncrypted) {
+  std::mt19937 rng(42);
+  std::string random_bytes;
+  for (int i = 0; i < 4096; ++i) {
+    random_bytes += static_cast<char>(rng() & 0xff);
+  }
+  // Avoid accidentally matching a magic prefix.
+  random_bytes[0] = '\x01';
+  random_bytes[1] = '\x02';
+  EXPECT_EQ(DetectSignature(random_bytes), FileClass::kEncrypted);
+}
+
+TEST(SignatureTest, EntropyBounds) {
+  EXPECT_DOUBLE_EQ(ShannonEntropy(""), 0.0);
+  EXPECT_DOUBLE_EQ(ShannonEntropy("aaaa"), 0.0);
+  // Two symbols, equal frequency: exactly 1 bit/byte.
+  EXPECT_DOUBLE_EQ(ShannonEntropy("abababab"), 1.0);
+  std::string all_bytes;
+  for (int i = 0; i < 256; ++i) {
+    all_bytes += static_cast<char>(i);
+  }
+  EXPECT_NEAR(ShannonEntropy(all_bytes), 8.0, 1e-9);
+}
+
+TEST(SignatureTest, DocumentOrImageClassification) {
+  EXPECT_TRUE(IsDocumentOrImage(FileClass::kPdf));
+  EXPECT_TRUE(IsDocumentOrImage(FileClass::kJpeg));
+  EXPECT_TRUE(IsDocumentOrImage(FileClass::kZipOffice));
+  EXPECT_FALSE(IsDocumentOrImage(FileClass::kText));
+  EXPECT_FALSE(IsDocumentOrImage(FileClass::kElf));
+  EXPECT_FALSE(IsDocumentOrImage(FileClass::kEncrypted));
+}
+
+TEST(SignatureTest, NamesAreStable) {
+  EXPECT_EQ(FileClassName(FileClass::kZipOffice), "zip-office");
+  EXPECT_EQ(FileClassName(FileClass::kEncrypted), "encrypted");
+}
+
+}  // namespace
+}  // namespace witfs

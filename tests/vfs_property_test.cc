@@ -1,0 +1,137 @@
+// VFS property tests: longest-prefix mount resolution against an oracle,
+// bind-mount aliasing, and chroot confinement over randomized path walks.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "src/os/kernel.h"
+#include "src/os/path.h"
+
+namespace witos {
+namespace {
+
+// Builds a nested mount tree; every mounted fs carries a marker file naming
+// it. The oracle: for any path P, the serving fs is the mount with the
+// longest mountpoint prefix of P.
+class MountTreeTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(MountTreeTest, LongestPrefixWinsEverywhere) {
+  Kernel kernel("host");
+  std::mt19937 rng(GetParam());
+
+  // Candidate mountpoints, nested several levels deep.
+  std::vector<std::string> mountpoints = {"/a",          "/a/b",     "/a/b/c", "/a/x",
+                                          "/d",          "/d/e",     "/f",     "/a/b/c/g",
+                                          "/d/e/h",      "/f/i"};
+  std::shuffle(mountpoints.begin(), mountpoints.end(), rng);
+  // Mount a random prefix-subset (keeping parents before children so the
+  // mountpoint directories exist at mount time).
+  std::uniform_int_distribution<size_t> count_dist(3, mountpoints.size());
+  size_t count = count_dist(rng);
+  std::vector<std::string> chosen(mountpoints.begin(),
+                                  mountpoints.begin() + static_cast<long>(count));
+  std::sort(chosen.begin(), chosen.end(),
+            [](const std::string& a, const std::string& b) { return a.size() < b.size(); });
+
+  std::map<std::string, std::shared_ptr<MemFs>> mounted;  // mountpoint -> fs
+  for (const auto& mp : chosen) {
+    // Ensure the mountpoint directory exists in whatever fs currently serves
+    // the parent path.
+    std::string cur;
+    for (const auto& comp : SplitPath(mp)) {
+      cur += "/" + comp;
+      (void)kernel.MkDir(1, cur);
+    }
+    auto fs = std::make_shared<MemFs>("tmpfs");
+    fs->ProvisionFile("/marker", "fs:" + mp);
+    // Provision nested mountpoint dirs inside this fs too.
+    for (const auto& other : mountpoints) {
+      if (PathIsUnder(other, mp) && other != mp) {
+        fs->ProvisionDir(RebasePath(other, mp, "/"));
+      }
+    }
+    ASSERT_TRUE(kernel.Mount(1, fs, mp, "tmpfs").ok()) << mp;
+    mounted[mp] = fs;
+  }
+
+  // Oracle check: for every mountpoint, the marker visible at
+  // <mp>/marker must be the one of the longest mounted prefix of that path.
+  for (const auto& probe : mountpoints) {
+    std::string marker_path = probe + "/marker";
+    std::string best;
+    for (const auto& [mp, fs] : mounted) {
+      if (PathIsUnder(marker_path, mp) && mp.size() > best.size()) {
+        best = mp;
+      }
+    }
+    auto content = kernel.ReadFile(1, marker_path);
+    if (best.empty()) {
+      // Served by the root fs: no marker file there.
+      EXPECT_FALSE(content.ok()) << marker_path;
+      continue;
+    }
+    std::string expected_rel = RebasePath(marker_path, best, "/");
+    if (expected_rel == "/marker") {
+      ASSERT_TRUE(content.ok()) << marker_path;
+      EXPECT_EQ(*content, "fs:" + best) << marker_path;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MountTreeTest, ::testing::Range(1u, 11u));
+
+TEST(VfsPropertyTest, BindMountAliasesSourceExactly) {
+  Kernel kernel("host");
+  std::mt19937 rng(99);
+  kernel.root_fs().ProvisionDir("/src/a/b");
+  kernel.root_fs().ProvisionDir("/view");
+  ASSERT_TRUE(kernel.BindMount(1, kernel.root_fs_ptr(), "/src", "/view", "bind").ok());
+  // Any write through either name is visible through the other.
+  std::uniform_int_distribution<int> coin(0, 1);
+  for (int i = 0; i < 30; ++i) {
+    std::string rel = "/a/b/f" + std::to_string(i);
+    std::string via_src = "/src" + rel;
+    std::string via_view = "/view" + rel;
+    std::string content = "round-" + std::to_string(i);
+    if (coin(rng) == 0) {
+      ASSERT_TRUE(kernel.WriteFile(1, via_src, content).ok());
+    } else {
+      ASSERT_TRUE(kernel.WriteFile(1, via_view, content).ok());
+    }
+    EXPECT_EQ(*kernel.ReadFile(1, via_src), content);
+    EXPECT_EQ(*kernel.ReadFile(1, via_view), content);
+  }
+}
+
+// Chroot confinement property: no path expression a jailed process can
+// utter resolves outside its jail subtree.
+class JailEscapeSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(JailEscapeSweep, PathNeverEscapes) {
+  Kernel kernel("host");
+  kernel.root_fs().ProvisionFile("/jail/inside.txt", "in");
+  kernel.root_fs().ProvisionFile("/host-secret.txt", "out");
+  // A symlink inside the jail pointing above it (absolute + relative).
+  kernel.root_fs().ProvisionSymlink("/jail/abs-up", "/host-secret.txt");
+  kernel.root_fs().ProvisionSymlink("/jail/rel-up", "../host-secret.txt");
+  Pid jailed = *kernel.Clone(1, "jailed", 0);
+  ASSERT_TRUE(kernel.Chroot(jailed, "/jail").ok());
+
+  auto content = kernel.ReadFile(jailed, GetParam());
+  // Either the path fails to resolve, or it resolves to in-jail content —
+  // never to the host secret.
+  if (content.ok()) {
+    EXPECT_NE(*content, "out") << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Expressions, JailEscapeSweep,
+    ::testing::Values("/../host-secret.txt", "/../../host-secret.txt",
+                      "/./../host-secret.txt", "/abs-up", "/rel-up",
+                      "/inside.txt/../../host-secret.txt", "/..", "//../host-secret.txt",
+                      "/a/../../host-secret.txt"));
+
+}  // namespace
+}  // namespace witos

@@ -1,0 +1,183 @@
+// Tests for the workload substrate: ticket generator, filesystem benchmark
+// workloads and the script corpus.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/workload/fs_workloads.h"
+#include "src/workload/script_corpus.h"
+#include "src/workload/ticket_gen.h"
+#include "src/workload/topology.h"
+
+namespace witload {
+namespace {
+
+TEST(TopologyTest, EndpointLookup) {
+  const OrgEndpoint* license = EndpointByName("license-server");
+  ASSERT_NE(license, nullptr);
+  EXPECT_EQ(license->port, kLicensePort);
+  EXPECT_EQ(EndpointByName("nonexistent"), nullptr);
+  EXPECT_GE(AllOrgEndpoints().size(), 8u);
+}
+
+TEST(TicketGenTest, ClassNamesRoundTrip) {
+  for (int i = 1; i <= kNumTicketClasses; ++i) {
+    EXPECT_EQ(TicketClassIndex(TicketClassName(i)), i);
+    EXPECT_FALSE(TicketClassDescription(i).empty());
+  }
+  EXPECT_EQ(TicketClassIndex("X-1"), -1);
+  EXPECT_EQ(TicketClassIndex("T-99"), -1);
+}
+
+TEST(TicketGenTest, DistributionsSumToOne) {
+  double hist_total = 0.0;
+  for (double p : TicketGenerator::HistoricalDistribution()) {
+    hist_total += p;
+  }
+  EXPECT_NEAR(hist_total, 1.0, 1e-9);
+  double eval_total = 0.0;
+  for (double p : TicketGenerator::EvaluationDistribution()) {
+    eval_total += p;
+  }
+  EXPECT_NEAR(eval_total, 1.0, 1e-9);
+}
+
+TEST(TicketGenTest, TextContainsClassVocabulary) {
+  TicketGenerator gen;
+  for (int cls = 1; cls <= 10; ++cls) {
+    GeneratedTicket ticket = gen.Generate(cls);
+    EXPECT_EQ(ticket.true_class, TicketClassName(cls));
+    const auto& vocab = TicketGenerator::ClassVocabulary(cls);
+    size_t hits = 0;
+    for (const auto& word : vocab) {
+      if (ticket.text.find(word) != std::string::npos) {
+        ++hits;
+      }
+    }
+    EXPECT_GT(hits, 0u) << "class " << cls << ": " << ticket.text;
+  }
+}
+
+TEST(TicketGenTest, BatchFollowsDistribution) {
+  TicketGenerator::Options options;
+  options.seed = 55;
+  TicketGenerator gen(options);
+  auto batch = gen.GenerateBatch(4000, TicketGenerator::EvaluationDistribution());
+  std::map<std::string, size_t> counts;
+  for (const auto& t : batch) {
+    ++counts[t.true_class];
+  }
+  // T-6 should be ~30%, T-9 ~21% (loose tolerance).
+  EXPECT_NEAR(static_cast<double>(counts["T-6"]) / 4000.0, 0.30, 0.03);
+  EXPECT_NEAR(static_cast<double>(counts["T-9"]) / 4000.0, 0.21, 0.03);
+  EXPECT_NEAR(static_cast<double>(counts["T-4"]) / 4000.0, 0.02, 0.015);
+}
+
+TEST(TicketGenTest, OpsOnlyWhenRequested) {
+  TicketGenerator no_ops;
+  EXPECT_TRUE(no_ops.Generate(1).ops.empty());
+  TicketGenerator::Options options;
+  options.with_ops = true;
+  TicketGenerator with_ops(options);
+  EXPECT_FALSE(with_ops.Generate(1).ops.empty());
+}
+
+TEST(TicketGenTest, BeyondViewRatesRoughlyMatchTable4) {
+  TicketGenerator::Options options;
+  options.with_ops = true;
+  options.seed = 77;
+  TicketGenerator gen(options);
+  size_t beyond = 0;
+  const size_t n = 2000;
+  for (size_t i = 0; i < n; ++i) {
+    GeneratedTicket ticket = gen.Generate(8);  // T-8: highest broker usage
+    for (const auto& op : ticket.ops) {
+      if (op.beyond_view) {
+        ++beyond;
+        break;
+      }
+    }
+  }
+  // T-8 plants proc (17%) and net (17%) beyond-view ops: ~31% of tickets
+  // have at least one (1 - 0.83^2).
+  double rate = static_cast<double>(beyond) / static_cast<double>(n);
+  EXPECT_NEAR(rate, 0.31, 0.05);
+}
+
+TEST(TicketGenTest, TyposAreInjected) {
+  TicketGenerator::Options options;
+  options.typo_rate = 1.0;
+  options.seed = 5;
+  TicketGenerator gen(options);
+  TicketGenerator clean_gen;  // same default seed, no typos
+  GeneratedTicket noisy = gen.Generate(1);
+  // With typo_rate 1 every eligible word is mangled; the text must differ
+  // from vocabulary words somewhere. Just assert generation doesn't break
+  // and text is nonempty.
+  EXPECT_FALSE(noisy.text.empty());
+}
+
+TEST(FsWorkloadsTest, GrepFindsPlantedNeedles) {
+  witos::Kernel kernel("bench");
+  uint64_t bytes = PopulateTree(&kernel, 1, "/data", 40, 4096, 4, "NEEDLE", 3);
+  EXPECT_EQ(bytes, 40u * 4096u);
+  WorkloadStats stats = RunGrep(&kernel, 1, "/data", "NEEDLE");
+  EXPECT_EQ(stats.failures, 0u);
+  EXPECT_GT(stats.matches, 0u);
+  EXPECT_EQ(stats.bytes, bytes);
+  EXPECT_GT(stats.sim_ns, 0u);
+}
+
+TEST(FsWorkloadsTest, PostmarkTransactionsComplete) {
+  witos::Kernel kernel("bench");
+  PostmarkConfig config;
+  config.initial_files = 30;
+  config.transactions = 200;
+  config.min_size = 1024;
+  config.max_size = 4096;
+  WorkloadStats stats = RunPostmark(&kernel, 1, "/pm", config);
+  EXPECT_EQ(stats.failures, 0u);
+  EXPECT_GE(stats.ops, 200u);
+  EXPECT_GT(stats.bytes, 0u);
+}
+
+TEST(FsWorkloadsTest, SysbenchRandomIo) {
+  witos::Kernel kernel("bench");
+  SysbenchConfig config;
+  config.num_files = 2;
+  config.file_size = 1 << 20;
+  config.io_ops = 100;
+  WorkloadStats stats = RunSysbench(&kernel, 1, "/sb", config);
+  EXPECT_EQ(stats.failures, 0u);
+  EXPECT_EQ(stats.ops, 100u);
+  EXPECT_GT(stats.bytes, 0u);
+}
+
+TEST(ScriptCorpusTest, SizesAndGrouping) {
+  auto chef = ChefPuppetScripts();
+  auto cluster = ClusterManagementScripts();
+  EXPECT_EQ(chef.size(), 20u);
+  EXPECT_EQ(cluster.size(), 13u);
+  std::map<std::string, size_t> chef_groups;
+  for (const auto& script : chef) {
+    ++chef_groups[script.container_class];
+    EXPECT_FALSE(script.ops.empty());
+    EXPECT_FALSE(script.tampered_ops.empty());
+  }
+  // Figure 8a: 60% / 20% / 10% / 10%.
+  EXPECT_EQ(chef_groups["S-1"], 12u);
+  EXPECT_EQ(chef_groups["S-2"], 4u);
+  EXPECT_EQ(chef_groups["S-3"], 2u);
+  EXPECT_EQ(chef_groups["S-4"], 2u);
+  std::map<std::string, size_t> cluster_groups;
+  for (const auto& script : cluster) {
+    ++cluster_groups[script.container_class];
+  }
+  // Figure 8b: ~80% / ~20%.
+  EXPECT_EQ(cluster_groups["S-5"], 11u);
+  EXPECT_EQ(cluster_groups["S-6"], 2u);
+}
+
+}  // namespace
+}  // namespace witload
