@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_anomaly_roc.dir/bench_anomaly_roc.cc.o"
+  "CMakeFiles/bench_anomaly_roc.dir/bench_anomaly_roc.cc.o.d"
+  "bench_anomaly_roc"
+  "bench_anomaly_roc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_anomaly_roc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_scripts.dir/bench_fig8_scripts.cc.o"
+  "CMakeFiles/bench_fig8_scripts.dir/bench_fig8_scripts.cc.o.d"
+  "bench_fig8_scripts"
+  "bench_fig8_scripts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_scripts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_itfs.dir/bench_fig9_itfs.cc.o"
+  "CMakeFiles/bench_fig9_itfs.dir/bench_fig9_itfs.cc.o.d"
+  "bench_fig9_itfs"
+  "bench_fig9_itfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_itfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

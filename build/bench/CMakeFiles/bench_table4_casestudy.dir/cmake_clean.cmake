@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_casestudy.dir/bench_table4_casestudy.cc.o"
+  "CMakeFiles/bench_table4_casestudy.dir/bench_table4_casestudy.cc.o.d"
+  "bench_table4_casestudy"
+  "bench_table4_casestudy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_casestudy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_workflow_overhead.dir/bench_workflow_overhead.cc.o"
+  "CMakeFiles/bench_workflow_overhead.dir/bench_workflow_overhead.cc.o.d"
+  "bench_workflow_overhead"
+  "bench_workflow_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_workflow_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

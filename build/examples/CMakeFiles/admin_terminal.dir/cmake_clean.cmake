@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/admin_terminal.dir/admin_terminal.cpp.o"
+  "CMakeFiles/admin_terminal.dir/admin_terminal.cpp.o.d"
+  "admin_terminal"
+  "admin_terminal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/admin_terminal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hardened_deployment.dir/hardened_deployment.cpp.o"
+  "CMakeFiles/hardened_deployment.dir/hardened_deployment.cpp.o.d"
+  "hardened_deployment"
+  "hardened_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hardened_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insider_attack.dir/insider_attack.cpp.o"
+  "CMakeFiles/insider_attack.dir/insider_attack.cpp.o.d"
+  "insider_attack"
+  "insider_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insider_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/it_helpdesk.dir/it_helpdesk.cpp.o"
+  "CMakeFiles/it_helpdesk.dir/it_helpdesk.cpp.o.d"
+  "it_helpdesk"
+  "it_helpdesk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/it_helpdesk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

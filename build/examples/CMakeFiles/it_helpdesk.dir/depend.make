@@ -1,0 +1,2 @@
+# Empty dependencies file for it_helpdesk.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/script_sandbox.dir/script_sandbox.cpp.o"
+  "CMakeFiles/script_sandbox.dir/script_sandbox.cpp.o.d"
+  "script_sandbox"
+  "script_sandbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/script_sandbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

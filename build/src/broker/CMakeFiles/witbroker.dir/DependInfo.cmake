@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/broker/anomaly.cc" "src/broker/CMakeFiles/witbroker.dir/anomaly.cc.o" "gcc" "src/broker/CMakeFiles/witbroker.dir/anomaly.cc.o.d"
+  "/root/repo/src/broker/broker.cc" "src/broker/CMakeFiles/witbroker.dir/broker.cc.o" "gcc" "src/broker/CMakeFiles/witbroker.dir/broker.cc.o.d"
+  "/root/repo/src/broker/policy.cc" "src/broker/CMakeFiles/witbroker.dir/policy.cc.o" "gcc" "src/broker/CMakeFiles/witbroker.dir/policy.cc.o.d"
+  "/root/repo/src/broker/rpc.cc" "src/broker/CMakeFiles/witbroker.dir/rpc.cc.o" "gcc" "src/broker/CMakeFiles/witbroker.dir/rpc.cc.o.d"
+  "/root/repo/src/broker/securelog.cc" "src/broker/CMakeFiles/witbroker.dir/securelog.cc.o" "gcc" "src/broker/CMakeFiles/witbroker.dir/securelog.cc.o.d"
+  "/root/repo/src/broker/wire.cc" "src/broker/CMakeFiles/witbroker.dir/wire.cc.o" "gcc" "src/broker/CMakeFiles/witbroker.dir/wire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/os/CMakeFiles/witos.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

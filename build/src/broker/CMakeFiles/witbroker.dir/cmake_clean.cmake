@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/witbroker.dir/anomaly.cc.o"
+  "CMakeFiles/witbroker.dir/anomaly.cc.o.d"
+  "CMakeFiles/witbroker.dir/broker.cc.o"
+  "CMakeFiles/witbroker.dir/broker.cc.o.d"
+  "CMakeFiles/witbroker.dir/policy.cc.o"
+  "CMakeFiles/witbroker.dir/policy.cc.o.d"
+  "CMakeFiles/witbroker.dir/rpc.cc.o"
+  "CMakeFiles/witbroker.dir/rpc.cc.o.d"
+  "CMakeFiles/witbroker.dir/securelog.cc.o"
+  "CMakeFiles/witbroker.dir/securelog.cc.o.d"
+  "CMakeFiles/witbroker.dir/wire.cc.o"
+  "CMakeFiles/witbroker.dir/wire.cc.o.d"
+  "libwitbroker.a"
+  "libwitbroker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/witbroker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for witbroker.
+# This may be replaced when dependencies are built.

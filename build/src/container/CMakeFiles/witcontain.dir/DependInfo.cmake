@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/container/containit.cc" "src/container/CMakeFiles/witcontain.dir/containit.cc.o" "gcc" "src/container/CMakeFiles/witcontain.dir/containit.cc.o.d"
+  "/root/repo/src/container/image_repo.cc" "src/container/CMakeFiles/witcontain.dir/image_repo.cc.o" "gcc" "src/container/CMakeFiles/witcontain.dir/image_repo.cc.o.d"
+  "/root/repo/src/container/spec.cc" "src/container/CMakeFiles/witcontain.dir/spec.cc.o" "gcc" "src/container/CMakeFiles/witcontain.dir/spec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/os/CMakeFiles/witos.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/witfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/witnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/broker/CMakeFiles/witbroker.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

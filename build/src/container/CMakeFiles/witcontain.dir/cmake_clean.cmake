@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/witcontain.dir/containit.cc.o"
+  "CMakeFiles/witcontain.dir/containit.cc.o.d"
+  "CMakeFiles/witcontain.dir/image_repo.cc.o"
+  "CMakeFiles/witcontain.dir/image_repo.cc.o.d"
+  "CMakeFiles/witcontain.dir/spec.cc.o"
+  "CMakeFiles/witcontain.dir/spec.cc.o.d"
+  "libwitcontain.a"
+  "libwitcontain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/witcontain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

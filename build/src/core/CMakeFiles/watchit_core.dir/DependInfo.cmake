@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/case_study.cc" "src/core/CMakeFiles/watchit_core.dir/case_study.cc.o" "gcc" "src/core/CMakeFiles/watchit_core.dir/case_study.cc.o.d"
+  "/root/repo/src/core/certificate.cc" "src/core/CMakeFiles/watchit_core.dir/certificate.cc.o" "gcc" "src/core/CMakeFiles/watchit_core.dir/certificate.cc.o.d"
+  "/root/repo/src/core/cluster.cc" "src/core/CMakeFiles/watchit_core.dir/cluster.cc.o" "gcc" "src/core/CMakeFiles/watchit_core.dir/cluster.cc.o.d"
+  "/root/repo/src/core/framework.cc" "src/core/CMakeFiles/watchit_core.dir/framework.cc.o" "gcc" "src/core/CMakeFiles/watchit_core.dir/framework.cc.o.d"
+  "/root/repo/src/core/machine.cc" "src/core/CMakeFiles/watchit_core.dir/machine.cc.o" "gcc" "src/core/CMakeFiles/watchit_core.dir/machine.cc.o.d"
+  "/root/repo/src/core/policy_loader.cc" "src/core/CMakeFiles/watchit_core.dir/policy_loader.cc.o" "gcc" "src/core/CMakeFiles/watchit_core.dir/policy_loader.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/watchit_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/watchit_core.dir/report.cc.o.d"
+  "/root/repo/src/core/script_runner.cc" "src/core/CMakeFiles/watchit_core.dir/script_runner.cc.o" "gcc" "src/core/CMakeFiles/watchit_core.dir/script_runner.cc.o.d"
+  "/root/repo/src/core/session.cc" "src/core/CMakeFiles/watchit_core.dir/session.cc.o" "gcc" "src/core/CMakeFiles/watchit_core.dir/session.cc.o.d"
+  "/root/repo/src/core/shell.cc" "src/core/CMakeFiles/watchit_core.dir/shell.cc.o" "gcc" "src/core/CMakeFiles/watchit_core.dir/shell.cc.o.d"
+  "/root/repo/src/core/tcb.cc" "src/core/CMakeFiles/watchit_core.dir/tcb.cc.o" "gcc" "src/core/CMakeFiles/watchit_core.dir/tcb.cc.o.d"
+  "/root/repo/src/core/ticket_class.cc" "src/core/CMakeFiles/watchit_core.dir/ticket_class.cc.o" "gcc" "src/core/CMakeFiles/watchit_core.dir/ticket_class.cc.o.d"
+  "/root/repo/src/core/workflow.cc" "src/core/CMakeFiles/watchit_core.dir/workflow.cc.o" "gcc" "src/core/CMakeFiles/watchit_core.dir/workflow.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/os/CMakeFiles/witos.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/witfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/witnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/nlp/CMakeFiles/witnlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/broker/CMakeFiles/witbroker.dir/DependInfo.cmake"
+  "/root/repo/build/src/container/CMakeFiles/witcontain.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/witload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/watchit_core.dir/case_study.cc.o"
+  "CMakeFiles/watchit_core.dir/case_study.cc.o.d"
+  "CMakeFiles/watchit_core.dir/certificate.cc.o"
+  "CMakeFiles/watchit_core.dir/certificate.cc.o.d"
+  "CMakeFiles/watchit_core.dir/cluster.cc.o"
+  "CMakeFiles/watchit_core.dir/cluster.cc.o.d"
+  "CMakeFiles/watchit_core.dir/framework.cc.o"
+  "CMakeFiles/watchit_core.dir/framework.cc.o.d"
+  "CMakeFiles/watchit_core.dir/machine.cc.o"
+  "CMakeFiles/watchit_core.dir/machine.cc.o.d"
+  "CMakeFiles/watchit_core.dir/policy_loader.cc.o"
+  "CMakeFiles/watchit_core.dir/policy_loader.cc.o.d"
+  "CMakeFiles/watchit_core.dir/report.cc.o"
+  "CMakeFiles/watchit_core.dir/report.cc.o.d"
+  "CMakeFiles/watchit_core.dir/script_runner.cc.o"
+  "CMakeFiles/watchit_core.dir/script_runner.cc.o.d"
+  "CMakeFiles/watchit_core.dir/session.cc.o"
+  "CMakeFiles/watchit_core.dir/session.cc.o.d"
+  "CMakeFiles/watchit_core.dir/shell.cc.o"
+  "CMakeFiles/watchit_core.dir/shell.cc.o.d"
+  "CMakeFiles/watchit_core.dir/tcb.cc.o"
+  "CMakeFiles/watchit_core.dir/tcb.cc.o.d"
+  "CMakeFiles/watchit_core.dir/ticket_class.cc.o"
+  "CMakeFiles/watchit_core.dir/ticket_class.cc.o.d"
+  "CMakeFiles/watchit_core.dir/workflow.cc.o"
+  "CMakeFiles/watchit_core.dir/workflow.cc.o.d"
+  "libwatchit_core.a"
+  "libwatchit_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/watchit_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fs/fuse.cc" "src/fs/CMakeFiles/witfs.dir/fuse.cc.o" "gcc" "src/fs/CMakeFiles/witfs.dir/fuse.cc.o.d"
+  "/root/repo/src/fs/itfs.cc" "src/fs/CMakeFiles/witfs.dir/itfs.cc.o" "gcc" "src/fs/CMakeFiles/witfs.dir/itfs.cc.o.d"
+  "/root/repo/src/fs/itfs_policy.cc" "src/fs/CMakeFiles/witfs.dir/itfs_policy.cc.o" "gcc" "src/fs/CMakeFiles/witfs.dir/itfs_policy.cc.o.d"
+  "/root/repo/src/fs/oplog.cc" "src/fs/CMakeFiles/witfs.dir/oplog.cc.o" "gcc" "src/fs/CMakeFiles/witfs.dir/oplog.cc.o.d"
+  "/root/repo/src/fs/ruledsl.cc" "src/fs/CMakeFiles/witfs.dir/ruledsl.cc.o" "gcc" "src/fs/CMakeFiles/witfs.dir/ruledsl.cc.o.d"
+  "/root/repo/src/fs/signature.cc" "src/fs/CMakeFiles/witfs.dir/signature.cc.o" "gcc" "src/fs/CMakeFiles/witfs.dir/signature.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/os/CMakeFiles/witos.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

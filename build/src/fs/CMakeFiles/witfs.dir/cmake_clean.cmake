@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/witfs.dir/fuse.cc.o"
+  "CMakeFiles/witfs.dir/fuse.cc.o.d"
+  "CMakeFiles/witfs.dir/itfs.cc.o"
+  "CMakeFiles/witfs.dir/itfs.cc.o.d"
+  "CMakeFiles/witfs.dir/itfs_policy.cc.o"
+  "CMakeFiles/witfs.dir/itfs_policy.cc.o.d"
+  "CMakeFiles/witfs.dir/oplog.cc.o"
+  "CMakeFiles/witfs.dir/oplog.cc.o.d"
+  "CMakeFiles/witfs.dir/ruledsl.cc.o"
+  "CMakeFiles/witfs.dir/ruledsl.cc.o.d"
+  "CMakeFiles/witfs.dir/signature.cc.o"
+  "CMakeFiles/witfs.dir/signature.cc.o.d"
+  "libwitfs.a"
+  "libwitfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/witfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

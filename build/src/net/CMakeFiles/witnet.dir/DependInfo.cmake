@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/dns.cc" "src/net/CMakeFiles/witnet.dir/dns.cc.o" "gcc" "src/net/CMakeFiles/witnet.dir/dns.cc.o.d"
+  "/root/repo/src/net/ip.cc" "src/net/CMakeFiles/witnet.dir/ip.cc.o" "gcc" "src/net/CMakeFiles/witnet.dir/ip.cc.o.d"
+  "/root/repo/src/net/netns.cc" "src/net/CMakeFiles/witnet.dir/netns.cc.o" "gcc" "src/net/CMakeFiles/witnet.dir/netns.cc.o.d"
+  "/root/repo/src/net/network.cc" "src/net/CMakeFiles/witnet.dir/network.cc.o" "gcc" "src/net/CMakeFiles/witnet.dir/network.cc.o.d"
+  "/root/repo/src/net/sniffer.cc" "src/net/CMakeFiles/witnet.dir/sniffer.cc.o" "gcc" "src/net/CMakeFiles/witnet.dir/sniffer.cc.o.d"
+  "/root/repo/src/net/snort_rules.cc" "src/net/CMakeFiles/witnet.dir/snort_rules.cc.o" "gcc" "src/net/CMakeFiles/witnet.dir/snort_rules.cc.o.d"
+  "/root/repo/src/net/socket.cc" "src/net/CMakeFiles/witnet.dir/socket.cc.o" "gcc" "src/net/CMakeFiles/witnet.dir/socket.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/os/CMakeFiles/witos.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/witfs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/witnet.dir/dns.cc.o"
+  "CMakeFiles/witnet.dir/dns.cc.o.d"
+  "CMakeFiles/witnet.dir/ip.cc.o"
+  "CMakeFiles/witnet.dir/ip.cc.o.d"
+  "CMakeFiles/witnet.dir/netns.cc.o"
+  "CMakeFiles/witnet.dir/netns.cc.o.d"
+  "CMakeFiles/witnet.dir/network.cc.o"
+  "CMakeFiles/witnet.dir/network.cc.o.d"
+  "CMakeFiles/witnet.dir/sniffer.cc.o"
+  "CMakeFiles/witnet.dir/sniffer.cc.o.d"
+  "CMakeFiles/witnet.dir/snort_rules.cc.o"
+  "CMakeFiles/witnet.dir/snort_rules.cc.o.d"
+  "CMakeFiles/witnet.dir/socket.cc.o"
+  "CMakeFiles/witnet.dir/socket.cc.o.d"
+  "libwitnet.a"
+  "libwitnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/witnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nlp/classifier.cc" "src/nlp/CMakeFiles/witnlp.dir/classifier.cc.o" "gcc" "src/nlp/CMakeFiles/witnlp.dir/classifier.cc.o.d"
+  "/root/repo/src/nlp/corpus.cc" "src/nlp/CMakeFiles/witnlp.dir/corpus.cc.o" "gcc" "src/nlp/CMakeFiles/witnlp.dir/corpus.cc.o.d"
+  "/root/repo/src/nlp/lda.cc" "src/nlp/CMakeFiles/witnlp.dir/lda.cc.o" "gcc" "src/nlp/CMakeFiles/witnlp.dir/lda.cc.o.d"
+  "/root/repo/src/nlp/obfuscate.cc" "src/nlp/CMakeFiles/witnlp.dir/obfuscate.cc.o" "gcc" "src/nlp/CMakeFiles/witnlp.dir/obfuscate.cc.o.d"
+  "/root/repo/src/nlp/spell.cc" "src/nlp/CMakeFiles/witnlp.dir/spell.cc.o" "gcc" "src/nlp/CMakeFiles/witnlp.dir/spell.cc.o.d"
+  "/root/repo/src/nlp/stemmer.cc" "src/nlp/CMakeFiles/witnlp.dir/stemmer.cc.o" "gcc" "src/nlp/CMakeFiles/witnlp.dir/stemmer.cc.o.d"
+  "/root/repo/src/nlp/stopwords.cc" "src/nlp/CMakeFiles/witnlp.dir/stopwords.cc.o" "gcc" "src/nlp/CMakeFiles/witnlp.dir/stopwords.cc.o.d"
+  "/root/repo/src/nlp/text.cc" "src/nlp/CMakeFiles/witnlp.dir/text.cc.o" "gcc" "src/nlp/CMakeFiles/witnlp.dir/text.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

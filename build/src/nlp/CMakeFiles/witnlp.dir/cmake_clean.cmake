@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/witnlp.dir/classifier.cc.o"
+  "CMakeFiles/witnlp.dir/classifier.cc.o.d"
+  "CMakeFiles/witnlp.dir/corpus.cc.o"
+  "CMakeFiles/witnlp.dir/corpus.cc.o.d"
+  "CMakeFiles/witnlp.dir/lda.cc.o"
+  "CMakeFiles/witnlp.dir/lda.cc.o.d"
+  "CMakeFiles/witnlp.dir/obfuscate.cc.o"
+  "CMakeFiles/witnlp.dir/obfuscate.cc.o.d"
+  "CMakeFiles/witnlp.dir/spell.cc.o"
+  "CMakeFiles/witnlp.dir/spell.cc.o.d"
+  "CMakeFiles/witnlp.dir/stemmer.cc.o"
+  "CMakeFiles/witnlp.dir/stemmer.cc.o.d"
+  "CMakeFiles/witnlp.dir/stopwords.cc.o"
+  "CMakeFiles/witnlp.dir/stopwords.cc.o.d"
+  "CMakeFiles/witnlp.dir/text.cc.o"
+  "CMakeFiles/witnlp.dir/text.cc.o.d"
+  "libwitnlp.a"
+  "libwitnlp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/witnlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

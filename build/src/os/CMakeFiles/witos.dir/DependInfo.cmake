@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/audit.cc" "src/os/CMakeFiles/witos.dir/audit.cc.o" "gcc" "src/os/CMakeFiles/witos.dir/audit.cc.o.d"
+  "/root/repo/src/os/credentials.cc" "src/os/CMakeFiles/witos.dir/credentials.cc.o" "gcc" "src/os/CMakeFiles/witos.dir/credentials.cc.o.d"
+  "/root/repo/src/os/errors.cc" "src/os/CMakeFiles/witos.dir/errors.cc.o" "gcc" "src/os/CMakeFiles/witos.dir/errors.cc.o.d"
+  "/root/repo/src/os/kernel.cc" "src/os/CMakeFiles/witos.dir/kernel.cc.o" "gcc" "src/os/CMakeFiles/witos.dir/kernel.cc.o.d"
+  "/root/repo/src/os/memfs.cc" "src/os/CMakeFiles/witos.dir/memfs.cc.o" "gcc" "src/os/CMakeFiles/witos.dir/memfs.cc.o.d"
+  "/root/repo/src/os/namespaces.cc" "src/os/CMakeFiles/witos.dir/namespaces.cc.o" "gcc" "src/os/CMakeFiles/witos.dir/namespaces.cc.o.d"
+  "/root/repo/src/os/pagecache.cc" "src/os/CMakeFiles/witos.dir/pagecache.cc.o" "gcc" "src/os/CMakeFiles/witos.dir/pagecache.cc.o.d"
+  "/root/repo/src/os/path.cc" "src/os/CMakeFiles/witos.dir/path.cc.o" "gcc" "src/os/CMakeFiles/witos.dir/path.cc.o.d"
+  "/root/repo/src/os/procfs.cc" "src/os/CMakeFiles/witos.dir/procfs.cc.o" "gcc" "src/os/CMakeFiles/witos.dir/procfs.cc.o.d"
+  "/root/repo/src/os/vfs.cc" "src/os/CMakeFiles/witos.dir/vfs.cc.o" "gcc" "src/os/CMakeFiles/witos.dir/vfs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/witos.dir/audit.cc.o"
+  "CMakeFiles/witos.dir/audit.cc.o.d"
+  "CMakeFiles/witos.dir/credentials.cc.o"
+  "CMakeFiles/witos.dir/credentials.cc.o.d"
+  "CMakeFiles/witos.dir/errors.cc.o"
+  "CMakeFiles/witos.dir/errors.cc.o.d"
+  "CMakeFiles/witos.dir/kernel.cc.o"
+  "CMakeFiles/witos.dir/kernel.cc.o.d"
+  "CMakeFiles/witos.dir/memfs.cc.o"
+  "CMakeFiles/witos.dir/memfs.cc.o.d"
+  "CMakeFiles/witos.dir/namespaces.cc.o"
+  "CMakeFiles/witos.dir/namespaces.cc.o.d"
+  "CMakeFiles/witos.dir/pagecache.cc.o"
+  "CMakeFiles/witos.dir/pagecache.cc.o.d"
+  "CMakeFiles/witos.dir/path.cc.o"
+  "CMakeFiles/witos.dir/path.cc.o.d"
+  "CMakeFiles/witos.dir/procfs.cc.o"
+  "CMakeFiles/witos.dir/procfs.cc.o.d"
+  "CMakeFiles/witos.dir/vfs.cc.o"
+  "CMakeFiles/witos.dir/vfs.cc.o.d"
+  "libwitos.a"
+  "libwitos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/witos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/fs_workloads.cc" "src/workload/CMakeFiles/witload.dir/fs_workloads.cc.o" "gcc" "src/workload/CMakeFiles/witload.dir/fs_workloads.cc.o.d"
+  "/root/repo/src/workload/ops.cc" "src/workload/CMakeFiles/witload.dir/ops.cc.o" "gcc" "src/workload/CMakeFiles/witload.dir/ops.cc.o.d"
+  "/root/repo/src/workload/script_corpus.cc" "src/workload/CMakeFiles/witload.dir/script_corpus.cc.o" "gcc" "src/workload/CMakeFiles/witload.dir/script_corpus.cc.o.d"
+  "/root/repo/src/workload/ticket_gen.cc" "src/workload/CMakeFiles/witload.dir/ticket_gen.cc.o" "gcc" "src/workload/CMakeFiles/witload.dir/ticket_gen.cc.o.d"
+  "/root/repo/src/workload/topology.cc" "src/workload/CMakeFiles/witload.dir/topology.cc.o" "gcc" "src/workload/CMakeFiles/witload.dir/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/os/CMakeFiles/witos.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/witnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/witfs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

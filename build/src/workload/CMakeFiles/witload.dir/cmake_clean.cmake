@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/witload.dir/fs_workloads.cc.o"
+  "CMakeFiles/witload.dir/fs_workloads.cc.o.d"
+  "CMakeFiles/witload.dir/ops.cc.o"
+  "CMakeFiles/witload.dir/ops.cc.o.d"
+  "CMakeFiles/witload.dir/script_corpus.cc.o"
+  "CMakeFiles/witload.dir/script_corpus.cc.o.d"
+  "CMakeFiles/witload.dir/ticket_gen.cc.o"
+  "CMakeFiles/witload.dir/ticket_gen.cc.o.d"
+  "CMakeFiles/witload.dir/topology.cc.o"
+  "CMakeFiles/witload.dir/topology.cc.o.d"
+  "libwitload.a"
+  "libwitload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/witload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgroup_test.dir/cgroup_test.cc.o"
+  "CMakeFiles/cgroup_test.dir/cgroup_test.cc.o.d"
+  "cgroup_test"
+  "cgroup_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgroup_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/containit_test.dir/containit_test.cc.o"
+  "CMakeFiles/containit_test.dir/containit_test.cc.o.d"
+  "containit_test"
+  "containit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/containit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/credentials_test.dir/credentials_test.cc.o"
+  "CMakeFiles/credentials_test.dir/credentials_test.cc.o.d"
+  "credentials_test"
+  "credentials_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/credentials_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

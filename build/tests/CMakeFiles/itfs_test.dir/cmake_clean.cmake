@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itfs_test.dir/itfs_test.cc.o"
+  "CMakeFiles/itfs_test.dir/itfs_test.cc.o.d"
+  "itfs_test"
+  "itfs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_fs_test.dir/kernel_fs_test.cc.o"
+  "CMakeFiles/kernel_fs_test.dir/kernel_fs_test.cc.o.d"
+  "kernel_fs_test"
+  "kernel_fs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_fs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_process_test.dir/kernel_process_test.cc.o"
+  "CMakeFiles/kernel_process_test.dir/kernel_process_test.cc.o.d"
+  "kernel_process_test"
+  "kernel_process_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_process_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lda_test.dir/lda_test.cc.o"
+  "CMakeFiles/lda_test.dir/lda_test.cc.o.d"
+  "lda_test"
+  "lda_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lda_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/namespaces_test.dir/namespaces_test.cc.o"
+  "CMakeFiles/namespaces_test.dir/namespaces_test.cc.o.d"
+  "namespaces_test"
+  "namespaces_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/namespaces_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

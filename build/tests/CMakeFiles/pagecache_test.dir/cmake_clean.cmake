@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pagecache_test.dir/pagecache_test.cc.o"
+  "CMakeFiles/pagecache_test.dir/pagecache_test.cc.o.d"
+  "pagecache_test"
+  "pagecache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pagecache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

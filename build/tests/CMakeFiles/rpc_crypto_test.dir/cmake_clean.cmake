@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpc_crypto_test.dir/rpc_crypto_test.cc.o"
+  "CMakeFiles/rpc_crypto_test.dir/rpc_crypto_test.cc.o.d"
+  "rpc_crypto_test"
+  "rpc_crypto_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpc_crypto_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ruledsl_test.dir/ruledsl_test.cc.o"
+  "CMakeFiles/ruledsl_test.dir/ruledsl_test.cc.o.d"
+  "ruledsl_test"
+  "ruledsl_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ruledsl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/script_runner_test.dir/script_runner_test.cc.o"
+  "CMakeFiles/script_runner_test.dir/script_runner_test.cc.o.d"
+  "script_runner_test"
+  "script_runner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/script_runner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

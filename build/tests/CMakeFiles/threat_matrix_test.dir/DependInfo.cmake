@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/threat_matrix_test.cc" "tests/CMakeFiles/threat_matrix_test.dir/threat_matrix_test.cc.o" "gcc" "tests/CMakeFiles/threat_matrix_test.dir/threat_matrix_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/watchit_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/container/CMakeFiles/witcontain.dir/DependInfo.cmake"
+  "/root/repo/build/src/broker/CMakeFiles/witbroker.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/witload.dir/DependInfo.cmake"
+  "/root/repo/build/src/nlp/CMakeFiles/witnlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/witnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/witfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/witos.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threat_matrix_test.dir/threat_matrix_test.cc.o"
+  "CMakeFiles/threat_matrix_test.dir/threat_matrix_test.cc.o.d"
+  "threat_matrix_test"
+  "threat_matrix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threat_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ticket_class_test.dir/ticket_class_test.cc.o"
+  "CMakeFiles/ticket_class_test.dir/ticket_class_test.cc.o.d"
+  "ticket_class_test"
+  "ticket_class_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ticket_class_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

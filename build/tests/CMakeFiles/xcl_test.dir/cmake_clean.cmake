@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xcl_test.dir/xcl_test.cc.o"
+  "CMakeFiles/xcl_test.dir/xcl_test.cc.o.d"
+  "xcl_test"
+  "xcl_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xcl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
