@@ -9,6 +9,7 @@
 #include <string>
 
 #include "src/container/containit.h"
+#include "src/obs/metrics.h"
 #include "src/workload/fs_workloads.h"
 
 namespace fig9 {
@@ -36,6 +37,7 @@ inline const char* FsConfigName(FsConfig config) {
 struct BenchEnv {
   std::unique_ptr<witos::Kernel> kernel;
   std::unique_ptr<witcontain::ContainIt> containit;
+  std::unique_ptr<witobs::MetricsRegistry> metrics;  // set when instrumented
   witos::Pid actor = 1;
 
   // Scaled-down versions of the paper's 25GB trees: the ratios depend on
@@ -44,7 +46,9 @@ struct BenchEnv {
   static constexpr size_t kGrepLargeFiles = 10;   // x 1MB
 };
 
-inline BenchEnv MakeEnv(FsConfig config) {
+// `instrument` wires a MetricsRegistry into the deployed ITFS instance so
+// the metrics-layer cost can be measured against the bare configuration.
+inline BenchEnv MakeEnv(FsConfig config, bool instrument = false) {
   BenchEnv env;
   env.kernel = std::make_unique<witos::Kernel>("bench");
   witload::PopulateTree(env.kernel.get(), 1, "/data100k", BenchEnv::kGrepSmallFiles,
@@ -57,6 +61,10 @@ inline BenchEnv MakeEnv(FsConfig config) {
     return env;
   }
   env.containit = std::make_unique<witcontain::ContainIt>(env.kernel.get(), nullptr);
+  if (instrument) {
+    env.metrics = std::make_unique<witobs::MetricsRegistry>();
+    env.containit->EnableMetrics(env.metrics.get());
+  }
   witcontain::PerforatedContainerSpec spec;
   spec.name = "fig9";
   spec.fs.kind = witcontain::FsView::Kind::kWholeRoot;

@@ -32,6 +32,36 @@ void PermissionBroker::RegisterVerb(const std::string& verb, VerbHandler handler
   custom_verbs_[verb] = std::move(handler);
 }
 
+void PermissionBroker::EnableMetrics(witobs::MetricsRegistry* registry,
+                                     witobs::Tracer* tracer) {
+  metrics_ = registry;
+  tracer_ = tracer;
+  if (registry == nullptr) {
+    return;
+  }
+  registry->SetHelp("watchit_broker_requests_total",
+                    "Permission broker requests by verb and grant outcome");
+  registry->SetHelp("watchit_broker_ticket_requests_total",
+                    "Permission broker requests per ticket by grant outcome");
+  registry->SetHelp("watchit_broker_dispatch_latency_ns",
+                    "Simulated latency of granted broker verb dispatch");
+  registry->SetHelp("watchit_broker_events_dropped_total",
+                    "Broker events evicted by the retention cap");
+  events_dropped_ = registry->GetCounter("watchit_broker_events_dropped_total");
+  dispatch_latency_ = registry->GetHistogram("watchit_broker_dispatch_latency_ns");
+}
+
+void PermissionBroker::RecordEvent(BrokerEvent event) {
+  if (event_capacity_ != 0 && events_.size() >= event_capacity_) {
+    events_.erase(events_.begin());
+    ++dropped_events_;
+    if (events_dropped_ != nullptr) {
+      events_dropped_->Increment();
+    }
+  }
+  events_.push_back(std::move(event));
+}
+
 RpcResponse PermissionBroker::Ok(std::string payload) const {
   RpcResponse resp;
   resp.ok = true;
@@ -47,6 +77,7 @@ RpcResponse PermissionBroker::Fail(witos::Err err) const {
 }
 
 RpcResponse PermissionBroker::Handle(const RpcRequest& request) {
+  witobs::Span span(tracer_, "broker.handle", request.ticket_id);
   uint64_t now = kernel_->clock().now_ns();
   auto class_it = ticket_class_.find(request.ticket_id);
   std::string ticket_class = class_it == ticket_class_.end() ? "" : class_it->second;
@@ -62,7 +93,19 @@ RpcResponse PermissionBroker::Handle(const RpcRequest& request) {
   event.verb = request.method;
   event.args = request.args;
   event.granted = allowed;
-  events_.push_back(event);
+  RecordEvent(event);
+
+  if (metrics_ != nullptr) {
+    const char* outcome = allowed ? "grant" : "deny";
+    metrics_
+        ->GetCounter("watchit_broker_requests_total",
+                     {{"verb", request.method}, {"outcome", outcome}})
+        ->Increment();
+    metrics_
+        ->GetCounter("watchit_broker_ticket_requests_total",
+                     {{"ticket", request.ticket_id}, {"outcome", outcome}})
+        ->Increment();
+  }
 
   // "Either way, these requests are logged in real-time to a secure
   // append-only storage device."
@@ -79,7 +122,12 @@ RpcResponse PermissionBroker::Handle(const RpcRequest& request) {
   if (!allowed) {
     return Fail(witos::Err::kPerm);
   }
-  return Dispatch(request);
+  uint64_t dispatch_start = kernel_->clock().now_ns();
+  RpcResponse response = Dispatch(request);
+  if (dispatch_latency_ != nullptr) {
+    dispatch_latency_->Observe(kernel_->clock().now_ns() - dispatch_start);
+  }
+  return response;
 }
 
 RpcResponse PermissionBroker::Dispatch(const RpcRequest& request) {

@@ -16,6 +16,8 @@
 #include "src/broker/policy.h"
 #include "src/broker/rpc.h"
 #include "src/broker/securelog.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/os/kernel.h"
 
 namespace witbroker {
@@ -58,6 +60,20 @@ class PermissionBroker {
   // Exposed for tests; normal callers go through the RpcChannel.
   RpcResponse Handle(const RpcRequest& request);
 
+  // Wires the broker into the observability layer: request counters by verb
+  // and outcome, per-ticket counters, and a dispatch-latency histogram in
+  // simulated nanoseconds. Spans tagged with the ticket id are emitted when
+  // `tracer` is non-null.
+  void EnableMetrics(witobs::MetricsRegistry* registry, witobs::Tracer* tracer = nullptr);
+
+  // Retention cap for the structured event vector (0 = unbounded). When the
+  // cap is hit the oldest events are evicted; dropped_events() (and the
+  // watchit_broker_events_dropped_total series) count the evictions. The
+  // secure log is untouched — it is the tamper-evident record; events_ is
+  // the in-memory analysis window.
+  void set_event_capacity(size_t capacity) { event_capacity_ = capacity; }
+  size_t dropped_events() const { return dropped_events_; }
+
  private:
   RpcResponse Dispatch(const RpcRequest& request);
   RpcResponse Ok(std::string payload) const;
@@ -71,13 +87,23 @@ class PermissionBroker {
   RpcResponse HandleReboot(const RpcRequest& request);
   RpcResponse HandleDriverUpdate(const RpcRequest& request);
 
+  void RecordEvent(BrokerEvent event);
+
   witos::Kernel* kernel_;
   witos::Pid host_pid_;
   PolicyManager* policy_;
   SecureLog log_;
   std::vector<BrokerEvent> events_;
+  size_t event_capacity_ = 0;
+  size_t dropped_events_ = 0;
   std::map<std::string, std::string> ticket_class_;
   std::map<std::string, VerbHandler> custom_verbs_;
+
+  // Observability wiring (all null when metrics are disabled).
+  witobs::MetricsRegistry* metrics_ = nullptr;
+  witobs::Tracer* tracer_ = nullptr;
+  witobs::Counter* events_dropped_ = nullptr;
+  witobs::Histogram* dispatch_latency_ = nullptr;
 };
 
 // The in-container client stub. Only privileged users may talk to the

@@ -80,8 +80,16 @@ std::shared_ptr<witfs::Itfs> ContainIt::MakeItfs(Session* session,
     invoker.gid = kRootlessHostUid;
     invoker.caps = witos::CapabilitySet::Empty();
   }
-  return std::make_shared<witfs::Itfs>(std::move(lower), std::move(policy), invoker,
-                                       &kernel_->clock(), &kernel_->audit());
+  auto itfs = std::make_shared<witfs::Itfs>(std::move(lower), std::move(policy), invoker,
+                                            &kernel_->clock(), &kernel_->audit());
+  itfs->oplog().set_capacity(oplog_capacity_);
+  itfs->EnableMetrics(metrics_, session->ticket_id, tracer_);
+  return itfs;
+}
+
+void ContainIt::EnableMetrics(witobs::MetricsRegistry* registry, witobs::Tracer* tracer) {
+  metrics_ = registry;
+  tracer_ = tracer;
 }
 
 witos::Status ContainIt::SetupFilesystemView(Session* session) {

@@ -97,6 +97,14 @@ class ContainIt {
   size_t active_sessions() const;
   const std::map<SessionId, std::unique_ptr<Session>>& sessions() const { return sessions_; }
 
+  // Observability wiring: every ITFS instance deployed after this call is
+  // registered with `registry` under its session's ticket id, and emits
+  // spans into `tracer` when one is given.
+  void EnableMetrics(witobs::MetricsRegistry* registry, witobs::Tracer* tracer = nullptr);
+
+  // Retention cap applied to each new session's OpLog (0 = unbounded).
+  void set_oplog_capacity(size_t capacity) { oplog_capacity_ = capacity; }
+
  private:
   witos::Status SetupFilesystemView(Session* session);
   witos::Status SetupNetworkView(Session* session);
@@ -107,6 +115,9 @@ class ContainIt {
   witos::Kernel* kernel_;
   witnet::NetStack* net_;
   witbroker::PermissionBroker* broker_ = nullptr;
+  witobs::MetricsRegistry* metrics_ = nullptr;
+  witobs::Tracer* tracer_ = nullptr;
+  size_t oplog_capacity_ = 0;
   std::map<SessionId, std::unique_ptr<Session>> sessions_;
   SessionId next_id_ = 1;
   uint32_t next_container_addr_ = 1;

@@ -6,6 +6,22 @@ ItFramework::ItFramework(Config config) : config_(config) {}
 
 ItFramework::~ItFramework() = default;
 
+void ItFramework::EnableMetrics(witobs::MetricsRegistry* registry, witobs::Tracer* tracer) {
+  metrics_ = registry;
+  tracer_ = tracer;
+  if (registry == nullptr) {
+    return;
+  }
+  registry->SetHelp("watchit_framework_train_latency_ns",
+                    "Wall-clock LDA training time over the ticket history");
+  registry->SetHelp("watchit_framework_classify_latency_ns",
+                    "Wall-clock ticket classification time");
+  registry->SetHelp("watchit_framework_classifications_total",
+                    "Ticket classifications by predicted class");
+  train_latency_ = registry->GetHistogram("watchit_framework_train_latency_ns");
+  classify_latency_ = registry->GetHistogram("watchit_framework_classify_latency_ns");
+}
+
 std::vector<std::string> ItFramework::Preprocess(const std::string& text) const {
   std::vector<std::string> tokens = pipeline_.Process(text);
   if (config_.spell_correct && spell_ != nullptr) {
@@ -16,6 +32,8 @@ std::vector<std::string> ItFramework::Preprocess(const std::string& text) const 
 
 void ItFramework::TrainOnHistory(
     const std::vector<std::pair<std::string, std::string>>& text_and_label) {
+  witobs::Span span(tracer_, "framework.train");
+  witobs::ScopedTimer timer(train_latency_);
   for (const auto& [text, label] : text_and_label) {
     corpus_.AddDocument(pipeline_.Process(text), label);
   }
@@ -29,14 +47,22 @@ void ItFramework::TrainOnHistory(
 }
 
 std::string ItFramework::Classify(const std::string& text) const {
+  witobs::Span span(tracer_, "framework.classify");
+  witobs::ScopedTimer timer(classify_latency_);
+  std::string result;
   if (!trained()) {
-    return "T-11";
+    result = "T-11";
+  } else {
+    std::vector<std::string> tokens = Preprocess(text);
+    result = config_.use_naive_bayes && nb_classifier_ != nullptr
+                 ? nb_classifier_->Classify(tokens)
+                 : lda_classifier_->Classify(tokens);
   }
-  std::vector<std::string> tokens = Preprocess(text);
-  if (config_.use_naive_bayes && nb_classifier_ != nullptr) {
-    return nb_classifier_->Classify(tokens);
+  if (metrics_ != nullptr) {
+    metrics_->GetCounter("watchit_framework_classifications_total", {{"class", result}})
+        ->Increment();
   }
-  return lda_classifier_->Classify(tokens);
+  return result;
 }
 
 std::string ItFramework::ClassifyWithReview(const std::string& text,

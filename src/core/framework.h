@@ -15,6 +15,8 @@
 #include "src/nlp/lda.h"
 #include "src/nlp/spell.h"
 #include "src/nlp/text.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace watchit {
 
@@ -51,6 +53,12 @@ class ItFramework {
   const witnlp::Corpus& corpus() const { return corpus_; }
   const witnlp::LdaClassifier* lda_classifier() const { return lda_classifier_.get(); }
 
+  // Wires the framework into the observability layer: LDA training and
+  // classification wall-clock latency histograms plus a per-class
+  // classification counter. Unlike the ITFS/broker series these measure
+  // real compute time — the topic model is genuine work, not simulation.
+  void EnableMetrics(witobs::MetricsRegistry* registry, witobs::Tracer* tracer = nullptr);
+
  private:
   std::vector<std::string> Preprocess(const std::string& text) const;
 
@@ -61,6 +69,12 @@ class ItFramework {
   std::unique_ptr<witnlp::LdaClassifier> lda_classifier_;
   std::unique_ptr<witnlp::NaiveBayesClassifier> nb_classifier_;
   std::unique_ptr<witnlp::SpellCorrector> spell_;
+
+  // Observability wiring (all null when metrics are disabled).
+  witobs::MetricsRegistry* metrics_ = nullptr;
+  witobs::Tracer* tracer_ = nullptr;
+  witobs::Histogram* train_latency_ = nullptr;
+  witobs::Histogram* classify_latency_ = nullptr;
 };
 
 }  // namespace watchit

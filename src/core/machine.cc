@@ -97,6 +97,15 @@ void Machine::BootWatchIt() {
   containit_ = std::make_unique<witcontain::ContainIt>(kernel_.get(), net_.get());
   containit_->AttachBroker(broker_.get());
 
+  // Observability: one registry per machine; the broker and every
+  // per-session ITFS instance feed it, the global tracer correlates spans
+  // across layers by ticket id. The retention caps bound what the raw logs
+  // keep in memory — totals survive in the registry counters.
+  broker_->EnableMetrics(&metrics_, &witobs::GlobalTracer());
+  broker_->set_event_capacity(1 << 16);
+  containit_->EnableMetrics(&metrics_, &witobs::GlobalTracer());
+  containit_->set_oplog_capacity(1 << 16);
+
   // Persist the kernel audit trail into the machine's own (write-guarded)
   // log spool: even the forensic evidence lives on the box, and no admin —
   // contained or not — can rewrite it through the kernel.

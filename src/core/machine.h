@@ -12,6 +12,8 @@
 #include "src/container/containit.h"
 #include "src/core/tcb.h"
 #include "src/net/socket.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/os/kernel.h"
 
 namespace watchit {
@@ -33,6 +35,12 @@ class Machine {
   Tcb& tcb() { return *tcb_; }
   witos::Pid broker_pid() const { return broker_pid_; }
 
+  // The machine-wide metrics registry. Boot wires the broker and the
+  // container runtime (and through it every per-session ITFS instance) into
+  // it; ForensicReporter and the benches read it back.
+  witobs::MetricsRegistry& metrics() { return metrics_; }
+  const witobs::MetricsRegistry& metrics() const { return metrics_; }
+
   // The NET namespace id of a process on this machine.
   witos::NsId NetNsOf(witos::Pid pid) const;
 
@@ -46,6 +54,7 @@ class Machine {
 
   std::string name_;
   witnet::Ipv4Addr addr_;
+  witobs::MetricsRegistry metrics_;
   std::unique_ptr<witos::Kernel> kernel_;
   std::unique_ptr<witnet::NetStack> net_;
   std::unique_ptr<witcontain::ContainIt> containit_;

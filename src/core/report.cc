@@ -18,9 +18,24 @@ witos::Result<SessionForensics> ForensicReporter::Collect(
   forensics.termination_reason = session->termination_reason;
 
   if (session->itfs != nullptr) {
+    // Totals come from the metrics registry: they count every gated
+    // operation and survive the OpLog retention cap. The log itself still
+    // supplies the denied-path detail lines (a bounded, most-recent window).
+    const witobs::MetricsRegistry& metrics = machine_->metrics();
+    uint64_t fs_allowed = metrics.CounterValue(
+        "watchit_itfs_ticket_ops_total",
+        {{"ticket", session->ticket_id}, {"outcome", "allow"}});
+    forensics.fs_denied = static_cast<size_t>(metrics.CounterValue(
+        "watchit_itfs_ticket_ops_total",
+        {{"ticket", session->ticket_id}, {"outcome", "deny"}}));
+    forensics.fs_ops = static_cast<size_t>(fs_allowed) + forensics.fs_denied;
     const witfs::OpLog& oplog = session->itfs->oplog();
-    forensics.fs_ops = oplog.size();
-    forensics.fs_denied = oplog.denied_count();
+    if (forensics.fs_ops == 0 && oplog.size() > 0) {
+      // Unwired ITFS (tests constructing sessions outside Machine::Boot):
+      // fall back to counting the raw log.
+      forensics.fs_ops = oplog.size();
+      forensics.fs_denied = oplog.denied_count();
+    }
     for (const auto& rec : oplog.Denied()) {
       forensics.denied_paths.push_back(witfs::ItfsOpKindName(rec.op) + " " + rec.path + " [" +
                                        rec.rule + "]");
@@ -38,20 +53,34 @@ witos::Result<SessionForensics> ForensicReporter::Collect(
   }
 
   // Broker activity for this ticket, with anomaly scoring against the
-  // machine's whole history.
+  // machine's whole history. Counts come from the registry (exact even
+  // after event-buffer eviction); the detail lines come from the retained
+  // event window.
+  forensics.broker_requests = static_cast<size_t>(machine_->metrics().CounterValue(
+      "watchit_broker_ticket_requests_total",
+      {{"ticket", session->ticket_id}, {"outcome", "grant"}}));
+  forensics.broker_denied = static_cast<size_t>(machine_->metrics().CounterValue(
+      "watchit_broker_ticket_requests_total",
+      {{"ticket", session->ticket_id}, {"outcome", "deny"}}));
+  forensics.broker_requests += forensics.broker_denied;
   std::vector<witbroker::BrokerEvent> session_events;
   for (const auto& event : machine_->broker().events()) {
     if (event.ticket_id != session->ticket_id) {
       continue;
     }
-    ++forensics.broker_requests;
-    forensics.broker_denied += event.granted ? 0 : 1;
     std::string line = (event.granted ? "GRANT " : "DENY ") + event.verb;
     for (const auto& arg : event.args) {
       line += " " + arg;
     }
     forensics.broker_lines.push_back(std::move(line));
     session_events.push_back(event);
+  }
+  if (forensics.broker_requests == 0) {
+    // Unwired broker (tests outside Machine::Boot): count the raw window.
+    forensics.broker_requests = session_events.size();
+    for (const auto& event : session_events) {
+      forensics.broker_denied += event.granted ? 0 : 1;
+    }
   }
   if (!session_events.empty()) {
     witbroker::AnomalyDetector detector;

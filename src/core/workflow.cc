@@ -56,54 +56,103 @@ const ItSpecialist* Dispatcher::Find(const std::string& name) const {
   return nullptr;
 }
 
+void TicketWorkflow::EnableMetrics(witobs::MetricsRegistry* registry, witobs::Tracer* tracer) {
+  metrics_ = registry;
+  tracer_ = tracer;
+  if (registry == nullptr) {
+    return;
+  }
+  registry->SetHelp("watchit_workflow_stage_latency_ns",
+                    "Wall-clock duration of each ticket-workflow stage");
+  registry->SetHelp("watchit_workflow_tickets_total",
+                    "Tickets processed by classification outcome");
+  // Pre-create the stage series so a snapshot taken before the first ticket
+  // already shows the full shape of the pipeline.
+  for (const char* stage : {"classify", "dispatch", "deploy", "replay", "expire"}) {
+    (void)StageHistogram(stage);
+  }
+}
+
+witobs::Histogram* TicketWorkflow::StageHistogram(const char* stage) {
+  return metrics_ != nullptr
+             ? metrics_->GetHistogram("watchit_workflow_stage_latency_ns", {{"stage", stage}})
+             : nullptr;
+}
+
 witos::Result<ResolvedTicket> TicketWorkflow::Process(
     const witload::GeneratedTicket& generated, const std::string& target_machine,
     const std::string& user_machine) {
+  // Root span: every nested framework/broker/ITFS span on this thread
+  // inherits the ticket id as its correlation id.
+  witobs::Span span(tracer_, "workflow.process", generated.id);
+
   ResolvedTicket resolved;
-  resolved.predicted_class = framework_->Classify(generated.text);
-  resolved.classified_correctly = resolved.predicted_class == generated.true_class;
-
   Ticket& ticket = resolved.ticket;
-  ticket.id = generated.id;
-  ticket.text = generated.text;
-  ticket.target_machine = target_machine;
-  // Review corrects mispredictions before deployment (§5.1).
-  ticket.assigned_class =
-      framework_->ClassifyWithReview(generated.text, generated.true_class);
-  ticket.true_class = generated.true_class;
-  ticket.ops = generated.ops;
+  {
+    witobs::ScopedTimer timer(StageHistogram("classify"));
+    resolved.predicted_class = framework_->Classify(generated.text);
+    resolved.classified_correctly = resolved.predicted_class == generated.true_class;
 
-  WITOS_ASSIGN_OR_RETURN(ticket.admin, dispatcher_->Assign(ticket.assigned_class));
+    ticket.id = generated.id;
+    ticket.text = generated.text;
+    ticket.target_machine = target_machine;
+    // Review corrects mispredictions before deployment (§5.1).
+    ticket.assigned_class =
+        framework_->ClassifyWithReview(generated.text, generated.true_class);
+    ticket.true_class = generated.true_class;
+    ticket.ops = generated.ops;
+  }
+  if (metrics_ != nullptr) {
+    metrics_
+        ->GetCounter("watchit_workflow_tickets_total",
+                     {{"classified", resolved.classified_correctly ? "correct" : "reviewed"}})
+        ->Increment();
+  }
 
-  WITOS_ASSIGN_OR_RETURN(Deployment primary, manager_.Deploy(ticket));
-  resolved.deployments.push_back(primary);
+  {
+    witobs::ScopedTimer timer(StageHistogram("dispatch"));
+    WITOS_ASSIGN_OR_RETURN(ticket.admin, dispatcher_->Assign(ticket.assigned_class));
+  }
 
-  // T-9 deploys on the user's machine as well.
-  if (ticket.assigned_class == "T-9") {
-    std::string second = user_machine.empty() ? target_machine : user_machine;
-    if (second != target_machine && cluster_->FindMachine(second) != nullptr) {
-      Ticket user_ticket = ticket;
-      user_ticket.target_machine = second;
-      auto user_deployment = manager_.Deploy(user_ticket);
-      if (user_deployment.ok()) {
-        resolved.deployments.push_back(*user_deployment);
+  {
+    witobs::ScopedTimer timer(StageHistogram("deploy"));
+    WITOS_ASSIGN_OR_RETURN(Deployment primary, manager_.Deploy(ticket));
+    resolved.deployments.push_back(primary);
+
+    // T-9 deploys on the user's machine as well.
+    if (ticket.assigned_class == "T-9") {
+      std::string second = user_machine.empty() ? target_machine : user_machine;
+      if (second != target_machine && cluster_->FindMachine(second) != nullptr) {
+        Ticket user_ticket = ticket;
+        user_ticket.target_machine = second;
+        auto user_deployment = manager_.Deploy(user_ticket);
+        if (user_deployment.ok()) {
+          resolved.deployments.push_back(*user_deployment);
+        }
       }
     }
   }
 
-  // The specialist works the ticket in the primary session.
-  AdminSession session(primary.machine, primary.session, primary.certificate,
-                       &cluster_->ca());
-  WITOS_RETURN_IF_ERROR(session.Login());
-  resolved.satisfied_in_view = true;
-  for (const auto& op : ticket.ops) {
-    OpReplayResult replay = session.Replay(op);
-    resolved.satisfied_in_view &= !replay.used_broker;
-    resolved.replays.push_back(std::move(replay));
+  {
+    witobs::ScopedTimer timer(StageHistogram("replay"));
+    // The specialist works the ticket in the primary session.
+    const Deployment& primary = resolved.deployments.front();
+    AdminSession session(primary.machine, primary.session, primary.certificate,
+                         &cluster_->ca());
+    WITOS_RETURN_IF_ERROR(session.Login());
+    resolved.satisfied_in_view = true;
+    for (const auto& op : ticket.ops) {
+      OpReplayResult replay = session.Replay(op);
+      resolved.satisfied_in_view &= !replay.used_broker;
+      resolved.replays.push_back(std::move(replay));
+    }
   }
 
-  for (auto& deployment : resolved.deployments) {
-    (void)manager_.Expire(&deployment);
+  {
+    witobs::ScopedTimer timer(StageHistogram("expire"));
+    for (auto& deployment : resolved.deployments) {
+      (void)manager_.Expire(&deployment);
+    }
   }
   dispatcher_->Complete(ticket.admin);
   ++processed_;

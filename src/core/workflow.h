@@ -26,6 +26,8 @@
 #include "src/core/cluster.h"
 #include "src/core/framework.h"
 #include "src/core/session.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/workload/ticket_gen.h"
 
 namespace watchit {
@@ -89,12 +91,24 @@ class TicketWorkflow {
 
   uint64_t processed() const { return processed_; }
 
+  // Wires the workflow into the observability layer: per-stage wall-clock
+  // latency histograms (classify/dispatch/deploy/replay/expire), ticket
+  // outcome counters, and a root span per ticket whose correlation id — the
+  // ticket id — is inherited by every nested framework/broker/ITFS span.
+  void EnableMetrics(witobs::MetricsRegistry* registry, witobs::Tracer* tracer = nullptr);
+
  private:
+  witobs::Histogram* StageHistogram(const char* stage);
+
   Cluster* cluster_;
   ItFramework* framework_;
   Dispatcher* dispatcher_;
   ClusterManager manager_;
   uint64_t processed_ = 0;
+
+  // Observability wiring (all null when metrics are disabled).
+  witobs::MetricsRegistry* metrics_ = nullptr;
+  witobs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace watchit

@@ -12,8 +12,43 @@ Itfs::Itfs(std::shared_ptr<witos::Filesystem> lower, ItfsPolicy policy,
       clock_(clock),
       audit_(audit) {}
 
+void Itfs::EnableMetrics(witobs::MetricsRegistry* registry, const std::string& correlation_id,
+                         witobs::Tracer* tracer) {
+  metrics_ = registry;
+  tracer_ = tracer;
+  correlation_id_ = correlation_id;
+  if (registry == nullptr) {
+    return;
+  }
+  registry->SetHelp("watchit_itfs_ops_total", "ITFS gated operations by kind and outcome");
+  registry->SetHelp("watchit_itfs_ticket_ops_total",
+                    "ITFS gated operations per ticket by outcome");
+  registry->SetHelp("watchit_itfs_head_read_bytes_total",
+                    "Bytes fetched from lower-fs file heads for signature inspection");
+  registry->SetHelp("watchit_itfs_op_latency_ns",
+                    "Simulated latency of a whole ITFS operation by kind");
+  registry->SetHelp("watchit_itfs_oplog_dropped_total",
+                    "OpLog records evicted by the retention cap");
+  for (size_t op = 0; op < kNumOpKinds; ++op) {
+    std::string op_name = ItfsOpKindName(static_cast<ItfsOpKind>(op));
+    op_counters_[op][0] =
+        registry->GetCounter("watchit_itfs_ops_total", {{"op", op_name}, {"outcome", "allow"}});
+    op_counters_[op][1] =
+        registry->GetCounter("watchit_itfs_ops_total", {{"op", op_name}, {"outcome", "deny"}});
+    op_latency_[op] = registry->GetHistogram("watchit_itfs_op_latency_ns", {{"op", op_name}});
+  }
+  ticket_ops_[0] = registry->GetCounter("watchit_itfs_ticket_ops_total",
+                                        {{"ticket", correlation_id}, {"outcome", "allow"}});
+  ticket_ops_[1] = registry->GetCounter("watchit_itfs_ticket_ops_total",
+                                        {{"ticket", correlation_id}, {"outcome", "deny"}});
+  head_read_bytes_ = registry->GetCounter("watchit_itfs_head_read_bytes_total");
+  oplog_.set_dropped_counter(registry->GetCounter("watchit_itfs_oplog_dropped_total"));
+}
+
 witos::Status Itfs::Gate(ItfsOpKind op, const std::string& path,
                          const witos::Credentials& cred, bool fetch_head) {
+  witobs::Span span(tracer_, "itfs.gate", correlation_id_);
+  size_t head_bytes = 0;
   std::string head;
   if (fetch_head && policy_.NeedsContent()) {
     // Signature inspection: read the head of the file from the lower fs with
@@ -31,12 +66,21 @@ witos::Status Itfs::Gate(ItfsOpKind op, const std::string& path,
         clock_->Advance(buf.size() * clock_->costs().signature_scan_per_byte_tenth_ns / 10);
       }
       head = std::move(buf);
+      head_bytes = head.size();
       if (head.size() > kSignatureHeadBytes) {
         head.resize(kSignatureHeadBytes);  // detection needs only the head
       }
     }
   }
   PolicyDecision decision = policy_.Evaluate(op, path, head);
+  if (metrics_ != nullptr) {
+    size_t outcome = decision.deny ? 1 : 0;
+    op_counters_[static_cast<size_t>(op)][outcome]->Increment();
+    ticket_ops_[outcome]->Increment();
+    if (head_bytes > 0) {
+      head_read_bytes_->Increment(head_bytes);
+    }
+  }
   bool should_log = decision.deny || !decision.rule.empty() || policy_.log_all();
   if (should_log) {
     OpRecord rec;
@@ -61,6 +105,8 @@ witos::Status Itfs::Gate(ItfsOpKind op, const std::string& path,
 
 witos::Result<witos::Stat> Itfs::Open(const std::string& path, uint32_t flags, witos::Mode mode,
                                       const witos::Credentials& cred) {
+  witobs::Span span(tracer_, "itfs.open", correlation_id_);
+  SimTimer timer(clock_, op_latency_[static_cast<size_t>(ItfsOpKind::kOpen)]);
   bool write_intent =
       (flags & (witos::kOpenWrite | witos::kOpenTrunc | witos::kOpenAppend |
                 witos::kOpenCreate)) != 0;
@@ -71,6 +117,8 @@ witos::Result<witos::Stat> Itfs::Open(const std::string& path, uint32_t flags, w
 
 witos::Result<size_t> Itfs::ReadAt(const std::string& path, uint64_t offset, size_t size,
                                    std::string* out, const witos::Credentials& cred) {
+  witobs::Span span(tracer_, "itfs.read", correlation_id_);
+  SimTimer timer(clock_, op_latency_[static_cast<size_t>(ItfsOpKind::kRead)]);
   // Content rules were enforced at open; reads are forwarded but still
   // logged when log_all is set with per-path dedup left to the analyzer.
   WITOS_RETURN_IF_ERROR(Gate(ItfsOpKind::kRead, path, cred, /*fetch_head=*/false));
@@ -79,6 +127,8 @@ witos::Result<size_t> Itfs::ReadAt(const std::string& path, uint64_t offset, siz
 
 witos::Result<size_t> Itfs::WriteAt(const std::string& path, uint64_t offset,
                                     const std::string& data, const witos::Credentials& cred) {
+  witobs::Span span(tracer_, "itfs.write", correlation_id_);
+  SimTimer timer(clock_, op_latency_[static_cast<size_t>(ItfsOpKind::kWrite)]);
   WITOS_RETURN_IF_ERROR(Gate(ItfsOpKind::kWrite, path, cred, /*fetch_head=*/false));
   return lower_->WriteAt(path, offset, data, invoker_);
 }
@@ -100,6 +150,7 @@ witos::Result<witos::Stat> Itfs::GetAttr(const std::string& path,
 
 witos::Result<std::vector<witos::DirEntry>> Itfs::ReadDir(const std::string& path,
                                                           const witos::Credentials& cred) {
+  SimTimer timer(clock_, op_latency_[static_cast<size_t>(ItfsOpKind::kReaddir)]);
   WITOS_RETURN_IF_ERROR(Gate(ItfsOpKind::kReaddir, path, cred, /*fetch_head=*/false));
   return lower_->ReadDir(path, invoker_);
 }
@@ -111,6 +162,7 @@ witos::Status Itfs::MkDir(const std::string& path, witos::Mode mode,
 }
 
 witos::Status Itfs::Unlink(const std::string& path, const witos::Credentials& cred) {
+  SimTimer timer(clock_, op_latency_[static_cast<size_t>(ItfsOpKind::kUnlink)]);
   WITOS_RETURN_IF_ERROR(Gate(ItfsOpKind::kUnlink, path, cred, /*fetch_head=*/true));
   return lower_->Unlink(path, invoker_);
 }
@@ -122,6 +174,7 @@ witos::Status Itfs::RmDir(const std::string& path, const witos::Credentials& cre
 
 witos::Status Itfs::Rename(const std::string& from, const std::string& to,
                            const witos::Credentials& cred) {
+  SimTimer timer(clock_, op_latency_[static_cast<size_t>(ItfsOpKind::kRename)]);
   WITOS_RETURN_IF_ERROR(Gate(ItfsOpKind::kRename, from, cred, /*fetch_head=*/true));
   WITOS_RETURN_IF_ERROR(Gate(ItfsOpKind::kRename, to, cred, /*fetch_head=*/false));
   return lower_->Rename(from, to, invoker_);

@@ -21,6 +21,8 @@
 
 #include "src/fs/itfs_policy.h"
 #include "src/fs/oplog.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/os/audit.h"
 #include "src/os/clock.h"
 #include "src/os/filesystem.h"
@@ -75,6 +77,15 @@ class Itfs : public witos::Filesystem {
   ItfsPolicy& policy() { return policy_; }
   const ItfsPolicy& policy() const { return policy_; }
 
+  // Wires this instance into the observability layer. `correlation_id` is
+  // the ticket/session id: it labels the per-ticket series and tags every
+  // span this filesystem emits. Counter/histogram handles are resolved once
+  // here so the per-operation cost is a few relaxed atomic adds.
+  void EnableMetrics(witobs::MetricsRegistry* registry, const std::string& correlation_id,
+                     witobs::Tracer* tracer = nullptr);
+
+  witobs::MetricsRegistry* metrics() const { return metrics_; }
+
  private:
   // Policy gate: logs the access and returns EACCES if a deny rule fires.
   // In signature mode fetches head bytes for content rules (charging the
@@ -82,12 +93,45 @@ class Itfs : public witos::Filesystem {
   witos::Status Gate(ItfsOpKind op, const std::string& path, const witos::Credentials& cred,
                      bool fetch_head);
 
+  // RAII sim-clock stopwatch: observes the simulated latency of one whole
+  // operation (gate + lower-fs work) into the per-op-kind histogram.
+  class SimTimer {
+   public:
+    SimTimer(const witos::SimClock* clock, witobs::Histogram* hist)
+        : clock_(hist != nullptr ? clock : nullptr),
+          hist_(hist),
+          start_ns_(clock_ != nullptr ? clock_->now_ns() : 0) {}
+    ~SimTimer() {
+      if (clock_ != nullptr) {
+        hist_->Observe(clock_->now_ns() - start_ns_);
+      }
+    }
+    SimTimer(const SimTimer&) = delete;
+    SimTimer& operator=(const SimTimer&) = delete;
+
+   private:
+    const witos::SimClock* clock_;
+    witobs::Histogram* hist_;
+    uint64_t start_ns_;
+  };
+
+  static constexpr size_t kNumOpKinds = 7;  // mirrors ItfsOpKind
+
   std::shared_ptr<witos::Filesystem> lower_;
   ItfsPolicy policy_;
   witos::Credentials invoker_;
   witos::SimClock* clock_;
   witos::AuditLog* audit_;
   OpLog oplog_;
+
+  // Observability wiring (all null when metrics are disabled).
+  witobs::MetricsRegistry* metrics_ = nullptr;
+  witobs::Tracer* tracer_ = nullptr;
+  std::string correlation_id_;
+  witobs::Counter* op_counters_[kNumOpKinds][2] = {};  // [op][0=allow, 1=deny]
+  witobs::Counter* ticket_ops_[2] = {};                // per-ticket allow/deny
+  witobs::Counter* head_read_bytes_ = nullptr;
+  witobs::Histogram* op_latency_[kNumOpKinds] = {};    // simulated ns per op
 };
 
 }  // namespace witfs

@@ -2,6 +2,19 @@
 
 namespace witfs {
 
+void OpLog::Record(OpRecord rec) {
+  if (capacity_ != 0 && records_.size() >= capacity_) {
+    // Ring behavior on a flat vector: the cap bounds the erase cost and
+    // keeps records() contiguous and oldest-first for existing readers.
+    records_.erase(records_.begin());
+    ++dropped_;
+    if (dropped_counter_ != nullptr) {
+      dropped_counter_->Increment();
+    }
+  }
+  records_.push_back(std::move(rec));
+}
+
 size_t OpLog::denied_count() const {
   size_t n = 0;
   for (const auto& rec : records_) {

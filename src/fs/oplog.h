@@ -1,6 +1,12 @@
 // The ITFS operation log: every file operation a perforated container
 // performs is recorded here for later analysis (paper: "all filesystem
 // operations ... were monitored").
+//
+// Retention is bounded: set_capacity() turns the log into a ring that drops
+// its oldest records once full, counting what was lost in dropped_records()
+// (and, when wired, the watchit_itfs_oplog_dropped_total metric) so a
+// long-running session cannot grow memory without bound while the forensic
+// totals stay exact in the metrics registry.
 
 #ifndef SRC_FS_OPLOG_H_
 #define SRC_FS_OPLOG_H_
@@ -10,6 +16,7 @@
 #include <vector>
 
 #include "src/fs/itfs_policy.h"
+#include "src/obs/metrics.h"
 #include "src/os/types.h"
 
 namespace witfs {
@@ -25,7 +32,16 @@ struct OpRecord {
 
 class OpLog {
  public:
-  void Record(OpRecord rec) { records_.push_back(std::move(rec)); }
+  void Record(OpRecord rec);
+
+  // Retention cap: 0 (the default) keeps everything; otherwise the log
+  // keeps the most recent `capacity` records, ring-buffer style.
+  void set_capacity(size_t capacity) { capacity_ = capacity; }
+  size_t capacity() const { return capacity_; }
+  size_t dropped_records() const { return dropped_; }
+
+  // Optional registry counter bumped on every dropped record.
+  void set_dropped_counter(witobs::Counter* counter) { dropped_counter_ = counter; }
 
   const std::vector<OpRecord>& records() const { return records_; }
   size_t size() const { return records_.size(); }
@@ -37,6 +53,9 @@ class OpLog {
 
  private:
   std::vector<OpRecord> records_;
+  size_t capacity_ = 0;
+  size_t dropped_ = 0;
+  witobs::Counter* dropped_counter_ = nullptr;
 };
 
 }  // namespace witfs

@@ -1,0 +1,199 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace witobs {
+
+uint64_t MonotonicNowNs() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+std::string CanonicalLabels(const Labels& labels) {
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string out;
+  for (const auto& [key, value] : sorted) {
+    if (!out.empty()) {
+      out += ",";
+    }
+    out += key;
+    out += "=\"";
+    for (char c : value) {
+      // Prometheus text-format escaping for label values.
+      if (c == '\\' || c == '"') {
+        out += '\\';
+        out += c;
+      } else if (c == '\n') {
+        out += "\\n";
+      } else {
+        out += c;
+      }
+    }
+    out += "\"";
+  }
+  return out;
+}
+
+uint64_t Histogram::Percentile(double p) const {
+  uint64_t total = Count();
+  if (total == 0) {
+    return 0;
+  }
+  p = std::min(std::max(p, 0.0), 100.0);
+  // Rank of the target observation, 1-based: ceil(p/100 * N), at least 1.
+  uint64_t rank = static_cast<uint64_t>(p / 100.0 * static_cast<double>(total));
+  if (static_cast<double>(rank) < p / 100.0 * static_cast<double>(total)) {
+    ++rank;
+  }
+  rank = std::max<uint64_t>(rank, 1);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i <= kNumBuckets; ++i) {
+    uint64_t in_bucket = BucketCount(i);
+    if (cumulative + in_bucket < rank) {
+      cumulative += in_bucket;
+      continue;
+    }
+    // The rank falls in bucket i: interpolate linearly between its bounds.
+    uint64_t lower = i == 0 ? 0 : BucketBound(i - 1);
+    // The overflow bucket has no finite upper bound; report its lower edge.
+    uint64_t upper = i == kNumBuckets ? lower : BucketBound(i);
+    if (in_bucket == 0 || upper <= lower) {
+      return upper;
+    }
+    double frac = static_cast<double>(rank - cumulative) / static_cast<double>(in_bucket);
+    return lower + static_cast<uint64_t>(frac * static_cast<double>(upper - lower));
+  }
+  return BucketBound(kNumBuckets - 1);
+}
+
+MetricsRegistry::FamilyEntry* MetricsRegistry::Family_(const std::string& name,
+                                                       MetricType type) {
+  auto [it, inserted] = families_.try_emplace(name);
+  if (!it->second.typed) {
+    it->second.type = type;
+    it->second.typed = true;
+  } else if (it->second.type != type) {
+    return nullptr;
+  }
+  return &it->second;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name, Labels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  FamilyEntry* family = Family_(name, MetricType::kCounter);
+  if (family == nullptr) {
+    return nullptr;
+  }
+  std::string key = CanonicalLabels(labels);
+  Instrument& inst = family->series[key];
+  if (inst.counter == nullptr) {
+    inst.counter = std::make_unique<Counter>();
+    family->series_labels[key] = std::move(labels);
+  }
+  return inst.counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name, Labels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  FamilyEntry* family = Family_(name, MetricType::kGauge);
+  if (family == nullptr) {
+    return nullptr;
+  }
+  std::string key = CanonicalLabels(labels);
+  Instrument& inst = family->series[key];
+  if (inst.gauge == nullptr) {
+    inst.gauge = std::make_unique<Gauge>();
+    family->series_labels[key] = std::move(labels);
+  }
+  return inst.gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name, Labels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  FamilyEntry* family = Family_(name, MetricType::kHistogram);
+  if (family == nullptr) {
+    return nullptr;
+  }
+  std::string key = CanonicalLabels(labels);
+  Instrument& inst = family->series[key];
+  if (inst.histogram == nullptr) {
+    inst.histogram = std::make_unique<Histogram>();
+    family->series_labels[key] = std::move(labels);
+  }
+  return inst.histogram.get();
+}
+
+void MetricsRegistry::SetHelp(const std::string& name, const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  families_[name].help = help;
+}
+
+const MetricsRegistry::Instrument* MetricsRegistry::Find(const std::string& name,
+                                                         MetricType type,
+                                                         const Labels& labels) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto family = families_.find(name);
+  if (family == families_.end() || family->second.type != type) {
+    return nullptr;
+  }
+  auto series = family->second.series.find(CanonicalLabels(labels));
+  if (series == family->second.series.end()) {
+    return nullptr;
+  }
+  return &series->second;
+}
+
+uint64_t MetricsRegistry::CounterValue(const std::string& name, const Labels& labels) const {
+  const Instrument* inst = Find(name, MetricType::kCounter, labels);
+  return inst != nullptr && inst->counter != nullptr ? inst->counter->Value() : 0;
+}
+
+int64_t MetricsRegistry::GaugeValue(const std::string& name, const Labels& labels) const {
+  const Instrument* inst = Find(name, MetricType::kGauge, labels);
+  return inst != nullptr && inst->gauge != nullptr ? inst->gauge->Value() : 0;
+}
+
+const Histogram* MetricsRegistry::FindHistogram(const std::string& name,
+                                                const Labels& labels) const {
+  const Instrument* inst = Find(name, MetricType::kHistogram, labels);
+  return inst != nullptr ? inst->histogram.get() : nullptr;
+}
+
+size_t MetricsRegistry::SeriesCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& [name, family] : families_) {
+    n += family.series.size();
+  }
+  return n;
+}
+
+std::vector<MetricsRegistry::Family> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Family> out;
+  out.reserve(families_.size());
+  for (const auto& [name, entry] : families_) {
+    Family family;
+    family.name = name;
+    family.help = entry.help;
+    family.type = entry.type;
+    for (const auto& [key, inst] : entry.series) {
+      Series series;
+      auto labels = entry.series_labels.find(key);
+      if (labels != entry.series_labels.end()) {
+        series.labels = labels->second;
+      }
+      series.counter = inst.counter.get();
+      series.gauge = inst.gauge.get();
+      series.histogram = inst.histogram.get();
+      family.series.push_back(std::move(series));
+    }
+    out.push_back(std::move(family));
+  }
+  return out;
+}
+
+}  // namespace witobs

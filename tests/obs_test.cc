@@ -1,0 +1,361 @@
+// Observability-layer tests: counter/gauge/histogram semantics, percentile
+// math, concurrent updates, span nesting + correlation-id propagation,
+// exact Prometheus text-format output, and the end-to-end wiring through a
+// booted Machine (ITFS + broker + forensics).
+
+#include "src/obs/export.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "src/broker/policy.h"
+#include "src/core/cluster.h"
+#include "src/core/report.h"
+#include "src/core/session.h"
+#include "src/fs/oplog.h"
+
+namespace witobs {
+namespace {
+
+// ---------------------------------------------------------------- metrics --
+
+TEST(CounterTest, IncrementAndHandleIdentity) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("watchit_test_total", {{"op", "open"}});
+  ASSERT_NE(c, nullptr);
+  c->Increment();
+  c->Increment(41);
+  EXPECT_EQ(c->Value(), 42u);
+  // Same (name, labels) -> same handle; different labels -> different series.
+  EXPECT_EQ(registry.GetCounter("watchit_test_total", {{"op", "open"}}), c);
+  EXPECT_NE(registry.GetCounter("watchit_test_total", {{"op", "read"}}), c);
+  EXPECT_EQ(registry.CounterValue("watchit_test_total", {{"op", "open"}}), 42u);
+  EXPECT_EQ(registry.CounterValue("watchit_test_total", {{"op", "absent"}}), 0u);
+}
+
+TEST(CounterTest, LabelOrderDoesNotMatter) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("watchit_t", {{"a", "1"}, {"b", "2"}});
+  Counter* b = registry.GetCounter("watchit_t", {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(a, b);
+}
+
+TEST(CounterTest, TypeConfusionReturnsNull) {
+  MetricsRegistry registry;
+  ASSERT_NE(registry.GetCounter("watchit_x"), nullptr);
+  EXPECT_EQ(registry.GetHistogram("watchit_x"), nullptr);
+  EXPECT_EQ(registry.GetGauge("watchit_x"), nullptr);
+}
+
+TEST(GaugeTest, SetAddSub) {
+  MetricsRegistry registry;
+  Gauge* g = registry.GetGauge("watchit_depth");
+  g->Set(10);
+  g->Add(5);
+  g->Sub(7);
+  EXPECT_EQ(g->Value(), 8);
+  EXPECT_EQ(registry.GaugeValue("watchit_depth"), 8);
+}
+
+TEST(HistogramTest, CountSumAndBucketing) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("watchit_lat_ns");
+  h->Observe(500);      // bucket 1 (256 < 500 <= 512)
+  h->Observe(300000);   // bucket 11 (262144 < 300000 <= 524288)
+  EXPECT_EQ(h->Count(), 2u);
+  EXPECT_EQ(h->SumNs(), 300500u);
+  EXPECT_EQ(h->BucketCount(0), 0u);
+  EXPECT_EQ(h->BucketCount(1), 1u);
+  EXPECT_EQ(h->BucketCount(11), 1u);
+}
+
+TEST(HistogramTest, PercentileMath) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("watchit_lat_ns");
+  EXPECT_EQ(h->Percentile(50), 0u);  // empty histogram
+
+  // 100 observations all in bucket 0 (bounds 0..256): the rank-r estimate
+  // interpolates linearly, so p50 (rank 50 of 100) sits at 128.
+  for (int i = 0; i < 100; ++i) {
+    h->Observe(100);
+  }
+  EXPECT_EQ(h->Percentile(50), 128u);
+  EXPECT_EQ(h->Percentile(100), 256u);
+
+  // Add 100 observations in bucket 2 (512..1024): p75 now lands mid-way
+  // through the upper bucket's mass.
+  for (int i = 0; i < 100; ++i) {
+    h->Observe(1000);
+  }
+  uint64_t p25 = h->Percentile(25);
+  uint64_t p50 = h->Percentile(50);
+  uint64_t p75 = h->Percentile(75);
+  uint64_t p99 = h->Percentile(99);
+  EXPECT_EQ(p25, 128u);   // rank 50 of 200, halfway through bucket 0
+  EXPECT_EQ(p50, 256u);   // rank 100 of 200: the whole of bucket 0
+  EXPECT_EQ(p75, 768u);   // rank 150: halfway through bucket 2 (512..1024)
+  EXPECT_LE(p50, p75);
+  EXPECT_LE(p75, p99);
+  EXPECT_LE(p99, 1024u);
+}
+
+TEST(HistogramTest, ConcurrentObservationsFromEightThreads) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("watchit_hits_total");
+  Histogram* hist = registry.GetHistogram("watchit_lat_ns");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 100000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter->Increment();
+        hist->Observe(static_cast<uint64_t>(t * 1000 + i % 997));
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(counter->Value(), static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(hist->Count(), static_cast<uint64_t>(kThreads) * kPerThread);
+  uint64_t bucket_total = 0;
+  for (size_t i = 0; i <= Histogram::kNumBuckets; ++i) {
+    bucket_total += hist->BucketCount(i);
+  }
+  EXPECT_EQ(bucket_total, hist->Count());
+}
+
+// ------------------------------------------------------------- exporters --
+
+TEST(PrometheusTest, ExactTextFormat) {
+  MetricsRegistry registry;
+  registry.SetHelp("watchit_test_requests_total", "Requests seen");
+  registry.GetCounter("watchit_test_requests_total", {{"outcome", "allow"}})->Increment(3);
+  registry.GetCounter("watchit_test_requests_total", {{"outcome", "deny"}})->Increment();
+  registry.GetGauge("watchit_test_queue_depth")->Set(7);
+  Histogram* h = registry.GetHistogram("watchit_test_latency_ns");
+  h->Observe(500);
+  h->Observe(300000);
+
+  // The 26-step exponential bucket ladder, hard-coded independently of
+  // Histogram::BucketBound.
+  const char* kBounds[] = {
+      "256",      "512",      "1024",      "2048",      "4096",       "8192",      "16384",
+      "32768",    "65536",    "131072",    "262144",    "524288",     "1048576",   "2097152",
+      "4194304",  "8388608",  "16777216",  "33554432",  "67108864",   "134217728", "268435456",
+      "536870912", "1073741824", "2147483648", "4294967296", "8589934592"};
+  std::string expected = "# TYPE watchit_test_latency_ns histogram\n";
+  for (size_t i = 0; i < 26; ++i) {
+    const char* cumulative = i == 0 ? "0" : (i < 11 ? "1" : "2");
+    expected += std::string("watchit_test_latency_ns_bucket{le=\"") + kBounds[i] + "\"} " +
+                cumulative + "\n";
+  }
+  expected += "watchit_test_latency_ns_bucket{le=\"+Inf\"} 2\n";
+  expected += "watchit_test_latency_ns_sum 300500\n";
+  expected += "watchit_test_latency_ns_count 2\n";
+  expected += "# TYPE watchit_test_queue_depth gauge\n";
+  expected += "watchit_test_queue_depth 7\n";
+  expected += "# HELP watchit_test_requests_total Requests seen\n";
+  expected += "# TYPE watchit_test_requests_total counter\n";
+  expected += "watchit_test_requests_total{outcome=\"allow\"} 3\n";
+  expected += "watchit_test_requests_total{outcome=\"deny\"} 1\n";
+
+  EXPECT_EQ(RenderPrometheus(registry), expected);
+}
+
+TEST(JsonTest, SnapshotCarriesPercentiles) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("watchit_lat_ns");
+  for (int i = 0; i < 100; ++i) {
+    h->Observe(100);
+  }
+  std::string json = RenderJson(registry);
+  EXPECT_NE(json.find("\"watchit_lat_ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":100"), std::string::npos);
+  EXPECT_NE(json.find("\"p50_ns\":128"), std::string::npos);
+}
+
+// --------------------------------------------------------------- tracing --
+
+uint64_t FakeNow() {
+  static std::atomic<uint64_t> now{0};
+  return now.fetch_add(10) + 10;  // advances 10ns per call
+}
+
+TEST(TraceTest, SpanNestingAndCorrelationPropagation) {
+  Tracer tracer(64);
+  tracer.SetClockForTest(&FakeNow);
+  {
+    Span outer(&tracer, "workflow.process", "TKT-1");
+    EXPECT_EQ(Span::CurrentCorrelationId(&tracer), "TKT-1");
+    {
+      Span inner(&tracer, "itfs.gate");  // no id: inherits TKT-1
+      EXPECT_EQ(Span::CurrentCorrelationId(&tracer), "TKT-1");
+    }
+    {
+      Span other(&tracer, "broker.handle", "TKT-2");  // explicit id wins
+      EXPECT_EQ(Span::CurrentCorrelationId(&tracer), "TKT-2");
+    }
+  }
+  EXPECT_EQ(Span::CurrentCorrelationId(&tracer), "");
+
+  auto spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  // Recorded at destruction: innermost spans first.
+  EXPECT_EQ(spans[0].name, "itfs.gate");
+  EXPECT_EQ(spans[0].correlation_id, "TKT-1");
+  EXPECT_EQ(spans[0].depth, 1u);
+  EXPECT_EQ(spans[1].name, "broker.handle");
+  EXPECT_EQ(spans[1].correlation_id, "TKT-2");
+  EXPECT_EQ(spans[1].depth, 1u);
+  EXPECT_EQ(spans[2].name, "workflow.process");
+  EXPECT_EQ(spans[2].correlation_id, "TKT-1");
+  EXPECT_EQ(spans[2].depth, 0u);
+  EXPECT_GT(spans[2].duration_ns, spans[0].duration_ns);  // outer encloses inner
+
+  std::string dump = RenderTraceDump(tracer);
+  EXPECT_NE(dump.find("[TKT-1]   itfs.gate"), std::string::npos);
+  EXPECT_NE(dump.find("[TKT-1] workflow.process"), std::string::npos);
+}
+
+TEST(TraceTest, RingBufferDropsOldestAndCounts) {
+  Tracer tracer(4);
+  for (int i = 0; i < 10; ++i) {
+    Span span(&tracer, "s", std::to_string(i));
+  }
+  auto spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans[0].correlation_id, "6");  // oldest surviving
+  EXPECT_EQ(spans[3].correlation_id, "9");
+  EXPECT_EQ(tracer.dropped(), 6u);
+  EXPECT_EQ(tracer.total_recorded(), 10u);
+}
+
+TEST(TraceTest, NullTracerIsNoOp) {
+  Span span(nullptr, "noop", "x");
+  EXPECT_EQ(Span::CurrentCorrelationId(nullptr), "");
+}
+
+// ------------------------------------------------- end-to-end (Machine) --
+
+TEST(EndToEndTest, MachineWiringProducesTwelvePlusSeries) {
+  watchit::Cluster cluster;
+  watchit::Machine& machine = cluster.AddMachine("userpc", witnet::Ipv4Addr(10, 0, 1, 50));
+  watchit::ClusterManager manager(&cluster);
+
+  watchit::Ticket ticket;
+  ticket.id = "TKT-OBS";
+  ticket.target_machine = "userpc";
+  ticket.assigned_class = "T-1";
+  ticket.admin = "alice";
+  auto deployment = manager.Deploy(ticket);
+  ASSERT_TRUE(deployment.ok());
+
+  watchit::AdminSession session(&machine, deployment->session, deployment->certificate,
+                                &cluster.ca());
+  ASSERT_TRUE(session.Login().ok());
+  ASSERT_TRUE(session.ReadFile("/home/user/.matlab/license.lic").ok());
+  EXPECT_FALSE(session.ReadFile("/home/user/documents/payroll.xlsx").ok());  // denied
+  ASSERT_TRUE(session.Pb(witbroker::kVerbPs, {}).ok());
+  EXPECT_FALSE(session.Pb(witbroker::kVerbDriverUpdate, {"rootkit"}).ok());  // denied
+
+  const witobs::MetricsRegistry& metrics = machine.metrics();
+  // The acceptance bar: at least 12 distinct series covering ITFS ops,
+  // broker verbs, and latency histograms.
+  EXPECT_GE(metrics.SeriesCount(), 12u);
+
+  // Per-ticket ITFS counters, by outcome.
+  EXPECT_GT(metrics.CounterValue("watchit_itfs_ticket_ops_total",
+                                 {{"ticket", "TKT-OBS"}, {"outcome", "allow"}}),
+            0u);
+  EXPECT_GT(metrics.CounterValue("watchit_itfs_ticket_ops_total",
+                                 {{"ticket", "TKT-OBS"}, {"outcome", "deny"}}),
+            0u);
+  // Broker verbs by grant outcome.
+  EXPECT_EQ(metrics.CounterValue("watchit_broker_requests_total",
+                                 {{"verb", "ps"}, {"outcome", "grant"}}),
+            1u);
+  EXPECT_EQ(metrics.CounterValue("watchit_broker_requests_total",
+                                 {{"verb", "driver_update"}, {"outcome", "deny"}}),
+            1u);
+  // Simulated latency histograms saw traffic.
+  const Histogram* read_latency =
+      metrics.FindHistogram("watchit_itfs_op_latency_ns", {{"op", "read"}});
+  ASSERT_NE(read_latency, nullptr);
+  EXPECT_GT(read_latency->Count(), 0u);
+  EXPECT_GT(read_latency->Percentile(50), 0u);
+  const Histogram* dispatch = metrics.FindHistogram("watchit_broker_dispatch_latency_ns");
+  ASSERT_NE(dispatch, nullptr);
+  EXPECT_EQ(dispatch->Count(), 1u);  // only the granted ps dispatched
+
+  // The rendered exposition carries the headline families.
+  std::string prom = RenderPrometheus(metrics);
+  for (const char* family :
+       {"watchit_itfs_ops_total", "watchit_itfs_ticket_ops_total",
+        "watchit_itfs_op_latency_ns_bucket", "watchit_broker_requests_total",
+        "watchit_broker_dispatch_latency_ns_count"}) {
+    EXPECT_NE(prom.find(family), std::string::npos) << family;
+  }
+
+  // Spans emitted by ITFS/broker carry the ticket id as correlation.
+  bool saw_gate = false;
+  bool saw_broker = false;
+  for (const auto& span : GlobalTracer().Snapshot()) {
+    saw_gate |= span.name == "itfs.gate" && span.correlation_id == "TKT-OBS";
+    saw_broker |= span.name == "broker.handle" && span.correlation_id == "TKT-OBS";
+  }
+  EXPECT_TRUE(saw_gate);
+  EXPECT_TRUE(saw_broker);
+
+  // The forensic report reads the same registry.
+  watchit::ForensicReporter reporter(&machine);
+  auto forensics = reporter.Collect(deployment->session);
+  ASSERT_TRUE(forensics.ok());
+  EXPECT_GT(forensics->fs_ops, 0u);
+  EXPECT_GT(forensics->fs_denied, 0u);
+  EXPECT_EQ(forensics->broker_requests, 2u);
+  EXPECT_EQ(forensics->broker_denied, 1u);
+}
+
+TEST(EndToEndTest, OpLogRetentionCapDropsOldestAndCountsInRegistry) {
+  MetricsRegistry registry;
+  witfs::OpLog log;
+  log.set_capacity(3);
+  log.set_dropped_counter(registry.GetCounter("watchit_itfs_oplog_dropped_total"));
+  for (int i = 0; i < 5; ++i) {
+    witfs::OpRecord rec;
+    rec.path = "/f" + std::to_string(i);
+    log.Record(std::move(rec));
+  }
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.records().front().path, "/f2");  // oldest two evicted
+  EXPECT_EQ(log.dropped_records(), 2u);
+  EXPECT_EQ(registry.CounterValue("watchit_itfs_oplog_dropped_total"), 2u);
+}
+
+TEST(EndToEndTest, BrokerEventRetentionCap) {
+  watchit::Cluster cluster;
+  watchit::Machine& machine = cluster.AddMachine("pc", witnet::Ipv4Addr(10, 0, 1, 51));
+  machine.broker().set_event_capacity(2);
+  machine.broker().BindTicket("TKT-CAP", "T-5");
+  witbroker::BrokerClient client(&machine.broker_channel(), "TKT-CAP", "alice");
+  for (int i = 0; i < 5; ++i) {
+    (void)client.Request(witbroker::kVerbPs, {}, witos::kRootUid);
+  }
+  EXPECT_EQ(machine.broker().events().size(), 2u);
+  EXPECT_EQ(machine.broker().dropped_events(), 3u);
+  EXPECT_EQ(machine.metrics().CounterValue("watchit_broker_events_dropped_total"), 3u);
+  // The registry still has the exact total despite the eviction.
+  EXPECT_EQ(machine.metrics().CounterValue("watchit_broker_ticket_requests_total",
+                                           {{"ticket", "TKT-CAP"}, {"outcome", "grant"}}),
+            5u);
+}
+
+}  // namespace
+}  // namespace witobs
