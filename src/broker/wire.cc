@@ -54,7 +54,12 @@ witos::Result<uint64_t> WireReader::GetU64() {
 
 witos::Result<std::string> WireReader::GetString() {
   WITOS_ASSIGN_OR_RETURN(uint32_t len, GetU32());
-  if (pos_ + len > data_.size()) {
+  // Validate the length prefix against the bytes actually remaining before
+  // allocating anything: comparing `len > remaining` (rather than
+  // `pos_ + len > size`) cannot overflow on any size_t width, and a hostile
+  // 4-byte header (e.g. 0xffffffff) is rejected without a multi-GB
+  // std::string allocation.
+  if (static_cast<size_t>(len) > Remaining()) {
     return witos::Err::kInval;
   }
   std::string value(data_.substr(pos_, len));
@@ -64,6 +69,13 @@ witos::Result<std::string> WireReader::GetString() {
 
 witos::Result<std::vector<std::string>> WireReader::GetStringList() {
   WITOS_ASSIGN_OR_RETURN(uint32_t count, GetU32());
+  // Every list element costs at least a 4-byte length prefix, so any claimed
+  // count above remaining/4 is unsatisfiable. Rejecting it here caps the
+  // reserve() below at remaining/4 entries instead of letting a hostile
+  // header demand count * sizeof(std::string) bytes up front.
+  if (static_cast<size_t>(count) > Remaining() / 4) {
+    return witos::Err::kInval;
+  }
   std::vector<std::string> values;
   values.reserve(count);
   for (uint32_t i = 0; i < count; ++i) {

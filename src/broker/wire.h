@@ -40,6 +40,9 @@ class WireReader {
   witos::Result<bool> GetBool();
 
   bool AtEnd() const { return pos_ == data_.size(); }
+  // Bytes not yet consumed; length prefixes are validated against this
+  // before any allocation happens.
+  size_t Remaining() const { return data_.size() - pos_; }
 
  private:
   std::string_view data_;

@@ -70,6 +70,31 @@ witos::Status Itfs::Gate(ItfsOpKind op, const std::string& path,
       if (head.size() > kSignatureHeadBytes) {
         head.resize(kSignatureHeadBytes);  // detection needs only the head
       }
+    } else if (read.error() != witos::Err::kNoEnt && read.error() != witos::Err::kIsDir &&
+               read.error() != witos::Err::kNotDir) {
+      // Fail closed. A missing file or a directory simply has no content to
+      // scan, but any *environmental* failure (EIO, ENOSPC, ENOMEM) would
+      // leave `head` empty and let content smuggled under an innocent name
+      // sail past the signature rules — a fault-induced policy bypass. Deny
+      // the access with the lower error, and account it like a deny.
+      if (metrics_ != nullptr) {
+        op_counters_[static_cast<size_t>(op)][1]->Increment();
+        ticket_ops_[1]->Increment();
+      }
+      OpRecord rec;
+      rec.time_ns = clock_ != nullptr ? clock_->now_ns() : 0;
+      rec.op = op;
+      rec.path = path;
+      rec.uid = cred.uid;
+      rec.denied = true;
+      rec.rule = "head-fetch-failed";
+      oplog_.Record(std::move(rec));
+      if (audit_ != nullptr) {
+        audit_->Append(witos::AuditEvent::kFileDenied, witos::kNoPid, cred.uid,
+                       ItfsOpKindName(op) + " " + path + " [head-fetch-failed]",
+                       clock_ != nullptr ? clock_->now_ns() : 0);
+      }
+      return read.error();
     }
   }
   PolicyDecision decision = policy_.Evaluate(op, path, head);

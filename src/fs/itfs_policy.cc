@@ -34,7 +34,16 @@ const std::vector<std::string>& DocumentExtensions() {
   return kExts;
 }
 
-void ItfsPolicy::AddRule(ItfsRule rule) { rules_.push_back(std::move(rule)); }
+void ItfsPolicy::AddRule(ItfsRule rule) {
+  // PathIsUnder requires normalized prefixes: a trailing slash or a "."/".."
+  // component in a rule ("/etc/", "/etc/../etc") would otherwise never match
+  // any gated path and the rule would be silently inert — a containment hole,
+  // not a cosmetic mismatch. Normalize once at ingestion.
+  for (auto& prefix : rule.path_prefixes) {
+    prefix = witos::NormalizePath(prefix);
+  }
+  rules_.push_back(std::move(rule));
+}
 
 void ItfsPolicy::Merge(const ItfsPolicy& other) {
   for (const auto& rule : other.rules_) {

@@ -46,7 +46,7 @@ struct ItfsRule {
   // Any matching selector triggers the rule; empty selectors do not match.
   std::vector<std::string> extensions;        // lower-case, no dot
   std::vector<FileClass> signatures;          // content classes
-  std::vector<std::string> path_prefixes;     // fs-local normalized prefixes
+  std::vector<std::string> path_prefixes;     // fs-local; normalized by AddRule
   bool write_only = false;                    // rule applies only to mutations
   // Optional custom detector: (fs path, head bytes) -> match?
   std::function<bool(const std::string&, std::string_view)> custom;

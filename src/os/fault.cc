@@ -1,0 +1,254 @@
+#include "src/os/fault.h"
+
+namespace witos {
+
+std::string FaultOpKindName(FaultOpKind op) {
+  switch (op) {
+    case FaultOpKind::kOpen:
+      return "open";
+    case FaultOpKind::kRead:
+      return "read";
+    case FaultOpKind::kWrite:
+      return "write";
+    case FaultOpKind::kTruncate:
+      return "truncate";
+    case FaultOpKind::kGetAttr:
+      return "getattr";
+    case FaultOpKind::kReadDir:
+      return "readdir";
+    case FaultOpKind::kMkDir:
+      return "mkdir";
+    case FaultOpKind::kUnlink:
+      return "unlink";
+    case FaultOpKind::kRmDir:
+      return "rmdir";
+    case FaultOpKind::kRename:
+      return "rename";
+    case FaultOpKind::kChmod:
+      return "chmod";
+    case FaultOpKind::kChown:
+      return "chown";
+    case FaultOpKind::kMkNod:
+      return "mknod";
+    case FaultOpKind::kLink:
+      return "link";
+    case FaultOpKind::kSymLink:
+      return "symlink";
+    case FaultOpKind::kReadLink:
+      return "readlink";
+    case FaultOpKind::kStatFs:
+      return "statfs";
+    case FaultOpKind::kAny:
+      return "any";
+  }
+  return "?";
+}
+
+uint64_t FaultPlan::Mix(uint64_t x) {
+  // splitmix64 finalizer: a cheap, well-distributed whitening of the seed.
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+double FaultPlan::NextUniform() {
+  prng_state_ = Mix(prng_state_);
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(prng_state_ >> 11) * (1.0 / 9007199254740992.0);
+}
+
+void FaultPlan::FailNthOp(FaultOpKind op, uint64_t nth, Err err) {
+  triggers_.push_back(Trigger{op, nth, 0, err});
+}
+
+void FaultPlan::FailEveryNthCall(uint64_t period, Err err) {
+  if (period == 0) {
+    return;
+  }
+  triggers_.push_back(Trigger{FaultOpKind::kAny, 0, period, err});
+}
+
+void FaultPlan::FailOp(FaultOpKind op, Err err) {
+  triggers_.push_back(Trigger{op, 0, 0, err});
+}
+
+void FaultPlan::FailWithProbability(double p, Err err) {
+  probability_ = p;
+  probability_err_ = err;
+}
+
+void FaultPlan::Rewind() {
+  prng_state_ = Mix(seed_);
+  calls_ = 0;
+  injected_ = 0;
+  for (size_t i = 0; i < kNumFaultOpKinds; ++i) {
+    op_calls_[i] = 0;
+    injected_per_op_[i] = 0;
+  }
+}
+
+Err FaultPlan::Decide(FaultOpKind op) {
+  uint64_t call = ++calls_;
+  uint64_t op_call = ++op_calls_[static_cast<size_t>(op)];
+  if (metric_calls_ != nullptr) {
+    metric_calls_->Increment();
+  }
+  Err err = Err::kOk;
+  for (const auto& trigger : triggers_) {
+    if (trigger.op != FaultOpKind::kAny && trigger.op != op) {
+      continue;
+    }
+    uint64_t counter = trigger.op == FaultOpKind::kAny ? call : op_call;
+    if (trigger.period != 0) {
+      if (counter % trigger.period == 0) {
+        err = trigger.err;
+      }
+    } else if (trigger.nth == 0 || trigger.nth == counter) {
+      err = trigger.err;
+    }
+    if (err != Err::kOk) {
+      break;
+    }
+  }
+  if (err == Err::kOk && probability_ > 0.0 && NextUniform() < probability_) {
+    err = probability_err_;
+  }
+  if (err != Err::kOk) {
+    ++injected_;
+    ++injected_per_op_[static_cast<size_t>(op)];
+    if (metric_injected_[static_cast<size_t>(op)] != nullptr) {
+      metric_injected_[static_cast<size_t>(op)]->Increment();
+    }
+  }
+  return err;
+}
+
+void FaultPlan::EnableMetrics(witobs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    metric_calls_ = nullptr;
+    for (size_t i = 0; i < kNumFaultOpKinds; ++i) {
+      metric_injected_[i] = nullptr;
+    }
+    return;
+  }
+  registry->SetHelp("watchit_fault_calls_total",
+                    "Filesystem operations evaluated by the fault plan");
+  registry->SetHelp("watchit_fault_injected_total", "Faults injected by the plan, by op kind");
+  metric_calls_ = registry->GetCounter("watchit_fault_calls_total");
+  for (size_t i = 0; i < kNumFaultOpKinds; ++i) {
+    metric_injected_[i] = registry->GetCounter(
+        "watchit_fault_injected_total", {{"op", FaultOpKindName(static_cast<FaultOpKind>(i))}});
+  }
+}
+
+#define WITOS_INJECT_OR_FORWARD(kind)                  \
+  do {                                                 \
+    Err _fault = plan_->Decide(FaultOpKind::kind);     \
+    if (_fault != Err::kOk) {                          \
+      return _fault;                                   \
+    }                                                  \
+  } while (0)
+
+Result<Stat> ErrorInjectingVfs::Open(const std::string& path, uint32_t flags, Mode mode,
+                                     const Credentials& cred) {
+  WITOS_INJECT_OR_FORWARD(kOpen);
+  return lower_->Open(path, flags, mode, cred);
+}
+
+Result<size_t> ErrorInjectingVfs::ReadAt(const std::string& path, uint64_t offset, size_t size,
+                                         std::string* out, const Credentials& cred) {
+  WITOS_INJECT_OR_FORWARD(kRead);
+  return lower_->ReadAt(path, offset, size, out, cred);
+}
+
+Result<size_t> ErrorInjectingVfs::WriteAt(const std::string& path, uint64_t offset,
+                                          const std::string& data, const Credentials& cred) {
+  WITOS_INJECT_OR_FORWARD(kWrite);
+  return lower_->WriteAt(path, offset, data, cred);
+}
+
+Status ErrorInjectingVfs::Truncate(const std::string& path, uint64_t size,
+                                   const Credentials& cred) {
+  WITOS_INJECT_OR_FORWARD(kTruncate);
+  return lower_->Truncate(path, size, cred);
+}
+
+Result<Stat> ErrorInjectingVfs::GetAttr(const std::string& path, const Credentials& cred) {
+  WITOS_INJECT_OR_FORWARD(kGetAttr);
+  return lower_->GetAttr(path, cred);
+}
+
+Result<std::vector<DirEntry>> ErrorInjectingVfs::ReadDir(const std::string& path,
+                                                         const Credentials& cred) {
+  WITOS_INJECT_OR_FORWARD(kReadDir);
+  return lower_->ReadDir(path, cred);
+}
+
+Status ErrorInjectingVfs::MkDir(const std::string& path, Mode mode, const Credentials& cred) {
+  WITOS_INJECT_OR_FORWARD(kMkDir);
+  return lower_->MkDir(path, mode, cred);
+}
+
+Status ErrorInjectingVfs::Unlink(const std::string& path, const Credentials& cred) {
+  WITOS_INJECT_OR_FORWARD(kUnlink);
+  return lower_->Unlink(path, cred);
+}
+
+Status ErrorInjectingVfs::RmDir(const std::string& path, const Credentials& cred) {
+  WITOS_INJECT_OR_FORWARD(kRmDir);
+  return lower_->RmDir(path, cred);
+}
+
+Status ErrorInjectingVfs::Rename(const std::string& from, const std::string& to,
+                                 const Credentials& cred) {
+  WITOS_INJECT_OR_FORWARD(kRename);
+  return lower_->Rename(from, to, cred);
+}
+
+Status ErrorInjectingVfs::Chmod(const std::string& path, Mode mode, const Credentials& cred) {
+  WITOS_INJECT_OR_FORWARD(kChmod);
+  return lower_->Chmod(path, mode, cred);
+}
+
+Status ErrorInjectingVfs::Chown(const std::string& path, Uid uid, Gid gid,
+                                const Credentials& cred) {
+  WITOS_INJECT_OR_FORWARD(kChown);
+  return lower_->Chown(path, uid, gid, cred);
+}
+
+Status ErrorInjectingVfs::MkNod(const std::string& path, FileType type, DeviceId rdev, Mode mode,
+                                const Credentials& cred) {
+  WITOS_INJECT_OR_FORWARD(kMkNod);
+  return lower_->MkNod(path, type, rdev, mode, cred);
+}
+
+Status ErrorInjectingVfs::Link(const std::string& oldpath, const std::string& newpath,
+                               const Credentials& cred) {
+  WITOS_INJECT_OR_FORWARD(kLink);
+  return lower_->Link(oldpath, newpath, cred);
+}
+
+Status ErrorInjectingVfs::SymLink(const std::string& target, const std::string& linkpath,
+                                  const Credentials& cred) {
+  WITOS_INJECT_OR_FORWARD(kSymLink);
+  return lower_->SymLink(target, linkpath, cred);
+}
+
+Result<std::string> ErrorInjectingVfs::ReadLink(const std::string& path,
+                                                const Credentials& cred) {
+  WITOS_INJECT_OR_FORWARD(kReadLink);
+  return lower_->ReadLink(path, cred);
+}
+
+Result<FsStats> ErrorInjectingVfs::StatFs() const {
+  Err fault = plan_->Decide(FaultOpKind::kStatFs);
+  if (fault != Err::kOk) {
+    return fault;
+  }
+  return lower_->StatFs();
+}
+
+#undef WITOS_INJECT_OR_FORWARD
+
+}  // namespace witos

@@ -1,0 +1,176 @@
+// witfault: deterministic fault injection at the filesystem boundary.
+//
+// WatchIT's containment argument (paper §4, Table 1) must hold not only on
+// the happy path but on every error path: an EIO at the wrong moment must
+// never let an operation slip past the ITFS policy gate or the XCL exclusion
+// table. In the spirit of CrashMonkey-style systematic fault injection, this
+// module makes those interleavings reproducible:
+//
+//   * FaultPlan — a seeded schedule of injected errors. Triggers are
+//     nth-call (absolute or per-op-kind), every-nth-call, per-op-kind
+//     blanket, and probabilistic (seeded splitmix64, so the same seed always
+//     yields the same fault sequence). First matching trigger wins.
+//   * ErrorInjectingVfs — a Filesystem decorator consulting the plan before
+//     forwarding each operation to the wrapped filesystem. It can be slipped
+//     under ITFS, mounted in the kernel VFS, or handed to any other
+//     Filesystem consumer, so the whole stack above it is driven through
+//     EIO/ENOSPC/ENOMEM at every hop.
+//
+// Injection decisions are counted into the witobs registry
+// (`watchit_fault_injected_total{op=...}` / `watchit_fault_calls_total`)
+// when a registry is attached, so a fault campaign shows up in the same
+// accounting plane as the traffic it perturbs.
+
+#ifndef SRC_OS_FAULT_H_
+#define SRC_OS_FAULT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/os/filesystem.h"
+#include "src/os/result.h"
+
+namespace witos {
+
+// One slot per Filesystem virtual; kAny addresses all of them in a trigger.
+enum class FaultOpKind {
+  kOpen,
+  kRead,
+  kWrite,
+  kTruncate,
+  kGetAttr,
+  kReadDir,
+  kMkDir,
+  kUnlink,
+  kRmDir,
+  kRename,
+  kChmod,
+  kChown,
+  kMkNod,
+  kLink,
+  kSymLink,
+  kReadLink,
+  kStatFs,
+  kAny,
+};
+
+inline constexpr size_t kNumFaultOpKinds = static_cast<size_t>(FaultOpKind::kAny);
+
+std::string FaultOpKindName(FaultOpKind op);
+
+// A deterministic fault schedule. Not thread-safe: one plan drives one
+// single-threaded fault campaign (the simulator's kernel is single-threaded).
+class FaultPlan {
+ public:
+  explicit FaultPlan(uint64_t seed = 0) : seed_(seed), prng_state_(Mix(seed)) {}
+
+  // --- Trigger registration (composable; earliest-registered match wins) ---
+
+  // Fails the `nth` call overall (1-based), or the `nth` call of kind `op`.
+  void FailNthCall(uint64_t nth, Err err) { FailNthOp(FaultOpKind::kAny, nth, err); }
+  void FailNthOp(FaultOpKind op, uint64_t nth, Err err);
+  // Fails every `period`-th call (call numbers divisible by `period`).
+  void FailEveryNthCall(uint64_t period, Err err);
+  // Fails every call of kind `op` unconditionally.
+  void FailOp(FaultOpKind op, Err err);
+  // Fails each call independently with probability `p` (seeded, so the
+  // decision sequence is a pure function of the seed and the call order).
+  void FailWithProbability(double p, Err err);
+
+  // --- Decision point -------------------------------------------------------
+
+  // Called once per intercepted operation; returns kOk to let it through.
+  Err Decide(FaultOpKind op);
+
+  // --- Accounting -----------------------------------------------------------
+
+  uint64_t calls() const { return calls_; }
+  uint64_t injected() const { return injected_; }
+  uint64_t injected_for(FaultOpKind op) const {
+    return injected_per_op_[static_cast<size_t>(op)];
+  }
+  // Rewinds call counters and the PRNG to the initial seeded state without
+  // forgetting the registered triggers: the same plan replays identically.
+  void Rewind();
+
+  // Publishes injection counters into `registry` (pass nullptr to detach).
+  void EnableMetrics(witobs::MetricsRegistry* registry);
+
+ private:
+  struct Trigger {
+    FaultOpKind op = FaultOpKind::kAny;
+    uint64_t nth = 0;     // 0 = every call, else 1-based call index
+    uint64_t period = 0;  // non-zero: fire when call-number % period == 0
+    Err err = Err::kIo;
+  };
+
+  static uint64_t Mix(uint64_t x);
+  // splitmix64 step; uniform in [0, 1).
+  double NextUniform();
+
+  uint64_t seed_;
+  uint64_t prng_state_;
+  std::vector<Trigger> triggers_;
+  double probability_ = 0.0;
+  Err probability_err_ = Err::kIo;
+
+  uint64_t calls_ = 0;
+  uint64_t op_calls_[kNumFaultOpKinds] = {};
+  uint64_t injected_ = 0;
+  uint64_t injected_per_op_[kNumFaultOpKinds] = {};
+
+  witobs::Counter* metric_calls_ = nullptr;
+  witobs::Counter* metric_injected_[kNumFaultOpKinds] = {};
+};
+
+// Filesystem decorator that injects the plan's faults in front of a lower
+// filesystem. The plan is shared so the driving test keeps its handle on the
+// schedule and the counters while the decorated stack owns the decorator.
+class ErrorInjectingVfs : public Filesystem {
+ public:
+  ErrorInjectingVfs(std::shared_ptr<Filesystem> lower, std::shared_ptr<FaultPlan> plan)
+      : lower_(std::move(lower)), plan_(std::move(plan)) {}
+
+  std::string FsType() const override { return "faultfs." + lower_->FsType(); }
+  bool Cacheable() const override { return lower_->Cacheable(); }
+
+  Result<Stat> Open(const std::string& path, uint32_t flags, Mode mode,
+                    const Credentials& cred) override;
+  Result<size_t> ReadAt(const std::string& path, uint64_t offset, size_t size, std::string* out,
+                        const Credentials& cred) override;
+  Result<size_t> WriteAt(const std::string& path, uint64_t offset, const std::string& data,
+                         const Credentials& cred) override;
+  Status Truncate(const std::string& path, uint64_t size, const Credentials& cred) override;
+  Result<Stat> GetAttr(const std::string& path, const Credentials& cred) override;
+  Result<std::vector<DirEntry>> ReadDir(const std::string& path,
+                                        const Credentials& cred) override;
+  Status MkDir(const std::string& path, Mode mode, const Credentials& cred) override;
+  Status Unlink(const std::string& path, const Credentials& cred) override;
+  Status RmDir(const std::string& path, const Credentials& cred) override;
+  Status Rename(const std::string& from, const std::string& to,
+                const Credentials& cred) override;
+  Status Chmod(const std::string& path, Mode mode, const Credentials& cred) override;
+  Status Chown(const std::string& path, Uid uid, Gid gid, const Credentials& cred) override;
+  Status MkNod(const std::string& path, FileType type, DeviceId rdev, Mode mode,
+               const Credentials& cred) override;
+  Status Link(const std::string& oldpath, const std::string& newpath,
+              const Credentials& cred) override;
+  Status SymLink(const std::string& target, const std::string& linkpath,
+                 const Credentials& cred) override;
+  Result<std::string> ReadLink(const std::string& path, const Credentials& cred) override;
+  Result<FsStats> StatFs() const override;
+
+  FaultPlan& plan() { return *plan_; }
+  Filesystem& lower() { return *lower_; }
+
+ private:
+  std::shared_ptr<Filesystem> lower_;
+  std::shared_ptr<FaultPlan> plan_;
+};
+
+}  // namespace witos
+
+#endif  // SRC_OS_FAULT_H_

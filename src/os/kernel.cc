@@ -975,7 +975,14 @@ Status Kernel::XclAdd(Pid pid, const std::string& vfs_path) {
   WITOS_RETURN_IF_ERROR(CheckAlive(pid));
   Process& p = Proc(pid);
   WITOS_RETURN_IF_ERROR(RequireCap(p, Capability::kSysAdmin, "xcl_add"));
-  registry_.Xcl(p.ns.Get(NsType::kXcl)).excluded.push_back(NormalizePath(vfs_path));
+  auto& excluded = registry_.Xcl(p.ns.Get(NsType::kXcl)).excluded;
+  std::string norm = NormalizePath(vfs_path);
+  // Adding the same subtree twice must stay idempotent: otherwise one
+  // XclRemove peels off only one of N duplicate entries and the exclusion
+  // silently survives its own removal.
+  if (std::find(excluded.begin(), excluded.end(), norm) == excluded.end()) {
+    excluded.push_back(std::move(norm));
+  }
   return Status::Ok();
 }
 

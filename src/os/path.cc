@@ -88,6 +88,12 @@ bool PathIsUnder(std::string_view path, std::string_view prefix) {
 
 std::string RebasePath(std::string_view path, std::string_view old_prefix,
                        std::string_view new_prefix) {
+  if (!PathIsUnder(path, old_prefix)) {
+    // A rebase of a path that is not under the old prefix has no meaningful
+    // answer; returning any path here would silently graft unrelated
+    // components onto new_prefix (e.g. "/abc" rebased from "/a").
+    return "";
+  }
   std::string_view rest;
   if (old_prefix == "/") {
     rest = path.substr(1);

@@ -33,8 +33,11 @@ std::string JoinPath(std::string_view a, std::string_view b);
 // must be normalized absolute paths.
 bool PathIsUnder(std::string_view path, std::string_view prefix);
 
-// Rebases `path` from under `old_prefix` onto `new_prefix`. Precondition:
-// PathIsUnder(path, old_prefix).
+// Rebases `path` from under `old_prefix` onto `new_prefix`. If
+// !PathIsUnder(path, old_prefix) the rebase is meaningless and the result is
+// the empty string — callers must treat "" as "not under the old prefix"
+// rather than a usable path. ("" is never a valid normalized path, so a
+// silent mis-rebase cannot masquerade as success.)
 std::string RebasePath(std::string_view path, std::string_view old_prefix,
                        std::string_view new_prefix);
 

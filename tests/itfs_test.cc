@@ -169,6 +169,46 @@ TEST(ItfsTest, HardLinkCannotSmuggleDeniedContent) {
   EXPECT_TRUE(itfs.ReadAt("/home/notes-link.txt", 0, 16, &buf, Admin()).ok());
 }
 
+TEST(ItfsTest, RenameIntoReadOnlyTreeDeniedAndLoggedBothDirections) {
+  // A rename is a write on BOTH ends: moving a file into a read-only tree
+  // plants content there, moving one out deletes content from it. Both
+  // directions must bounce off the gate and leave an audit trail.
+  auto lower = MakeLower();
+  lower->ProvisionFile("/archive/old.txt", "frozen");
+  ItfsPolicy policy;
+  policy.AddRule(ItfsPolicy::ReadOnlyRule({"/archive"}));
+  policy.set_log_all(false);
+  Itfs itfs(lower, std::move(policy), Root());
+
+  // Permitted tree -> read-only tree: denied at the destination gate.
+  EXPECT_EQ(itfs.Rename("/home/notes.txt", "/archive/notes.txt", Admin()).error(),
+            witos::Err::kAcces);
+  // Read-only tree -> permitted tree: denied at the source gate.
+  EXPECT_EQ(itfs.Rename("/archive/old.txt", "/home/old.txt", Admin()).error(),
+            witos::Err::kAcces);
+  EXPECT_EQ(itfs.oplog().denied_count(), 2u);
+  for (const auto& rec : itfs.oplog().records()) {
+    EXPECT_EQ(rec.rule, "read-only");
+    EXPECT_EQ(rec.op, ItfsOpKind::kRename);
+  }
+  // Neither file moved.
+  EXPECT_TRUE(lower->GetAttr("/home/notes.txt", Root()).ok());
+  EXPECT_TRUE(lower->GetAttr("/archive/old.txt", Root()).ok());
+  EXPECT_FALSE(lower->GetAttr("/archive/notes.txt", Root()).ok());
+  EXPECT_FALSE(lower->GetAttr("/home/old.txt", Root()).ok());
+}
+
+TEST(ItfsTest, RenameIntoProtectedTreeDenied) {
+  // The inbound direction of ProtectsWatchItFiles: planting a file inside
+  // the protected WatchIT tree (e.g. to shadow a binary) is denied too.
+  ItfsPolicy policy;
+  policy.AddRule(ItfsPolicy::ProtectPathsRule({"/usr/watchit"}));
+  Itfs itfs(MakeLower(), std::move(policy), Root());
+  EXPECT_EQ(itfs.Rename("/home/notes.txt", "/usr/watchit/broker", Admin()).error(),
+            witos::Err::kAcces);
+  EXPECT_GE(itfs.oplog().denied_count(), 1u);
+}
+
 TEST(FuseMountTest, ChargesCrossingCostPerOperation) {
   witos::SimClock clock;
   auto lower = std::make_shared<witos::MemFs>();

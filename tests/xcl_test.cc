@@ -95,6 +95,23 @@ TEST_F(XclTest, SeparateXclNamespacesAreIndependent) {
   EXPECT_EQ(*kernel_.ReadFile(b, "/home/user/secret.txt"), "classified");
 }
 
+TEST_F(XclTest, RenameCannotCrossExclusionBoundaryEitherWay) {
+  Pid admin = *kernel_.Clone(1, "admin", kCloneNewXcl);
+  ASSERT_TRUE(kernel_.XclAdd(admin, "/home/user").ok());
+  size_t before = kernel_.audit().CountEvent(AuditEvent::kXclDenied);
+  // Out of the excluded tree: would exfiltrate sealed content.
+  EXPECT_EQ(kernel_.Rename(admin, "/home/user/secret.txt", "/var/stolen.txt").error(),
+            Err::kAcces);
+  // Into the excluded tree: would hide content where the admin's own session
+  // can no longer account for it.
+  EXPECT_EQ(kernel_.Rename(admin, "/var/ok.txt", "/home/user/planted.txt").error(),
+            Err::kAcces);
+  EXPECT_GE(kernel_.audit().CountEvent(AuditEvent::kXclDenied), before + 2);
+  // Nothing moved: the host still sees both files where they were.
+  EXPECT_EQ(*kernel_.ReadFile(1, "/home/user/secret.txt"), "classified");
+  EXPECT_EQ(*kernel_.ReadFile(1, "/var/ok.txt"), "fine");
+}
+
 // Property sweep: for every excluded prefix, no path under it is readable
 // while sibling paths remain readable.
 class XclSweep : public ::testing::TestWithParam<std::string> {};
