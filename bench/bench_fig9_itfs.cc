@@ -13,8 +13,10 @@
 #include <algorithm>
 #include <cstdio>
 #include <map>
+#include <string>
 
 #include "bench/fig9_common.h"
+#include "bench/json_out.h"
 #include "src/obs/metrics.h"
 
 namespace {
@@ -109,6 +111,14 @@ void PrintFigure9() {
 // the *wall* time the simulator took. Simulated time is identical with and
 // without the metrics layer — what the instrumentation costs is real CPU on
 // the gate path, so wall time is the honest denominator here.
+struct OverheadResult {
+  uint64_t bare_ns = 0;
+  uint64_t wired_ns = 0;
+  double overhead_pct = 0.0;
+  size_t series = 0;
+  uint64_t gated_ops = 0;
+};
+
 uint64_t TimedWorkloadPass(bool instrument) {
   BenchEnv env = MakeEnv(FsConfig::kItfsSignature, instrument);
   uint64_t start = witobs::MonotonicNowNs();
@@ -117,7 +127,7 @@ uint64_t TimedWorkloadPass(bool instrument) {
   return witobs::MonotonicNowNs() - start;
 }
 
-void PrintMetricsOverhead() {
+OverheadResult PrintMetricsOverhead() {
   // Min-of-N on interleaved passes: robust to scheduler noise, which at
   // these percentages is larger than the effect being measured.
   constexpr int kTrials = 7;
@@ -160,15 +170,61 @@ void PrintMetricsOverhead() {
                 static_cast<unsigned long long>(read_latency->Percentile(99)),
                 static_cast<unsigned long long>(read_latency->Count()));
   }
+  OverheadResult result;
+  result.bare_ns = bare_ns;
+  result.wired_ns = wired_ns;
+  result.overhead_pct = overhead;
+  result.series = env.metrics->SeriesCount();
+  result.gated_ops = gated;
+  return result;
+}
+
+// The headline numbers, machine-readably: per-workload normalized
+// performance (ext4 = 1.0, higher is better, as in the paper's chart) plus
+// the metrics-layer overhead block.
+std::string RenderJson(const OverheadResult& overhead) {
+  benchjson::Array workloads;
+  for (const char* workload : {"grep-100KB", "grep-1MB", "Postmark", "SysBench"}) {
+    auto& row = Results()[workload];
+    if (row.count(FsConfig::kExt4) == 0) {
+      continue;
+    }
+    double base = static_cast<double>(row[FsConfig::kExt4]);
+    benchjson::Object obj;
+    obj.Str("workload", workload)
+        .Number("ext4_sim_ns", row[FsConfig::kExt4])
+        .Number("itfs_extension_sim_ns", row[FsConfig::kItfsExtension])
+        .Number("itfs_signature_sim_ns", row[FsConfig::kItfsSignature])
+        .Number("itfs_extension_normalized",
+                base / static_cast<double>(row[FsConfig::kItfsExtension]))
+        .Number("itfs_signature_normalized",
+                base / static_cast<double>(row[FsConfig::kItfsSignature]));
+    workloads.Add(obj.Render());
+  }
+  benchjson::Object overhead_obj;
+  overhead_obj.Number("uninstrumented_wall_ns", overhead.bare_ns)
+      .Number("instrumented_wall_ns", overhead.wired_ns)
+      .Number("overhead_pct", overhead.overhead_pct)
+      .Number("registry_series", overhead.series)
+      .Number("gated_ops", overhead.gated_ops);
+  benchjson::Object root;
+  root.Str("bench", "fig9_itfs")
+      .Add("workloads", workloads.Render())
+      .Add("metrics_overhead", overhead_obj.Render());
+  return root.Render();
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string json_path = benchjson::ConsumeJsonFlag(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   PrintFigure9();
-  PrintMetricsOverhead();
+  const OverheadResult overhead = PrintMetricsOverhead();
+  if (!json_path.empty()) {
+    benchjson::WriteFile(json_path, RenderJson(overhead));
+  }
   return 0;
 }

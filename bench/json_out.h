@@ -1,0 +1,148 @@
+// Minimal JSON emission for machine-readable bench output (`--json PATH`).
+//
+// Benches print human-readable tables on stdout; the JSON file carries the
+// same headline numbers for the perf-trajectory tooling (BENCH_*.json). The
+// builder covers exactly the subset needed — ordered objects, arrays,
+// numbers, strings, booleans — with no parsing and no dependencies.
+
+#ifndef BENCH_JSON_OUT_H_
+#define BENCH_JSON_OUT_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace benchjson {
+
+inline std::string Quote(const std::string& raw) {
+  std::string out = "\"";
+  for (char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+inline std::string Num(uint64_t value) { return std::to_string(value); }
+inline std::string Num(int64_t value) { return std::to_string(value); }
+inline std::string Num(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4f", value);
+  return buf;
+}
+inline std::string Bool(bool value) { return value ? "true" : "false"; }
+
+// An ordered {"key": value} object; values are pre-rendered JSON.
+class Object {
+ public:
+  Object& Add(const std::string& key, std::string rendered) {
+    fields_.emplace_back(key, std::move(rendered));
+    return *this;
+  }
+  Object& Str(const std::string& key, const std::string& value) {
+    return Add(key, Quote(value));
+  }
+  template <typename T>
+  Object& Number(const std::string& key, T value) {
+    return Add(key, Num(value));
+  }
+  Object& Boolean(const std::string& key, bool value) { return Add(key, Bool(value)); }
+
+  std::string Render() const {
+    std::string out = "{";
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      if (i > 0) {
+        out += ",";
+      }
+      out += Quote(fields_[i].first) + ":" + fields_[i].second;
+    }
+    out += "}";
+    return out;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+class Array {
+ public:
+  Array& Add(std::string rendered) {
+    items_.push_back(std::move(rendered));
+    return *this;
+  }
+  std::string Render() const {
+    std::string out = "[";
+    for (size_t i = 0; i < items_.size(); ++i) {
+      if (i > 0) {
+        out += ",";
+      }
+      out += items_[i];
+    }
+    out += "]";
+    return out;
+  }
+
+ private:
+  std::vector<std::string> items_;
+};
+
+// Extracts `--json PATH` / `--json=PATH` from argv (so it can run before
+// benchmark::Initialize, which rejects unknown flags). Returns "" when the
+// flag is absent.
+inline std::string ConsumeJsonFlag(int* argc, char** argv) {
+  std::string path;
+  int write = 1;
+  for (int read = 1; read < *argc; ++read) {
+    std::string arg = argv[read];
+    if (arg == "--json" && read + 1 < *argc) {
+      path = argv[++read];
+    } else if (arg.rfind("--json=", 0) == 0) {
+      path = arg.substr(7);
+    } else {
+      argv[write++] = argv[read];
+    }
+  }
+  *argc = write;
+  return path;
+}
+
+// True on success; complains on stderr otherwise.
+inline bool WriteFile(const std::string& path, const std::string& rendered) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "json_out: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  std::fputs(rendered.c_str(), file);
+  std::fputc('\n', file);
+  std::fclose(file);
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
+}  // namespace benchjson
+
+#endif  // BENCH_JSON_OUT_H_

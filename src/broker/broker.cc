@@ -52,6 +52,7 @@ void PermissionBroker::EnableMetrics(witobs::MetricsRegistry* registry,
 }
 
 void PermissionBroker::RecordEvent(BrokerEvent event) {
+  std::lock_guard<std::mutex> lock(events_mu_);
   if (event_capacity_ != 0 && events_.size() >= event_capacity_) {
     events_.erase(events_.begin());
     ++dropped_events_;
@@ -60,6 +61,11 @@ void PermissionBroker::RecordEvent(BrokerEvent event) {
     }
   }
   events_.push_back(std::move(event));
+}
+
+std::vector<BrokerEvent> PermissionBroker::EventsSnapshot() const {
+  std::lock_guard<std::mutex> lock(events_mu_);
+  return events_;
 }
 
 RpcResponse PermissionBroker::Ok(std::string payload) const {

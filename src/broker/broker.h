@@ -10,6 +10,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -45,7 +46,14 @@ class PermissionBroker {
   witos::Pid host_pid() const { return host_pid_; }
   SecureLog& log() { return log_; }
   const SecureLog& log() const { return log_; }
+  // Unsynchronized view for single-threaded use; an auditor running beside
+  // live serving traffic must take EventsSnapshot() instead.
   const std::vector<BrokerEvent>& events() const { return events_; }
+
+  // Consistent point-in-time copy of the structured event window — the
+  // anomaly detector and forensic reports read this so their input cannot
+  // shift (or reallocate) under them while the broker keeps serving.
+  std::vector<BrokerEvent> EventsSnapshot() const;
 
   // Maps a ticket id to its class so policy lookups work; the framework
   // registers each deployed ticket here.
@@ -93,6 +101,7 @@ class PermissionBroker {
   witos::Pid host_pid_;
   PolicyManager* policy_;
   SecureLog log_;
+  mutable std::mutex events_mu_;  // guards events_ + dropped_events_
   std::vector<BrokerEvent> events_;
   size_t event_capacity_ = 0;
   size_t dropped_events_ = 0;

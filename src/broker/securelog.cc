@@ -29,6 +29,7 @@ uint64_t SecureLogEntry::ComputeHash(uint64_t seq, uint64_t time_ns, const std::
 }
 
 void SecureLog::Append(std::string payload, uint64_t time_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
   SecureLogEntry entry;
   entry.seq = entries_.size() + 1;
   entry.time_ns = time_ns;
@@ -42,10 +43,10 @@ void SecureLog::Append(std::string payload, uint64_t time_ns) {
   entries_.push_back(std::move(entry));
 }
 
-bool SecureLog::Verify() const {
+bool SecureLog::VerifyChain(const std::vector<SecureLogEntry>& entries) {
   uint64_t prev = 0;
-  for (size_t i = 0; i < entries_.size(); ++i) {
-    const SecureLogEntry& entry = entries_[i];
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const SecureLogEntry& entry = entries[i];
     if (entry.seq != i + 1 || entry.prev_hash != prev) {
       return false;
     }
@@ -58,12 +59,34 @@ bool SecureLog::Verify() const {
   return true;
 }
 
+bool SecureLog::Verify() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return VerifyChain(entries_);
+}
+
+std::vector<SecureLogEntry> SecureLog::SnapshotEntries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_;
+}
+
+size_t SecureLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
 size_t SecureLog::AddReplica() {
+  std::lock_guard<std::mutex> lock(mu_);
   replicas_.push_back(entries_);
   return replicas_.size() - 1;
 }
 
+size_t SecureLog::replica_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return replicas_.size();
+}
+
 bool SecureLog::MatchesReplica(size_t index) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto& replica = replicas_[index];
   if (replica.size() != entries_.size()) {
     return false;
@@ -77,6 +100,7 @@ bool SecureLog::MatchesReplica(size_t index) const {
 }
 
 void SecureLog::TamperForTest(size_t index, std::string new_payload) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (index < entries_.size()) {
     entries_[index].payload = std::move(new_payload);
   }

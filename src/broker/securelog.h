@@ -5,11 +5,20 @@
 //
 // Each entry's hash covers its sequence number, timestamp, payload and the
 // previous entry's hash; Verify() detects any in-place tampering.
+//
+// Concurrency: Append/Verify/SnapshotEntries/MatchesReplica are internally
+// synchronized, so many serving workers can append while an auditor reads —
+// the hash chain stays linear because the lock serializes the
+// read-prev-hash/write-entry step. entries()/replica() return references
+// into live storage and are only safe while no writer is active (they exist
+// for single-threaded tests and tooling); concurrent readers must take
+// SnapshotEntries().
 
 #ifndef SRC_BROKER_SECURELOG_H_
 #define SRC_BROKER_SECURELOG_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -36,14 +45,22 @@ class SecureLog {
   // True if the hash chain is intact.
   bool Verify() const;
 
+  // Chain check over any entry sequence (e.g. a snapshot or a replica); a
+  // snapshot taken mid-append is always a valid prefix and passes.
+  static bool VerifyChain(const std::vector<SecureLogEntry>& entries);
+
+  // Consistent point-in-time copy, safe under concurrent appenders.
+  std::vector<SecureLogEntry> SnapshotEntries() const;
+
+  // Unsynchronized view for single-threaded use; see header comment.
   const std::vector<SecureLogEntry>& entries() const { return entries_; }
-  size_t size() const { return entries_.size(); }
+  size_t size() const;
 
   // Registers a replica; every subsequent append is mirrored. Returns the
   // replica index.
   size_t AddReplica();
   const std::vector<SecureLogEntry>& replica(size_t index) const { return replicas_[index]; }
-  size_t replica_count() const { return replicas_.size(); }
+  size_t replica_count() const;
 
   // Detects divergence between the primary and a replica — evidence of
   // primary-side tampering even if the chain was recomputed.
@@ -53,6 +70,7 @@ class SecureLog {
   void TamperForTest(size_t index, std::string new_payload);
 
  private:
+  mutable std::mutex mu_;
   std::vector<SecureLogEntry> entries_;
   std::vector<std::vector<SecureLogEntry>> replicas_;
 };

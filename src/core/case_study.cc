@@ -187,8 +187,9 @@ CaseStudyResult RunCaseStudy(const CaseStudyConfig& config) {
   result.process_view_isolated = Pct(proc_isolated, total);
   result.network_view_isolated = Pct(net_isolated, total);
   result.web_access_allowed = Pct(web_allowed, total);
-  result.broker_requests = machine.broker().events().size();
-  for (const auto& event : machine.broker().events()) {
+  const std::vector<witbroker::BrokerEvent> broker_events = machine.broker().EventsSnapshot();
+  result.broker_requests = broker_events.size();
+  for (const auto& event : broker_events) {
     if (!event.granted) {
       ++result.broker_denied;
     }

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "src/os/result.h"
@@ -34,6 +35,9 @@ enum class CertStatus {
 
 std::string CertStatusName(CertStatus status);
 
+// One CA serves the whole cluster, so Issue/Validate/Revoke are internally
+// synchronized: every serving worker deploys (issues) and expires (revokes)
+// through this object concurrently.
 class CertificateAuthority {
  public:
   explicit CertificateAuthority(uint64_t secret = 0x57a7c417u) : secret_(secret) {}
@@ -45,14 +49,15 @@ class CertificateAuthority {
   CertStatus Validate(const Certificate& cert, uint64_t now_ns) const;
 
   void Revoke(uint64_t serial);
-  bool IsRevoked(uint64_t serial) const { return revoked_.count(serial) > 0; }
+  bool IsRevoked(uint64_t serial) const;
 
-  size_t issued_count() const { return issued_.size(); }
+  size_t issued_count() const;
 
  private:
   uint64_t Sign(const Certificate& cert) const;
 
   uint64_t secret_;
+  mutable std::mutex mu_;
   uint64_t next_serial_ = 1;
   std::map<uint64_t, Certificate> issued_;
   std::map<uint64_t, bool> revoked_;

@@ -63,8 +63,12 @@ witos::Result<SessionForensics> ForensicReporter::Collect(
       "watchit_broker_ticket_requests_total",
       {{"ticket", session->ticket_id}, {"outcome", "deny"}}));
   forensics.broker_requests += forensics.broker_denied;
+  // Snapshot once: the detail lines, the fallback counts and the anomaly
+  // baseline must all describe the same instant even while serving workers
+  // keep appending broker events.
+  const std::vector<witbroker::BrokerEvent> all_events = machine_->broker().EventsSnapshot();
   std::vector<witbroker::BrokerEvent> session_events;
-  for (const auto& event : machine_->broker().events()) {
+  for (const auto& event : all_events) {
     if (event.ticket_id != session->ticket_id) {
       continue;
     }
@@ -84,7 +88,7 @@ witos::Result<SessionForensics> ForensicReporter::Collect(
   }
   if (!session_events.empty()) {
     witbroker::AnomalyDetector detector;
-    detector.Fit(machine_->broker().events());
+    detector.Fit(all_events);
     auto scores = detector.Analyze(session_events);
     for (const auto& score : scores) {
       if (score.flagged) {

@@ -5,6 +5,7 @@
 namespace watchit {
 
 void Dispatcher::AddSpecialist(const std::string& name, std::set<std::string> expertise) {
+  std::lock_guard<std::mutex> lock(mu_);
   ItSpecialist specialist;
   specialist.name = name;
   specialist.expertise = std::move(expertise);
@@ -12,19 +13,36 @@ void Dispatcher::AddSpecialist(const std::string& name, std::set<std::string> ex
 }
 
 witos::Result<std::string> Dispatcher::Assign(const std::string& ticket_class) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t n = roster_.size();
+  if (n == 0) {
+    return witos::Err::kSrch;
+  }
+  const size_t start = static_cast<size_t>(rotation_++ % n);
   ItSpecialist* best = nullptr;
-  for (auto& specialist : roster_) {
+  bool best_pinned_here = false;
+  for (size_t i = 0; i < n; ++i) {
+    ItSpecialist& specialist = roster_[(start + i) % n];
     if (specialist.expertise.count(ticket_class) == 0) {
       continue;
     }
+    bool pinned_here = false;
     if (options_.single_class_per_admin) {
       auto pinned = pinned_.find(specialist.name);
-      if (pinned != pinned_.end() && pinned->second != ticket_class) {
-        continue;  // already pinned to a different class
+      if (pinned != pinned_.end()) {
+        if (pinned->second != ticket_class) {
+          continue;  // already pinned to a different class
+        }
+        pinned_here = true;
       }
     }
-    if (best == nullptr || specialist.open_tickets < best->open_tickets) {
+    // Least loaded wins; at equal load an admin already pinned to this
+    // class beats an unpinned one (don't spend a fresh admin's pin on work
+    // a pinned admin can absorb), else the rotated scan order decides.
+    if (best == nullptr || specialist.open_tickets < best->open_tickets ||
+        (specialist.open_tickets == best->open_tickets && pinned_here && !best_pinned_here)) {
       best = &specialist;
+      best_pinned_here = pinned_here;
     }
   }
   if (best == nullptr) {
@@ -38,22 +56,41 @@ witos::Result<std::string> Dispatcher::Assign(const std::string& ticket_class) {
   return best->name;
 }
 
-void Dispatcher::Complete(const std::string& admin) {
+witos::Status Dispatcher::Complete(const std::string& admin) {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto& specialist : roster_) {
-    if (specialist.name == admin && specialist.open_tickets > 0) {
-      --specialist.open_tickets;
-      return;
+    if (specialist.name != admin) {
+      continue;
     }
+    if (specialist.open_tickets == 0) {
+      return witos::Err::kInval;  // double-complete: accounting bug
+    }
+    --specialist.open_tickets;
+    return witos::Status::Ok();
   }
+  return witos::Err::kSrch;  // unknown admin
 }
 
 const ItSpecialist* Dispatcher::Find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // The returned pointer is stable (the roster only grows at setup time),
+  // but its counters are meaningful only while the dispatcher is quiescent.
   for (const auto& specialist : roster_) {
     if (specialist.name == name) {
       return &specialist;
     }
   }
   return nullptr;
+}
+
+size_t Dispatcher::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return roster_.size();
+}
+
+std::map<std::string, std::string> Dispatcher::pinned_classes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pinned_;
 }
 
 void TicketWorkflow::EnableMetrics(witobs::MetricsRegistry* registry, witobs::Tracer* tracer) {
@@ -154,7 +191,7 @@ witos::Result<ResolvedTicket> TicketWorkflow::Process(
       (void)manager_.Expire(&deployment);
     }
   }
-  dispatcher_->Complete(ticket.admin);
+  WITOS_RETURN_IF_ERROR(dispatcher_->Complete(ticket.admin));
   ++processed_;
   return resolved;
 }

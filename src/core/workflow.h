@@ -19,6 +19,7 @@
 #define SRC_CORE_WORKFLOW_H_
 
 #include <map>
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -39,6 +40,9 @@ struct ItSpecialist {
   size_t total_assigned = 0;
 };
 
+// Shared across every witserve worker: Assign/Complete are internally
+// synchronized, so the roster is safe to drive from concurrent ticket
+// pipelines. AddSpecialist is setup-time only (before serving starts).
 class Dispatcher {
  public:
   struct Options {
@@ -53,18 +57,27 @@ class Dispatcher {
   void AddSpecialist(const std::string& name, std::set<std::string> expertise);
 
   // Picks the least-loaded qualified specialist for the class, or ESRCH.
+  // Load ties break by a rotating scan start (and, under single-class
+  // hardening, prefer the admin already pinned to the class), so equally
+  // loaded specialists share work fairly instead of the roster head
+  // absorbing every burst.
   witos::Result<std::string> Assign(const std::string& ticket_class);
-  void Complete(const std::string& admin);
+  // Closes an assignment made by Assign(). ESRCH for an admin not on the
+  // roster, EINVAL for one with no open tickets — both indicate an
+  // accounting bug upstream and must not vanish as silent no-ops.
+  witos::Status Complete(const std::string& admin);
 
   const ItSpecialist* Find(const std::string& name) const;
-  size_t size() const { return roster_.size(); }
+  size_t size() const;
   // The class each admin is pinned to under single-class hardening.
-  const std::map<std::string, std::string>& pinned_classes() const { return pinned_; }
+  std::map<std::string, std::string> pinned_classes() const;
 
  private:
   Options options_;
+  mutable std::mutex mu_;
   std::vector<ItSpecialist> roster_;
   std::map<std::string, std::string> pinned_;
+  uint64_t rotation_ = 0;  // tie-break scan start, advances per Assign
 };
 
 struct ResolvedTicket {

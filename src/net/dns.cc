@@ -4,7 +4,7 @@ namespace witnet {
 
 ServiceHandler DnsService::Handler() {
   return [this](const Packet& packet) -> std::string {
-    ++queries_;
+    queries_.fetch_add(1, std::memory_order_relaxed);
     constexpr std::string_view kQueryPrefix = "A? ";
     if (packet.payload.compare(0, kQueryPrefix.size(), kQueryPrefix) != 0) {
       return "FORMERR";

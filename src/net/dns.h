@@ -10,6 +10,7 @@
 #ifndef SRC_NET_DNS_H_
 #define SRC_NET_DNS_H_
 
+#include <atomic>
 #include <map>
 #include <string>
 
@@ -23,16 +24,18 @@ inline constexpr uint16_t kDnsPort = 53;
 // The authoritative server side: install Handler() on a fabric endpoint.
 class DnsService {
  public:
+  // Zone records are setup-time-only; the handler runs concurrently on
+  // every serving worker's resolution path, so the query counter is atomic.
   void AddRecord(const std::string& name, Ipv4Addr addr) { records_[name] = addr; }
   size_t size() const { return records_.size(); }
-  uint64_t queries() const { return queries_; }
+  uint64_t queries() const { return queries_.load(std::memory_order_relaxed); }
 
   // A ServiceHandler answering A? queries from this zone.
   ServiceHandler Handler();
 
  private:
   std::map<std::string, Ipv4Addr> records_;
-  uint64_t queries_ = 0;
+  std::atomic<uint64_t> queries_{0};
 };
 
 // The client side, bound to one machine's network stack.

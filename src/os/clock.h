@@ -9,10 +9,21 @@
 // by the page cache and flushed asynchronously, so the synchronous
 // write-through the simulator performs for correctness must not charge
 // foreground time.
+//
+// Threading rule (single-owner): a SimClock is NOT internally synchronized.
+// At any moment at most one thread may Advance/Pause/Resume it; concurrent
+// serving code (witserve::ServerPool) enforces this by serializing each
+// shard's machines behind a shard mutex and declaring ownership with
+// BindOwner()/ReleaseOwner() around the critical section. A mutation from a
+// thread other than the bound owner trips an assert in debug builds and is
+// always counted in ownership_violations(), which the pool surfaces in its
+// stats so a violated run cannot pass silently.
 
 #ifndef SRC_OS_CLOCK_H_
 #define SRC_OS_CLOCK_H_
 
+#include <atomic>
+#include <cassert>
 #include <cstdint>
 
 namespace witos {
@@ -22,13 +33,53 @@ class SimClock {
   uint64_t now_ns() const { return now_ns_; }
 
   void Advance(uint64_t delta_ns) {
+    CheckOwner();
     if (paused_ == 0) {
       now_ns_ += delta_ns;
     }
   }
 
-  void Pause() { ++paused_; }
-  void Resume() { --paused_; }
+  void Pause() {
+    CheckOwner();
+    ++paused_;
+  }
+
+  // Must pair with an earlier Pause(). An unmatched Resume() is a charging
+  // bug (foreground time would leak into a paused region); it asserts in
+  // debug builds, and in release builds it is counted and ignored rather
+  // than letting paused_ underflow into "paused forever".
+  void Resume() {
+    CheckOwner();
+    if (paused_ == 0) {
+      resume_underflows_.fetch_add(1, std::memory_order_relaxed);
+      assert(false && "SimClock::Resume() without a matching Pause()");
+      return;
+    }
+    --paused_;
+  }
+
+  // Declares the calling thread the clock's single owner until
+  // ReleaseOwner(). Unbound clocks (owner id 0) skip the check, so
+  // single-threaded code never has to opt in.
+  void BindOwner() {
+    uint64_t self = ThisThreadId();
+    uint64_t expected = 0;
+    if (!owner_.compare_exchange_strong(expected, self, std::memory_order_acq_rel) &&
+        expected != self) {
+      ownership_violations_.fetch_add(1, std::memory_order_relaxed);
+      assert(false && "SimClock::BindOwner() while owned by another thread");
+    }
+  }
+
+  void ReleaseOwner() { owner_.store(0, std::memory_order_release); }
+
+  // Diagnostics for the single-owner rule; both stay 0 in a correct run.
+  uint64_t ownership_violations() const {
+    return ownership_violations_.load(std::memory_order_relaxed);
+  }
+  uint64_t resume_underflows() const {
+    return resume_underflows_.load(std::memory_order_relaxed);
+  }
 
   // Cost model knobs. Magnitudes follow commodity hardware: a SATA-SSD-ish
   // disk path, page-cache-speed memory copies, and FUSE round trips that
@@ -50,8 +101,26 @@ class SimClock {
   CostModel& mutable_costs() { return costs_; }
 
  private:
+  // Small dense thread ids (never 0) so an unbound owner is representable.
+  static uint64_t ThisThreadId() {
+    static std::atomic<uint64_t> next{1};
+    thread_local uint64_t id = next.fetch_add(1, std::memory_order_relaxed);
+    return id;
+  }
+
+  void CheckOwner() {
+    uint64_t owner = owner_.load(std::memory_order_relaxed);
+    if (owner != 0 && owner != ThisThreadId()) {
+      ownership_violations_.fetch_add(1, std::memory_order_relaxed);
+      assert(false && "SimClock mutated by a thread that is not its bound owner");
+    }
+  }
+
   uint64_t now_ns_ = 0;
   int paused_ = 0;
+  std::atomic<uint64_t> owner_{0};
+  std::atomic<uint64_t> ownership_violations_{0};
+  std::atomic<uint64_t> resume_underflows_{0};
   CostModel costs_;
 };
 

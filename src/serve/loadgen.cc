@@ -1,0 +1,73 @@
+#include "src/serve/loadgen.h"
+
+#include <chrono>
+#include <random>
+#include <thread>
+
+#include "src/obs/metrics.h"
+
+namespace witserve {
+
+std::vector<LoadGenerator::Arrival> LoadGenerator::Generate(const ServerPool& pool) const {
+  witload::TicketGenerator::Options gen_options;
+  gen_options.seed = options_.seed;
+  gen_options.with_ops = true;
+  witload::TicketGenerator generator(gen_options);
+  std::vector<witload::GeneratedTicket> tickets = generator.GenerateBatch(
+      options_.tickets, witload::TicketGenerator::EvaluationDistribution());
+
+  const std::vector<std::string> machines = pool.MachineNames();
+  std::mt19937 arrival_rng(options_.seed ^ 0x9e3779b9u);
+  std::exponential_distribution<double> inter_arrival(
+      options_.arrivals_per_sec > 0 ? options_.arrivals_per_sec : 1.0);
+
+  std::vector<Arrival> arrivals;
+  arrivals.reserve(tickets.size());
+  double offset_s = 0.0;
+  for (size_t i = 0; i < tickets.size(); ++i) {
+    Arrival arrival;
+    arrival.ticket = std::move(tickets[i]);
+    arrival.target = machines[i % machines.size()];
+    if (arrival.ticket.true_class == "T-9") {
+      // Dual deployment: the user's machine must share the target's shard.
+      arrival.user = pool.PeerInShard(arrival.target);
+    }
+    offset_s += inter_arrival(arrival_rng);
+    arrival.offset_ns = static_cast<uint64_t>(offset_s * 1e9);
+    arrivals.push_back(std::move(arrival));
+  }
+  return arrivals;
+}
+
+LoadGenerator::RunStats LoadGenerator::Run(ServerPool* pool,
+                                           const std::vector<Arrival>& arrivals) const {
+  RunStats stats;
+  const uint64_t start_ns = witobs::MonotonicNowNs();
+  for (const Arrival& arrival : arrivals) {
+    if (options_.pace && options_.arrivals_per_sec > 0) {
+      // Open-loop: arrival instants are fixed in advance, never pushed back
+      // by serving delays.
+      while (witobs::MonotonicNowNs() - start_ns < arrival.offset_ns) {
+        std::this_thread::sleep_for(std::chrono::microseconds(20));
+      }
+    }
+    for (;;) {
+      witos::Status status = pool->Submit(arrival.ticket, arrival.target, arrival.user);
+      if (status.ok()) {
+        ++stats.submitted;
+        break;
+      }
+      if (status.error() == witos::Err::kBusy && options_.retry_on_busy) {
+        ++stats.busy_retries;
+        std::this_thread::sleep_for(std::chrono::microseconds(options_.retry_sleep_us));
+        continue;
+      }
+      ++stats.dropped;
+      break;
+    }
+  }
+  stats.wall_ns = witobs::MonotonicNowNs() - start_ns;
+  return stats;
+}
+
+}  // namespace witserve

@@ -1,0 +1,73 @@
+// witserve: open-loop load generation.
+//
+// LoadGenerator turns the synthetic ticket corpus (witload::TicketGenerator,
+// evaluation distribution, with required ops) into a serving workload:
+// targets round-robin across the cluster's machines, T-9 tickets get a
+// same-shard user machine (§7.1.2 dual deployment without crossing the
+// pool's shard ownership), and arrival instants follow a seeded Poisson
+// process (exponential inter-arrival times) — the standard open-loop model
+// where the organization files tickets at its own rate regardless of how
+// backed up the helpdesk is, which is exactly what makes admission control
+// observable.
+
+#ifndef SRC_SERVE_LOADGEN_H_
+#define SRC_SERVE_LOADGEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/serve/pool.h"
+#include "src/workload/ticket_gen.h"
+
+namespace witserve {
+
+class LoadGenerator {
+ public:
+  struct Options {
+    uint32_t seed = 20260805;
+    size_t tickets = 10000;
+    // Poisson arrival rate. Run() paces submissions against these instants
+    // when pace=true; with pace=false it submits as fast as the pool
+    // admits, which measures peak throughput.
+    double arrivals_per_sec = 2000.0;
+    bool pace = false;
+    // Overloaded submissions (EBUSY) retry after a short sleep when true —
+    // closed-loop backpressure; when false they are dropped and counted —
+    // open-loop shedding.
+    bool retry_on_busy = true;
+    uint64_t retry_sleep_us = 50;
+  };
+
+  struct Arrival {
+    witload::GeneratedTicket ticket;
+    std::string target;
+    std::string user;  // same-shard peer for T-9, empty otherwise
+    uint64_t offset_ns = 0;
+  };
+
+  struct RunStats {
+    uint64_t submitted = 0;
+    uint64_t dropped = 0;       // EBUSY with retry_on_busy=false
+    uint64_t busy_retries = 0;  // EBUSY sleeps with retry_on_busy=true
+    uint64_t wall_ns = 0;
+  };
+
+  explicit LoadGenerator(Options options) : options_(options) {}
+
+  // Deterministic for a fixed (seed, pool shard map): same tickets, same
+  // targets, same arrival offsets.
+  std::vector<Arrival> Generate(const ServerPool& pool) const;
+
+  // Submits every arrival into the pool (which must be Start()ed or be
+  // drained by the caller afterwards). Returns submission-side stats; the
+  // serving-side outcome lives in pool->stats().
+  RunStats Run(ServerPool* pool, const std::vector<Arrival>& arrivals) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace witserve
+
+#endif  // SRC_SERVE_LOADGEN_H_

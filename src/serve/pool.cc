@@ -1,0 +1,279 @@
+#include "src/serve/pool.h"
+
+#include <time.h>
+
+#include <algorithm>
+#include <chrono>
+
+#include "src/core/cluster.h"
+#include "src/os/kernel.h"
+
+namespace witserve {
+
+namespace {
+
+// CPU time consumed by the calling thread. Unlike wall time this does not
+// advance while the thread is descheduled, so per-shard busy sums stay
+// meaningful even when the host has fewer cores than workers.
+uint64_t ThreadCpuNs() {
+  timespec ts;
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull + static_cast<uint64_t>(ts.tv_nsec);
+}
+
+}  // namespace
+
+ServerPool::ServerPool(watchit::Cluster* cluster, watchit::ItFramework* framework,
+                       watchit::Dispatcher* dispatcher, Options options)
+    : cluster_(cluster), dispatcher_(dispatcher), options_(options) {
+  options_.workers = std::max<size_t>(options_.workers, 1);
+  for (size_t i = 0; i < options_.workers; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->queue = std::make_unique<TicketQueue>(options_.queue);
+    shards_.push_back(std::move(shard));
+    workflows_.push_back(
+        std::make_unique<watchit::TicketWorkflow>(cluster, framework, dispatcher));
+  }
+  // Round-robin machine partition: machine i belongs to shard i % workers.
+  for (size_t i = 0; i < cluster->size(); ++i) {
+    watchit::Machine* machine = &cluster->machine(i);
+    size_t shard = i % options_.workers;
+    shards_[shard]->machines.push_back(machine);
+    shard_of_.emplace(machine->name(), shard);
+  }
+}
+
+ServerPool::~ServerPool() { Stop(); }
+
+void ServerPool::EnableMetrics(witobs::MetricsRegistry* registry, witobs::Tracer* tracer) {
+  metrics_ = registry;
+  for (auto& workflow : workflows_) {
+    workflow->EnableMetrics(registry, tracer);
+  }
+  if (registry == nullptr) {
+    return;
+  }
+  registry->SetHelp("watchit_serve_e2e_latency_ns",
+                    "Wall-clock submit-to-finish latency per served ticket");
+  registry->SetHelp("watchit_serve_tickets_total", "Serving outcomes at the pool level");
+  registry->SetHelp("watchit_serve_steals_total",
+                    "Jobs executed by a worker that does not own the shard");
+  registry->SetHelp("watchit_serve_queue_depth", "Jobs queued per shard right now");
+  latency_hist_ = registry->GetHistogram("watchit_serve_e2e_latency_ns");
+  served_counter_ = registry->GetCounter("watchit_serve_tickets_total", {{"outcome", "ok"}});
+  failed_counter_ = registry->GetCounter("watchit_serve_tickets_total", {{"outcome", "error"}});
+  rejected_counter_ =
+      registry->GetCounter("watchit_serve_tickets_total", {{"outcome", "rejected"}});
+  steals_counter_ = registry->GetCounter("watchit_serve_steals_total");
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    shards_[i]->depth_gauge =
+        registry->GetGauge("watchit_serve_queue_depth", {{"shard", std::to_string(i)}});
+  }
+}
+
+void ServerPool::Start() {
+  if (started_) {
+    return;
+  }
+  started_ = true;
+  threads_.reserve(shards_.size());
+  for (size_t w = 0; w < shards_.size(); ++w) {
+    threads_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+witos::Status ServerPool::Submit(const witload::GeneratedTicket& ticket,
+                                 const std::string& target_machine,
+                                 const std::string& user_machine) {
+  auto it = shard_of_.find(target_machine);
+  if (it == shard_of_.end()) {
+    return witos::Err::kHostUnreach;
+  }
+  if (!user_machine.empty() && user_machine != target_machine) {
+    auto user_it = shard_of_.find(user_machine);
+    if (user_it == shard_of_.end()) {
+      return witos::Err::kHostUnreach;
+    }
+    if (user_it->second != it->second) {
+      return witos::Err::kXdev;  // cross-shard job would break shard ownership
+    }
+  }
+  Shard& shard = *shards_[it->second];
+  ServeJob job;
+  job.ticket = ticket;
+  job.target_machine = target_machine;
+  job.user_machine = user_machine;
+  job.submit_ns = witobs::MonotonicNowNs();
+  witos::Status pushed = shard.queue->TryPush(std::move(job));
+  if (!pushed.ok()) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    if (rejected_counter_ != nullptr) {
+      rejected_counter_->Increment();
+    }
+    return pushed;
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (shard.depth_gauge != nullptr) {
+    shard.depth_gauge->Set(static_cast<int64_t>(shard.queue->depth()));
+  }
+  return witos::Status::Ok();
+}
+
+void ServerPool::WorkerLoop(size_t worker) {
+  Shard& own = *shards_[worker];
+  ServeJob job;
+  for (;;) {
+    if (own.queue->TryPop(&job)) {
+      ProcessJob(worker, worker, std::move(job));
+      continue;
+    }
+    if (options_.steal && shards_.size() > 1) {
+      bool stole = false;
+      for (size_t i = 1; i < shards_.size(); ++i) {
+        size_t victim = (worker + i) % shards_.size();
+        if (shards_[victim]->queue->TrySteal(&job)) {
+          ProcessJob(worker, victim, std::move(job));
+          stole = true;
+          break;
+        }
+      }
+      if (stole) {
+        continue;
+      }
+    }
+    if (own.queue->WaitPopFor(&job, options_.idle_wait_us)) {
+      ProcessJob(worker, worker, std::move(job));
+      continue;
+    }
+    if (AllQueuesDrainedAndClosed()) {
+      return;
+    }
+  }
+}
+
+void ServerPool::ProcessJob(size_t worker, size_t shard_index, ServeJob job) {
+  Shard& shard = *shards_[shard_index];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (watchit::Machine* machine : shard.machines) {
+      machine->kernel().clock().BindOwner();
+    }
+    uint64_t cpu_start = ThreadCpuNs();
+    witos::Result<watchit::ResolvedTicket> result =
+        workflows_[worker]->Process(job.ticket, job.target_machine, job.user_machine);
+    shard.busy_cpu_ns.fetch_add(ThreadCpuNs() - cpu_start, std::memory_order_relaxed);
+    for (watchit::Machine* machine : shard.machines) {
+      machine->kernel().clock().ReleaseOwner();
+    }
+    if (result.ok()) {
+      served_.fetch_add(1, std::memory_order_relaxed);
+      if (served_counter_ != nullptr) {
+        served_counter_->Increment();
+      }
+      if (callback_) {
+        callback_(*result);
+      }
+    } else {
+      failed_.fetch_add(1, std::memory_order_relaxed);
+      if (failed_counter_ != nullptr) {
+        failed_counter_->Increment();
+      }
+    }
+  }
+  if (worker != shard_index) {
+    stolen_.fetch_add(1, std::memory_order_relaxed);
+    if (steals_counter_ != nullptr) {
+      steals_counter_->Increment();
+    }
+  }
+  if (latency_hist_ != nullptr) {
+    latency_hist_->Observe(witobs::MonotonicNowNs() - job.submit_ns);
+  }
+  if (shard.depth_gauge != nullptr) {
+    shard.depth_gauge->Set(static_cast<int64_t>(shard.queue->depth()));
+  }
+  finished_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool ServerPool::AllQueuesDrainedAndClosed() const {
+  for (const auto& shard : shards_) {
+    if (!shard->queue->closed() || shard->queue->depth() != 0) {
+      return false;
+    }
+  }
+  // Queues can only be closed by Stop(), so no new submissions can race
+  // this check; in-flight jobs are finished by the workers themselves.
+  return true;
+}
+
+void ServerPool::Drain() {
+  while (finished_.load(std::memory_order_acquire) <
+         submitted_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+}
+
+void ServerPool::Stop() {
+  if (!started_) {
+    return;
+  }
+  for (auto& shard : shards_) {
+    shard->queue->Close();
+  }
+  for (auto& thread : threads_) {
+    thread.join();
+  }
+  threads_.clear();
+  started_ = false;
+}
+
+std::vector<std::string> ServerPool::MachineNames() const {
+  std::vector<std::string> names;
+  names.reserve(cluster_->size());
+  for (size_t i = 0; i < cluster_->size(); ++i) {
+    names.push_back(cluster_->machine(i).name());
+  }
+  return names;
+}
+
+size_t ServerPool::ShardOf(const std::string& machine) const {
+  auto it = shard_of_.find(machine);
+  return it == shard_of_.end() ? shards_.size() : it->second;
+}
+
+std::string ServerPool::PeerInShard(const std::string& machine) const {
+  auto it = shard_of_.find(machine);
+  if (it == shard_of_.end()) {
+    return "";
+  }
+  for (watchit::Machine* candidate : shards_[it->second]->machines) {
+    if (candidate->name() != machine) {
+      return candidate->name();
+    }
+  }
+  return machine;
+}
+
+ServerPool::Stats ServerPool::stats() const {
+  Stats stats;
+  stats.submitted = submitted_.load(std::memory_order_relaxed);
+  stats.served = served_.load(std::memory_order_relaxed);
+  stats.failed = failed_.load(std::memory_order_relaxed);
+  stats.rejected = rejected_.load(std::memory_order_relaxed);
+  stats.stolen = stolen_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    uint64_t busy = shard->busy_cpu_ns.load(std::memory_order_relaxed);
+    stats.shard_busy_cpu_ns.push_back(busy);
+    stats.total_busy_cpu_ns += busy;
+    stats.max_shard_busy_cpu_ns = std::max(stats.max_shard_busy_cpu_ns, busy);
+    stats.peak_queue_depth = std::max(stats.peak_queue_depth, shard->queue->peak_depth());
+    for (watchit::Machine* machine : shard->machines) {
+      const witos::SimClock& clock = machine->kernel().clock();
+      stats.clock_ownership_violations += clock.ownership_violations();
+      stats.clock_resume_underflows += clock.resume_underflows();
+    }
+  }
+  return stats;
+}
+
+}  // namespace witserve

@@ -1,0 +1,155 @@
+// witserve: the concurrent ticket-serving engine (worker-pool half).
+//
+// ServerPool drives many TicketWorkflow pipelines in parallel over one
+// Cluster. The design is shared-nothing per shard: the cluster's machines
+// are partitioned across N shards (one per worker), every job is routed to
+// the shard that owns its target machine, and a shard's machines — their
+// simulated kernels, brokers, ITFS instances and clocks — are only ever
+// touched while holding that shard's mutex. The owning worker processes its
+// shard's queue FIFO; an idle worker steals from the back of a busier
+// shard's queue and processes the stolen job under the *victim's* shard
+// mutex, so imbalance is absorbed without breaking the single-writer
+// discipline (the mutex is the only point where shared-nothing bends, and
+// it bends only for stolen work).
+//
+// What stays genuinely shared is organizational by nature and internally
+// synchronized: the Dispatcher roster, the CertificateAuthority, the
+// ItFramework (read-only after training), the network fabric's delivery
+// counter, and the witobs registry. SimClock ownership is declared per job
+// via BindOwner/ReleaseOwner, so a violation of the shard discipline shows
+// up as a nonzero clock_ownership_violations in Stats rather than as a
+// silently corrupted experiment.
+
+#ifndef SRC_SERVE_POOL_H_
+#define SRC_SERVE_POOL_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/workflow.h"
+#include "src/serve/queue.h"
+
+namespace witserve {
+
+class ServerPool {
+ public:
+  struct Options {
+    size_t workers = 4;
+    // Per-shard queue bounds (admission control is per shard).
+    TicketQueue::Options queue;
+    bool steal = true;
+    // How long an idle worker blocks on its own queue before re-scanning
+    // the other shards / checking for shutdown.
+    uint64_t idle_wait_us = 500;
+  };
+
+  struct Stats {
+    uint64_t submitted = 0;
+    uint64_t served = 0;
+    uint64_t failed = 0;
+    uint64_t rejected = 0;  // admission-control EBUSY at Submit()
+    uint64_t stolen = 0;    // jobs processed by a non-owner worker
+    size_t peak_queue_depth = 0;
+    // Busy time per shard in thread-CPU ns (lock waits and queue idling
+    // excluded). max_shard_busy_cpu_ns is the serving critical path: on any
+    // machine with enough cores, wall time converges to it.
+    std::vector<uint64_t> shard_busy_cpu_ns;
+    uint64_t total_busy_cpu_ns = 0;
+    uint64_t max_shard_busy_cpu_ns = 0;
+    // Single-owner clock discipline check, summed over all machines; any
+    // nonzero value means the shard serialization was violated.
+    uint64_t clock_ownership_violations = 0;
+    uint64_t clock_resume_underflows = 0;
+  };
+
+  // All dependencies must outlive the pool. Machines present in `cluster`
+  // at construction are partitioned round-robin into options.workers shards.
+  ServerPool(watchit::Cluster* cluster, watchit::ItFramework* framework,
+             watchit::Dispatcher* dispatcher, Options options);
+  ~ServerPool();
+  ServerPool(const ServerPool&) = delete;
+  ServerPool& operator=(const ServerPool&) = delete;
+
+  // Wires per-worker workflows plus pool-level series into the registry:
+  // watchit_serve_e2e_latency_ns, watchit_serve_tickets_total{outcome},
+  // watchit_serve_steals_total, watchit_serve_queue_depth{shard}.
+  void EnableMetrics(witobs::MetricsRegistry* registry, witobs::Tracer* tracer = nullptr);
+
+  void Start();
+  // Routes the ticket to the shard owning `target_machine` and applies that
+  // shard's admission control. EHOSTUNREACH for an unknown machine; EXDEV
+  // when `user_machine` lives in a different shard (a cross-shard T-9 job
+  // would break the shared-nothing discipline — pick PeerInShard());
+  // EBUSY past the high watermark.
+  witos::Status Submit(const witload::GeneratedTicket& ticket, const std::string& target_machine,
+                       const std::string& user_machine = "");
+  // Blocks until every submitted job has finished. Requires Start().
+  void Drain();
+  // Closes the queues and joins the workers; queued jobs are drained first.
+  void Stop();
+
+  // Shard routing (stable after construction).
+  size_t shards() const { return shards_.size(); }
+  // Machine names in cluster order (the order they were partitioned).
+  std::vector<std::string> MachineNames() const;
+  size_t ShardOf(const std::string& machine) const;  // shards() when unknown
+  // A machine sharing `machine`'s shard (for T-9 dual deployments); the
+  // machine itself when its shard has no other member, "" when unknown.
+  std::string PeerInShard(const std::string& machine) const;
+
+  // Invoked after each successfully served ticket, while the processing
+  // worker still holds the shard mutex — keep it short; it runs on worker
+  // threads, so the callee must be thread-safe. Set before Start().
+  using ResultCallback = std::function<void(const watchit::ResolvedTicket&)>;
+  void set_result_callback(ResultCallback callback) { callback_ = std::move(callback); }
+
+  Stats stats() const;
+  const witobs::Histogram* latency_histogram() const { return latency_hist_; }
+
+ private:
+  struct Shard {
+    std::unique_ptr<TicketQueue> queue;
+    std::mutex mu;  // serializes all access to this shard's machines
+    std::vector<watchit::Machine*> machines;
+    std::atomic<uint64_t> busy_cpu_ns{0};
+    witobs::Gauge* depth_gauge = nullptr;
+  };
+
+  void WorkerLoop(size_t worker);
+  void ProcessJob(size_t worker, size_t shard, ServeJob job);
+  bool AllQueuesDrainedAndClosed() const;
+
+  watchit::Cluster* cluster_;
+  watchit::Dispatcher* dispatcher_;
+  Options options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::map<std::string, size_t> shard_of_;
+  std::vector<std::unique_ptr<watchit::TicketWorkflow>> workflows_;  // one per worker
+  std::vector<std::thread> threads_;
+  bool started_ = false;
+
+  ResultCallback callback_;
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> finished_{0};
+  std::atomic<uint64_t> served_{0};
+  std::atomic<uint64_t> failed_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> stolen_{0};
+
+  // Observability wiring (all null when metrics are disabled).
+  witobs::MetricsRegistry* metrics_ = nullptr;
+  witobs::Histogram* latency_hist_ = nullptr;
+  witobs::Counter* served_counter_ = nullptr;
+  witobs::Counter* failed_counter_ = nullptr;
+  witobs::Counter* rejected_counter_ = nullptr;
+  witobs::Counter* steals_counter_ = nullptr;
+};
+
+}  // namespace witserve
+
+#endif  // SRC_SERVE_POOL_H_

@@ -1,0 +1,450 @@
+// witserve tests: bounded-queue admission control, the shared-nothing
+// worker pool with work stealing, the open-loop load generator, and the
+// concurrency contracts the serving engine leans on (SecureLog hash-chain
+// linearity under concurrent appenders, anomaly analysis over a consistent
+// broker snapshot, SimClock single-owner discipline).
+
+#include "src/serve/loadgen.h"
+#include "src/serve/pool.h"
+#include "src/serve/queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "src/broker/anomaly.h"
+#include "src/broker/securelog.h"
+#include "src/os/clock.h"
+
+namespace witserve {
+namespace {
+
+ServeJob MakeJob(const std::string& id) {
+  ServeJob job;
+  job.ticket.id = id;
+  return job;
+}
+
+TEST(TicketQueueTest, OwnerPopsFifoThiefStealsLifo) {
+  TicketQueue queue;
+  ASSERT_TRUE(queue.TryPush(MakeJob("a")).ok());
+  ASSERT_TRUE(queue.TryPush(MakeJob("b")).ok());
+  ASSERT_TRUE(queue.TryPush(MakeJob("c")).ok());
+  ServeJob job;
+  ASSERT_TRUE(queue.TryPop(&job));
+  EXPECT_EQ(job.ticket.id, "a");  // oldest first for the owner
+  ASSERT_TRUE(queue.TrySteal(&job));
+  EXPECT_EQ(job.ticket.id, "c");  // newest first for a thief
+  ASSERT_TRUE(queue.TryPop(&job));
+  EXPECT_EQ(job.ticket.id, "b");
+  EXPECT_FALSE(queue.TryPop(&job));
+  EXPECT_FALSE(queue.TrySteal(&job));
+}
+
+TEST(TicketQueueTest, WatermarkHysteresis) {
+  TicketQueue::Options options;
+  options.capacity = 8;
+  options.low_watermark = 4;
+  TicketQueue queue(options);
+  EXPECT_EQ(queue.high_watermark(), 8u);
+  EXPECT_EQ(queue.low_watermark(), 4u);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(queue.TryPush(MakeJob("t")).ok());
+  }
+  // Depth hit the high watermark: admission closes.
+  EXPECT_EQ(queue.TryPush(MakeJob("over")).error(), witos::Err::kBusy);
+  EXPECT_FALSE(queue.admitting());
+  ServeJob job;
+  // Draining one job is not enough — hysteresis keeps admission closed
+  // until the low watermark, so the boundary cannot flap.
+  ASSERT_TRUE(queue.TryPop(&job));
+  EXPECT_EQ(queue.TryPush(MakeJob("still-over")).error(), witos::Err::kBusy);
+  while (queue.depth() > queue.low_watermark()) {
+    ASSERT_TRUE(queue.TryPop(&job));
+  }
+  EXPECT_TRUE(queue.TryPush(MakeJob("reopened")).ok());
+  EXPECT_TRUE(queue.admitting());
+  EXPECT_EQ(queue.accepted(), 9u);
+  EXPECT_EQ(queue.rejected(), 2u);
+  EXPECT_EQ(queue.peak_depth(), 8u);
+}
+
+TEST(TicketQueueTest, CloseWakesWaitersAndDrainsRemainder) {
+  TicketQueue queue;
+  ASSERT_TRUE(queue.TryPush(MakeJob("queued")).ok());
+  queue.Close();
+  EXPECT_EQ(queue.TryPush(MakeJob("late")).error(), witos::Err::kPipe);
+  ServeJob job;
+  // Queued work survives Close() so shutdown never loses tickets.
+  EXPECT_TRUE(queue.WaitPopFor(&job, 1000));
+  EXPECT_EQ(job.ticket.id, "queued");
+  EXPECT_FALSE(queue.WaitPopFor(&job, 1000));  // closed + empty: no block
+}
+
+TEST(TicketQueueTest, MpmcStressDeliversEveryJobExactlyOnce) {
+  TicketQueue::Options options;
+  options.capacity = 100000;  // no admission pressure; this is a race test
+  TicketQueue queue(options);
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 250;
+  std::vector<std::thread> threads;
+  std::mutex seen_mu;
+  std::multiset<std::string> seen;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&queue, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(
+            queue.TryPush(MakeJob(std::to_string(p) + ":" + std::to_string(i))).ok());
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&queue, &seen_mu, &seen, c] {
+      ServeJob job;
+      for (;;) {
+        // Alternate owner pops and thief steals to exercise both ends.
+        bool got = (c % 2 == 0) ? queue.TryPop(&job) : queue.TrySteal(&job);
+        if (!got && !queue.WaitPopFor(&job, 500)) {
+          if (queue.closed() && queue.depth() == 0) {
+            return;
+          }
+          continue;
+        }
+        std::lock_guard<std::mutex> lock(seen_mu);
+        seen.insert(job.ticket.id);
+      }
+    });
+  }
+  threads[0].join();
+  threads[1].join();
+  threads[2].join();
+  threads[3].join();
+  queue.Close();
+  for (size_t i = 4; i < threads.size(); ++i) {
+    threads[i].join();
+  }
+  EXPECT_EQ(seen.size(), static_cast<size_t>(kProducers) * kPerProducer);
+  for (int p = 0; p < kProducers; ++p) {
+    for (int i = 0; i < kPerProducer; ++i) {
+      EXPECT_EQ(seen.count(std::to_string(p) + ":" + std::to_string(i)), 1u);
+    }
+  }
+}
+
+TEST(SecureLogConcurrencyTest, ParallelAppendersKeepChainLinear) {
+  witbroker::SecureLog log;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&log, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        log.Append("req t" + std::to_string(t) + " #" + std::to_string(i),
+                   static_cast<uint64_t>(i));
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(log.size(), static_cast<size_t>(kThreads) * kPerThread);
+  // The whole point of the lock around read-prev-hash/append: one linear
+  // chain, no forks, verifiable end to end.
+  EXPECT_TRUE(log.Verify());
+  const auto entries = log.SnapshotEntries();
+  for (size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ(entries[i].seq, i + 1);  // seq is 1-based, gap-free
+  }
+}
+
+TEST(SecureLogConcurrencyTest, SnapshotsDuringAppendsAreValidPrefixes) {
+  witbroker::SecureLog log;
+  std::atomic<bool> done{false};
+  std::thread writer([&log, &done] {
+    for (int i = 0; i < 2000; ++i) {
+      log.Append("entry " + std::to_string(i), static_cast<uint64_t>(i));
+    }
+    done.store(true);
+  });
+  // An auditor snapshotting mid-stream must always see a verifiable prefix
+  // — never a half-written entry or a forked chain. (do-while: on a
+  // single-core host the writer may finish before this loop first runs.)
+  do {
+    const auto snapshot = log.SnapshotEntries();
+    EXPECT_TRUE(witbroker::SecureLog::VerifyChain(snapshot));
+  } while (!done.load());
+  writer.join();
+  EXPECT_TRUE(log.Verify());
+}
+
+TEST(BrokerSnapshotTest, AnomalyAnalysisRunsBesideLiveTraffic) {
+  witos::Kernel kernel("host");
+  witos::Pid broker_pid = *kernel.Clone(1, "PermissionBroker", 0);
+  witbroker::PolicyManager policy;
+  witbroker::ClassPolicy standard;
+  standard.allowed_verbs = {witbroker::kVerbPs, witbroker::kVerbRestartService};
+  policy.SetPolicy("T-1", standard);
+  witbroker::RpcChannel channel;
+  witbroker::PermissionBroker broker(&kernel, broker_pid, &policy, &channel);
+  broker.BindTicket("TKT-1", "T-1");
+
+  // One writer (the broker is per-machine and shard-serialized in witserve;
+  // the contract under test is snapshot-while-writing, not parallel Handle).
+  std::atomic<bool> done{false};
+  std::thread writer([&broker, &done] {
+    witbroker::RpcRequest request;
+    request.ticket_id = "TKT-1";
+    request.admin = "alice";
+    request.uid = witos::kRootUid;
+    for (int i = 0; i < 500; ++i) {
+      request.method = (i % 2 == 0) ? witbroker::kVerbPs : witbroker::kVerbRestartService;
+      request.args = (i % 2 == 0) ? std::vector<std::string>{}
+                                  : std::vector<std::string>{"sshd"};
+      broker.Handle(request);
+    }
+    done.store(true);
+  });
+  // do-while: on a single-core host the writer may finish before this loop
+  // first runs, and the post-completion analysis must still hold.
+  do {
+    const std::vector<witbroker::BrokerEvent> events = broker.EventsSnapshot();
+    witbroker::AnomalyDetector detector;
+    detector.Fit(events);
+    const auto scores = detector.Analyze(events);
+    EXPECT_EQ(scores.size(), events.size());
+  } while (!done.load());
+  writer.join();
+  EXPECT_EQ(broker.EventsSnapshot().size(), 500u);
+  EXPECT_TRUE(broker.log().Verify());
+}
+
+TEST(SimClockTest, ResumeUnderflowNeverWrapsPausedState) {
+  witos::SimClock clock;
+#ifdef NDEBUG
+  clock.Resume();  // no matching Pause()
+  EXPECT_EQ(clock.resume_underflows(), 1u);
+  // The clock must still charge time afterwards — paused_ did not wrap.
+  clock.Advance(7);
+  EXPECT_EQ(clock.now_ns(), 7u);
+#else
+  EXPECT_DEATH(clock.Resume(), "matching Pause");
+#endif
+}
+
+TEST(SimClockTest, OwnershipViolationIsNeverSilent) {
+  witos::SimClock clock;
+  std::thread([&clock] { clock.BindOwner(); }).join();
+  // The owner thread is gone without releasing; this thread is not the
+  // owner, so mutating must trip the discipline check.
+#ifdef NDEBUG
+  clock.Advance(5);
+  EXPECT_EQ(clock.ownership_violations(), 1u);
+#else
+  EXPECT_DEATH(clock.Advance(5), "bound owner");
+#endif
+}
+
+TEST(SimClockTest, BindReleaseHandoffIsClean) {
+  witos::SimClock clock;
+  std::thread([&clock] {
+    clock.BindOwner();
+    clock.Advance(10);
+    clock.ReleaseOwner();
+  }).join();
+  clock.BindOwner();
+  clock.Advance(5);
+  clock.ReleaseOwner();
+  EXPECT_EQ(clock.now_ns(), 15u);
+  EXPECT_EQ(clock.ownership_violations(), 0u);
+}
+
+// Serving tests share one trained framework: training dominates runtime and
+// the framework is read-only (thread-safe) once trained.
+class ServePoolTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    witload::TicketGenerator::Options options;
+    options.seed = 5;
+    witload::TicketGenerator gen(options);
+    auto history = gen.GenerateBatch(300, witload::TicketGenerator::HistoricalDistribution());
+    std::vector<std::pair<std::string, std::string>> labelled;
+    for (const auto& t : history) {
+      labelled.emplace_back(t.text, t.true_class);
+    }
+    watchit::ItFramework::Config config;
+    config.lda.iterations = 60;
+    framework_ = new watchit::ItFramework(config);
+    framework_->TrainOnHistory(labelled);
+  }
+  static void TearDownTestSuite() {
+    delete framework_;
+    framework_ = nullptr;
+  }
+
+  void SetUp() override {
+    for (int i = 0; i < 4; ++i) {
+      cluster_.AddMachine("m" + std::to_string(i),
+                          witnet::Ipv4Addr(10, 0, 2, static_cast<uint8_t>(50 + i)));
+    }
+    const std::set<std::string> all_classes = {"T-1", "T-2", "T-3", "T-4",  "T-5", "T-6",
+                                               "T-7", "T-8", "T-9", "T-10", "T-11"};
+    dispatcher_.AddSpecialist("alice", all_classes);
+    dispatcher_.AddSpecialist("bob", all_classes);
+    dispatcher_.AddSpecialist("carol", all_classes);
+  }
+
+  std::vector<witload::GeneratedTicket> MakeTickets(size_t n, uint32_t seed = 77) {
+    witload::TicketGenerator::Options options;
+    options.seed = seed;
+    options.with_ops = true;
+    witload::TicketGenerator gen(options);
+    return gen.GenerateBatch(n, witload::TicketGenerator::EvaluationDistribution());
+  }
+
+  static watchit::ItFramework* framework_;
+  watchit::Cluster cluster_;
+  watchit::Dispatcher dispatcher_;
+};
+
+watchit::ItFramework* ServePoolTest::framework_ = nullptr;
+
+TEST_F(ServePoolTest, ServesConcurrentlyWithCleanDiscipline) {
+  ServerPool::Options options;
+  options.workers = 2;
+  ServerPool pool(&cluster_, framework_, &dispatcher_, options);
+  witobs::MetricsRegistry registry;
+  pool.EnableMetrics(&registry);
+  pool.Start();
+  const auto tickets = MakeTickets(40);
+  for (size_t i = 0; i < tickets.size(); ++i) {
+    const std::string target = "m" + std::to_string(i % 4);
+    const std::string user =
+        tickets[i].true_class == "T-9" ? pool.PeerInShard(target) : std::string();
+    ASSERT_TRUE(pool.Submit(tickets[i], target, user).ok());
+  }
+  pool.Drain();
+  pool.Stop();
+  const ServerPool::Stats stats = pool.stats();
+  EXPECT_EQ(stats.submitted, 40u);
+  EXPECT_EQ(stats.served, 40u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.rejected, 0u);
+  // The shard discipline held: nobody touched a clock they did not own.
+  EXPECT_EQ(stats.clock_ownership_violations, 0u);
+  EXPECT_EQ(stats.clock_resume_underflows, 0u);
+  // All deployments expired, dispatcher accounting drained to zero.
+  for (size_t i = 0; i < cluster_.size(); ++i) {
+    EXPECT_EQ(cluster_.machine(i).containit().active_sessions(), 0u);
+    EXPECT_TRUE(cluster_.machine(i).broker().log().Verify());
+  }
+  EXPECT_EQ(dispatcher_.Find("alice")->open_tickets, 0u);
+  EXPECT_EQ(dispatcher_.Find("bob")->open_tickets, 0u);
+  EXPECT_EQ(dispatcher_.Find("carol")->open_tickets, 0u);
+  // End-to-end latency was recorded for every served ticket.
+  ASSERT_NE(pool.latency_histogram(), nullptr);
+  EXPECT_EQ(pool.latency_histogram()->Count(), 40u);
+}
+
+TEST_F(ServePoolTest, IdleWorkersStealFromTheLoadedShard) {
+  ServerPool::Options options;
+  options.workers = 4;  // m0 is alone in shard 0; shards 1..3 idle
+  ServerPool pool(&cluster_, framework_, &dispatcher_, options);
+  const auto tickets = MakeTickets(60);
+  for (const auto& ticket : tickets) {
+    ASSERT_TRUE(pool.Submit(ticket, "m0").ok());  // all load on one shard
+  }
+  pool.Start();
+  pool.Drain();
+  pool.Stop();
+  const ServerPool::Stats stats = pool.stats();
+  EXPECT_EQ(stats.served, 60u);
+  // Work stealing moved jobs to non-owner workers (still serialized by the
+  // victim's shard mutex — discipline stays clean).
+  EXPECT_GT(stats.stolen, 0u);
+  EXPECT_EQ(stats.clock_ownership_violations, 0u);
+}
+
+TEST_F(ServePoolTest, AdmissionControlRejectsPastHighWatermark) {
+  ServerPool::Options options;
+  options.workers = 1;
+  options.queue.capacity = 8;
+  options.queue.low_watermark = 4;
+  ServerPool pool(&cluster_, framework_, &dispatcher_, options);
+  const auto tickets = MakeTickets(10);
+  // Pool not started: the queue fills to the high watermark, then EBUSY.
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(pool.Submit(tickets[static_cast<size_t>(i)], "m0").ok());
+  }
+  EXPECT_EQ(pool.Submit(tickets[8], "m0").error(), witos::Err::kBusy);
+  EXPECT_EQ(pool.Submit(tickets[9], "m0").error(), witos::Err::kBusy);
+  const ServerPool::Stats before = pool.stats();
+  EXPECT_EQ(before.rejected, 2u);
+  EXPECT_EQ(before.peak_queue_depth, 8u);
+  // Workers drain the backlog; everything admitted gets served.
+  pool.Start();
+  pool.Drain();
+  pool.Stop();
+  EXPECT_EQ(pool.stats().served, 8u);
+}
+
+TEST_F(ServePoolTest, RoutingErrorsAreExplicit) {
+  ServerPool::Options options;
+  options.workers = 2;  // shard 0: m0, m2; shard 1: m1, m3
+  ServerPool pool(&cluster_, framework_, &dispatcher_, options);
+  const auto tickets = MakeTickets(1);
+  EXPECT_EQ(pool.Submit(tickets[0], "ghost").error(), witos::Err::kHostUnreach);
+  EXPECT_EQ(pool.Submit(tickets[0], "m0", "ghost").error(), witos::Err::kHostUnreach);
+  // A T-9 dual deployment across shards would break shared-nothing.
+  EXPECT_EQ(pool.Submit(tickets[0], "m0", "m1").error(), witos::Err::kXdev);
+  EXPECT_EQ(pool.ShardOf("m0"), pool.ShardOf(pool.PeerInShard("m0")));
+  EXPECT_EQ(pool.PeerInShard("m0"), "m2");
+  EXPECT_EQ(pool.stats().submitted, 0u);
+}
+
+TEST_F(ServePoolTest, LoadGeneratorDrivesPoolEndToEnd) {
+  ServerPool::Options pool_options;
+  pool_options.workers = 2;
+  pool_options.queue.capacity = 16;  // small queue: forces backpressure
+  pool_options.queue.low_watermark = 8;
+  ServerPool pool(&cluster_, framework_, &dispatcher_, pool_options);
+  pool.Start();
+
+  LoadGenerator::Options load_options;
+  load_options.seed = 42;
+  load_options.tickets = 120;
+  LoadGenerator loadgen(load_options);
+  const auto arrivals = loadgen.Generate(pool);
+  ASSERT_EQ(arrivals.size(), 120u);
+  // Deterministic: same seed, same pool geometry, same plan.
+  const auto replay = loadgen.Generate(pool);
+  for (size_t i = 0; i < arrivals.size(); ++i) {
+    EXPECT_EQ(arrivals[i].ticket.text, replay[i].ticket.text);
+    EXPECT_EQ(arrivals[i].target, replay[i].target);
+    EXPECT_EQ(arrivals[i].offset_ns, replay[i].offset_ns);
+  }
+  uint64_t last_offset = 0;
+  for (const auto& arrival : arrivals) {
+    EXPECT_GE(arrival.offset_ns, last_offset);  // Poisson offsets accumulate
+    last_offset = arrival.offset_ns;
+    if (arrival.ticket.true_class == "T-9") {
+      EXPECT_EQ(pool.ShardOf(arrival.user), pool.ShardOf(arrival.target));
+    }
+  }
+
+  const LoadGenerator::RunStats run = loadgen.Run(&pool, arrivals);
+  pool.Drain();
+  pool.Stop();
+  EXPECT_EQ(run.submitted, 120u);
+  EXPECT_EQ(run.dropped, 0u);  // retry_on_busy resubmits after EBUSY
+  const ServerPool::Stats stats = pool.stats();
+  EXPECT_EQ(stats.served, 120u);
+  EXPECT_EQ(stats.clock_ownership_violations, 0u);
+}
+
+}  // namespace
+}  // namespace witserve

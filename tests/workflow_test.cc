@@ -20,9 +20,38 @@ TEST(DispatcherTest, AssignsByExpertiseLeastLoaded) {
   EXPECT_EQ(*dispatcher.Assign("T-1"), "alice");
   // Nobody handles T-9.
   EXPECT_EQ(dispatcher.Assign("T-9").error(), witos::Err::kSrch);
-  dispatcher.Complete("alice");
+  EXPECT_TRUE(dispatcher.Complete("alice").ok());
   EXPECT_EQ(dispatcher.Find("alice")->open_tickets, 1u);
   EXPECT_EQ(dispatcher.Find("alice")->total_assigned, 2u);
+}
+
+TEST(DispatcherTest, CompleteErrorsAreLoud) {
+  Dispatcher dispatcher;
+  dispatcher.AddSpecialist("alice", {"T-1"});
+  // Completing for an admin who is not on the roster is an accounting bug.
+  EXPECT_EQ(dispatcher.Complete("ghost").error(), witos::Err::kSrch);
+  // ... as is completing more tickets than were assigned.
+  EXPECT_EQ(dispatcher.Complete("alice").error(), witos::Err::kInval);
+  ASSERT_TRUE(dispatcher.Assign("T-1").ok());
+  EXPECT_TRUE(dispatcher.Complete("alice").ok());
+  EXPECT_EQ(dispatcher.Complete("alice").error(), witos::Err::kInval);
+}
+
+TEST(DispatcherTest, RotationSharesLoadTiesFairly) {
+  Dispatcher dispatcher;
+  dispatcher.AddSpecialist("alice", {"T-1"});
+  dispatcher.AddSpecialist("bob", {"T-1"});
+  dispatcher.AddSpecialist("carol", {"T-1"});
+  // Assign-then-complete keeps everyone tied at zero load; without the
+  // rotating tie-break, alice would absorb all 300 tickets.
+  for (int i = 0; i < 300; ++i) {
+    auto admin = dispatcher.Assign("T-1");
+    ASSERT_TRUE(admin.ok());
+    ASSERT_TRUE(dispatcher.Complete(*admin).ok());
+  }
+  EXPECT_EQ(dispatcher.Find("alice")->total_assigned, 100u);
+  EXPECT_EQ(dispatcher.Find("bob")->total_assigned, 100u);
+  EXPECT_EQ(dispatcher.Find("carol")->total_assigned, 100u);
 }
 
 TEST(DispatcherTest, SingleClassHardeningPinsAdmins) {
