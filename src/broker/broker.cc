@@ -21,6 +21,7 @@ PermissionBroker::PermissionBroker(witos::Kernel* kernel, witos::Pid host_pid,
                                    PolicyManager* policy, RpcChannel* channel)
     : kernel_(kernel), host_pid_(host_pid), policy_(policy) {
   channel->Bind([this](const RpcRequest& request) { return Handle(request); });
+  channel->BindBatch([this](const RpcBatchRequest& batch) { return HandleBatch(batch); });
 }
 
 void PermissionBroker::BindTicket(const std::string& ticket_id,
@@ -63,6 +64,20 @@ void PermissionBroker::RecordEvent(BrokerEvent event) {
   events_.push_back(std::move(event));
 }
 
+void PermissionBroker::RecordEvents(std::vector<BrokerEvent> events) {
+  std::lock_guard<std::mutex> lock(events_mu_);
+  for (BrokerEvent& event : events) {
+    if (event_capacity_ != 0 && events_.size() >= event_capacity_) {
+      events_.erase(events_.begin());
+      ++dropped_events_;
+      if (events_dropped_ != nullptr) {
+        events_dropped_->Increment();
+      }
+    }
+    events_.push_back(std::move(event));
+  }
+}
+
 std::vector<BrokerEvent> PermissionBroker::EventsSnapshot() const {
   std::lock_guard<std::mutex> lock(events_mu_);
   return events_;
@@ -78,19 +93,18 @@ RpcResponse PermissionBroker::Ok(std::string payload) const {
 RpcResponse PermissionBroker::Fail(witos::Err err) const {
   RpcResponse resp;
   resp.ok = false;
-  resp.error = witos::ErrName(err);
+  resp.err = err;
   return resp;
 }
 
-RpcResponse PermissionBroker::Handle(const RpcRequest& request) {
-  witobs::Span span(tracer_, "broker.handle", request.ticket_id);
-  uint64_t now = kernel_->clock().now_ns();
-  auto class_it = ticket_class_.find(request.ticket_id);
-  std::string ticket_class = class_it == ticket_class_.end() ? "" : class_it->second;
+std::string PermissionBroker::TicketClassOf(const std::string& ticket_id) const {
+  auto class_it = ticket_class_.find(ticket_id);
+  return class_it == ticket_class_.end() ? "" : class_it->second;
+}
 
-  bool allowed = policy_->IsAllowed(ticket_class, request.method, request.admin) &&
-                 policy_->AdmitRate(ticket_class, request.admin, now);
-
+BrokerEvent PermissionBroker::MakeEvent(const RpcRequest& request,
+                                        const std::string& ticket_class, uint64_t now,
+                                        bool allowed) {
   BrokerEvent event;
   event.time_ns = now;
   event.admin = request.admin;
@@ -99,27 +113,48 @@ RpcResponse PermissionBroker::Handle(const RpcRequest& request) {
   event.verb = request.method;
   event.args = request.args;
   event.granted = allowed;
-  RecordEvent(event);
+  return event;
+}
 
-  if (metrics_ != nullptr) {
-    const char* outcome = allowed ? "grant" : "deny";
-    metrics_
-        ->GetCounter("watchit_broker_requests_total",
-                     {{"verb", request.method}, {"outcome", outcome}})
-        ->Increment();
-    metrics_
-        ->GetCounter("watchit_broker_ticket_requests_total",
-                     {{"ticket", request.ticket_id}, {"outcome", outcome}})
-        ->Increment();
+void PermissionBroker::CountRequest(const RpcRequest& request, bool allowed) {
+  if (metrics_ == nullptr) {
+    return;
   }
+  const char* outcome = allowed ? "grant" : "deny";
+  metrics_
+      ->GetCounter("watchit_broker_requests_total",
+                   {{"verb", request.method}, {"outcome", outcome}})
+      ->Increment();
+  metrics_
+      ->GetCounter("watchit_broker_ticket_requests_total",
+                   {{"ticket", request.ticket_id}, {"outcome", outcome}})
+      ->Increment();
+}
 
-  // "Either way, these requests are logged in real-time to a secure
-  // append-only storage device."
+std::string PermissionBroker::LogLine(const RpcRequest& request,
+                                      const std::string& ticket_class, bool allowed) {
   std::string log_line = (allowed ? "GRANT " : "DENY ") + request.admin + " " +
                          request.ticket_id + " [" + ticket_class + "] " + request.method;
   for (const auto& arg : request.args) {
     log_line += " " + arg;
   }
+  return log_line;
+}
+
+RpcResponse PermissionBroker::Handle(const RpcRequest& request) {
+  witobs::Span span(tracer_, "broker.handle", request.ticket_id);
+  uint64_t now = kernel_->clock().now_ns();
+  std::string ticket_class = TicketClassOf(request.ticket_id);
+
+  bool allowed = policy_->IsAllowed(ticket_class, request.method, request.admin) &&
+                 policy_->AdmitRate(ticket_class, request.admin, now);
+
+  RecordEvent(MakeEvent(request, ticket_class, now, allowed));
+  CountRequest(request, allowed);
+
+  // "Either way, these requests are logged in real-time to a secure
+  // append-only storage device."
+  std::string log_line = LogLine(request, ticket_class, allowed);
   log_.Append(log_line, now);
   kernel_->audit().Append(
       allowed ? witos::AuditEvent::kBrokerRequest : witos::AuditEvent::kBrokerDenied,
@@ -130,6 +165,53 @@ RpcResponse PermissionBroker::Handle(const RpcRequest& request) {
   }
   uint64_t dispatch_start = kernel_->clock().now_ns();
   RpcResponse response = Dispatch(request);
+  if (dispatch_latency_ != nullptr) {
+    dispatch_latency_->Observe(kernel_->clock().now_ns() - dispatch_start);
+  }
+  return response;
+}
+
+RpcBatchResponse PermissionBroker::HandleBatch(const RpcBatchRequest& batch) {
+  witobs::Span span(tracer_, "broker.handle_batch", batch.ticket_id);
+  uint64_t now = kernel_->clock().now_ns();
+  // One policy-context lookup for the whole batch: the ticket class is
+  // header state, not per-op state.
+  std::string ticket_class = TicketClassOf(batch.ticket_id);
+
+  RpcBatchResponse response;
+  response.responses.resize(batch.ops.size());
+  std::vector<bool> allowed(batch.ops.size(), false);
+  std::vector<BrokerEvent> events;
+  std::vector<std::string> log_lines;
+  events.reserve(batch.ops.size());
+  log_lines.reserve(batch.ops.size());
+
+  // Per-op accountability first (Table 1: every request, granted or denied,
+  // leaves its own record): policy decisions, events, log lines and kernel
+  // audit records are computed per op...
+  for (size_t i = 0; i < batch.ops.size(); ++i) {
+    RpcRequest request = batch.SubRequest(i);
+    allowed[i] = policy_->IsAllowed(ticket_class, request.method, request.admin) &&
+                 policy_->AdmitRate(ticket_class, request.admin, now);
+    events.push_back(MakeEvent(request, ticket_class, now, allowed[i]));
+    CountRequest(request, allowed[i]);
+    log_lines.push_back(LogLine(request, ticket_class, allowed[i]));
+    kernel_->audit().Append(
+        allowed[i] ? witos::AuditEvent::kBrokerRequest : witos::AuditEvent::kBrokerDenied,
+        request.caller_pid, request.uid, log_lines.back(), now);
+  }
+  // ...but the shared structures are entered once: a single lock acquisition
+  // appends every event, and a single SecureLog critical section chains
+  // every per-op entry.
+  RecordEvents(std::move(events));
+  log_.AppendBatch(log_lines, now);
+
+  // Dispatch the granted ops (denied ones answer EPERM positionally).
+  uint64_t dispatch_start = kernel_->clock().now_ns();
+  for (size_t i = 0; i < batch.ops.size(); ++i) {
+    response.responses[i] =
+        allowed[i] ? Dispatch(batch.SubRequest(i)) : Fail(witos::Err::kPerm);
+  }
   if (dispatch_latency_ != nullptr) {
     dispatch_latency_->Observe(kernel_->clock().now_ns() - dispatch_start);
   }
@@ -248,6 +330,17 @@ RpcResponse PermissionBroker::HandleDriverUpdate(const RpcRequest& request) {
   return Ok("driver " + request.args[0] + " loaded");
 }
 
+namespace {
+
+// A failed response must carry a typed code; a peer claiming failure
+// without one (a hand-rolled or corrupted frame) degrades to EPERM so
+// !ok can never turn into a success at the caller.
+witos::Err ResponseError(const RpcResponse& response) {
+  return response.err == witos::Err::kOk ? witos::Err::kPerm : response.err;
+}
+
+}  // namespace
+
 witos::Result<std::string> BrokerClient::Request(const std::string& verb,
                                                  const std::vector<std::string>& args,
                                                  witos::Uid uid, witos::Pid caller_pid) {
@@ -264,9 +357,59 @@ witos::Result<std::string> BrokerClient::Request(const std::string& verb,
   request.admin = admin_;
   WITOS_ASSIGN_OR_RETURN(RpcResponse response, channel_->Call(request));
   if (!response.ok) {
-    return witos::Err::kPerm;
+    return ResponseError(response);
   }
   return response.payload;
+}
+
+void BrokerClient::Begin(witos::Uid uid, witos::Pid caller_pid) {
+  batch_uid_ = uid;
+  batch_caller_pid_ = caller_pid;
+  pending_.clear();
+}
+
+size_t BrokerClient::Queue(const std::string& verb, const std::vector<std::string>& args) {
+  RpcSubRequest op;
+  op.method = verb;
+  op.args = args;
+  pending_.push_back(std::move(op));
+  return pending_.size() - 1;
+}
+
+std::vector<witos::Result<std::string>> BrokerClient::Flush() {
+  std::vector<RpcSubRequest> ops = std::move(pending_);
+  pending_.clear();
+  if (ops.empty()) {
+    return {};
+  }
+  if (batch_uid_ != witos::kRootUid) {
+    // Same stub-side privilege gate as Request(): nothing crosses the wire.
+    return std::vector<witos::Result<std::string>>(ops.size(), witos::Err::kPerm);
+  }
+  RpcBatchRequest batch;
+  batch.uid = batch_uid_;
+  batch.caller_pid = batch_caller_pid_;
+  batch.ticket_id = ticket_id_;
+  batch.admin = admin_;
+  batch.ops = std::move(ops);
+  witos::Result<RpcBatchResponse> response = channel_->CallBatch(batch);
+  if (!response.ok()) {
+    // Atomic failure: the batch frame never produced sub-responses, so
+    // every op reports the transport error and none executed.
+    return std::vector<witos::Result<std::string>>(batch.ops.size(), response.error());
+  }
+  std::vector<witos::Result<std::string>> results;
+  results.reserve(batch.ops.size());
+  for (size_t i = 0; i < batch.ops.size(); ++i) {
+    if (i >= response->responses.size()) {
+      results.push_back(witos::Err::kIo);  // short positional answer: protocol bug
+    } else if (!response->responses[i].ok) {
+      results.push_back(ResponseError(response->responses[i]));
+    } else {
+      results.push_back(response->responses[i].payload);
+    }
+  }
+  return results;
 }
 
 }  // namespace witbroker

@@ -46,8 +46,12 @@ class PermissionBroker {
   witos::Pid host_pid() const { return host_pid_; }
   SecureLog& log() { return log_; }
   const SecureLog& log() const { return log_; }
-  // Unsynchronized view for single-threaded use; an auditor running beside
-  // live serving traffic must take EventsSnapshot() instead.
+
+  // DEPRECATED test-only alias: an unsynchronized reference into the live
+  // event vector, valid only while the broker is quiescent (single-threaded
+  // unit tests asserting on the event window). Every production reader —
+  // reports, case study, anomaly detection — takes EventsSnapshot(); new
+  // code must too, and the reference must never be held across a request.
   const std::vector<BrokerEvent>& events() const { return events_; }
 
   // Consistent point-in-time copy of the structured event window — the
@@ -68,6 +72,13 @@ class PermissionBroker {
   // Exposed for tests; normal callers go through the RpcChannel.
   RpcResponse Handle(const RpcRequest& request);
 
+  // Batched entry point (rpc v2): one policy-context lookup, one structured-
+  // event append and one SecureLog critical-section entry for the whole
+  // batch, while the audit trail stays strictly per-op — N sub-requests
+  // still produce N broker events, N secure-log entries and N kernel audit
+  // records (Table 1 threat semantics). Responses are positional.
+  RpcBatchResponse HandleBatch(const RpcBatchRequest& batch);
+
   // Wires the broker into the observability layer: request counters by verb
   // and outcome, per-ticket counters, and a dispatch-latency histogram in
   // simulated nanoseconds. Spans tagged with the ticket id are emitted when
@@ -87,6 +98,14 @@ class PermissionBroker {
   RpcResponse Ok(std::string payload) const;
   RpcResponse Fail(witos::Err err) const;
 
+  // Shared per-op accountability pieces used by Handle and HandleBatch.
+  std::string TicketClassOf(const std::string& ticket_id) const;
+  BrokerEvent MakeEvent(const RpcRequest& request, const std::string& ticket_class,
+                        uint64_t now, bool allowed);
+  void CountRequest(const RpcRequest& request, bool allowed);
+  std::string LogLine(const RpcRequest& request, const std::string& ticket_class,
+                      bool allowed);
+
   RpcResponse HandlePs(const RpcRequest& request);
   RpcResponse HandleKill(const RpcRequest& request);
   RpcResponse HandleReadFile(const RpcRequest& request);
@@ -96,6 +115,7 @@ class PermissionBroker {
   RpcResponse HandleDriverUpdate(const RpcRequest& request);
 
   void RecordEvent(BrokerEvent event);
+  void RecordEvents(std::vector<BrokerEvent> events);
 
   witos::Kernel* kernel_;
   witos::Pid host_pid_;
@@ -118,20 +138,46 @@ class PermissionBroker {
 // The in-container client stub. Only privileged users may talk to the
 // broker ("we configure the permission broker client to accept only
 // requests from privileged users").
+//
+// Two calling styles:
+//  * Request(): one verb, one wire crossing — the v1 interaction.
+//  * Begin()/Queue()/Flush(): pipelining — queued verbs ride a single
+//    RpcBatchRequest frame, so a whole ticket's escalations pay one
+//    serialization + one seal/MAC. Flush() yields positional per-op
+//    Results; a transport failure fails every queued op (atomic batch).
 class BrokerClient {
  public:
   BrokerClient(RpcChannel* channel, std::string ticket_id, std::string admin)
       : channel_(channel), ticket_id_(std::move(ticket_id)), admin_(std::move(admin)) {}
 
-  // Issues `PB <verb> <args...>` as the in-container user `uid`.
+  // Issues `PB <verb> <args...>` as the in-container user `uid`. On a
+  // broker denial or dispatch failure the typed error code round-trips from
+  // the broker (EPERM for policy denials, ENOSYS for unknown verbs, ...).
   witos::Result<std::string> Request(const std::string& verb,
                                      const std::vector<std::string>& args, witos::Uid uid,
                                      witos::Pid caller_pid = witos::kNoPid);
+
+  // Opens a pipeline for the in-container user `uid`; discards any ops
+  // still queued from an abandoned pipeline.
+  void Begin(witos::Uid uid, witos::Pid caller_pid = witos::kNoPid);
+  // Queues `PB <verb> <args...>`; returns the op's position — Flush()'s
+  // result vector answers positionally.
+  size_t Queue(const std::string& verb, const std::vector<std::string>& args);
+  // Sends every queued op in one batch frame. Entry i answers Queue() i.
+  // The privileged-caller check and any transport error apply to the whole
+  // batch: every entry carries the same error and nothing reached the
+  // broker. An empty pipeline flushes to an empty vector with no crossing.
+  std::vector<witos::Result<std::string>> Flush();
+
+  size_t pending() const { return pending_.size(); }
 
  private:
   RpcChannel* channel_;
   std::string ticket_id_;
   std::string admin_;
+  witos::Uid batch_uid_ = 0;
+  witos::Pid batch_caller_pid_ = witos::kNoPid;
+  std::vector<RpcSubRequest> pending_;
 };
 
 }  // namespace witbroker

@@ -4,8 +4,62 @@
 
 namespace witbroker {
 
+namespace {
+
+// Every sub-request costs at least two 4-byte length prefixes (method +
+// empty arg list), so a claimed count above remaining/8 is unsatisfiable.
+constexpr size_t kMinSubRequestBytes = 8;
+// Every sub-response costs at least ok + err + payload prefix (3 u32s).
+constexpr size_t kMinSubResponseBytes = 12;
+
+void PutFrameHeader(WireWriter* writer, RpcFrameKind kind) {
+  writer->PutU32(kRpcMagic);
+  writer->PutU32(kRpcVersion);
+  writer->PutU32(static_cast<uint32_t>(kind));
+}
+
+// Consumes and validates a v2 header, requiring `expected` kind. The caller
+// must have checked HasRpcMagic first; version skew and kind confusion are
+// both rejected as EINVAL.
+witos::Status ReadFrameHeader(WireReader* reader, RpcFrameKind expected) {
+  WITOS_ASSIGN_OR_RETURN(uint32_t magic, reader->GetU32());
+  if (magic != kRpcMagic) {
+    return witos::Err::kInval;
+  }
+  WITOS_ASSIGN_OR_RETURN(uint32_t version, reader->GetU32());
+  if (version != kRpcVersion) {
+    return witos::Err::kInval;  // version skew: neither v1 nor v2
+  }
+  WITOS_ASSIGN_OR_RETURN(uint32_t kind, reader->GetU32());
+  if (kind != static_cast<uint32_t>(expected)) {
+    return witos::Err::kInval;
+  }
+  return witos::Status::Ok();
+}
+
+// An error code that crossed the wire: anything outside the enum range is a
+// hostile or corrupted frame, not a new errno.
+bool ValidErrCode(uint32_t raw) {
+  return raw < static_cast<uint32_t>(witos::kErrCodeCount);
+}
+
+}  // namespace
+
+bool HasRpcMagic(std::string_view data) {
+  if (data.size() < 4) {
+    return false;
+  }
+  uint32_t magic = 0;
+  for (int i = 0; i < 4; ++i) {
+    magic |= static_cast<uint32_t>(static_cast<unsigned char>(data[static_cast<size_t>(i)]))
+             << (8 * i);
+  }
+  return magic == kRpcMagic;
+}
+
 std::string RpcRequest::Serialize() const {
   WireWriter writer;
+  PutFrameHeader(&writer, RpcFrameKind::kRequest);
   writer.PutString(method);
   writer.PutStringList(args);
   writer.PutU32(uid);
@@ -17,6 +71,10 @@ std::string RpcRequest::Serialize() const {
 
 witos::Result<RpcRequest> RpcRequest::Deserialize(std::string_view data) {
   WireReader reader(data);
+  if (HasRpcMagic(data)) {
+    WITOS_RETURN_IF_ERROR(ReadFrameHeader(&reader, RpcFrameKind::kRequest));
+  }
+  // v1 frames are the same body without the header.
   RpcRequest req;
   WITOS_ASSIGN_OR_RETURN(req.method, reader.GetString());
   WITOS_ASSIGN_OR_RETURN(req.args, reader.GetStringList());
@@ -31,29 +89,160 @@ witos::Result<RpcRequest> RpcRequest::Deserialize(std::string_view data) {
   return req;
 }
 
+std::string RpcResponse::error_name() const {
+  return err == witos::Err::kOk ? "" : witos::ErrName(err);
+}
+
+void RpcResponse::SerializeBody(WireWriter* writer) const {
+  writer->PutBool(ok);
+  writer->PutU32(static_cast<uint32_t>(err));
+  writer->PutString(payload);
+}
+
+witos::Result<RpcResponse> RpcResponse::DeserializeBody(WireReader* reader) {
+  RpcResponse resp;
+  WITOS_ASSIGN_OR_RETURN(resp.ok, reader->GetBool());
+  WITOS_ASSIGN_OR_RETURN(uint32_t raw_err, reader->GetU32());
+  if (!ValidErrCode(raw_err)) {
+    return witos::Err::kInval;
+  }
+  resp.err = static_cast<witos::Err>(raw_err);
+  WITOS_ASSIGN_OR_RETURN(resp.payload, reader->GetString());
+  return resp;
+}
+
 std::string RpcResponse::Serialize() const {
   WireWriter writer;
-  writer.PutBool(ok);
-  writer.PutString(error);
-  writer.PutString(payload);
+  PutFrameHeader(&writer, RpcFrameKind::kResponse);
+  SerializeBody(&writer);
   return writer.Take();
 }
 
 witos::Result<RpcResponse> RpcResponse::Deserialize(std::string_view data) {
   WireReader reader(data);
   RpcResponse resp;
-  WITOS_ASSIGN_OR_RETURN(resp.ok, reader.GetBool());
-  WITOS_ASSIGN_OR_RETURN(resp.error, reader.GetString());
-  WITOS_ASSIGN_OR_RETURN(resp.payload, reader.GetString());
+  if (HasRpcMagic(data)) {
+    WITOS_RETURN_IF_ERROR(ReadFrameHeader(&reader, RpcFrameKind::kResponse));
+    WITOS_ASSIGN_OR_RETURN(resp, DeserializeBody(&reader));
+  } else {
+    // v1 compat shim: the error crossed the wire as an errno-name string;
+    // map it back onto the enum so callers see typed errors regardless of
+    // which protocol version the peer spoke.
+    WITOS_ASSIGN_OR_RETURN(resp.ok, reader.GetBool());
+    WITOS_ASSIGN_OR_RETURN(std::string error_name, reader.GetString());
+    resp.err = error_name.empty() ? witos::Err::kOk
+                                  : witos::ErrFromName(error_name, witos::Err::kIo);
+    WITOS_ASSIGN_OR_RETURN(resp.payload, reader.GetString());
+  }
   if (!reader.AtEnd()) {
     return witos::Err::kInval;
   }
   return resp;
 }
 
+RpcRequest RpcBatchRequest::SubRequest(size_t i) const {
+  RpcRequest req;
+  req.method = ops[i].method;
+  req.args = ops[i].args;
+  req.uid = uid;
+  req.caller_pid = caller_pid;
+  req.ticket_id = ticket_id;
+  req.admin = admin;
+  return req;
+}
+
+std::string RpcBatchRequest::Serialize() const {
+  WireWriter writer;
+  PutFrameHeader(&writer, RpcFrameKind::kBatchRequest);
+  writer.PutU32(uid);
+  writer.PutU32(static_cast<uint32_t>(caller_pid));
+  writer.PutString(ticket_id);
+  writer.PutString(admin);
+  writer.PutU32(static_cast<uint32_t>(ops.size()));
+  for (const RpcSubRequest& op : ops) {
+    writer.PutString(op.method);
+    writer.PutStringList(op.args);
+  }
+  return writer.Take();
+}
+
+witos::Result<RpcBatchRequest> RpcBatchRequest::Deserialize(std::string_view data) {
+  WireReader reader(data);
+  // Batches are v2-only: no headerless fallback.
+  WITOS_RETURN_IF_ERROR(ReadFrameHeader(&reader, RpcFrameKind::kBatchRequest));
+  RpcBatchRequest batch;
+  WITOS_ASSIGN_OR_RETURN(batch.uid, reader.GetU32());
+  WITOS_ASSIGN_OR_RETURN(uint32_t pid, reader.GetU32());
+  batch.caller_pid = static_cast<witos::Pid>(pid);
+  WITOS_ASSIGN_OR_RETURN(batch.ticket_id, reader.GetString());
+  WITOS_ASSIGN_OR_RETURN(batch.admin, reader.GetString());
+  WITOS_ASSIGN_OR_RETURN(uint32_t count, reader.GetU32());
+  if (static_cast<size_t>(count) > reader.Remaining() / kMinSubRequestBytes) {
+    return witos::Err::kInval;  // unsatisfiable count: reject before reserving
+  }
+  batch.ops.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    RpcSubRequest op;
+    WITOS_ASSIGN_OR_RETURN(op.method, reader.GetString());
+    WITOS_ASSIGN_OR_RETURN(op.args, reader.GetStringList());
+    batch.ops.push_back(std::move(op));
+  }
+  if (!reader.AtEnd()) {
+    return witos::Err::kInval;
+  }
+  return batch;
+}
+
+std::string RpcBatchResponse::Serialize() const {
+  WireWriter writer;
+  PutFrameHeader(&writer, RpcFrameKind::kBatchResponse);
+  writer.PutU32(static_cast<uint32_t>(responses.size()));
+  for (const RpcResponse& resp : responses) {
+    resp.SerializeBody(&writer);
+  }
+  return writer.Take();
+}
+
+witos::Result<RpcBatchResponse> RpcBatchResponse::Deserialize(std::string_view data) {
+  WireReader reader(data);
+  WITOS_RETURN_IF_ERROR(ReadFrameHeader(&reader, RpcFrameKind::kBatchResponse));
+  RpcBatchResponse batch;
+  WITOS_ASSIGN_OR_RETURN(uint32_t count, reader.GetU32());
+  if (static_cast<size_t>(count) > reader.Remaining() / kMinSubResponseBytes) {
+    return witos::Err::kInval;
+  }
+  batch.responses.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    WITOS_ASSIGN_OR_RETURN(RpcResponse resp, RpcResponse::DeserializeBody(&reader));
+    batch.responses.push_back(std::move(resp));
+  }
+  if (!reader.AtEnd()) {
+    return witos::Err::kInval;
+  }
+  return batch;
+}
+
 void RpcChannel::EnableEncryption(uint64_t shared_secret) {
   encrypted_ = true;
   key_ = shared_secret;
+}
+
+void RpcChannel::EnableMetrics(witobs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    frames_total_ = nullptr;
+    batch_size_hist_ = nullptr;
+    ticket_wire_bytes_ = nullptr;
+    return;
+  }
+  registry->SetHelp("watchit_rpc_frames_total",
+                    "Broker RPC frames crossing the wire (request + response)");
+  registry->SetHelp("watchit_rpc_batch_size", "Sub-operations per batched broker RPC frame");
+  registry->SetHelp("watchit_rpc_ticket_wire_bytes",
+                    "Bytes on wire of the most recent batched broker call (one per ticket "
+                    "on the serving path)");
+  frames_total_ = registry->GetCounter("watchit_rpc_frames_total");
+  batch_size_hist_ = registry->GetHistogram("watchit_rpc_batch_size");
+  ticket_wire_bytes_ = registry->GetGauge("watchit_rpc_ticket_wire_bytes");
 }
 
 namespace {
@@ -113,35 +302,78 @@ witos::Result<std::string> RpcChannel::Open(const std::string& frame) const {
   return body;
 }
 
+witos::Result<std::string> RpcChannel::Transit(std::string frame) {
+  if (encrypted_) {
+    frame = Seal(frame);
+  }
+  if (corrupt_next_) {
+    if (corrupt_skip_ > 0) {
+      --corrupt_skip_;
+    } else {
+      corrupt_next_ = false;
+      frame[frame.size() / 2] = static_cast<char>(frame[frame.size() / 2] ^ 0x40);
+    }
+  }
+  bytes_on_wire_ += frame.size();
+  last_call_wire_bytes_ += frame.size();
+  ++frames_;
+  if (frames_total_ != nullptr) {
+    frames_total_->Increment();
+  }
+  if (encrypted_) {
+    return Open(frame);
+  }
+  return frame;
+}
+
 witos::Result<RpcResponse> RpcChannel::Call(const RpcRequest& request) {
   if (handler_ == nullptr) {
     // The broker process is gone — ContainIT treats this as a fatal event.
     return witos::Err::kConnRefused;
   }
   ++calls_;
-  std::string frame = request.Serialize();
-  if (encrypted_) {
-    frame = Seal(frame);
-  }
-  if (corrupt_next_) {
-    corrupt_next_ = false;
-    frame[frame.size() / 2] = static_cast<char>(frame[frame.size() / 2] ^ 0x40);
-  }
-  bytes_on_wire_ += frame.size();
-  if (encrypted_) {
-    WITOS_ASSIGN_OR_RETURN(frame, Open(frame));
-  }
+  last_call_wire_bytes_ = 0;
+  WITOS_ASSIGN_OR_RETURN(std::string frame, Transit(request.Serialize()));
   WITOS_ASSIGN_OR_RETURN(RpcRequest decoded, RpcRequest::Deserialize(frame));
   RpcResponse response = handler_(decoded);
-  std::string response_frame = response.Serialize();
-  if (encrypted_) {
-    response_frame = Seal(response_frame);
-  }
-  bytes_on_wire_ += response_frame.size();
-  if (encrypted_) {
-    WITOS_ASSIGN_OR_RETURN(response_frame, Open(response_frame));
-  }
+  WITOS_ASSIGN_OR_RETURN(std::string response_frame, Transit(response.Serialize()));
   return RpcResponse::Deserialize(response_frame);
+}
+
+witos::Result<RpcBatchResponse> RpcChannel::CallBatch(const RpcBatchRequest& request) {
+  if (handler_ == nullptr && batch_handler_ == nullptr) {
+    return witos::Err::kConnRefused;
+  }
+  ++calls_;
+  ++batch_calls_;
+  last_call_wire_bytes_ = 0;
+  if (batch_size_hist_ != nullptr) {
+    batch_size_hist_->Observe(request.ops.size());
+  }
+  // Atomicity: any failure between here and the final Deserialize returns
+  // through WITOS_ASSIGN_OR_RETURN before a single sub-response is
+  // delivered, and a failure on the request leg (e.g. a corrupted frame
+  // rejected by the MAC) happens before the server handler ever runs.
+  WITOS_ASSIGN_OR_RETURN(std::string frame, Transit(request.Serialize()));
+  WITOS_ASSIGN_OR_RETURN(RpcBatchRequest decoded, RpcBatchRequest::Deserialize(frame));
+  RpcBatchResponse response;
+  if (batch_handler_ != nullptr) {
+    response = batch_handler_(decoded);
+  } else {
+    // Single-op server: dispatch each sub-request individually. The wire
+    // amortization is preserved; only the server-side batching is lost.
+    response.responses.reserve(decoded.ops.size());
+    for (size_t i = 0; i < decoded.ops.size(); ++i) {
+      response.responses.push_back(handler_(decoded.SubRequest(i)));
+    }
+  }
+  WITOS_ASSIGN_OR_RETURN(std::string response_frame, Transit(response.Serialize()));
+  WITOS_ASSIGN_OR_RETURN(RpcBatchResponse decoded_response,
+                         RpcBatchResponse::Deserialize(response_frame));
+  if (ticket_wire_bytes_ != nullptr) {
+    ticket_wire_bytes_->Set(static_cast<int64_t>(last_call_wire_bytes_));
+  }
+  return decoded_response;
 }
 
 }  // namespace witbroker

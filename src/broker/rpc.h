@@ -3,6 +3,14 @@
 // boundary (TLV wire format) even though transport is in-process, so that
 // malformed or truncated frames are exercised like they would be over
 // TCP/IP + gRPC.
+//
+// Wire protocol v2: every frame starts with a magic+version+kind header and
+// errors cross the wire as typed witos::Err codes. Headerless v1 frames
+// (stringly-typed errors, one frame per op) still deserialize — the decoders
+// fall back to the v1 layout when the magic is absent, so an old client can
+// talk to a new broker. Batch frames (`RpcBatchRequest`/`RpcBatchResponse`)
+// carry N sub-operations with the ticket/admin/uid header stated once and
+// are sealed/MACed once per batch instead of once per op.
 
 #ifndef SRC_BROKER_RPC_H_
 #define SRC_BROKER_RPC_H_
@@ -12,10 +20,28 @@
 #include <vector>
 
 #include "src/broker/wire.h"
+#include "src/obs/metrics.h"
 #include "src/os/result.h"
 #include "src/os/types.h"
 
 namespace witbroker {
+
+// v2 frame header: "WIT2" little-endian magic, then version, then kind.
+// A v1 frame can only collide with the magic if its leading length prefix
+// claims an ~840 MB method string, which the reader rejects anyway.
+inline constexpr uint32_t kRpcMagic = 0x32544957;  // "WIT2"
+inline constexpr uint32_t kRpcVersion = 2;
+
+enum class RpcFrameKind : uint32_t {
+  kRequest = 1,
+  kResponse = 2,
+  kBatchRequest = 3,
+  kBatchResponse = 4,
+};
+
+// True when `data` begins with the v2 magic (the frame still has to pass
+// version/kind validation to decode).
+bool HasRpcMagic(std::string_view data);
 
 struct RpcRequest {
   std::string method;
@@ -25,17 +51,63 @@ struct RpcRequest {
   std::string ticket_id;    // ticket the session is bound to
   std::string admin;        // administrator identity from the certificate
 
-  std::string Serialize() const;
+  std::string Serialize() const;  // emits a v2 frame
+  // Accepts v2 frames and headerless v1 frames.
   static witos::Result<RpcRequest> Deserialize(std::string_view data);
 };
 
 struct RpcResponse {
   bool ok = false;
-  std::string error;    // errno-style name when !ok
-  std::string payload;  // method-specific result
+  witos::Err err = witos::Err::kOk;  // typed error code when !ok
+  std::string payload;               // method-specific result
+
+  // Display name for the error ("EPERM"), derived from `err`; empty for ok
+  // responses. This replaces the v1 wire field — the name never crosses the
+  // wire in v2, it is recomputed from the code.
+  std::string error_name() const;
+
+  std::string Serialize() const;  // emits a v2 frame
+  // Accepts v2 frames and headerless v1 frames; a v1 errno-name string is
+  // mapped back onto the enum (unknown names degrade to kIo).
+  static witos::Result<RpcResponse> Deserialize(std::string_view data);
+
+  // Body-only (de)serialization, shared with the batch framing.
+  void SerializeBody(WireWriter* writer) const;
+  static witos::Result<RpcResponse> DeserializeBody(WireReader* reader);
+};
+
+// One sub-operation of a batch: just the verb and its arguments — the
+// uid/caller/ticket/admin context lives once in the batch header.
+struct RpcSubRequest {
+  std::string method;
+  std::vector<std::string> args;
+};
+
+// N sub-requests under one header: the whole ticket's broker traffic in a
+// single frame, serialized once, sealed once.
+struct RpcBatchRequest {
+  witos::Uid uid = 0;
+  witos::Pid caller_pid = witos::kNoPid;
+  std::string ticket_id;
+  std::string admin;
+  std::vector<RpcSubRequest> ops;
+
+  // Materializes sub-request `i` with the shared header applied, for
+  // dispatch through code written against RpcRequest.
+  RpcRequest SubRequest(size_t i) const;
 
   std::string Serialize() const;
-  static witos::Result<RpcResponse> Deserialize(std::string_view data);
+  static witos::Result<RpcBatchRequest> Deserialize(std::string_view data);
+};
+
+// Positional responses: responses[i] answers ops[i]. Delivery is atomic —
+// a batch frame that fails authentication or parsing produces *no* sub-
+// responses, never a partial prefix.
+struct RpcBatchResponse {
+  std::vector<RpcResponse> responses;
+
+  std::string Serialize() const;
+  static witos::Result<RpcBatchResponse> Deserialize(std::string_view data);
 };
 
 // One endpoint (the broker server) bound to a transport. Calls serialize
@@ -46,25 +118,57 @@ struct RpcResponse {
 // one can employ SSL"): with EnableEncryption, every frame is sealed with a
 // keystream derived from the shared secret plus a MAC over the plaintext;
 // tampered or replayed ciphertext fails authentication and the call errors.
+// A batch pays this seal/MAC cost once for all its sub-operations.
 class RpcChannel {
  public:
   using Handler = std::function<RpcResponse(const RpcRequest&)>;
+  using BatchHandler = std::function<RpcBatchResponse(const RpcBatchRequest&)>;
 
   void Bind(Handler handler) { handler_ = std::move(handler); }
+  // Servers that understand batches natively bind this too; without it,
+  // CallBatch falls back to dispatching each sub-request through the
+  // single-op handler (correct, but without the server-side amortization).
+  void BindBatch(BatchHandler handler) { batch_handler_ = std::move(handler); }
   bool bound() const { return handler_ != nullptr; }
-  void Unbind() { handler_ = nullptr; }
+  void Unbind() {
+    handler_ = nullptr;
+    batch_handler_ = nullptr;
+  }
 
   witos::Result<RpcResponse> Call(const RpcRequest& request);
+
+  // One frame out, one frame back, regardless of ops.size(). Atomic: any
+  // transport/authentication/framing failure yields an error Result and no
+  // sub-operation executes or is answered.
+  witos::Result<RpcBatchResponse> CallBatch(const RpcBatchRequest& request);
 
   void EnableEncryption(uint64_t shared_secret);
   bool encrypted() const { return encrypted_; }
 
+  // Wires the channel into the observability layer:
+  // watchit_rpc_frames_total (frames crossing the wire, by direction),
+  // watchit_rpc_batch_size (ops per batch frame) and
+  // watchit_rpc_ticket_wire_bytes (bytes on wire of the most recent batch
+  // call — with the serving path flushing once per ticket, this is the
+  // per-ticket wire cost).
+  void EnableMetrics(witobs::MetricsRegistry* registry);
+
   // Test hook: flip a byte of the next frame in transit (a meddling
-  // man-in-the-middle).
-  void CorruptNextFrameForTest() { corrupt_next_ = true; }
+  // man-in-the-middle). `skip_frames` lets the MITM wait — 1 skips the
+  // request leg and corrupts the response frame of the next call.
+  void CorruptNextFrameForTest(int skip_frames = 0) {
+    corrupt_next_ = true;
+    corrupt_skip_ = skip_frames;
+  }
 
   uint64_t bytes_on_wire() const { return bytes_on_wire_; }
   uint64_t calls() const { return calls_; }
+  uint64_t batch_calls() const { return batch_calls_; }
+  // Wire frames sent in either direction (2 per successful call: request +
+  // response) — the number batching exists to shrink.
+  uint64_t frames() const { return frames_; }
+  // Bytes both frames of the most recent completed call contributed.
+  uint64_t last_call_wire_bytes() const { return last_call_wire_bytes_; }
 
  private:
   // Seal/Open: keystream XOR + appended 8-byte MAC over the plaintext.
@@ -72,13 +176,27 @@ class RpcChannel {
   std::string Seal(const std::string& plaintext);
   witos::Result<std::string> Open(const std::string& frame) const;
 
+  // Transport bookkeeping shared by Call/CallBatch: seal, corrupt (test
+  // hook), count bytes+frames, open.
+  witos::Result<std::string> Transit(std::string frame);
+
   Handler handler_;
+  BatchHandler batch_handler_;
   bool encrypted_ = false;
   uint64_t key_ = 0;
   uint64_t nonce_ = 0;
   bool corrupt_next_ = false;
+  int corrupt_skip_ = 0;
   uint64_t bytes_on_wire_ = 0;
   uint64_t calls_ = 0;
+  uint64_t batch_calls_ = 0;
+  uint64_t frames_ = 0;
+  uint64_t last_call_wire_bytes_ = 0;
+
+  // Observability wiring (all null when metrics are disabled).
+  witobs::Counter* frames_total_ = nullptr;
+  witobs::Histogram* batch_size_hist_ = nullptr;
+  witobs::Gauge* ticket_wire_bytes_ = nullptr;
 };
 
 }  // namespace witbroker

@@ -43,6 +43,23 @@ void SecureLog::Append(std::string payload, uint64_t time_ns) {
   entries_.push_back(std::move(entry));
 }
 
+void SecureLog::AppendBatch(const std::vector<std::string>& payloads, uint64_t time_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::string& payload : payloads) {
+    SecureLogEntry entry;
+    entry.seq = entries_.size() + 1;
+    entry.time_ns = time_ns;
+    entry.payload = payload;
+    entry.prev_hash = entries_.empty() ? 0 : entries_.back().hash;
+    entry.hash = SecureLogEntry::ComputeHash(entry.seq, entry.time_ns, entry.payload,
+                                             entry.prev_hash);
+    for (auto& replica : replicas_) {
+      replica.push_back(entry);
+    }
+    entries_.push_back(std::move(entry));
+  }
+}
+
 bool SecureLog::VerifyChain(const std::vector<SecureLogEntry>& entries) {
   uint64_t prev = 0;
   for (size_t i = 0; i < entries.size(); ++i) {

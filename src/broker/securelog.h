@@ -42,6 +42,12 @@ class SecureLog {
  public:
   void Append(std::string payload, uint64_t time_ns);
 
+  // Appends one entry per payload under a single lock acquisition — the
+  // broker uses this for batched RPC so a ticket's N per-op records cost one
+  // critical-section entry while staying N distinct, chain-linked entries
+  // (the audit trail is per-op regardless of how requests were framed).
+  void AppendBatch(const std::vector<std::string>& payloads, uint64_t time_ns);
+
   // True if the hash chain is intact.
   bool Verify() const;
 

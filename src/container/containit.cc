@@ -17,18 +17,18 @@ void ContainIt::AttachBroker(witbroker::PermissionBroker* broker) {
                        [this](const witbroker::RpcRequest& request) {
                          witbroker::RpcResponse resp;
                          if (request.args.size() != 2) {
-                           resp.error = "EINVAL";
+                           resp.err = witos::Err::kInval;
                            return resp;
                          }
                          Session* session = FindSessionByTicket(request.ticket_id);
                          if (session == nullptr) {
-                           resp.error = "ESRCH";
+                           resp.err = witos::Err::kSrch;
                            return resp;
                          }
                          witos::Status status =
                              ShareDirectory(session->id, request.args[0], request.args[1]);
                          if (!status.ok()) {
-                           resp.error = witos::ErrName(status.error());
+                           resp.err = status.error();
                            return resp;
                          }
                          resp.ok = true;
@@ -39,12 +39,12 @@ void ContainIt::AttachBroker(witbroker::PermissionBroker* broker) {
       witbroker::kVerbNetAllow, [this](const witbroker::RpcRequest& request) {
         witbroker::RpcResponse resp;
         if (request.args.empty()) {
-          resp.error = "EINVAL";
+          resp.err = witos::Err::kInval;
           return resp;
         }
         auto addr = witnet::Ipv4Addr::Parse(request.args[0]);
         if (!addr.has_value()) {
-          resp.error = "EINVAL";
+          resp.err = witos::Err::kInval;
           return resp;
         }
         uint16_t port = 0;
@@ -53,13 +53,13 @@ void ContainIt::AttachBroker(witbroker::PermissionBroker* broker) {
         }
         Session* session = FindSessionByTicket(request.ticket_id);
         if (session == nullptr) {
-          resp.error = "ESRCH";
+          resp.err = witos::Err::kSrch;
           return resp;
         }
         witos::Status status =
             AllowNetworkEndpoint(session->id, *addr, port, "broker-granted");
         if (!status.ok()) {
-          resp.error = witos::ErrName(status.error());
+          resp.err = status.error();
           return resp;
         }
         resp.ok = true;

@@ -103,6 +103,7 @@ void Machine::BootWatchIt() {
   // keep in memory — totals survive in the registry counters.
   broker_->EnableMetrics(&metrics_, &witobs::GlobalTracer());
   broker_->set_event_capacity(1 << 16);
+  broker_channel_.EnableMetrics(&metrics_);
   containit_->EnableMetrics(&metrics_, &witobs::GlobalTracer());
   containit_->set_oplog_capacity(1 << 16);
 

@@ -166,15 +166,18 @@ witos::Result<std::vector<witos::MountEntry>> AdminSession::Mounts() const {
   return machine_->kernel().MountTable(shell_);
 }
 
+witos::Uid AdminSession::ShellUid() const {
+  const witos::Process* proc = machine_->kernel().FindProcess(shell_);
+  return proc == nullptr ? witos::kOverflowUid : proc->cred.uid;
+}
+
 witos::Result<std::string> AdminSession::Pb(const std::string& verb,
                                             const std::vector<std::string>& args) const {
   WITOS_RETURN_IF_ERROR(CheckCert());
   if (broker_client_ == nullptr) {
     return witos::Err::kConnRefused;
   }
-  const witos::Process* proc = machine_->kernel().FindProcess(shell_);
-  witos::Uid uid = proc == nullptr ? witos::kOverflowUid : proc->cred.uid;
-  return broker_client_->Request(verb, args, uid, shell_);
+  return broker_client_->Request(verb, args, ShellUid(), shell_);
 }
 
 void AdminSession::AuditCommand(const std::string& command_line) const {
@@ -183,60 +186,46 @@ void AdminSession::AuditCommand(const std::string& command_line) const {
                                     machine_->kernel().clock().now_ns());
 }
 
-OpReplayResult AdminSession::Replay(const witload::RequiredOp& op) {
-  OpReplayResult result;
-  result.op = op;
+bool AdminSession::TryInView(const witload::RequiredOp& op, std::string* verb,
+                             std::vector<std::string>* args) {
   witos::Kernel& kernel = machine_->kernel();
-
-  auto fall_back = [&](const std::string& verb, const std::vector<std::string>& args) {
-    result.used_broker = true;
-    result.category = InferCategory(op);
-    result.broker_ok = Pb(verb, args).ok();
-  };
 
   switch (op.kind) {
     case witload::OpKind::kReadFile: {
       if (ReadFile(op.path).ok()) {
-        result.in_view = true;
-      } else {
-        fall_back(witbroker::kVerbReadFile, {op.path});
+        return true;
       }
-      break;
+      *verb = witbroker::kVerbReadFile;
+      *args = {op.path};
+      return false;
     }
     case witload::OpKind::kWriteFile: {
       if (WriteFile(op.path, "watchit-fix\n").ok()) {
-        result.in_view = true;
-      } else {
-        // The paper's flow: ask the broker to map the directory into the
-        // running container, then retry the write through the new mount.
-        fall_back(witbroker::kVerbMountVolume,
-                  {witos::Dirname(op.path), witos::Dirname(op.path)});
-        if (result.broker_ok) {
-          result.broker_ok = WriteFile(op.path, "watchit-fix\n").ok();
-        }
+        return true;
       }
-      break;
+      // The paper's flow: ask the broker to map the directory into the
+      // running container, then retry the write through the new mount.
+      *verb = witbroker::kVerbMountVolume;
+      *args = {witos::Dirname(op.path), witos::Dirname(op.path)};
+      return false;
     }
     case witload::OpKind::kListDir: {
       if (ListDir(op.path).ok()) {
-        result.in_view = true;
-      } else {
-        fall_back(witbroker::kVerbReadFile, {op.path});
+        return true;
       }
-      break;
+      *verb = witbroker::kVerbReadFile;
+      *args = {op.path};
+      return false;
     }
     case witload::OpKind::kConnect: {
       if (TryConnectInView(op.endpoint_name, op.port).ok()) {
-        result.in_view = true;
-      } else {
-        const witload::OrgEndpoint* ep = witload::EndpointByName(op.endpoint_name);
-        std::string addr = ep != nullptr ? ep->addr.ToString() : op.endpoint_name;
-        fall_back(witbroker::kVerbNetAllow, {addr, std::to_string(op.port)});
-        if (result.broker_ok) {
-          result.broker_ok = TryConnectInView(op.endpoint_name, op.port).ok();
-        }
+        return true;
       }
-      break;
+      const witload::OrgEndpoint* ep = witload::EndpointByName(op.endpoint_name);
+      std::string addr = ep != nullptr ? ep->addr.ToString() : op.endpoint_name;
+      *verb = witbroker::kVerbNetAllow;
+      *args = {addr, std::to_string(op.port)};
+      return false;
     }
     case witload::OpKind::kListProcesses: {
       // The op needs the *host* process view: satisfied in view only when
@@ -246,60 +235,144 @@ OpReplayResult AdminSession::Replay(const witload::RequiredOp& op) {
           proc != nullptr && proc->ns.Get(witos::NsType::kPid) ==
                                  kernel.namespaces().initial(witos::NsType::kPid);
       if (host_view && Ps().ok()) {
-        result.in_view = true;
-      } else {
-        fall_back(witbroker::kVerbPs, {});
+        return true;
       }
-      break;
+      *verb = witbroker::kVerbPs;
+      args->clear();
+      return false;
     }
     case witload::OpKind::kKillProcess: {
       // Spawn the runaway victim on the host, then try to kill it from
       // inside.
       auto victim = kernel.Clone(kernel.init_pid(), "runaway", 0);
       if (!victim.ok()) {
-        break;
+        // No victim, no escalation: verb stays empty.
+        return false;
       }
       auto local = kernel.HostToLocalPid(shell_, *victim);
       if (local.ok() && Kill(*local).ok()) {
-        result.in_view = true;
-      } else {
-        fall_back(witbroker::kVerbKill, {std::to_string(*victim)});
+        return true;
       }
-      break;
+      *verb = witbroker::kVerbKill;
+      *args = {std::to_string(*victim)};
+      return false;
     }
     case witload::OpKind::kRestartService: {
       if (RestartService(op.service).ok()) {
-        result.in_view = true;
-      } else {
-        fall_back(witbroker::kVerbRestartService, {op.service});
+        return true;
       }
-      break;
+      *verb = witbroker::kVerbRestartService;
+      *args = {op.service};
+      return false;
     }
     case witload::OpKind::kReboot: {
       if (Reboot().ok()) {
-        result.in_view = true;
-      } else {
-        fall_back(witbroker::kVerbReboot, {});
+        return true;
       }
-      break;
+      *verb = witbroker::kVerbReboot;
+      args->clear();
+      return false;
     }
     case witload::OpKind::kInstallPackage: {
       bool net_ok = TryConnectInView(witload::kSoftwareRepo.name, 0).ok();
       bool fs_ok = net_ok && WriteFile("/usr/progs/" + op.service, "pkg\n").ok();
       if (net_ok && fs_ok) {
-        result.in_view = true;
-      } else {
-        fall_back(witbroker::kVerbInstall, {op.service});
+        return true;
       }
-      break;
+      *verb = witbroker::kVerbInstall;
+      *args = {op.service};
+      return false;
     }
     case witload::OpKind::kDriverUpdate: {
       // TCB change: never possible inside the container.
-      fall_back(witbroker::kVerbDriverUpdate, {op.service});
-      break;
+      *verb = witbroker::kVerbDriverUpdate;
+      *args = {op.service};
+      return false;
     }
   }
+  return false;
+}
+
+bool AdminSession::CompleteAfterBroker(const witload::RequiredOp& op, bool granted) {
+  if (!granted) {
+    return false;
+  }
+  switch (op.kind) {
+    case witload::OpKind::kWriteFile:
+      // The grant widened the mount table; the write itself still happens
+      // inside the container through the new volume.
+      return WriteFile(op.path, "watchit-fix\n").ok();
+    case witload::OpKind::kConnect:
+      // net_allow punched the hole; retry the connect through it.
+      return TryConnectInView(op.endpoint_name, op.port).ok();
+    default:
+      return true;
+  }
+}
+
+OpReplayResult AdminSession::Replay(const witload::RequiredOp& op) {
+  OpReplayResult result;
+  result.op = op;
+  std::string verb;
+  std::vector<std::string> args;
+  if (TryInView(op, &verb, &args)) {
+    result.in_view = true;
+    return result;
+  }
+  if (verb.empty()) {
+    return result;
+  }
+  result.used_broker = true;
+  result.category = InferCategory(op);
+  result.broker_ok = CompleteAfterBroker(op, Pb(verb, args).ok());
   return result;
+}
+
+std::vector<OpReplayResult> AdminSession::ReplayTicket(
+    const std::vector<witload::RequiredOp>& ops) {
+  std::vector<OpReplayResult> results;
+  results.reserve(ops.size());
+
+  // Index pairs tying each queued escalation back to its result slot.
+  struct PendingOp {
+    size_t result_index;
+    size_t queue_index;
+  };
+  std::vector<PendingOp> pending;
+
+  const bool broker_usable = broker_client_ != nullptr && CheckCert().ok();
+  if (broker_usable) {
+    broker_client_->Begin(ShellUid(), shell_);
+  }
+
+  // Phase 1: probe every op in view, queueing escalations on the pipeline.
+  for (const witload::RequiredOp& op : ops) {
+    OpReplayResult result;
+    result.op = op;
+    std::string verb;
+    std::vector<std::string> args;
+    if (TryInView(op, &verb, &args)) {
+      result.in_view = true;
+    } else if (!verb.empty()) {
+      result.used_broker = true;
+      result.category = InferCategory(op);
+      if (broker_usable) {
+        pending.push_back({results.size(), broker_client_->Queue(verb, args)});
+      }
+    }
+    results.push_back(std::move(result));
+  }
+
+  // Phase 2: the ticket's single wire crossing, then post-grant retries.
+  if (broker_usable) {
+    std::vector<witos::Result<std::string>> grants = broker_client_->Flush();
+    for (const PendingOp& p : pending) {
+      bool granted = p.queue_index < grants.size() && grants[p.queue_index].ok();
+      results[p.result_index].broker_ok =
+          CompleteAfterBroker(results[p.result_index].op, granted);
+    }
+  }
+  return results;
 }
 
 }  // namespace watchit

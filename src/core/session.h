@@ -63,6 +63,15 @@ class AdminSession {
   // --- Case-study replay ------------------------------------------------------
   OpReplayResult Replay(const witload::RequiredOp& op);
 
+  // Batched replay (rpc v2): attempts every op in view first, queues every
+  // broker escalation on the client pipeline, and flushes the whole
+  // ticket's escalations as ONE wire crossing; ops that re-enter the view
+  // after a grant (writes behind mount_volume, connects behind net_allow)
+  // retry after the flush. Results are positional with `ops`. This is the
+  // serving path — Replay() remains for per-op callers (case study,
+  // script runner) whose accounting predates batching.
+  std::vector<OpReplayResult> ReplayTicket(const std::vector<witload::RequiredOp>& ops);
+
   // Session monitoring (principle 3 of §1: "optionally monitoring the
   // allowed operations executed inside the perforated container"): records
   // a command the admin typed into the kernel audit trail.
@@ -72,6 +81,16 @@ class AdminSession {
   witos::Status CheckCert() const;
   witos::NsId ShellNetNs() const;
   witos::Result<std::string> TryConnectInView(const std::string& endpoint, uint16_t port) const;
+
+  // One op's pre-broker attempt: true if it succeeded inside the container
+  // view; otherwise *verb/*args name the broker escalation (verb stays
+  // empty when no escalation applies, e.g. a failed victim spawn).
+  bool TryInView(const witload::RequiredOp& op, std::string* verb,
+                 std::vector<std::string>* args);
+  // Post-grant completion for ops that re-enter the widened view; returns
+  // the op's final broker_ok given whether the broker granted it.
+  bool CompleteAfterBroker(const witload::RequiredOp& op, bool granted);
+  witos::Uid ShellUid() const;
 
   Machine* machine_;
   witcontain::SessionId session_id_;

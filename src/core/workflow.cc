@@ -178,8 +178,10 @@ witos::Result<ResolvedTicket> TicketWorkflow::Process(
                          &cluster_->ca());
     WITOS_RETURN_IF_ERROR(session.Login());
     resolved.satisfied_in_view = true;
-    for (const auto& op : ticket.ops) {
-      OpReplayResult replay = session.Replay(op);
+    // Batched replay (rpc v2): the whole ticket's broker escalations ride
+    // one wire crossing instead of one frame per op.
+    std::vector<OpReplayResult> replays = session.ReplayTicket(ticket.ops);
+    for (OpReplayResult& replay : replays) {
       resolved.satisfied_in_view &= !replay.used_broker;
       resolved.replays.push_back(std::move(replay));
     }

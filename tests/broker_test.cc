@@ -59,6 +59,80 @@ TEST(RpcTest, RequestResponseRoundTrip) {
   EXPECT_EQ(decoded_resp->payload, "PID...");
 }
 
+TEST(RpcTest, BatchRoundTripLaw) {
+  // The round-trip law: Deserialize(Serialize(b)) == b for any well-formed
+  // batch, and the response side likewise — positional order preserved.
+  RpcBatchRequest batch;
+  batch.uid = witos::kRootUid;
+  batch.caller_pid = 42;
+  batch.ticket_id = "TKT-20260805-00042";
+  batch.admin = "admin03@it.example.org";
+  batch.ops = {{"ps", {}}, {"kill", {"1042"}}, {"read_file", {"/var/log/syslog"}}};
+  auto decoded = RpcBatchRequest::Deserialize(batch.Serialize());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->uid, batch.uid);
+  EXPECT_EQ(decoded->caller_pid, batch.caller_pid);
+  EXPECT_EQ(decoded->ticket_id, batch.ticket_id);
+  EXPECT_EQ(decoded->admin, batch.admin);
+  ASSERT_EQ(decoded->ops.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(decoded->ops[i].method, batch.ops[i].method);
+    EXPECT_EQ(decoded->ops[i].args, batch.ops[i].args);
+  }
+
+  RpcBatchResponse responses;
+  RpcResponse granted;
+  granted.ok = true;
+  granted.payload = "PID...";
+  RpcResponse denied;
+  denied.err = witos::Err::kPerm;
+  responses.responses = {granted, denied};
+  auto decoded_resp = RpcBatchResponse::Deserialize(responses.Serialize());
+  ASSERT_TRUE(decoded_resp.ok());
+  ASSERT_EQ(decoded_resp->responses.size(), 2u);
+  EXPECT_TRUE(decoded_resp->responses[0].ok);
+  EXPECT_EQ(decoded_resp->responses[0].payload, "PID...");
+  EXPECT_FALSE(decoded_resp->responses[1].ok);
+  EXPECT_EQ(decoded_resp->responses[1].err, witos::Err::kPerm);
+}
+
+TEST(RpcTest, V1FramesStillDeserialize) {
+  // A v1 peer sends headerless frames with the error as an errno-name
+  // string; both must keep decoding after the v2 redesign.
+  WireWriter req_writer;
+  req_writer.PutString("ps");
+  req_writer.PutStringList({"-a"});
+  req_writer.PutU32(0);
+  req_writer.PutU32(42);
+  req_writer.PutString("TKT-1");
+  req_writer.PutString("alice");
+  auto req = RpcRequest::Deserialize(req_writer.data());
+  ASSERT_TRUE(req.ok());
+  EXPECT_EQ(req->method, "ps");
+  EXPECT_EQ(req->caller_pid, 42);
+
+  WireWriter resp_writer;
+  resp_writer.PutBool(false);
+  resp_writer.PutString("EACCES");
+  resp_writer.PutString("");
+  auto resp = RpcResponse::Deserialize(resp_writer.data());
+  ASSERT_TRUE(resp.ok());
+  EXPECT_FALSE(resp->ok);
+  EXPECT_EQ(resp->err, witos::Err::kAcces);
+  EXPECT_EQ(resp->error_name(), "EACCES");
+
+  // v1 success frames carried an empty error string, which must map to
+  // kOk, not to the unknown-name fallback.
+  WireWriter ok_writer;
+  ok_writer.PutBool(true);
+  ok_writer.PutString("");
+  ok_writer.PutString("payload");
+  auto ok_resp = RpcResponse::Deserialize(ok_writer.data());
+  ASSERT_TRUE(ok_resp.ok());
+  EXPECT_TRUE(ok_resp->ok);
+  EXPECT_EQ(ok_resp->err, witos::Err::kOk);
+}
+
 TEST(RpcTest, TrailingGarbageRejected) {
   RpcRequest req;
   req.method = "ps";
@@ -148,14 +222,16 @@ TEST_F(BrokerTest, UnprivilegedClientRejectedLocally) {
   auto out = client_->Request(kVerbPs, {}, /*uid=*/1000);
   EXPECT_EQ(out.error(), witos::Err::kPerm);
   // The request never reached the broker.
-  EXPECT_TRUE(broker_->events().empty());
+  EXPECT_TRUE(broker_->EventsSnapshot().empty());
 }
 
 TEST_F(BrokerTest, DisallowedVerbDeniedAndLogged) {
   auto out = client_->Request(kVerbReboot, {}, witos::kRootUid);
   EXPECT_FALSE(out.ok());
-  ASSERT_EQ(broker_->events().size(), 1u);
-  EXPECT_FALSE(broker_->events()[0].granted);
+  EXPECT_EQ(out.error(), witos::Err::kPerm);
+  auto events = broker_->EventsSnapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_FALSE(events[0].granted);
   EXPECT_EQ(broker_->log().size(), 1u);
   EXPECT_EQ(broker_->log().entries()[0].payload.substr(0, 4), "DENY");
   EXPECT_EQ(kernel_.audit().CountEvent(witos::AuditEvent::kBrokerDenied), 1u);
@@ -195,7 +271,15 @@ TEST_F(BrokerTest, UnknownVerbIsNoSys) {
   open.allow_all = true;
   policy_.SetPolicy("T-1", open);
   auto out = client_->Request("frobnicate", {}, witos::kRootUid);
-  EXPECT_FALSE(out.ok());
+  ASSERT_FALSE(out.ok());
+  // Typed end-to-end: ENOSYS crosses the wire as an enum, not a string.
+  EXPECT_EQ(out.error(), witos::Err::kNoSys);
+}
+
+TEST_F(BrokerTest, KillOfMissingProcessIsTypedSrch) {
+  auto out = client_->Request(kVerbKill, {"99999"}, witos::kRootUid);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.error(), witos::Err::kSrch);
 }
 
 TEST_F(BrokerTest, CustomVerbDispatch) {
@@ -211,6 +295,96 @@ TEST_F(BrokerTest, CustomVerbDispatch) {
   auto out = client_->Request("custom", {"arg"}, witos::kRootUid);
   ASSERT_TRUE(out.ok());
   EXPECT_EQ(*out, "custom:arg");
+}
+
+TEST_F(BrokerTest, PipelinedBatchAuditsEveryOp) {
+  // Three queued ops ride one batch: two granted, one denied by policy.
+  client_->Begin(witos::kRootUid);
+  size_t i_ps = client_->Queue(kVerbPs, {});
+  size_t i_restart = client_->Queue(kVerbRestartService, {"sshd"});
+  size_t i_reboot = client_->Queue(kVerbReboot, {});  // not in T-1's verb set
+  EXPECT_EQ(client_->pending(), 3u);
+  auto results = client_->Flush();
+  EXPECT_EQ(client_->pending(), 0u);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[i_ps].ok());
+  EXPECT_NE(results[i_ps]->find("init"), std::string::npos);
+  EXPECT_TRUE(results[i_restart].ok());
+  ASSERT_FALSE(results[i_reboot].ok());
+  EXPECT_EQ(results[i_reboot].error(), witos::Err::kPerm);
+
+  // Per-op audit trail (Table 1): N sub-ops produce N broker events, N
+  // secure-log entries and N kernel audit records — batching only amortizes
+  // the wire and the critical sections.
+  auto events = broker_->EventsSnapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_TRUE(events[0].granted);
+  EXPECT_TRUE(events[1].granted);
+  EXPECT_FALSE(events[2].granted);
+  EXPECT_EQ(events[2].verb, kVerbReboot);
+  EXPECT_EQ(broker_->log().size(), 3u);
+  EXPECT_TRUE(broker_->log().Verify());
+  EXPECT_EQ(kernel_.audit().CountEvent(witos::AuditEvent::kBrokerRequest), 2u);
+  EXPECT_EQ(kernel_.audit().CountEvent(witos::AuditEvent::kBrokerDenied), 1u);
+
+  // The whole batch crossed the wire as exactly two frames (request +
+  // response) in one call.
+  EXPECT_EQ(channel_.frames(), 2u);
+  EXPECT_EQ(channel_.batch_calls(), 1u);
+}
+
+TEST_F(BrokerTest, BatchMatchesSequentialRequests) {
+  // Law: a flushed batch answers each op exactly as N sequential Request()
+  // calls would, and leaves the same audit trail behind.
+  client_->Begin(witos::kRootUid);
+  client_->Queue(kVerbPs, {});
+  client_->Queue(kVerbReboot, {});
+  auto batched = client_->Flush();
+  size_t log_after_batch = broker_->log().size();
+
+  auto seq_ps = client_->Request(kVerbPs, {}, witos::kRootUid);
+  auto seq_reboot = client_->Request(kVerbReboot, {}, witos::kRootUid);
+  ASSERT_EQ(batched.size(), 2u);
+  EXPECT_EQ(batched[0].ok(), seq_ps.ok());
+  EXPECT_EQ(*batched[0], *seq_ps);
+  EXPECT_EQ(batched[1].ok(), seq_reboot.ok());
+  EXPECT_EQ(batched[1].error(), seq_reboot.error());
+  EXPECT_EQ(broker_->log().size(), log_after_batch * 2);
+  EXPECT_TRUE(broker_->log().Verify());
+}
+
+TEST_F(BrokerTest, UnprivilegedBatchRejectedLocally) {
+  client_->Begin(/*uid=*/1000);
+  client_->Queue(kVerbPs, {});
+  client_->Queue(kVerbKill, {"7"});
+  auto results = client_->Flush();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].error(), witos::Err::kPerm);
+  EXPECT_EQ(results[1].error(), witos::Err::kPerm);
+  // Nothing crossed the wire and nothing reached the broker.
+  EXPECT_EQ(channel_.frames(), 0u);
+  EXPECT_TRUE(broker_->EventsSnapshot().empty());
+  EXPECT_EQ(broker_->log().size(), 0u);
+}
+
+TEST_F(BrokerTest, EmptyFlushIsFree) {
+  client_->Begin(witos::kRootUid);
+  auto results = client_->Flush();
+  EXPECT_TRUE(results.empty());
+  EXPECT_EQ(channel_.frames(), 0u);
+}
+
+TEST_F(BrokerTest, BeginDiscardsAbandonedPipeline) {
+  client_->Begin(witos::kRootUid);
+  client_->Queue(kVerbReboot, {});
+  client_->Begin(witos::kRootUid);
+  client_->Queue(kVerbPs, {});
+  auto results = client_->Flush();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].ok());
+  auto events = broker_->EventsSnapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].verb, kVerbPs);
 }
 
 TEST(AnomalyTest, UnusualVerbFlagged) {

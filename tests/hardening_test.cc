@@ -44,7 +44,7 @@ TEST_F(HardeningTest, BrokerRateLimitThrottlesBursts) {
   EXPECT_EQ(granted, 5u);  // the burst was throttled
   // The denials are on the record for the anomaly pipeline.
   size_t denied = 0;
-  for (const auto& event : machine_->broker().events()) {
+  for (const auto& event : machine_->broker().EventsSnapshot()) {
     denied += event.granted ? 0 : 1;
   }
   EXPECT_EQ(denied, 15u);

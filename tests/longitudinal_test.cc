@@ -159,16 +159,16 @@ TEST_F(LongitudinalTest, WeeksOfOperationHoldAllInvariants) {
   //    pre-incident baseline (fitting on the full stream would launder the
   //    rogue's own behaviour into her profile).
   std::vector<witbroker::BrokerEvent> baseline;
-  for (const auto& event : user_pc_->broker().events()) {
+  for (const auto& event : user_pc_->broker().EventsSnapshot()) {
     if (event.ticket_id != "TKT-ROGUE") {
       baseline.push_back(event);
     }
   }
   witbroker::AnomalyDetector detector;
   detector.Fit(baseline);
-  auto scores = detector.Analyze(user_pc_->broker().events());
+  auto scores = detector.Analyze(user_pc_->broker().EventsSnapshot());
   size_t rogue_flagged = 0;
-  const auto& events = user_pc_->broker().events();
+  const auto events = user_pc_->broker().EventsSnapshot();
   for (const auto& score : scores) {
     if (score.flagged && events[score.event_index].ticket_id == "TKT-ROGUE") {
       ++rogue_flagged;

@@ -348,7 +348,7 @@ TEST(EndToEndTest, BrokerEventRetentionCap) {
   for (int i = 0; i < 5; ++i) {
     (void)client.Request(witbroker::kVerbPs, {}, witos::kRootUid);
   }
-  EXPECT_EQ(machine.broker().events().size(), 2u);
+  EXPECT_EQ(machine.broker().EventsSnapshot().size(), 2u);
   EXPECT_EQ(machine.broker().dropped_events(), 3u);
   EXPECT_EQ(machine.metrics().CounterValue("watchit_broker_events_dropped_total"), 3u);
   // The registry still has the exact total despite the eviction.

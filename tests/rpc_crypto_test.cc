@@ -77,6 +77,91 @@ TEST(RpcCryptoTest, UnencryptedCorruptionBreaksFraming) {
   SUCCEED();
 }
 
+TEST(RpcCryptoTest, CorruptedBatchFrameFailsAtomically) {
+  // Regression: a corrupted batch frame must fail the WHOLE batch — the
+  // handler never runs and the caller sees an error Result, never a partial
+  // sub-response vector.
+  RpcChannel channel;
+  size_t handled_ops = 0;
+  channel.BindBatch([&handled_ops](const RpcBatchRequest& batch) {
+    handled_ops += batch.ops.size();
+    RpcBatchResponse out;
+    out.responses.resize(batch.ops.size());
+    return out;
+  });
+  channel.EnableEncryption(99);
+  channel.CorruptNextFrameForTest();
+  RpcBatchRequest batch;
+  batch.uid = witos::kRootUid;
+  batch.ticket_id = "TKT-1";
+  batch.ops = {{"ps", {}}, {"kill", {"7"}}, {"reboot", {}}};
+  auto response = channel.CallBatch(batch);
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.error(), witos::Err::kIo);
+  // Zero of the three sub-ops executed: no partial state on the broker.
+  EXPECT_EQ(handled_ops, 0u);
+
+  // The channel itself stays usable; the next batch goes through whole.
+  auto retry = channel.CallBatch(batch);
+  ASSERT_TRUE(retry.ok());
+  EXPECT_EQ(retry->responses.size(), 3u);
+  EXPECT_EQ(handled_ops, 3u);
+}
+
+TEST(RpcCryptoTest, CorruptedBatchResponseLegAlsoFailsWhole) {
+  // Corruption on the response leg: the ops DID execute on the broker, but
+  // the client still must not see a partial or garbled sub-response vector
+  // — the whole batch reports one transport error.
+  RpcChannel channel;
+  size_t handled_ops = 0;
+  channel.BindBatch([&handled_ops](const RpcBatchRequest& batch) {
+    handled_ops += batch.ops.size();
+    RpcBatchResponse out;
+    out.responses.resize(batch.ops.size());
+    for (auto& resp : out.responses) {
+      resp.ok = true;
+    }
+    return out;
+  });
+  channel.EnableEncryption(7);
+  // Skip the clean request frame; flip a byte of the response frame.
+  channel.CorruptNextFrameForTest(/*skip_frames=*/1);
+  RpcBatchRequest batch;
+  batch.uid = witos::kRootUid;
+  batch.ops = {{"ps", {}}, {"kill", {"7"}}};
+  auto response = channel.CallBatch(batch);
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.error(), witos::Err::kIo);
+  // The broker side did run — corruption happened on the way back.
+  EXPECT_EQ(handled_ops, 2u);
+}
+
+TEST(RpcCryptoTest, OneSealPerBatchAmortizesCrypto) {
+  // N ops in a batch pay ONE nonce+MAC per direction; N singleton calls pay
+  // N of each. 16 bytes overhead per frame, 2 frames per call.
+  RpcChannel batched;
+  batched.BindBatch([](const RpcBatchRequest& batch) {
+    RpcBatchResponse out;
+    out.responses.resize(batch.ops.size());
+    return out;
+  });
+  batched.EnableEncryption(1);
+  RpcChannel plain_batched;
+  plain_batched.BindBatch([](const RpcBatchRequest& batch) {
+    RpcBatchResponse out;
+    out.responses.resize(batch.ops.size());
+    return out;
+  });
+  RpcBatchRequest batch;
+  batch.uid = witos::kRootUid;
+  batch.ops = {{"ps", {}}, {"kill", {"7"}}, {"read_file", {"/etc/motd"}}, {"reboot", {}}};
+  ASSERT_TRUE(batched.CallBatch(batch).ok());
+  ASSERT_TRUE(plain_batched.CallBatch(batch).ok());
+  // +32 bytes total for the whole 4-op batch, not +32 per op.
+  EXPECT_EQ(batched.bytes_on_wire(), plain_batched.bytes_on_wire() + 32);
+  EXPECT_EQ(batched.frames(), 2u);
+}
+
 TEST(RpcCryptoTest, FramesUseFreshNonces) {
   RpcChannel channel;
   std::vector<std::string> seen_methods;

@@ -237,10 +237,10 @@ TEST_F(ThreatMatrixTest, AnomalyDetectionFlagsRogueRequests) {
     ASSERT_TRUE(session->Pb(witbroker::kVerbPs, {}).ok());
   }
   witbroker::AnomalyDetector detector;
-  detector.Fit(machine_->broker().events());
+  detector.Fit(machine_->broker().EventsSnapshot());
   // The rogue request: reading the shadow file via the broker.
   ASSERT_TRUE(session->Pb(witbroker::kVerbReadFile, {"/etc/shadow"}).ok());
-  auto events = machine_->broker().events();
+  auto events = machine_->broker().EventsSnapshot();
   auto scores = detector.Analyze(events);
   EXPECT_TRUE(scores.back().flagged);
 }

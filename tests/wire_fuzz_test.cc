@@ -162,9 +162,43 @@ std::vector<std::string> ResponseCorpus() {
   typical.payload = "mounted:/var/log";
   corpus.push_back(typical.Serialize());
   RpcResponse error;
-  error.error = "EACCES";
+  error.err = witos::Err::kAcces;
   error.payload = std::string(300, 'p');
   corpus.push_back(error.Serialize());
+  return corpus;
+}
+
+std::vector<std::string> BatchRequestCorpus() {
+  std::vector<std::string> corpus;
+  RpcBatchRequest minimal;
+  corpus.push_back(minimal.Serialize());
+  RpcBatchRequest typical;
+  typical.uid = 0;
+  typical.caller_pid = 1042;
+  typical.ticket_id = "TKT-20260805-00042";
+  typical.admin = "mallory@corp";
+  typical.ops = {{"ps", {}},
+                 {"read_file", {"/var/log/syslog"}},
+                 {"net_allow", {"10.1.2.3", "443"}}};
+  corpus.push_back(typical.Serialize());
+  RpcBatchRequest wide;
+  wide.ops.assign(32, {std::string(60, 'm'), {std::string(17, 'a'), "x"}});
+  corpus.push_back(wide.Serialize());
+  return corpus;
+}
+
+std::vector<std::string> BatchResponseCorpus() {
+  std::vector<std::string> corpus;
+  RpcBatchResponse empty;
+  corpus.push_back(empty.Serialize());
+  RpcBatchResponse mixed;
+  RpcResponse granted;
+  granted.ok = true;
+  granted.payload = "mounted:/var/log";
+  RpcResponse denied;
+  denied.err = witos::Err::kPerm;
+  mixed.responses = {granted, denied, granted};
+  corpus.push_back(mixed.Serialize());
   return corpus;
 }
 
@@ -174,7 +208,32 @@ bool RequestsEqual(const RpcRequest& a, const RpcRequest& b) {
 }
 
 bool ResponsesEqual(const RpcResponse& a, const RpcResponse& b) {
-  return a.ok == b.ok && a.error == b.error && a.payload == b.payload;
+  return a.ok == b.ok && a.err == b.err && a.payload == b.payload;
+}
+
+bool BatchRequestsEqual(const RpcBatchRequest& a, const RpcBatchRequest& b) {
+  if (a.uid != b.uid || a.caller_pid != b.caller_pid || a.ticket_id != b.ticket_id ||
+      a.admin != b.admin || a.ops.size() != b.ops.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.ops.size(); ++i) {
+    if (a.ops[i].method != b.ops[i].method || a.ops[i].args != b.ops[i].args) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool BatchResponsesEqual(const RpcBatchResponse& a, const RpcBatchResponse& b) {
+  if (a.responses.size() != b.responses.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.responses.size(); ++i) {
+    if (!ResponsesEqual(a.responses[i], b.responses[i])) {
+      return false;
+    }
+  }
+  return true;
 }
 
 TEST(WireFuzzTest, RpcRequestSurvivesSeededMutationStorm) {
@@ -229,7 +288,55 @@ TEST(WireFuzzTest, RpcResponseSurvivesSeededMutationStorm) {
   EXPECT_GT(accepted, 0u);
 }
 
-TEST(WireFuzzTest, PureGarbageBuffersNeverCrashEitherDecoder) {
+TEST(WireFuzzTest, RpcBatchRequestSurvivesSeededMutationStorm) {
+  auto corpus = BatchRequestCorpus();
+  std::mt19937 rng(0x5EED0005);
+  std::uniform_int_distribution<size_t> pick(0, corpus.size() - 1);
+  std::uniform_int_distribution<int> depth_dist(1, 4);
+  size_t accepted = 0;
+  for (int i = 0; i < kMutationsPerType; ++i) {
+    std::string mutated = corpus[pick(rng)];
+    int depth = depth_dist(rng);
+    for (int d = 0; d < depth; ++d) {
+      mutated = Mutate(std::move(mutated), rng);
+    }
+    auto decoded = RpcBatchRequest::Deserialize(mutated);
+    if (!decoded.ok()) {
+      continue;
+    }
+    ++accepted;
+    auto redecoded = RpcBatchRequest::Deserialize(decoded->Serialize());
+    ASSERT_TRUE(redecoded.ok()) << "iteration " << i;
+    EXPECT_TRUE(BatchRequestsEqual(*decoded, *redecoded)) << "iteration " << i;
+  }
+  EXPECT_GT(accepted, 0u);
+}
+
+TEST(WireFuzzTest, RpcBatchResponseSurvivesSeededMutationStorm) {
+  auto corpus = BatchResponseCorpus();
+  std::mt19937 rng(0x5EED0006);
+  std::uniform_int_distribution<size_t> pick(0, corpus.size() - 1);
+  std::uniform_int_distribution<int> depth_dist(1, 4);
+  size_t accepted = 0;
+  for (int i = 0; i < kMutationsPerType; ++i) {
+    std::string mutated = corpus[pick(rng)];
+    int depth = depth_dist(rng);
+    for (int d = 0; d < depth; ++d) {
+      mutated = Mutate(std::move(mutated), rng);
+    }
+    auto decoded = RpcBatchResponse::Deserialize(mutated);
+    if (!decoded.ok()) {
+      continue;
+    }
+    ++accepted;
+    auto redecoded = RpcBatchResponse::Deserialize(decoded->Serialize());
+    ASSERT_TRUE(redecoded.ok()) << "iteration " << i;
+    EXPECT_TRUE(BatchResponsesEqual(*decoded, *redecoded)) << "iteration " << i;
+  }
+  EXPECT_GT(accepted, 0u);
+}
+
+TEST(WireFuzzTest, PureGarbageBuffersNeverCrashAnyDecoder) {
   std::mt19937 rng(0x5EED0003);
   std::uniform_int_distribution<size_t> len_dist(0, 96);
   std::uniform_int_distribution<int> byte_dist(0, 255);
@@ -242,7 +349,96 @@ TEST(WireFuzzTest, PureGarbageBuffersNeverCrashEitherDecoder) {
     }
     (void)RpcRequest::Deserialize(garbage);
     (void)RpcResponse::Deserialize(garbage);
+    (void)RpcBatchRequest::Deserialize(garbage);
+    (void)RpcBatchResponse::Deserialize(garbage);
   }
+}
+
+// --- v2 frame-header hostility ----------------------------------------------
+
+TEST(WireHardeningTest, TruncatedBatchSubRequestCountIsRejected) {
+  // A batch claiming 1000 sub-requests backed by zero body bytes: the count
+  // must be capped against Remaining() before any reserve.
+  RpcBatchRequest batch;
+  batch.ticket_id = "T-1";
+  std::string frame = batch.Serialize();
+  // Stomp the trailing count field (last 4 bytes of an empty-ops frame).
+  std::string stomped = frame.substr(0, frame.size() - 4) + PackU32(1000);
+  EXPECT_FALSE(RpcBatchRequest::Deserialize(stomped).ok());
+
+  RpcBatchResponse responses;
+  std::string resp_frame = responses.Serialize();
+  std::string resp_stomped = resp_frame.substr(0, resp_frame.size() - 4) + PackU32(0xffffffu);
+  EXPECT_FALSE(RpcBatchResponse::Deserialize(resp_stomped).ok());
+}
+
+TEST(WireHardeningTest, VersionSkewIsRejectedNotMisparsed) {
+  // Magic says "this is a WIT2 frame", version says 3: neither the v2 parser
+  // nor the headerless-v1 fallback may touch it.
+  RpcBatchRequest batch;
+  batch.ops = {{"ps", {}}};
+  std::string frame = batch.Serialize();
+  std::string skewed = frame;
+  skewed[4] = 3;  // version field little-endian low byte
+  auto decoded = RpcBatchRequest::Deserialize(skewed);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error(), witos::Err::kInval);
+
+  RpcRequest req;
+  req.method = "ps";
+  std::string req_frame = req.Serialize();
+  std::string req_skewed = req_frame;
+  req_skewed[4] = 9;
+  EXPECT_FALSE(RpcRequest::Deserialize(req_skewed).ok());
+}
+
+TEST(WireHardeningTest, FrameKindConfusionIsRejected) {
+  // A well-formed batch-request frame handed to the batch-response decoder
+  // (and vice versa) must be rejected at the header, not misparsed.
+  RpcBatchRequest batch;
+  batch.ops = {{"ps", {}}};
+  EXPECT_FALSE(RpcBatchResponse::Deserialize(batch.Serialize()).ok());
+  RpcBatchResponse responses;
+  responses.responses.push_back({});
+  EXPECT_FALSE(RpcBatchRequest::Deserialize(responses.Serialize()).ok());
+}
+
+TEST(WireFuzzTest, V1AndV2FramesCoexistOnOneStream) {
+  // A peer may speak headerless v1 and headered v2 interleaved; each frame
+  // is self-describing via the magic, so both must decode, including a
+  // hostile v1 frame whose body *starts* with bytes resembling the magic.
+  std::mt19937 rng(0x5EED0007);
+  for (int i = 0; i < 500; ++i) {
+    // v1 request frame: body only, no header.
+    WireWriter v1;
+    v1.PutString("ps");
+    v1.PutStringList({"-a"});
+    v1.PutU32(static_cast<uint32_t>(rng() % 1000));
+    v1.PutU32(static_cast<uint32_t>(rng() % 1000));
+    v1.PutString("T-7");
+    v1.PutString("alice@corp");
+    auto v1_decoded = RpcRequest::Deserialize(v1.data());
+    ASSERT_TRUE(v1_decoded.ok()) << "iteration " << i;
+    EXPECT_EQ(v1_decoded->method, "ps");
+
+    // v2 request frame through the same entry point.
+    RpcRequest v2;
+    v2.method = "read_file";
+    v2.args = {"/etc/passwd"};
+    v2.uid = static_cast<witos::Uid>(rng() % 1000);
+    v2.ticket_id = "T-8";
+    auto v2_decoded = RpcRequest::Deserialize(v2.Serialize());
+    ASSERT_TRUE(v2_decoded.ok()) << "iteration " << i;
+    EXPECT_TRUE(RequestsEqual(v2, *v2_decoded)) << "iteration " << i;
+  }
+  // The magic-collision case: a v1 frame would need a ~840 MB method to
+  // alias the magic, which the length cap rejects — so a frame that *does*
+  // lead with the magic but carries v1 field order is rejected, not
+  // misattributed.
+  WireWriter hostile;
+  hostile.PutU32(kRpcMagic);
+  hostile.PutU32(kRpcVersion);
+  EXPECT_FALSE(RpcRequest::Deserialize(hostile.data()).ok());
 }
 
 TEST(WireFuzzTest, ValidMessagesAlwaysRoundTrip) {
@@ -277,11 +473,30 @@ TEST(WireFuzzTest, ValidMessagesAlwaysRoundTrip) {
 
     RpcResponse resp;
     resp.ok = rng() % 2 == 0;
-    resp.error = rand_string();
+    resp.err = static_cast<witos::Err>(rng() % static_cast<uint32_t>(witos::kErrCodeCount));
     resp.payload = rand_string();
     auto decoded_resp = RpcResponse::Deserialize(resp.Serialize());
     ASSERT_TRUE(decoded_resp.ok()) << "iteration " << i;
     EXPECT_TRUE(ResponsesEqual(resp, *decoded_resp)) << "iteration " << i;
+
+    RpcBatchRequest batch;
+    batch.uid = static_cast<witos::Uid>(rng());
+    batch.caller_pid = static_cast<witos::Pid>(rng() % 100000);
+    batch.ticket_id = rand_string();
+    batch.admin = rand_string();
+    size_t nops = list_dist(rng);
+    for (size_t o = 0; o < nops; ++o) {
+      RpcSubRequest op;
+      op.method = rand_string();
+      size_t nop_args = list_dist(rng);
+      for (size_t a = 0; a < nop_args; ++a) {
+        op.args.push_back(rand_string());
+      }
+      batch.ops.push_back(std::move(op));
+    }
+    auto decoded_batch = RpcBatchRequest::Deserialize(batch.Serialize());
+    ASSERT_TRUE(decoded_batch.ok()) << "iteration " << i;
+    EXPECT_TRUE(BatchRequestsEqual(batch, *decoded_batch)) << "iteration " << i;
   }
 }
 
