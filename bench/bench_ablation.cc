@@ -48,7 +48,7 @@ BENCHMARK(BM_DeploySimLatency)->DenseRange(1, 11)->Iterations(20);
 void BM_BrokerRoundTrip(benchmark::State& state) {
   watchit::Cluster cluster;
   watchit::Machine& machine = cluster.AddMachine("userpc", witnet::Ipv4Addr(10, 0, 1, 50));
-  machine.broker().BindTicket("TKT-B", "T-5");
+  (void)machine.broker().BindTicket("TKT-B", "T-5");
   witbroker::BrokerClient client(&machine.broker_channel(), "TKT-B", "bench");
   for (auto _ : state) {
     auto out = client.Request(witbroker::kVerbPs, {}, witos::kRootUid);
@@ -157,7 +157,7 @@ void BM_BrokerEncryptedRoundTrip(benchmark::State& state) {
   if (encrypted) {
     machine.broker_channel().EnableEncryption(0x5ec23e7);
   }
-  machine.broker().BindTicket("TKT-B", "T-5");
+  (void)machine.broker().BindTicket("TKT-B", "T-5");
   witbroker::BrokerClient client(&machine.broker_channel(), "TKT-B", "bench");
   for (auto _ : state) {
     auto out = client.Request(witbroker::kVerbPs, {}, witos::kRootUid);

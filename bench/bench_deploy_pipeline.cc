@@ -1,0 +1,296 @@
+// Deploy-pipeline bench: shard throughput with one artificially slow
+// machine, inline vs pipelined deploys (ISSUE: async deploy pipeline).
+//
+// One machine ("host00") pays a wall-clock latency penalty on its image
+// lookup — a stand-in for a cold image registry or an overloaded host. In
+// kInline mode the shard worker that owns host00 sits inside that latency
+// for every one of its tickets, so the whole shard queues behind one slow
+// machine. In kPipelined mode the worker hands the deploy to the pipeline
+// and keeps draining its queue; the slow lookups also overlap each other on
+// the pipeline workers (the penalty is paid *outside* the machine lock,
+// like a real registry fetch). The headline is the wall-time speedup.
+//
+// A third run injects a bind-stage fault into every 7th deploy — after the
+// session is fully constructed, so each failure forces a real rollback —
+// and reports the rollback count plus a leak audit (bound tickets, live
+// sessions, unrevoked certificates) — all three must be zero.
+//
+// `--json PATH` writes the same numbers machine-readably (BENCH_*.json).
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/json_out.h"
+#include "src/core/workflow.h"
+#include "src/obs/metrics.h"
+#include "src/serve/pool.h"
+#include "src/workload/ticket_gen.h"
+
+namespace {
+
+constexpr uint32_t kSeed = 20260805;
+constexpr const char* kSlowMachine = "host00";
+
+std::unique_ptr<watchit::ItFramework> TrainFramework() {
+  witload::TicketGenerator::Options options;
+  options.seed = kSeed;
+  witload::TicketGenerator gen(options);
+  auto history = gen.GenerateBatch(600, witload::TicketGenerator::HistoricalDistribution());
+  std::vector<std::pair<std::string, std::string>> labelled;
+  labelled.reserve(history.size());
+  for (const auto& t : history) {
+    labelled.emplace_back(t.text, t.true_class);
+  }
+  watchit::ItFramework::Config config;
+  config.lda.iterations = 60;
+  auto framework = std::make_unique<watchit::ItFramework>(config);
+  framework->TrainOnHistory(labelled);
+  return framework;
+}
+
+std::unique_ptr<watchit::Cluster> MakeCluster(size_t machines) {
+  auto cluster = std::make_unique<watchit::Cluster>();
+  for (size_t i = 0; i < machines; ++i) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "host%02zu", i);
+    cluster->AddMachine(name, witnet::Ipv4Addr(10, 0, 4, static_cast<uint8_t>(10 + i)));
+  }
+  return cluster;
+}
+
+void StaffDispatcher(watchit::Dispatcher* dispatcher) {
+  const std::set<std::string> all_classes = {"T-1", "T-2", "T-3", "T-4",  "T-5", "T-6",
+                                             "T-7", "T-8", "T-9", "T-10", "T-11"};
+  for (int i = 0; i < 8; ++i) {
+    dispatcher->AddSpecialist("admin" + std::to_string(i), all_classes);
+  }
+}
+
+struct BenchConfig {
+  size_t tickets = 160;
+  size_t machines = 8;
+  size_t pool_workers = 4;
+  size_t deploy_workers = 8;
+  uint64_t slow_ms = 5;
+};
+
+struct RunResult {
+  uint64_t wall_ns = 0;
+  witserve::ServerPool::Stats stats;
+
+  double WallMs() const { return static_cast<double>(wall_ns) / 1e6; }
+  double Tps() const {
+    return wall_ns == 0 ? 0.0 : static_cast<double>(stats.served) * 1e9 /
+                                    static_cast<double>(wall_ns);
+  }
+};
+
+struct LeakAudit {
+  uint64_t bound_tickets = 0;
+  uint64_t live_sessions = 0;
+  uint64_t unrevoked_certs = 0;
+  uint64_t Total() const { return bound_tickets + live_sessions + unrevoked_certs; }
+};
+
+LeakAudit Audit(watchit::Cluster* cluster) {
+  LeakAudit audit;
+  for (size_t i = 0; i < cluster->size(); ++i) {
+    audit.bound_tickets += cluster->machine(i).broker().bound_ticket_count();
+    audit.live_sessions += cluster->machine(i).containit().active_sessions();
+  }
+  audit.unrevoked_certs = cluster->ca().issued_count() - cluster->ca().revoked_count();
+  return audit;
+}
+
+RunResult RunOnce(watchit::ItFramework* framework, const BenchConfig& config,
+                  witserve::ServerPool::DeployMode mode, bool inject_faults,
+                  LeakAudit* audit) {
+  auto cluster = MakeCluster(config.machines);
+  watchit::Dispatcher dispatcher;
+  StaffDispatcher(&dispatcher);
+
+  witserve::ServerPool::Options pool_options;
+  pool_options.workers = config.pool_workers;
+  pool_options.steal = false;  // keep the slow machine's shard isolated
+  pool_options.queue.capacity = config.tickets + 16;
+  pool_options.deploy_mode = mode;
+  pool_options.deploy.workers = config.deploy_workers;
+  pool_options.deploy.max_inflight = config.deploy_workers * 4;
+  witserve::ServerPool pool(cluster.get(), framework, &dispatcher, pool_options);
+
+  // The same gate drives both modes, so inline pays the identical penalty.
+  std::atomic<uint64_t> bind_calls{0};
+  pool.deploy_pipeline().set_stage_hook(
+      [&](watchit::DeployStage stage, const watchit::Ticket&,
+          watchit::Machine* machine) -> witos::Status {
+        if (stage == watchit::DeployStage::kImageLookup &&
+            machine->name() == kSlowMachine) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(config.slow_ms));
+        }
+        // Bind runs after construction: every injected failure unwinds a
+        // fully built session, exercising the rollback path under load.
+        if (inject_faults && stage == watchit::DeployStage::kBind &&
+            bind_calls.fetch_add(1, std::memory_order_relaxed) % 7 == 6) {
+          return witos::Err::kIo;
+        }
+        return witos::Status::Ok();
+      });
+  pool.Start();
+
+  witload::TicketGenerator::Options gen_options;
+  gen_options.seed = kSeed + 1;
+  gen_options.with_ops = true;
+  witload::TicketGenerator gen(gen_options);
+  const auto tickets =
+      gen.GenerateBatch(config.tickets, witload::TicketGenerator::EvaluationDistribution());
+
+  const uint64_t start_ns = witobs::MonotonicNowNs();
+  for (size_t i = 0; i < tickets.size(); ++i) {
+    char target[32];
+    std::snprintf(target, sizeof(target), "host%02zu", i % config.machines);
+    while (!pool.Submit(tickets[i], target).ok()) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  }
+  pool.Drain();
+  const uint64_t wall_ns = witobs::MonotonicNowNs() - start_ns;
+  pool.Stop();
+
+  RunResult result;
+  result.wall_ns = wall_ns;
+  result.stats = pool.stats();
+  if (audit != nullptr) {
+    *audit = Audit(cluster.get());
+  }
+  return result;
+}
+
+std::string RunJson(const RunResult& run) {
+  benchjson::Object obj;
+  obj.Number("wall_ms", run.WallMs());
+  obj.Number("tickets_per_sec", run.Tps());
+  obj.Number("served", run.stats.served);
+  obj.Number("failed", run.stats.failed);
+  obj.Number("deployed", run.stats.deploy.deployed);
+  obj.Number("rollbacks", run.stats.deploy.rollbacks);
+  obj.Number("peak_inflight", run.stats.deploy.peak_inflight);
+  obj.Number("clock_ownership_violations", run.stats.clock_ownership_violations);
+  return obj.Render();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = benchjson::ConsumeJsonFlag(&argc, argv);
+  BenchConfig config;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](size_t* out) {
+      if (i + 1 < argc) {
+        *out = static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
+      }
+    };
+    if (std::strcmp(argv[i], "--tickets") == 0) {
+      next(&config.tickets);
+    } else if (std::strcmp(argv[i], "--machines") == 0) {
+      next(&config.machines);
+    } else if (std::strcmp(argv[i], "--workers") == 0) {
+      next(&config.pool_workers);
+    } else if (std::strcmp(argv[i], "--deploy-workers") == 0) {
+      next(&config.deploy_workers);
+    } else if (std::strcmp(argv[i], "--slow-ms") == 0) {
+      size_t ms = config.slow_ms;
+      next(&ms);
+      config.slow_ms = ms;
+    }
+  }
+
+  std::printf("training framework (600 historical tickets)...\n");
+  auto framework = TrainFramework();
+
+  std::printf("\n=== deploy pipeline: %zu tickets, %zu machines, %zu pool workers, "
+              "%s +%llums on image lookup ===\n",
+              config.tickets, config.machines, config.pool_workers, kSlowMachine,
+              static_cast<unsigned long long>(config.slow_ms));
+
+  LeakAudit inline_audit;
+  RunResult inline_run = RunOnce(framework.get(), config,
+                                 witserve::ServerPool::DeployMode::kInline,
+                                 /*inject_faults=*/false, &inline_audit);
+  LeakAudit piped_audit;
+  RunResult piped_run = RunOnce(framework.get(), config,
+                                witserve::ServerPool::DeployMode::kPipelined,
+                                /*inject_faults=*/false, &piped_audit);
+  const double speedup =
+      piped_run.wall_ns == 0
+          ? 0.0
+          : static_cast<double>(inline_run.wall_ns) / static_cast<double>(piped_run.wall_ns);
+
+  std::printf("%-10s %10s %12s %8s %8s %10s %8s\n", "mode", "wall ms", "t/s", "served",
+              "failed", "rollbacks", "peakIF");
+  std::printf("%-10s %10.1f %12.1f %8llu %8llu %10llu %8llu\n", "inline",
+              inline_run.WallMs(), inline_run.Tps(),
+              static_cast<unsigned long long>(inline_run.stats.served),
+              static_cast<unsigned long long>(inline_run.stats.failed),
+              static_cast<unsigned long long>(inline_run.stats.deploy.rollbacks),
+              static_cast<unsigned long long>(inline_run.stats.deploy.peak_inflight));
+  std::printf("%-10s %10.1f %12.1f %8llu %8llu %10llu %8llu\n", "pipelined",
+              piped_run.WallMs(), piped_run.Tps(),
+              static_cast<unsigned long long>(piped_run.stats.served),
+              static_cast<unsigned long long>(piped_run.stats.failed),
+              static_cast<unsigned long long>(piped_run.stats.deploy.rollbacks),
+              static_cast<unsigned long long>(piped_run.stats.deploy.peak_inflight));
+  std::printf("speedup (inline wall / pipelined wall): %.2fx\n", speedup);
+
+  std::printf("\n--- fault run: every 7th bind fails (pipelined) ---\n");
+  LeakAudit fault_audit;
+  RunResult fault_run = RunOnce(framework.get(), config,
+                                witserve::ServerPool::DeployMode::kPipelined,
+                                /*inject_faults=*/true, &fault_audit);
+  std::printf("served=%llu failed=%llu rollbacks=%llu\n",
+              static_cast<unsigned long long>(fault_run.stats.served),
+              static_cast<unsigned long long>(fault_run.stats.failed),
+              static_cast<unsigned long long>(fault_run.stats.deploy.rollbacks));
+  std::printf("leaks: bound_tickets=%llu live_sessions=%llu unrevoked_certs=%llu\n",
+              static_cast<unsigned long long>(fault_audit.bound_tickets),
+              static_cast<unsigned long long>(fault_audit.live_sessions),
+              static_cast<unsigned long long>(fault_audit.unrevoked_certs));
+  if (fault_audit.Total() != 0 || inline_audit.Total() != 0 || piped_audit.Total() != 0) {
+    std::fprintf(stderr, "LEAK DETECTED — deploy rollback is broken\n");
+    return 1;
+  }
+
+  if (!json_path.empty()) {
+    benchjson::Object leaks;
+    leaks.Number("bound_tickets", fault_audit.bound_tickets);
+    leaks.Number("live_sessions", fault_audit.live_sessions);
+    leaks.Number("unrevoked_certs", fault_audit.unrevoked_certs);
+
+    benchjson::Object faulty;
+    faulty.Number("served", fault_run.stats.served);
+    faulty.Number("failed", fault_run.stats.failed);
+    faulty.Number("rollbacks", fault_run.stats.deploy.rollbacks);
+    faulty.Add("leaks", leaks.Render());
+
+    benchjson::Object root;
+    root.Str("bench", "deploy_pipeline");
+    root.Number("tickets", static_cast<uint64_t>(config.tickets));
+    root.Number("machines", static_cast<uint64_t>(config.machines));
+    root.Number("pool_workers", static_cast<uint64_t>(config.pool_workers));
+    root.Number("deploy_workers", static_cast<uint64_t>(config.deploy_workers));
+    root.Str("slow_machine", kSlowMachine);
+    root.Number("slow_ms", config.slow_ms);
+    root.Add("inline", RunJson(inline_run));
+    root.Add("pipelined", RunJson(piped_run));
+    root.Number("speedup", speedup);
+    root.Add("faulty", faulty.Render());
+    benchjson::WriteFile(json_path, root.Render());
+  }
+  return 0;
+}

@@ -81,7 +81,7 @@ std::unique_ptr<Session> MakeSession(const std::string& ticket_id, const std::st
   session->channel.EnableMetrics(&session->metrics);
   session->broker = std::make_unique<witbroker::PermissionBroker>(
       session->kernel.get(), broker_pid, &session->policy, &session->channel);
-  session->broker->BindTicket(ticket_id, "T-1");
+  (void)session->broker->BindTicket(ticket_id, "T-1");
   session->client =
       std::make_unique<witbroker::BrokerClient>(&session->channel, ticket_id, admin);
   (void)session->kernel->WriteFile(1, "/etc/motd", "host motd\n");

@@ -24,9 +24,33 @@ PermissionBroker::PermissionBroker(witos::Kernel* kernel, witos::Pid host_pid,
   channel->BindBatch([this](const RpcBatchRequest& batch) { return HandleBatch(batch); });
 }
 
-void PermissionBroker::BindTicket(const std::string& ticket_id,
-                                  const std::string& ticket_class) {
-  ticket_class_[ticket_id] = ticket_class;
+witos::Status PermissionBroker::BindTicket(const std::string& ticket_id,
+                                           const std::string& ticket_class) {
+  std::lock_guard<std::mutex> lock(tickets_mu_);
+  auto [it, inserted] = ticket_class_.emplace(ticket_id, ticket_class);
+  (void)it;
+  if (!inserted) {
+    return witos::Err::kExist;
+  }
+  return witos::Status::Ok();
+}
+
+witos::Status PermissionBroker::UnbindTicket(const std::string& ticket_id) {
+  std::lock_guard<std::mutex> lock(tickets_mu_);
+  if (ticket_class_.erase(ticket_id) == 0) {
+    return witos::Err::kSrch;
+  }
+  return witos::Status::Ok();
+}
+
+bool PermissionBroker::IsTicketBound(const std::string& ticket_id) const {
+  std::lock_guard<std::mutex> lock(tickets_mu_);
+  return ticket_class_.count(ticket_id) > 0;
+}
+
+size_t PermissionBroker::bound_ticket_count() const {
+  std::lock_guard<std::mutex> lock(tickets_mu_);
+  return ticket_class_.size();
 }
 
 void PermissionBroker::RegisterVerb(const std::string& verb, VerbHandler handler) {
@@ -98,6 +122,7 @@ RpcResponse PermissionBroker::Fail(witos::Err err) const {
 }
 
 std::string PermissionBroker::TicketClassOf(const std::string& ticket_id) const {
+  std::lock_guard<std::mutex> lock(tickets_mu_);
   auto class_it = ticket_class_.find(ticket_id);
   return class_it == ticket_class_.end() ? "" : class_it->second;
 }

@@ -59,9 +59,18 @@ class PermissionBroker {
   // shift (or reallocate) under them while the broker keeps serving.
   std::vector<BrokerEvent> EventsSnapshot() const;
 
-  // Maps a ticket id to its class so policy lookups work; the framework
-  // registers each deployed ticket here.
-  void BindTicket(const std::string& ticket_id, const std::string& ticket_class);
+  // Maps a ticket id to its class so policy lookups work; the cluster
+  // manager registers each deployed ticket here. EEXIST when the ticket is
+  // already bound — a duplicate deploy must not silently reclassify a live
+  // ticket.
+  witos::Status BindTicket(const std::string& ticket_id, const std::string& ticket_class);
+  // Removes a binding made by BindTicket (the expire / deploy-rollback
+  // path); ESRCH when the ticket is not bound.
+  witos::Status UnbindTicket(const std::string& ticket_id);
+  bool IsTicketBound(const std::string& ticket_id) const;
+  // Live bindings right now; the deploy fault sweeps assert this returns to
+  // zero once every ticket has expired or rolled back.
+  size_t bound_ticket_count() const;
 
   // Extension point: ContainIT registers "mount_volume"; the cluster layer
   // registers "net_allow". The handler runs with the broker's host
@@ -125,6 +134,8 @@ class PermissionBroker {
   std::vector<BrokerEvent> events_;
   size_t event_capacity_ = 0;
   size_t dropped_events_ = 0;
+  mutable std::mutex tickets_mu_;  // guards ticket_class_: deploy workers
+                                   // bind/unbind while request paths resolve
   std::map<std::string, std::string> ticket_class_;
   std::map<std::string, VerbHandler> custom_verbs_;
 

@@ -234,12 +234,35 @@ witos::Result<SessionId> ContainIt::Deploy(const PerforatedContainerSpec& spec,
   session->ticket_id = ticket_id;
   session->admin = admin;
 
+  witos::Status built = BuildSession(session.get());
+  if (!built.ok()) {
+    AbortPartialSession(session.get());
+    kernel_->audit().Append(witos::AuditEvent::kContainerTerminated, session->container_init,
+                            witos::kRootUid, spec.name + ": deploy aborted",
+                            kernel_->clock().now_ns());
+    return built.error();
+  }
+
+  session->active = true;
+  session->deploy_duration_ns = kernel_->clock().now_ns() - start_ns;
+  kernel_->audit().Append(witos::AuditEvent::kContainerDeployed, session->container_init,
+                          witos::kRootUid,
+                          spec.name + " ticket=" + ticket_id + " admin=" + admin,
+                          kernel_->clock().now_ns());
+  SessionId id = session->id;
+  sessions_.emplace(id, std::move(session));
+  return id;
+}
+
+witos::Status ContainIt::BuildSession(Session* session) {
+  const PerforatedContainerSpec& spec = session->spec;
+
   WITOS_ASSIGN_OR_RETURN(session->host_worker,
                          kernel_->Clone(kernel_->init_pid(), "ContainIT", 0));
 
   bool mnt_isolated = spec.IsolatesNs(witos::NsType::kMnt);
   if (mnt_isolated) {
-    WITOS_RETURN_IF_ERROR(SetupFilesystemView(session.get()));
+    WITOS_RETURN_IF_ERROR(SetupFilesystemView(session));
   }
 
   uint32_t clone_flags = 0;
@@ -284,7 +307,7 @@ witos::Result<SessionId> ContainIt::Deploy(const PerforatedContainerSpec& spec,
     uid_ns.gid_map = uid_ns.uid_map;
   }
 
-  WITOS_RETURN_IF_ERROR(SetupNetworkView(session.get()));
+  WITOS_RETURN_IF_ERROR(SetupNetworkView(session));
 
   for (const std::string& exclusion : spec.xcl_exclusions) {
     WITOS_RETURN_IF_ERROR(kernel_->XclAdd(session->container_init, exclusion));
@@ -309,16 +332,23 @@ witos::Result<SessionId> ContainIt::Deploy(const PerforatedContainerSpec& spec,
     WITOS_ASSIGN_OR_RETURN(session->sniffer_daemon,
                            kernel_->Clone(kernel_->init_pid(), "snort", 0));
   }
+  return witos::Status::Ok();
+}
 
-  session->active = true;
-  session->deploy_duration_ns = kernel_->clock().now_ns() - start_ns;
-  kernel_->audit().Append(witos::AuditEvent::kContainerDeployed, session->container_init,
-                          witos::kRootUid,
-                          spec.name + " ticket=" + ticket_id + " admin=" + admin,
-                          kernel_->clock().now_ns());
-  SessionId id = session->id;
-  sessions_.emplace(id, std::move(session));
-  return id;
+void ContainIt::AbortPartialSession(Session* session) {
+  for (witos::Pid pid : {session->shell, session->container_init, session->itfs_daemon,
+                         session->sniffer_daemon, session->host_worker}) {
+    if (pid != witos::kNoPid && kernel_->ProcessAlive(pid)) {
+      (void)kernel_->Exit(pid, -1);
+    }
+  }
+  if (!session->confs_path.empty()) {
+    (void)kernel_->vfs().RemoveMountsUnder(
+        kernel_->namespaces().initial(witos::NsType::kMnt), session->confs_path);
+  }
+  if (session->cgroup != witos::kRootCgroup) {
+    kernel_->cgroups().Remove(session->cgroup);
+  }
 }
 
 Session* ContainIt::FindSession(SessionId id) {

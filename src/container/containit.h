@@ -106,6 +106,14 @@ class ContainIt {
   void set_oplog_capacity(size_t capacity) { oplog_capacity_ = capacity; }
 
  private:
+  // Runs the Figure 5 recipe into `session` (clones, mounts, cgroup,
+  // namespaces, peer daemons). On failure the session is only partially
+  // built; Deploy() unwinds it with AbortPartialSession.
+  witos::Status BuildSession(Session* session);
+  // Reverses whatever BuildSession managed to do: kills the cloned
+  // processes, removes the session's mounts from the host table and frees
+  // its cgroup. Safe on any prefix of the recipe.
+  void AbortPartialSession(Session* session);
   witos::Status SetupFilesystemView(Session* session);
   witos::Status SetupNetworkView(Session* session);
   void OnProcessDeath(witos::Pid pid);

@@ -78,4 +78,9 @@ size_t CertificateAuthority::issued_count() const {
   return issued_.size();
 }
 
+size_t CertificateAuthority::revoked_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return revoked_.size();
+}
+
 }  // namespace watchit

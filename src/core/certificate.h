@@ -52,6 +52,7 @@ class CertificateAuthority {
   bool IsRevoked(uint64_t serial) const;
 
   size_t issued_count() const;
+  size_t revoked_count() const;
 
  private:
   uint64_t Sign(const Certificate& cert) const;

@@ -1,5 +1,6 @@
 #include "src/core/cluster.h"
 
+#include "src/core/deploy.h"
 #include "src/core/ticket_class.h"
 #include "src/workload/topology.h"
 
@@ -54,28 +55,29 @@ Machine* Cluster::FindMachine(const std::string& name) {
 }
 
 witos::Result<Deployment> ClusterManager::Deploy(const Ticket& ticket, uint64_t lifetime_ns) {
-  Machine* machine = cluster_->FindMachine(ticket.target_machine);
-  if (machine == nullptr) {
-    return witos::Err::kHostUnreach;
-  }
-  WITOS_ASSIGN_OR_RETURN(witcontain::PerforatedContainerSpec spec,
-                         cluster_->images().Lookup(ticket.assigned_class));
-  machine->broker().BindTicket(ticket.id, ticket.assigned_class);
-  WITOS_ASSIGN_OR_RETURN(witcontain::SessionId session,
-                         machine->containit().Deploy(spec, ticket.id, ticket.admin));
-  Deployment deployment;
-  deployment.session = session;
-  deployment.machine = machine;
-  deployment.ticket_class = ticket.assigned_class;
-  deployment.certificate =
-      cluster_->ca().Issue(ticket.admin, machine->name(), ticket.id, ticket.assigned_class,
-                           machine->kernel().clock().now_ns(), lifetime_ns);
-  return deployment;
+  // The staged transaction with a null gate reproduces the historical
+  // single-threaded inline deploy, now with rollback: a failed stage leaves
+  // no bound ticket, no live session and no valid certificate behind.
+  return RunDeployStages(cluster_, ticket, lifetime_ns, /*gate=*/nullptr);
 }
 
 witos::Status ClusterManager::Expire(Deployment* deployment) {
+  if (deployment == nullptr || deployment->machine == nullptr) {
+    return witos::Err::kInval;
+  }
+  // Idempotence: the certificate serial is the transaction marker. A second
+  // Expire on the same deployment is a typed error, not a double revoke.
+  if (cluster_->ca().IsRevoked(deployment->certificate.serial)) {
+    return witos::Err::kSrch;
+  }
+  // Terminate first, then revoke + unbind unconditionally, so a session
+  // that already died (watchdog, crash) still loses its certificate and
+  // broker binding; the caller sees the Terminate error (ESRCH) either way.
+  witos::Status terminated =
+      deployment->machine->containit().Terminate(deployment->session, "ticket expired");
   cluster_->ca().Revoke(deployment->certificate.serial);
-  return deployment->machine->containit().Terminate(deployment->session, "ticket expired");
+  (void)deployment->machine->broker().UnbindTicket(deployment->certificate.ticket_id);
+  return terminated;
 }
 
 }  // namespace watchit

@@ -1,0 +1,410 @@
+#include "src/core/deploy.h"
+
+#include <algorithm>
+
+namespace watchit {
+
+std::string DeployStageName(DeployStage stage) {
+  switch (stage) {
+    case DeployStage::kImageLookup:
+      return "image_lookup";
+    case DeployStage::kConstruct:
+      return "construct";
+    case DeployStage::kBind:
+      return "bind";
+    case DeployStage::kIssueCert:
+      return "issue_cert";
+  }
+  return "?";
+}
+
+witos::Result<Deployment> RunDeployStages(Cluster* cluster, const Ticket& ticket,
+                                          uint64_t lifetime_ns, DeployGate* gate) {
+  DeployGate inline_gate;
+  if (gate == nullptr) {
+    gate = &inline_gate;
+  }
+  Machine* machine = cluster->FindMachine(ticket.target_machine);
+  if (machine == nullptr) {
+    return witos::Err::kHostUnreach;
+  }
+  witos::SimClock& clock = machine->kernel().clock();
+
+  // What the transaction has committed so far; rollback unwinds in reverse.
+  struct Tx {
+    bool session_built = false;
+    witcontain::SessionId session = 0;
+    bool bound = false;
+    bool cert_issued = false;
+    Certificate cert;
+  } tx;
+
+  auto run_stage = [&](DeployStage stage, auto&& body) -> witos::Status {
+    WITOS_RETURN_IF_ERROR(gate->BeforeStage(stage, machine));
+    std::unique_lock<std::mutex> lock = gate->LockMachine(machine);
+    bool bind_clock = gate->BindsClockOwnership();
+    if (bind_clock) {
+      clock.BindOwner();
+    }
+    uint64_t start_ns = clock.now_ns();
+    witos::Status status = body();
+    uint64_t sim_ns = clock.now_ns() - start_ns;
+    if (bind_clock) {
+      clock.ReleaseOwner();
+    }
+    uint64_t deadline_ns = gate->StageDeadlineNs(stage);
+    if (status.ok() && deadline_ns != 0 && sim_ns > deadline_ns) {
+      // The stage's side effects stand; the caller's rollback removes them.
+      status = witos::Err::kTimedOut;
+    }
+    gate->OnStageDone(stage, sim_ns, status.error());
+    return status;
+  };
+
+  auto rollback = [&](DeployStage failed_stage, witos::Err err) {
+    if (!tx.cert_issued && !tx.bound && !tx.session_built) {
+      return;  // nothing committed yet — nothing to unwind
+    }
+    std::unique_lock<std::mutex> lock = gate->LockMachine(machine);
+    bool bind_clock = gate->BindsClockOwnership();
+    if (bind_clock) {
+      clock.BindOwner();
+    }
+    if (tx.cert_issued) {
+      cluster->ca().Revoke(tx.cert.serial);
+    }
+    if (tx.bound) {
+      (void)machine->broker().UnbindTicket(ticket.id);
+    }
+    if (tx.session_built) {
+      (void)machine->containit().Terminate(
+          tx.session, "deploy rollback at " + DeployStageName(failed_stage));
+    }
+    if (bind_clock) {
+      clock.ReleaseOwner();
+    }
+    gate->OnRollback(failed_stage, err);
+  };
+
+  witcontain::PerforatedContainerSpec spec;
+  witos::Status status = run_stage(DeployStage::kImageLookup, [&]() -> witos::Status {
+    WITOS_ASSIGN_OR_RETURN(spec, cluster->images().Lookup(ticket.assigned_class));
+    return witos::Status::Ok();
+  });
+  if (!status.ok()) {
+    rollback(DeployStage::kImageLookup, status.error());
+    return status.error();
+  }
+
+  status = run_stage(DeployStage::kConstruct, [&]() -> witos::Status {
+    WITOS_ASSIGN_OR_RETURN(tx.session,
+                           machine->containit().Deploy(spec, ticket.id, ticket.admin));
+    tx.session_built = true;
+    return witos::Status::Ok();
+  });
+  if (!status.ok()) {
+    rollback(DeployStage::kConstruct, status.error());
+    return status.error();
+  }
+
+  status = run_stage(DeployStage::kBind, [&]() -> witos::Status {
+    WITOS_RETURN_IF_ERROR(machine->broker().BindTicket(ticket.id, ticket.assigned_class));
+    tx.bound = true;
+    return witos::Status::Ok();
+  });
+  if (!status.ok()) {
+    rollback(DeployStage::kBind, status.error());
+    return status.error();
+  }
+
+  status = run_stage(DeployStage::kIssueCert, [&]() -> witos::Status {
+    tx.cert = cluster->ca().Issue(ticket.admin, machine->name(), ticket.id,
+                                  ticket.assigned_class, clock.now_ns(), lifetime_ns);
+    tx.cert_issued = true;
+    return witos::Status::Ok();
+  });
+  if (!status.ok()) {
+    rollback(DeployStage::kIssueCert, status.error());
+    return status.error();
+  }
+
+  Deployment deployment;
+  deployment.session = tx.session;
+  deployment.machine = machine;
+  deployment.certificate = tx.cert;
+  deployment.ticket_class = ticket.assigned_class;
+  return deployment;
+}
+
+bool PendingDeploy::done() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return done_;
+}
+
+witos::Result<Deployment> PendingDeploy::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return done_; });
+  return result_;
+}
+
+void PendingDeploy::Complete(witos::Result<Deployment> result) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    result_ = std::move(result);
+    done_ = true;
+  }
+  cv_.notify_all();
+}
+
+// The pipeline workers' gate: per-machine locking, SimClock ownership, the
+// configured stage deadlines, cancellation, and the optional stage hook.
+class DeployPipeline::WorkerGate : public DeployGate {
+ public:
+  WorkerGate(DeployPipeline* pipeline, const Ticket* ticket,
+             const std::atomic<bool>* cancelled)
+      : pipeline_(pipeline), ticket_(ticket), cancelled_(cancelled) {}
+
+  witos::Status BeforeStage(DeployStage stage, Machine* machine) override {
+    if (cancelled_ != nullptr && cancelled_->load(std::memory_order_relaxed)) {
+      return witos::Err::kIntr;
+    }
+    if (pipeline_->stage_hook_) {
+      WITOS_RETURN_IF_ERROR(pipeline_->stage_hook_(stage, *ticket_, machine));
+    }
+    return witos::Status::Ok();
+  }
+
+  std::unique_lock<std::mutex> LockMachine(Machine* machine) override {
+    return std::unique_lock<std::mutex>(machine->mu());
+  }
+
+  bool BindsClockOwnership() const override { return true; }
+
+  uint64_t StageDeadlineNs(DeployStage stage) const override {
+    return pipeline_->options_.stage_deadline_ns[static_cast<size_t>(stage)];
+  }
+
+  void OnStageDone(DeployStage stage, uint64_t sim_ns, witos::Err /*err*/) override {
+    witobs::Histogram* hist = pipeline_->stage_latency_[static_cast<size_t>(stage)];
+    if (hist != nullptr) {
+      hist->Observe(sim_ns);
+    }
+  }
+
+  void OnRollback(DeployStage failed_stage, witos::Err /*err*/) override {
+    pipeline_->CountRollback(failed_stage);
+  }
+
+ private:
+  DeployPipeline* pipeline_;
+  const Ticket* ticket_;
+  const std::atomic<bool>* cancelled_;
+};
+
+DeployPipeline::DeployPipeline(Cluster* cluster) : DeployPipeline(cluster, Options()) {}
+
+DeployPipeline::DeployPipeline(Cluster* cluster, Options options)
+    : cluster_(cluster), options_(options) {
+  if (options_.workers == 0) {
+    options_.workers = 1;
+  }
+  if (options_.max_inflight == 0) {
+    options_.max_inflight = 1;
+  }
+}
+
+DeployPipeline::~DeployPipeline() { Stop(); }
+
+void DeployPipeline::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  stopping_ = false;
+  for (size_t i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void DeployPipeline::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) {
+      return;
+    }
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  window_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+  workers_.clear();
+  std::lock_guard<std::mutex> lock(mu_);
+  running_ = false;
+}
+
+void DeployPipeline::WorkerLoop() {
+  for (;;) {
+    Request request;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stopping, and the queue is drained
+      }
+      request = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    Execute(request);
+  }
+}
+
+void DeployPipeline::Execute(Request& request) {
+  PendingDeploy* pending = request.handle.get();
+  WorkerGate gate(this, &pending->ticket_, &pending->cancelled_);
+  witos::Result<Deployment> result =
+      RunDeployStages(cluster_, pending->ticket_, options_.lifetime_ns, &gate);
+  RecordOutcome(result);
+  pending->Complete(result);
+  if (request.completion) {
+    request.completion(request.handle);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --inflight_;
+  }
+  if (inflight_gauge_ != nullptr) {
+    inflight_gauge_->Sub(1);
+  }
+  window_cv_.notify_one();
+}
+
+void DeployPipeline::RecordOutcome(const witos::Result<Deployment>& result) {
+  witobs::Counter* outcome = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (result.ok()) {
+      ++stats_.deployed;
+      outcome = outcome_ok_;
+    } else if (result.error() == witos::Err::kIntr) {
+      ++stats_.cancelled;
+      outcome = outcome_cancelled_;
+    } else if (result.error() == witos::Err::kTimedOut) {
+      ++stats_.timed_out;
+      outcome = outcome_timeout_;
+    } else {
+      ++stats_.failed;
+      outcome = outcome_error_;
+    }
+  }
+  if (outcome != nullptr) {
+    outcome->Increment();
+  }
+}
+
+void DeployPipeline::CountRollback(DeployStage failed_stage) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.rollbacks;
+  }
+  witobs::Counter* counter = rollbacks_total_[static_cast<size_t>(failed_stage)];
+  if (counter != nullptr) {
+    counter->Increment();
+  }
+}
+
+witos::Result<DeployHandle> DeployPipeline::Submit(Ticket ticket, Completion completion) {
+  auto handle = std::make_shared<PendingDeploy>(std::move(ticket));
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    window_cv_.wait(lock, [&] {
+      return stopping_ || !running_ || inflight_ < options_.max_inflight;
+    });
+    if (stopping_ || !running_) {
+      ++stats_.rejected;
+      return witos::Err::kPipe;
+    }
+    ++inflight_;
+    stats_.peak_inflight = std::max<uint64_t>(stats_.peak_inflight, inflight_);
+    ++stats_.submitted;
+    queue_.push_back(Request{handle, std::move(completion)});
+  }
+  if (inflight_gauge_ != nullptr) {
+    inflight_gauge_->Add(1);
+  }
+  cv_.notify_one();
+  return handle;
+}
+
+witos::Result<DeployHandle> DeployPipeline::TrySubmit(Ticket ticket, Completion completion) {
+  auto handle = std::make_shared<PendingDeploy>(std::move(ticket));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ || !running_) {
+      ++stats_.rejected;
+      return witos::Err::kPipe;
+    }
+    if (inflight_ >= options_.max_inflight) {
+      ++stats_.rejected;
+      return witos::Err::kAgain;
+    }
+    ++inflight_;
+    stats_.peak_inflight = std::max<uint64_t>(stats_.peak_inflight, inflight_);
+    ++stats_.submitted;
+    queue_.push_back(Request{handle, std::move(completion)});
+  }
+  if (inflight_gauge_ != nullptr) {
+    inflight_gauge_->Add(1);
+  }
+  cv_.notify_one();
+  return handle;
+}
+
+witos::Result<Deployment> DeployPipeline::DeployInline(const Ticket& ticket) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.submitted;
+  }
+  WorkerGate gate(this, &ticket, /*cancelled=*/nullptr);
+  witos::Result<Deployment> result =
+      RunDeployStages(cluster_, ticket, options_.lifetime_ns, &gate);
+  RecordOutcome(result);
+  return result;
+}
+
+void DeployPipeline::EnableMetrics(witobs::MetricsRegistry* registry) {
+  registry->SetHelp("watchit_deploy_stage_latency_ns",
+                    "Simulated time spent in each deploy stage");
+  registry->SetHelp("watchit_deploy_inflight",
+                    "Deploys queued or executing in the pipeline right now");
+  registry->SetHelp("watchit_deploy_rollbacks_total",
+                    "Deploy transactions rolled back, by the stage that failed");
+  registry->SetHelp("watchit_deploy_total", "Finished deploy transactions by outcome");
+  for (size_t i = 0; i < kNumDeployStages; ++i) {
+    std::string stage = DeployStageName(static_cast<DeployStage>(i));
+    stage_latency_[i] =
+        registry->GetHistogram("watchit_deploy_stage_latency_ns", {{"stage", stage}});
+    rollbacks_total_[i] =
+        registry->GetCounter("watchit_deploy_rollbacks_total", {{"stage", stage}});
+  }
+  inflight_gauge_ = registry->GetGauge("watchit_deploy_inflight");
+  outcome_ok_ = registry->GetCounter("watchit_deploy_total", {{"outcome", "ok"}});
+  outcome_error_ = registry->GetCounter("watchit_deploy_total", {{"outcome", "error"}});
+  outcome_timeout_ = registry->GetCounter("watchit_deploy_total", {{"outcome", "timeout"}});
+  outcome_cancelled_ =
+      registry->GetCounter("watchit_deploy_total", {{"outcome", "cancelled"}});
+}
+
+size_t DeployPipeline::inflight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inflight_;
+}
+
+DeployPipeline::Stats DeployPipeline::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace watchit

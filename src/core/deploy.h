@@ -1,0 +1,235 @@
+// The deploy pipeline: staged, cancellable perforated-container deployment
+// with transactional rollback (DESIGN.md §12).
+//
+// ClusterManager::Deploy used to run the whole Figure 3 recipe inline under
+// its caller's shard lock, so one slow or faulty deploy stalled every other
+// machine in the shard. Here the recipe is decomposed into explicit stages —
+//
+//   image lookup → container construction → broker bind → certificate issue
+//
+// — each executed under only *that machine's* lock, with a per-stage
+// deadline measured against the machine's SimClock, and a cancellation /
+// fault-injection point between stages. When any stage fails (or the ticket
+// is cancelled mid-deploy) the completed stages are rolled back in reverse
+// order: revoke the certificate, unbind the broker ticket, terminate the
+// half-built session. A deploy therefore either yields a fully wired
+// Deployment or leaves no trace — no bound ticket, no live session, no
+// valid certificate.
+//
+// DeployPipeline runs the stages on a small worker pool behind a bounded
+// in-flight window, so witserve shard workers can submit a deploy and go
+// back to draining their queue while it runs.
+
+#ifndef SRC_CORE_DEPLOY_H_
+#define SRC_CORE_DEPLOY_H_
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/cluster.h"
+#include "src/core/ticket.h"
+#include "src/obs/metrics.h"
+
+namespace watchit {
+
+enum class DeployStage {
+  kImageLookup = 0,  // resolve the ticket class to a container image spec
+  kConstruct = 1,    // ContainIt::Deploy — the Figure 5 recipe
+  kBind = 2,         // register the ticket's class at the machine's broker
+  kIssueCert = 3,    // CA issues the admin's login certificate
+};
+inline constexpr size_t kNumDeployStages = 4;
+
+std::string DeployStageName(DeployStage stage);
+
+// Customization points RunDeployStages consults around every stage. The
+// defaults reproduce the historical inline Deploy: no locking (the caller
+// already owns the machine), no deadlines, no cancellation.
+class DeployGate {
+ public:
+  virtual ~DeployGate() = default;
+
+  // Runs before each stage WITHOUT the machine lock held — the cancellation
+  // point, and where fault injection / image-registry latency models hook
+  // in. A non-ok status fails the deploy at this stage.
+  virtual witos::Status BeforeStage(DeployStage /*stage*/, Machine* /*machine*/) {
+    return witos::Status::Ok();
+  }
+
+  // How a stage body (and the rollback) gets exclusive use of the machine.
+  // The default — an empty lock — is for callers that already serialize the
+  // machine themselves.
+  virtual std::unique_lock<std::mutex> LockMachine(Machine* /*machine*/) { return {}; }
+
+  // When true, the machine's SimClock ownership is declared for the stage
+  // body's duration (single-owner rule); pipeline workers need this, inline
+  // single-threaded callers don't.
+  virtual bool BindsClockOwnership() const { return false; }
+
+  // Per-stage deadline in *simulated* nanoseconds on the machine's clock;
+  // 0 disables. A stage whose simulated cost exceeds the deadline fails
+  // with ETIMEDOUT (and its side effects are rolled back).
+  virtual uint64_t StageDeadlineNs(DeployStage /*stage*/) const { return 0; }
+
+  virtual void OnStageDone(DeployStage /*stage*/, uint64_t /*sim_ns*/, witos::Err /*err*/) {}
+  virtual void OnRollback(DeployStage /*failed_stage*/, witos::Err /*err*/) {}
+};
+
+// Runs the staged deploy transaction for `ticket` against its target
+// machine. On any stage failure the completed stages are rolled back in
+// reverse order before the error is returned. `gate` may be null (defaults
+// apply). This is the single deploy implementation: ClusterManager::Deploy,
+// DeployPipeline workers and DeployPipeline::DeployInline all land here.
+witos::Result<Deployment> RunDeployStages(Cluster* cluster, const Ticket& ticket,
+                                          uint64_t lifetime_ns, DeployGate* gate);
+
+class DeployPipeline;
+
+// The caller's handle to an asynchronous deploy. Wait() blocks until the
+// pipeline finishes the transaction (successfully or rolled back); Cancel()
+// makes the next inter-stage gate fail the deploy with EINTR, triggering
+// the normal rollback.
+class PendingDeploy {
+ public:
+  explicit PendingDeploy(Ticket ticket) : ticket_(std::move(ticket)) {}
+
+  const Ticket& ticket() const { return ticket_; }
+
+  // Requests cancellation; checked between stages, so a deploy already past
+  // its last gate completes normally.
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancel_requested() const { return cancelled_.load(std::memory_order_relaxed); }
+
+  bool done() const;
+  // Blocks until the deploy completes; returns the Deployment or the stage
+  // error (EINTR when cancelled, ETIMEDOUT on a missed stage deadline).
+  witos::Result<Deployment> Wait();
+
+ private:
+  friend class DeployPipeline;
+  void Complete(witos::Result<Deployment> result);
+
+  Ticket ticket_;
+  std::atomic<bool> cancelled_{false};
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  witos::Result<Deployment> result_{witos::Err::kAgain};
+};
+
+using DeployHandle = std::shared_ptr<PendingDeploy>;
+
+// The asynchronous deploy engine: a worker pool executing deploy
+// transactions behind a bounded in-flight window. Thread-safe; Submit may
+// be called from any number of shard workers concurrently.
+class DeployPipeline {
+ public:
+  struct Options {
+    size_t workers = 2;
+    // Bound on queued + executing deploys; Submit blocks (TrySubmit fails
+    // with EAGAIN) while the window is full.
+    size_t max_inflight = 16;
+    // Per-stage deadline in simulated ns (0 = none), indexed by DeployStage.
+    std::array<uint64_t, kNumDeployStages> stage_deadline_ns{};
+    uint64_t lifetime_ns = ClusterManager::kDefaultLifetimeNs;
+  };
+
+  struct Stats {
+    uint64_t submitted = 0;
+    uint64_t deployed = 0;
+    uint64_t failed = 0;     // stage error other than cancel/timeout
+    uint64_t cancelled = 0;  // EINTR via PendingDeploy::Cancel
+    uint64_t timed_out = 0;  // missed stage deadline
+    uint64_t rollbacks = 0;  // transactions that unwound at least one stage
+    uint64_t rejected = 0;   // TrySubmit with a full window / Submit after Stop
+    uint64_t peak_inflight = 0;
+  };
+
+  // Runs in BeforeStage (no machine lock held): fault injection and
+  // external-latency modelling. A non-ok status fails the deploy at that
+  // stage. Set before Start().
+  using StageHook = std::function<witos::Status(DeployStage, const Ticket&, Machine*)>;
+  // Invoked on the worker thread after the handle is completed.
+  using Completion = std::function<void(const DeployHandle&)>;
+
+  explicit DeployPipeline(Cluster* cluster);  // default Options
+  DeployPipeline(Cluster* cluster, Options options);
+  ~DeployPipeline();
+  DeployPipeline(const DeployPipeline&) = delete;
+  DeployPipeline& operator=(const DeployPipeline&) = delete;
+
+  void set_stage_hook(StageHook hook) { stage_hook_ = std::move(hook); }
+
+  void Start();
+  // Drains already-queued deploys, then joins the workers. Subsequent
+  // Submits fail with EPIPE.
+  void Stop();
+
+  // Blocks while the in-flight window is full; EPIPE once stopped.
+  witos::Result<DeployHandle> Submit(Ticket ticket, Completion completion = nullptr);
+  // EAGAIN instead of blocking when the window is full.
+  witos::Result<DeployHandle> TrySubmit(Ticket ticket, Completion completion = nullptr);
+
+  // Runs the same gated transaction (machine lock, clock ownership, stage
+  // hook, deadlines, metrics) synchronously on the caller's thread, outside
+  // the in-flight window — the inline-deploy baseline.
+  witos::Result<Deployment> DeployInline(const Ticket& ticket);
+
+  // watchit_deploy_stage_latency_ns{stage}, watchit_deploy_inflight,
+  // watchit_deploy_rollbacks_total{stage}, watchit_deploy_total{outcome}.
+  void EnableMetrics(witobs::MetricsRegistry* registry);
+
+  size_t inflight() const;
+  Stats GetStats() const;
+
+ private:
+  class WorkerGate;  // defined in deploy.cc
+
+  struct Request {
+    DeployHandle handle;
+    Completion completion;
+  };
+
+  void WorkerLoop();
+  void Execute(Request& request);
+  // Folds one finished transaction into stats_ and the outcome counters.
+  // Caller must NOT hold mu_.
+  void RecordOutcome(const witos::Result<Deployment>& result);
+  void CountRollback(DeployStage failed_stage);
+
+  Cluster* cluster_;
+  Options options_;
+  StageHook stage_hook_;
+
+  mutable std::mutex mu_;  // guards queue_, inflight_, stats_, running_/stopping_
+  std::condition_variable cv_;         // wakes workers
+  std::condition_variable window_cv_;  // wakes blocked submitters
+  std::deque<Request> queue_;
+  size_t inflight_ = 0;  // queued + executing
+  bool running_ = false;
+  bool stopping_ = false;
+  Stats stats_;
+  std::vector<std::thread> workers_;
+
+  // Observability handles (null when metrics are disabled).
+  std::array<witobs::Histogram*, kNumDeployStages> stage_latency_{};
+  std::array<witobs::Counter*, kNumDeployStages> rollbacks_total_{};
+  witobs::Gauge* inflight_gauge_ = nullptr;
+  witobs::Counter* outcome_ok_ = nullptr;
+  witobs::Counter* outcome_error_ = nullptr;
+  witobs::Counter* outcome_timeout_ = nullptr;
+  witobs::Counter* outcome_cancelled_ = nullptr;
+};
+
+}  // namespace watchit
+
+#endif  // SRC_CORE_DEPLOY_H_

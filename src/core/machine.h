@@ -6,6 +6,7 @@
 #define SRC_CORE_MACHINE_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "src/broker/broker.h"
@@ -47,6 +48,11 @@ class Machine {
   // True after boot while the TCB measurement still matches.
   bool tcb_intact() const { return tcb_->ValidateBoot(); }
 
+  // The machine lock: whoever holds it may drive this machine's kernel
+  // (single-owner rule — see SimClock). Multi-machine jobs must acquire
+  // machine locks in address order to stay deadlock-free.
+  std::mutex& mu() { return mu_; }
+
  private:
   void ProvisionFilesystem();
   void SetupHostNetwork();
@@ -54,6 +60,7 @@ class Machine {
 
   std::string name_;
   witnet::Ipv4Addr addr_;
+  std::mutex mu_;
   witobs::MetricsRegistry metrics_;
   std::unique_ptr<witos::Kernel> kernel_;
   std::unique_ptr<witnet::NetStack> net_;

@@ -14,9 +14,10 @@ ScriptRunReport ScriptRunner::Run(const witload::ItScript& script) {
 
   witcontain::PerforatedContainerSpec spec = SpecForScriptClass(script.container_class);
   std::string run_id = "SCRIPT-" + std::to_string(next_run_++);
-  machine_->broker().BindTicket(run_id, script.container_class);
+  (void)machine_->broker().BindTicket(run_id, script.container_class);
   auto session_id = machine_->containit().Deploy(spec, run_id, "automation");
   if (!session_id.ok()) {
+    (void)machine_->broker().UnbindTicket(run_id);
     return report;
   }
   AdminSession session(machine_, *session_id, Certificate{}, /*ca=*/nullptr);
@@ -37,6 +38,7 @@ ScriptRunReport ScriptRunner::Run(const witload::ItScript& script) {
     }
   }
   (void)machine_->containit().Terminate(*session_id, "script finished");
+  (void)machine_->broker().UnbindTicket(run_id);
   return report;
 }
 

@@ -116,14 +116,11 @@ witobs::Histogram* TicketWorkflow::StageHistogram(const char* stage) {
              : nullptr;
 }
 
-witos::Result<ResolvedTicket> TicketWorkflow::Process(
+witos::Result<PreparedTicket> TicketWorkflow::Prepare(
     const witload::GeneratedTicket& generated, const std::string& target_machine,
     const std::string& user_machine) {
-  // Root span: every nested framework/broker/ITFS span on this thread
-  // inherits the ticket id as its correlation id.
-  witobs::Span span(tracer_, "workflow.process", generated.id);
-
-  ResolvedTicket resolved;
+  PreparedTicket prepared;
+  ResolvedTicket& resolved = prepared.resolved;
   Ticket& ticket = resolved.ticket;
   {
     witobs::ScopedTimer timer(StageHistogram("classify"));
@@ -151,39 +148,49 @@ witos::Result<ResolvedTicket> TicketWorkflow::Process(
     WITOS_ASSIGN_OR_RETURN(ticket.admin, dispatcher_->Assign(ticket.assigned_class));
   }
 
-  {
-    witobs::ScopedTimer timer(StageHistogram("deploy"));
-    WITOS_ASSIGN_OR_RETURN(Deployment primary, manager_.Deploy(ticket));
-    resolved.deployments.push_back(primary);
-
-    // T-9 deploys on the user's machine as well.
-    if (ticket.assigned_class == "T-9") {
-      std::string second = user_machine.empty() ? target_machine : user_machine;
-      if (second != target_machine && cluster_->FindMachine(second) != nullptr) {
-        Ticket user_ticket = ticket;
-        user_ticket.target_machine = second;
-        auto user_deployment = manager_.Deploy(user_ticket);
-        if (user_deployment.ok()) {
-          resolved.deployments.push_back(*user_deployment);
-        }
-      }
+  // T-9 deploys on the user's machine as well (§7.1.2); validate it now so
+  // the deploy step needs no cluster lookups.
+  if (ticket.assigned_class == "T-9") {
+    std::string second = user_machine.empty() ? target_machine : user_machine;
+    if (second != target_machine && cluster_->FindMachine(second) != nullptr) {
+      prepared.user_machine = second;
     }
   }
+  return prepared;
+}
 
+witos::Result<ResolvedTicket> TicketWorkflow::Finish(PreparedTicket prepared,
+                                                     std::vector<Deployment> deployments) {
+  ResolvedTicket resolved = std::move(prepared.resolved);
+  Ticket& ticket = resolved.ticket;
+  if (deployments.empty()) {
+    // Nothing was deployed; still close the assignment so the specialist's
+    // open-ticket count doesn't leak.
+    (void)dispatcher_->Complete(ticket.admin);
+    return witos::Err::kInval;
+  }
+  resolved.deployments = std::move(deployments);
+
+  witos::Err replay_err = witos::Err::kOk;
   {
     witobs::ScopedTimer timer(StageHistogram("replay"));
     // The specialist works the ticket in the primary session.
     const Deployment& primary = resolved.deployments.front();
     AdminSession session(primary.machine, primary.session, primary.certificate,
                          &cluster_->ca());
-    WITOS_RETURN_IF_ERROR(session.Login());
-    resolved.satisfied_in_view = true;
-    // Batched replay (rpc v2): the whole ticket's broker escalations ride
-    // one wire crossing instead of one frame per op.
-    std::vector<OpReplayResult> replays = session.ReplayTicket(ticket.ops);
-    for (OpReplayResult& replay : replays) {
-      resolved.satisfied_in_view &= !replay.used_broker;
-      resolved.replays.push_back(std::move(replay));
+    witos::Status login = session.Login();
+    if (!login.ok()) {
+      // Capture rather than return: the deployments below must still expire.
+      replay_err = login.error();
+    } else {
+      resolved.satisfied_in_view = true;
+      // Batched replay (rpc v2): the whole ticket's broker escalations ride
+      // one wire crossing instead of one frame per op.
+      std::vector<OpReplayResult> replays = session.ReplayTicket(ticket.ops);
+      for (OpReplayResult& replay : replays) {
+        resolved.satisfied_in_view &= !replay.used_broker;
+        resolved.replays.push_back(std::move(replay));
+      }
     }
   }
 
@@ -193,9 +200,49 @@ witos::Result<ResolvedTicket> TicketWorkflow::Process(
       (void)manager_.Expire(&deployment);
     }
   }
-  WITOS_RETURN_IF_ERROR(dispatcher_->Complete(ticket.admin));
+  witos::Status completed = dispatcher_->Complete(ticket.admin);
   ++processed_;
+  if (replay_err != witos::Err::kOk) {
+    return replay_err;
+  }
+  WITOS_RETURN_IF_ERROR(completed);
   return resolved;
+}
+
+witos::Result<ResolvedTicket> TicketWorkflow::Process(
+    const witload::GeneratedTicket& generated, const std::string& target_machine,
+    const std::string& user_machine) {
+  // Root span: every nested framework/broker/ITFS span on this thread
+  // inherits the ticket id as its correlation id.
+  witobs::Span span(tracer_, "workflow.process", generated.id);
+
+  WITOS_ASSIGN_OR_RETURN(PreparedTicket prepared,
+                         Prepare(generated, target_machine, user_machine));
+  Ticket& ticket = prepared.resolved.ticket;
+
+  std::vector<Deployment> deployments;
+  {
+    witobs::ScopedTimer timer(StageHistogram("deploy"));
+    auto primary = manager_.Deploy(ticket);
+    if (!primary.ok()) {
+      // The assignment opened in Prepare() must close on the error path too,
+      // or the specialist is stuck with a phantom open ticket.
+      (void)dispatcher_->Complete(ticket.admin);
+      return primary.error();
+    }
+    deployments.push_back(*primary);
+
+    if (!prepared.user_machine.empty()) {
+      Ticket user_ticket = ticket;
+      user_ticket.target_machine = prepared.user_machine;
+      auto user_deployment = manager_.Deploy(user_ticket);
+      if (user_deployment.ok()) {
+        deployments.push_back(*user_deployment);
+      }
+    }
+  }
+
+  return Finish(std::move(prepared), std::move(deployments));
 }
 
 }  // namespace watchit

@@ -89,6 +89,16 @@ struct ResolvedTicket {
   bool satisfied_in_view = false;  // no broker escalation needed
 };
 
+// The front half of a ticket's workflow — classified, reviewed and
+// dispatched, but not yet deployed. Produced by Prepare() so witserve can
+// hand the deploy to the DeployPipeline and resume with Finish() once the
+// container(s) are up.
+struct PreparedTicket {
+  ResolvedTicket resolved;
+  // Validated T-9 secondary machine, or empty when only the target deploys.
+  std::string user_machine;
+};
+
 class TicketWorkflow {
  public:
   // All dependencies must outlive the workflow.
@@ -101,6 +111,21 @@ class TicketWorkflow {
   witos::Result<ResolvedTicket> Process(const witload::GeneratedTicket& generated,
                                         const std::string& target_machine,
                                         const std::string& user_machine = "");
+
+  // Split entry points for asynchronous deployment. Prepare() runs classify
+  // + review + dispatch (no machine state is touched); the caller then
+  // deploys — inline via ClusterManager or through a DeployPipeline — and
+  // hands the results to Finish(), which replays the ticket in the primary
+  // session, expires every deployment and closes the dispatcher assignment.
+  // A Prepare() whose deploy never happens must close the assignment itself
+  // (dispatcher()->Complete(admin)) or the specialist leaks an open ticket.
+  witos::Result<PreparedTicket> Prepare(const witload::GeneratedTicket& generated,
+                                        const std::string& target_machine,
+                                        const std::string& user_machine = "");
+  witos::Result<ResolvedTicket> Finish(PreparedTicket prepared,
+                                       std::vector<Deployment> deployments);
+
+  Dispatcher* dispatcher() { return dispatcher_; }
 
   uint64_t processed() const { return processed_; }
 

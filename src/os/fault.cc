@@ -90,7 +90,12 @@ void FaultPlan::Rewind() {
 
 Err FaultPlan::Decide(FaultOpKind op) {
   uint64_t call = ++calls_;
-  uint64_t op_call = ++op_calls_[static_cast<size_t>(op)];
+  // kAny is a trigger wildcard, not a per-op kind: it has no slot in the
+  // per-op arrays, so a caller probing with kAny counts against the global
+  // call counter only.
+  const size_t op_index = static_cast<size_t>(op);
+  const bool per_op = op_index < kNumFaultOpKinds;
+  uint64_t op_call = per_op ? ++op_calls_[op_index] : call;
   if (metric_calls_ != nullptr) {
     metric_calls_->Increment();
   }
@@ -116,9 +121,11 @@ Err FaultPlan::Decide(FaultOpKind op) {
   }
   if (err != Err::kOk) {
     ++injected_;
-    ++injected_per_op_[static_cast<size_t>(op)];
-    if (metric_injected_[static_cast<size_t>(op)] != nullptr) {
-      metric_injected_[static_cast<size_t>(op)]->Increment();
+    if (per_op) {
+      ++injected_per_op_[op_index];
+      if (metric_injected_[op_index] != nullptr) {
+        metric_injected_[op_index]->Increment();
+      }
     }
   }
   return err;

@@ -8,11 +8,21 @@
 //
 // Policy: read misses fetch whole covering blocks through the filesystem
 // (readahead); writes update fully covered blocks and invalidate partially
-// covered ones; capacity overflow clears the cache (crude, deterministic).
+// covered ones; capacity overflow evicts whole blocks oldest-first
+// (insertion order), so one large streaming file ages out of the cache
+// instead of wiping a hot working set.
+//
+// Threading: the cache itself follows the machine's single-owner rule (the
+// owning kernel is only driven under that machine's lock). Only the
+// hit/miss/eviction counters are atomic, so cross-shard observability
+// readers (witserve's per-shard page-cache gauges) can sample them without
+// taking the machine lock.
 
 #ifndef SRC_OS_PAGECACHE_H_
 #define SRC_OS_PAGECACHE_H_
 
+#include <atomic>
+#include <list>
 #include <map>
 #include <string>
 #include <tuple>
@@ -45,18 +55,31 @@ class PageCache {
   void Clear();
 
   uint64_t bytes() const { return bytes_; }
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
-  void CountMiss() const { ++misses_; }
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  // Blocks pushed out by capacity pressure (invalidations don't count).
+  uint64_t evictions() const { return evictions_.load(std::memory_order_relaxed); }
+  void CountMiss() const { misses_.fetch_add(1, std::memory_order_relaxed); }
 
  private:
   using Key = std::tuple<const Filesystem*, std::string, uint64_t>;
+  struct Block {
+    std::string data;
+    std::list<Key>::iterator order_it;  // position in order_
+  };
 
-  std::map<Key, std::string> blocks_;
+  // Removes one block, keeping blocks_/order_/bytes_ in lockstep.
+  void Erase(std::map<Key, Block>::iterator it);
+  // Evicts oldest-inserted blocks until bytes_ <= target_bytes.
+  void EvictUntil(uint64_t target_bytes);
+
+  std::map<Key, Block> blocks_;
+  std::list<Key> order_;  // insertion order, oldest at the front
   uint64_t capacity_;
   uint64_t bytes_ = 0;
-  mutable uint64_t hits_ = 0;
-  mutable uint64_t misses_ = 0;
+  mutable std::atomic<uint64_t> hits_{0};
+  mutable std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
 };
 
 }  // namespace witos

@@ -25,7 +25,7 @@ uint64_t ThreadCpuNs() {
 
 ServerPool::ServerPool(watchit::Cluster* cluster, watchit::ItFramework* framework,
                        watchit::Dispatcher* dispatcher, Options options)
-    : cluster_(cluster), dispatcher_(dispatcher), options_(options) {
+    : cluster_(cluster), dispatcher_(dispatcher), options_(options), manager_(cluster) {
   options_.workers = std::max<size_t>(options_.workers, 1);
   for (size_t i = 0; i < options_.workers; ++i) {
     auto shard = std::make_unique<Shard>();
@@ -41,6 +41,7 @@ ServerPool::ServerPool(watchit::Cluster* cluster, watchit::ItFramework* framewor
     shards_[shard]->machines.push_back(machine);
     shard_of_.emplace(machine->name(), shard);
   }
+  pipeline_ = std::make_unique<watchit::DeployPipeline>(cluster, options_.deploy);
 }
 
 ServerPool::~ServerPool() { Stop(); }
@@ -53,12 +54,18 @@ void ServerPool::EnableMetrics(witobs::MetricsRegistry* registry, witobs::Tracer
   if (registry == nullptr) {
     return;
   }
+  pipeline_->EnableMetrics(registry);
   registry->SetHelp("watchit_serve_e2e_latency_ns",
                     "Wall-clock submit-to-finish latency per served ticket");
   registry->SetHelp("watchit_serve_tickets_total", "Serving outcomes at the pool level");
   registry->SetHelp("watchit_serve_steals_total",
                     "Jobs executed by a worker that does not own the shard");
   registry->SetHelp("watchit_serve_queue_depth", "Jobs queued per shard right now");
+  registry->SetHelp("watchit_pagecache_hits", "Page-cache hits summed over a shard's machines");
+  registry->SetHelp("watchit_pagecache_misses",
+                    "Page-cache misses summed over a shard's machines");
+  registry->SetHelp("watchit_pagecache_evictions",
+                    "Page-cache capacity evictions summed over a shard's machines");
   latency_hist_ = registry->GetHistogram("watchit_serve_e2e_latency_ns");
   served_counter_ = registry->GetCounter("watchit_serve_tickets_total", {{"outcome", "ok"}});
   failed_counter_ = registry->GetCounter("watchit_serve_tickets_total", {{"outcome", "error"}});
@@ -66,8 +73,12 @@ void ServerPool::EnableMetrics(witobs::MetricsRegistry* registry, witobs::Tracer
       registry->GetCounter("watchit_serve_tickets_total", {{"outcome", "rejected"}});
   steals_counter_ = registry->GetCounter("watchit_serve_steals_total");
   for (size_t i = 0; i < shards_.size(); ++i) {
-    shards_[i]->depth_gauge =
-        registry->GetGauge("watchit_serve_queue_depth", {{"shard", std::to_string(i)}});
+    witobs::Labels labels = {{"shard", std::to_string(i)}};
+    shards_[i]->depth_gauge = registry->GetGauge("watchit_serve_queue_depth", labels);
+    shards_[i]->cache_hits_gauge = registry->GetGauge("watchit_pagecache_hits", labels);
+    shards_[i]->cache_misses_gauge = registry->GetGauge("watchit_pagecache_misses", labels);
+    shards_[i]->cache_evictions_gauge =
+        registry->GetGauge("watchit_pagecache_evictions", labels);
   }
 }
 
@@ -76,6 +87,9 @@ void ServerPool::Start() {
     return;
   }
   started_ = true;
+  if (options_.deploy_mode == DeployMode::kPipelined) {
+    pipeline_->Start();
+  }
   threads_.reserve(shards_.size());
   for (size_t w = 0; w < shards_.size(); ++w) {
     threads_.emplace_back([this, w] { WorkerLoop(w); });
@@ -95,7 +109,7 @@ witos::Status ServerPool::Submit(const witload::GeneratedTicket& ticket,
       return witos::Err::kHostUnreach;
     }
     if (user_it->second != it->second) {
-      return witos::Err::kXdev;  // cross-shard job would break shard ownership
+      return witos::Err::kXdev;  // cross-shard job would break shard routing
     }
   }
   Shard& shard = *shards_[it->second];
@@ -152,38 +166,217 @@ void ServerPool::WorkerLoop(size_t worker) {
 }
 
 void ServerPool::ProcessJob(size_t worker, size_t shard_index, ServeJob job) {
-  Shard& shard = *shards_[shard_index];
-  {
-    std::lock_guard<std::mutex> lock(shard.mu);
-    for (watchit::Machine* machine : shard.machines) {
-      machine->kernel().clock().BindOwner();
-    }
-    uint64_t cpu_start = ThreadCpuNs();
-    witos::Result<watchit::ResolvedTicket> result =
-        workflows_[worker]->Process(job.ticket, job.target_machine, job.user_machine);
-    shard.busy_cpu_ns.fetch_add(ThreadCpuNs() - cpu_start, std::memory_order_relaxed);
-    for (watchit::Machine* machine : shard.machines) {
-      machine->kernel().clock().ReleaseOwner();
-    }
-    if (result.ok()) {
-      served_.fetch_add(1, std::memory_order_relaxed);
-      if (served_counter_ != nullptr) {
-        served_counter_->Increment();
-      }
-      if (callback_) {
-        callback_(*result);
-      }
-    } else {
-      failed_.fetch_add(1, std::memory_order_relaxed);
-      if (failed_counter_ != nullptr) {
-        failed_counter_->Increment();
-      }
-    }
-  }
   if (worker != shard_index) {
     stolen_.fetch_add(1, std::memory_order_relaxed);
     if (steals_counter_ != nullptr) {
       steals_counter_->Increment();
+    }
+  }
+  if (job.pending != nullptr) {
+    FinishJob(worker, shard_index, std::move(job));
+  } else {
+    StartJob(worker, shard_index, std::move(job));
+  }
+}
+
+void ServerPool::FailJob(const Shard& shard, const ServeJob& job) {
+  failed_.fetch_add(1, std::memory_order_relaxed);
+  if (failed_counter_ != nullptr) {
+    failed_counter_->Increment();
+  }
+  if (latency_hist_ != nullptr) {
+    latency_hist_->Observe(witobs::MonotonicNowNs() - job.submit_ns);
+  }
+  if (shard.depth_gauge != nullptr) {
+    shard.depth_gauge->Set(static_cast<int64_t>(shard.queue->depth()));
+  }
+  finished_.fetch_add(1, std::memory_order_release);
+}
+
+void ServerPool::StartJob(size_t worker, size_t shard_index, ServeJob job) {
+  Shard& shard = *shards_[shard_index];
+
+  // Classify + review + dispatch: no machine state, so no machine locks.
+  uint64_t cpu_start = ThreadCpuNs();
+  witos::Result<watchit::PreparedTicket> prepared =
+      workflows_[worker]->Prepare(job.ticket, job.target_machine, job.user_machine);
+  shard.busy_cpu_ns.fetch_add(ThreadCpuNs() - cpu_start, std::memory_order_relaxed);
+  if (!prepared.ok()) {
+    FailJob(shard, job);
+    return;
+  }
+
+  if (options_.deploy_mode == DeployMode::kInline) {
+    // Baseline: the worker deploys on the spot and stays blocked for the
+    // whole transaction (machine locks are taken inside the gate).
+    std::vector<watchit::Deployment> deployments;
+    cpu_start = ThreadCpuNs();
+    witos::Result<watchit::Deployment> primary =
+        pipeline_->DeployInline(prepared->resolved.ticket);
+    if (primary.ok()) {
+      deployments.push_back(*primary);
+      if (!prepared->user_machine.empty()) {
+        watchit::Ticket user_ticket = prepared->resolved.ticket;
+        user_ticket.target_machine = prepared->user_machine;
+        witos::Result<watchit::Deployment> secondary = pipeline_->DeployInline(user_ticket);
+        if (secondary.ok()) {
+          deployments.push_back(*secondary);
+        }
+      }
+    }
+    shard.busy_cpu_ns.fetch_add(ThreadCpuNs() - cpu_start, std::memory_order_relaxed);
+    if (deployments.empty()) {
+      (void)dispatcher_->Complete(prepared->resolved.ticket.admin);
+      FailJob(shard, job);
+      return;
+    }
+    FinishPrepared(worker, shard_index, job, std::move(*prepared), std::move(deployments));
+    return;
+  }
+
+  // Pipelined: hand the deploy(s) to the pipeline and return to the queue.
+  auto state = std::make_shared<PendingServe>();
+  state->prepared = std::move(*prepared);
+  state->shard = shard_index;
+  state->remaining = state->prepared.user_machine.empty() ? 1u : 2u;
+  state->job = std::move(job);
+  pending_jobs_.fetch_add(1, std::memory_order_acq_rel);
+
+  watchit::Ticket primary_ticket = state->prepared.resolved.ticket;
+  watchit::Ticket user_ticket;
+  bool dual = !state->prepared.user_machine.empty();
+  if (dual) {
+    user_ticket = primary_ticket;
+    user_ticket.target_machine = state->prepared.user_machine;
+  }
+
+  witos::Result<watchit::DeployHandle> submitted = pipeline_->Submit(
+      std::move(primary_ticket), [this, state](const watchit::DeployHandle& handle) {
+        OnDeployDone(state, /*is_primary=*/true, handle->Wait());
+      });
+  if (!submitted.ok()) {
+    OnDeployDone(state, /*is_primary=*/true, submitted.error());
+  }
+  if (dual) {
+    witos::Result<watchit::DeployHandle> submitted_user = pipeline_->Submit(
+        std::move(user_ticket), [this, state](const watchit::DeployHandle& handle) {
+          OnDeployDone(state, /*is_primary=*/false, handle->Wait());
+        });
+    if (!submitted_user.ok()) {
+      OnDeployDone(state, /*is_primary=*/false, submitted_user.error());
+    }
+  }
+}
+
+void ServerPool::OnDeployDone(const std::shared_ptr<PendingServe>& state, bool is_primary,
+                              witos::Result<watchit::Deployment> result) {
+  bool last = false;
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    if (is_primary) {
+      state->primary_ok = result.ok();
+      if (result.ok()) {
+        state->primary = *result;
+      } else {
+        state->primary_err = result.error();
+      }
+    } else {
+      state->secondary_ok = result.ok();
+      if (result.ok()) {
+        state->secondary = *result;
+      }
+    }
+    last = --state->remaining == 0;
+  }
+  if (!last) {
+    return;
+  }
+  Shard& shard = *shards_[state->shard];
+  if (!state->primary_ok) {
+    // The ticket cannot be worked. A secondary that did deploy is orphaned
+    // — expire it — and the dispatcher assignment from Prepare() closes
+    // here, or the specialist leaks an open ticket.
+    if (state->secondary_ok) {
+      ExpireOrphan(&state->secondary);
+    }
+    (void)dispatcher_->Complete(state->prepared.resolved.ticket.admin);
+    FailJob(shard, state->job);
+    pending_jobs_.fetch_sub(1, std::memory_order_release);
+    return;
+  }
+  // Re-admit the job as "ready": whichever worker pops it replays and
+  // expires under the machine locks. The push must happen before the
+  // pending count drops, or AllQueuesDrainedAndClosed could see both zero.
+  ServeJob ready = std::move(state->job);
+  ready.pending = state;
+  shard.queue->PushReady(std::move(ready));
+  if (shard.depth_gauge != nullptr) {
+    shard.depth_gauge->Set(static_cast<int64_t>(shard.queue->depth()));
+  }
+  pending_jobs_.fetch_sub(1, std::memory_order_release);
+}
+
+void ServerPool::ExpireOrphan(watchit::Deployment* deployment) {
+  std::lock_guard<std::mutex> lock(deployment->machine->mu());
+  witos::SimClock& clock = deployment->machine->kernel().clock();
+  clock.BindOwner();
+  (void)manager_.Expire(deployment);
+  clock.ReleaseOwner();
+}
+
+void ServerPool::FinishJob(size_t worker, size_t shard_index, ServeJob job) {
+  std::shared_ptr<PendingServe> state = std::move(job.pending);
+  std::vector<watchit::Deployment> deployments;
+  deployments.push_back(state->primary);
+  if (state->secondary_ok) {
+    deployments.push_back(state->secondary);
+  }
+  FinishPrepared(worker, shard_index, job, std::move(state->prepared),
+                 std::move(deployments));
+}
+
+void ServerPool::FinishPrepared(size_t worker, size_t shard_index, const ServeJob& job,
+                                watchit::PreparedTicket prepared,
+                                std::vector<watchit::Deployment> deployments) {
+  Shard& shard = *shards_[shard_index];
+
+  // Lock every machine the ticket deployed on, in address order.
+  std::vector<watchit::Machine*> machines;
+  machines.reserve(deployments.size());
+  for (const watchit::Deployment& deployment : deployments) {
+    machines.push_back(deployment.machine);
+  }
+  std::sort(machines.begin(), machines.end());
+  machines.erase(std::unique(machines.begin(), machines.end()), machines.end());
+
+  witos::Result<watchit::ResolvedTicket> result = witos::Err::kInval;
+  {
+    std::vector<std::unique_lock<std::mutex>> locks;
+    locks.reserve(machines.size());
+    for (watchit::Machine* machine : machines) {
+      locks.emplace_back(machine->mu());
+      machine->kernel().clock().BindOwner();
+    }
+    uint64_t cpu_start = ThreadCpuNs();
+    result = workflows_[worker]->Finish(std::move(prepared), std::move(deployments));
+    shard.busy_cpu_ns.fetch_add(ThreadCpuNs() - cpu_start, std::memory_order_relaxed);
+    for (watchit::Machine* machine : machines) {
+      machine->kernel().clock().ReleaseOwner();
+    }
+  }
+
+  if (result.ok()) {
+    served_.fetch_add(1, std::memory_order_relaxed);
+    if (served_counter_ != nullptr) {
+      served_counter_->Increment();
+    }
+    if (callback_) {
+      callback_(*result);
+    }
+  } else {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    if (failed_counter_ != nullptr) {
+      failed_counter_->Increment();
     }
   }
   if (latency_hist_ != nullptr) {
@@ -192,10 +385,35 @@ void ServerPool::ProcessJob(size_t worker, size_t shard_index, ServeJob job) {
   if (shard.depth_gauge != nullptr) {
     shard.depth_gauge->Set(static_cast<int64_t>(shard.queue->depth()));
   }
-  finished_.fetch_add(1, std::memory_order_relaxed);
+  UpdateCacheGauges(shard);
+  finished_.fetch_add(1, std::memory_order_release);
+}
+
+void ServerPool::UpdateCacheGauges(const Shard& shard) {
+  if (shard.cache_hits_gauge == nullptr) {
+    return;
+  }
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  // The counters are atomic on the cache, so sampling needs no machine lock.
+  for (watchit::Machine* machine : shard.machines) {
+    const witos::PageCache& cache = machine->kernel().page_cache();
+    hits += cache.hits();
+    misses += cache.misses();
+    evictions += cache.evictions();
+  }
+  shard.cache_hits_gauge->Set(static_cast<int64_t>(hits));
+  shard.cache_misses_gauge->Set(static_cast<int64_t>(misses));
+  shard.cache_evictions_gauge->Set(static_cast<int64_t>(evictions));
 }
 
 bool ServerPool::AllQueuesDrainedAndClosed() const {
+  // Order matters: a job at the pipeline is re-queued *before* the pending
+  // count drops, so reading pending first can't miss it.
+  if (pending_jobs_.load(std::memory_order_acquire) != 0) {
+    return false;
+  }
   for (const auto& shard : shards_) {
     if (!shard->queue->closed() || shard->queue->depth() != 0) {
       return false;
@@ -224,6 +442,7 @@ void ServerPool::Stop() {
     thread.join();
   }
   threads_.clear();
+  pipeline_->Stop();
   started_ = false;
 }
 
@@ -261,6 +480,7 @@ ServerPool::Stats ServerPool::stats() const {
   stats.failed = failed_.load(std::memory_order_relaxed);
   stats.rejected = rejected_.load(std::memory_order_relaxed);
   stats.stolen = stolen_.load(std::memory_order_relaxed);
+  stats.deploy = pipeline_->GetStats();
   for (const auto& shard : shards_) {
     uint64_t busy = shard->busy_cpu_ns.load(std::memory_order_relaxed);
     stats.shard_busy_cpu_ns.push_back(busy);
@@ -271,6 +491,10 @@ ServerPool::Stats ServerPool::stats() const {
       const witos::SimClock& clock = machine->kernel().clock();
       stats.clock_ownership_violations += clock.ownership_violations();
       stats.clock_resume_underflows += clock.resume_underflows();
+      const witos::PageCache& cache = machine->kernel().page_cache();
+      stats.pagecache_hits += cache.hits();
+      stats.pagecache_misses += cache.misses();
+      stats.pagecache_evictions += cache.evictions();
     }
   }
   return stats;

@@ -1,24 +1,33 @@
 // witserve: the concurrent ticket-serving engine (worker-pool half).
 //
 // ServerPool drives many TicketWorkflow pipelines in parallel over one
-// Cluster. The design is shared-nothing per shard: the cluster's machines
-// are partitioned across N shards (one per worker), every job is routed to
-// the shard that owns its target machine, and a shard's machines — their
-// simulated kernels, brokers, ITFS instances and clocks — are only ever
-// touched while holding that shard's mutex. The owning worker processes its
-// shard's queue FIFO; an idle worker steals from the back of a busier
-// shard's queue and processes the stolen job under the *victim's* shard
-// mutex, so imbalance is absorbed without breaking the single-writer
-// discipline (the mutex is the only point where shared-nothing bends, and
-// it bends only for stolen work).
+// Cluster. The cluster's machines are partitioned across N shards (one per
+// worker) and every job is routed to the shard that owns its target
+// machine. A machine — its simulated kernel, broker, ITFS instances and
+// clock — is only ever touched while holding that machine's own lock
+// (Machine::mu(), taken in address order for multi-machine jobs), with
+// SimClock ownership declared per critical section via
+// BindOwner/ReleaseOwner, so a violation of the discipline shows up as a
+// nonzero clock_ownership_violations in Stats rather than as a silently
+// corrupted experiment.
 //
-// What stays genuinely shared is organizational by nature and internally
-// synchronized: the Dispatcher roster, the CertificateAuthority, the
-// ItFramework (read-only after training), the network fabric's delivery
-// counter, and the witobs registry. SimClock ownership is declared per job
-// via BindOwner/ReleaseOwner, so a violation of the shard discipline shows
-// up as a nonzero clock_ownership_violations in Stats rather than as a
-// silently corrupted experiment.
+// Deploys run through a DeployPipeline (src/core/deploy.h). In the default
+// pipelined mode a worker splits each job in two: it classifies and
+// dispatches the ticket (no machine state), submits the deploy(s) to the
+// pipeline, and goes straight back to draining its queue; when the pipeline
+// finishes, the job re-enters the shard queue as a "ready" job carrying its
+// deployments, and whichever worker pops it replays and expires the ticket
+// under the machine locks. One slow or faulty deploy therefore stalls only
+// its own machine, not the whole shard. kInline mode runs the same gated
+// deploy transaction synchronously on the worker — the baseline
+// bench_deploy_pipeline compares against.
+//
+// The owning worker processes its shard's queue FIFO; an idle worker steals
+// from the back of a busier shard's queue, so imbalance is absorbed without
+// breaking the locking discipline. What stays genuinely shared is
+// organizational by nature and internally synchronized: the Dispatcher
+// roster, the CertificateAuthority, the ItFramework (read-only after
+// training), the network fabric's delivery counter, and the witobs registry.
 
 #ifndef SRC_SERVE_POOL_H_
 #define SRC_SERVE_POOL_H_
@@ -31,13 +40,36 @@
 #include <thread>
 #include <vector>
 
+#include "src/core/deploy.h"
 #include "src/core/workflow.h"
 #include "src/serve/queue.h"
 
 namespace witserve {
 
+// A job whose deploys are in flight at the pipeline. The two completions
+// (one, or two for T-9) record their results here; the last one re-queues
+// the job as "ready" — or fails it outright when the primary deploy lost.
+struct PendingServe {
+  watchit::PreparedTicket prepared;
+  size_t shard = 0;
+  ServeJob job;  // the original job, re-admitted once the deploys land
+
+  std::mutex mu;
+  size_t remaining = 0;
+  bool primary_ok = false;
+  witos::Err primary_err = witos::Err::kIo;
+  watchit::Deployment primary;
+  bool secondary_ok = false;
+  watchit::Deployment secondary;
+};
+
 class ServerPool {
  public:
+  enum class DeployMode {
+    kInline,     // deploy synchronously on the shard worker (baseline)
+    kPipelined,  // submit to the DeployPipeline, keep draining the queue
+  };
+
   struct Options {
     size_t workers = 4;
     // Per-shard queue bounds (admission control is per shard).
@@ -46,6 +78,10 @@ class ServerPool {
     // How long an idle worker blocks on its own queue before re-scanning
     // the other shards / checking for shutdown.
     uint64_t idle_wait_us = 500;
+    DeployMode deploy_mode = DeployMode::kPipelined;
+    // Pipeline sizing and per-stage deadlines (applies to both modes; the
+    // inline mode pays the same gate semantics on the worker thread).
+    watchit::DeployPipeline::Options deploy;
   };
 
   struct Stats {
@@ -62,9 +98,14 @@ class ServerPool {
     uint64_t total_busy_cpu_ns = 0;
     uint64_t max_shard_busy_cpu_ns = 0;
     // Single-owner clock discipline check, summed over all machines; any
-    // nonzero value means the shard serialization was violated.
+    // nonzero value means the locking discipline was violated.
     uint64_t clock_ownership_violations = 0;
     uint64_t clock_resume_underflows = 0;
+    // Page-cache totals summed over every machine in the pool.
+    uint64_t pagecache_hits = 0;
+    uint64_t pagecache_misses = 0;
+    uint64_t pagecache_evictions = 0;
+    watchit::DeployPipeline::Stats deploy;
   };
 
   // All dependencies must outlive the pool. Machines present in `cluster`
@@ -75,22 +116,25 @@ class ServerPool {
   ServerPool(const ServerPool&) = delete;
   ServerPool& operator=(const ServerPool&) = delete;
 
-  // Wires per-worker workflows plus pool-level series into the registry:
-  // watchit_serve_e2e_latency_ns, watchit_serve_tickets_total{outcome},
-  // watchit_serve_steals_total, watchit_serve_queue_depth{shard}.
+  // Wires per-worker workflows, the deploy pipeline and pool-level series
+  // into the registry: watchit_serve_e2e_latency_ns,
+  // watchit_serve_tickets_total{outcome}, watchit_serve_steals_total,
+  // watchit_serve_queue_depth{shard}, the watchit_deploy_* family, and
+  // per-shard watchit_pagecache_{hits,misses,evictions}{shard} gauges.
   void EnableMetrics(witobs::MetricsRegistry* registry, witobs::Tracer* tracer = nullptr);
 
   void Start();
   // Routes the ticket to the shard owning `target_machine` and applies that
   // shard's admission control. EHOSTUNREACH for an unknown machine; EXDEV
   // when `user_machine` lives in a different shard (a cross-shard T-9 job
-  // would break the shared-nothing discipline — pick PeerInShard());
-  // EBUSY past the high watermark.
+  // would break the shard routing — pick PeerInShard()); EBUSY past the
+  // high watermark.
   witos::Status Submit(const witload::GeneratedTicket& ticket, const std::string& target_machine,
                        const std::string& user_machine = "");
   // Blocks until every submitted job has finished. Requires Start().
   void Drain();
-  // Closes the queues and joins the workers; queued jobs are drained first.
+  // Closes the queues, drains queued jobs and in-flight deploys, joins the
+  // workers, then stops the pipeline.
   void Stop();
 
   // Shard routing (stable after construction).
@@ -102,11 +146,15 @@ class ServerPool {
   // machine itself when its shard has no other member, "" when unknown.
   std::string PeerInShard(const std::string& machine) const;
 
-  // Invoked after each successfully served ticket, while the processing
-  // worker still holds the shard mutex — keep it short; it runs on worker
-  // threads, so the callee must be thread-safe. Set before Start().
+  // Invoked after each successfully served ticket, once the processing
+  // worker has released the machine locks — it runs on worker threads, so
+  // the callee must be thread-safe. Set before Start().
   using ResultCallback = std::function<void(const watchit::ResolvedTicket&)>;
   void set_result_callback(ResultCallback callback) { callback_ = std::move(callback); }
+
+  // The deploy engine — exposed so tests and benches can install a stage
+  // hook or read pipeline stats directly. Configure before Start().
+  watchit::DeployPipeline& deploy_pipeline() { return *pipeline_; }
 
   Stats stats() const;
   const witobs::Histogram* latency_histogram() const { return latency_hist_; }
@@ -114,14 +162,30 @@ class ServerPool {
  private:
   struct Shard {
     std::unique_ptr<TicketQueue> queue;
-    std::mutex mu;  // serializes all access to this shard's machines
     std::vector<watchit::Machine*> machines;
     std::atomic<uint64_t> busy_cpu_ns{0};
     witobs::Gauge* depth_gauge = nullptr;
+    witobs::Gauge* cache_hits_gauge = nullptr;
+    witobs::Gauge* cache_misses_gauge = nullptr;
+    witobs::Gauge* cache_evictions_gauge = nullptr;
   };
 
   void WorkerLoop(size_t worker);
   void ProcessJob(size_t worker, size_t shard, ServeJob job);
+  // Fresh job: Prepare, then deploy inline or hand off to the pipeline.
+  void StartJob(size_t worker, size_t shard, ServeJob job);
+  // Ready job: replay + expire under the deployments' machine locks.
+  void FinishJob(size_t worker, size_t shard, ServeJob job);
+  void FinishPrepared(size_t worker, size_t shard, const ServeJob& job,
+                      watchit::PreparedTicket prepared,
+                      std::vector<watchit::Deployment> deployments);
+  // Pipeline-thread completion for one of a job's deploys.
+  void OnDeployDone(const std::shared_ptr<PendingServe>& state, bool is_primary,
+                    witos::Result<watchit::Deployment> result);
+  // Expires a deployment whose job failed elsewhere (orphaned secondary).
+  void ExpireOrphan(watchit::Deployment* deployment);
+  void FailJob(const Shard& shard, const ServeJob& job);
+  void UpdateCacheGauges(const Shard& shard);
   bool AllQueuesDrainedAndClosed() const;
 
   watchit::Cluster* cluster_;
@@ -130,6 +194,8 @@ class ServerPool {
   std::vector<std::unique_ptr<Shard>> shards_;
   std::map<std::string, size_t> shard_of_;
   std::vector<std::unique_ptr<watchit::TicketWorkflow>> workflows_;  // one per worker
+  std::unique_ptr<watchit::DeployPipeline> pipeline_;
+  watchit::ClusterManager manager_;  // orphan expiry outside a workflow
   std::vector<std::thread> threads_;
   bool started_ = false;
 
@@ -140,6 +206,9 @@ class ServerPool {
   std::atomic<uint64_t> failed_{0};
   std::atomic<uint64_t> rejected_{0};
   std::atomic<uint64_t> stolen_{0};
+  // Jobs handed to the pipeline and not yet re-queued or failed; keeps
+  // AllQueuesDrainedAndClosed honest while queues look empty.
+  std::atomic<uint64_t> pending_jobs_{0};
 
   // Observability wiring (all null when metrics are disabled).
   witobs::MetricsRegistry* metrics_ = nullptr;

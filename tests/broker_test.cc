@@ -199,7 +199,7 @@ class BrokerTest : public ::testing::Test {
                               kVerbRestartService};
     policy_.SetPolicy("T-1", standard);
     broker_ = std::make_unique<PermissionBroker>(&kernel_, broker_pid_, &policy_, &channel_);
-    broker_->BindTicket("TKT-1", "T-1");
+    (void)broker_->BindTicket("TKT-1", "T-1");
     client_ = std::make_unique<BrokerClient>(&channel_, "TKT-1", "alice");
   }
 

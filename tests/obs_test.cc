@@ -343,7 +343,7 @@ TEST(EndToEndTest, BrokerEventRetentionCap) {
   watchit::Cluster cluster;
   watchit::Machine& machine = cluster.AddMachine("pc", witnet::Ipv4Addr(10, 0, 1, 51));
   machine.broker().set_event_capacity(2);
-  machine.broker().BindTicket("TKT-CAP", "T-5");
+  (void)machine.broker().BindTicket("TKT-CAP", "T-5");
   witbroker::BrokerClient client(&machine.broker_channel(), "TKT-CAP", "alice");
   for (int i = 0; i < 5; ++i) {
     (void)client.Request(witbroker::kVerbPs, {}, witos::kRootUid);

@@ -54,18 +54,52 @@ TEST(PageCacheTest, DistinctFilesAndFilesystemsAreDistinctKeys) {
   EXPECT_NE(cache.Lookup(&fs_a, "/g", 0), nullptr);
 }
 
-TEST(PageCacheTest, CapacityOverflowClears) {
+TEST(PageCacheTest, OverflowEvictsOldestFirstNotEverything) {
   PageCache cache(1024);
   MemFs fs;
-  cache.Insert(&fs, "/a", 0, std::string(800, 'x'));
-  EXPECT_EQ(cache.bytes(), 800u);
-  cache.Insert(&fs, "/b", 0, std::string(800, 'y'));
-  // The first insert was evicted wholesale.
+  cache.Insert(&fs, "/a", 0, std::string(400, 'a'));
+  cache.Insert(&fs, "/b", 0, std::string(400, 'b'));
+  cache.Insert(&fs, "/c", 0, std::string(400, 'c'));
+  // Only the oldest block had to go; the other two still fit.
   EXPECT_EQ(cache.Lookup(&fs, "/a", 0), nullptr);
   EXPECT_NE(cache.Lookup(&fs, "/b", 0), nullptr);
-  // Oversized blocks are simply not cached.
+  EXPECT_NE(cache.Lookup(&fs, "/c", 0), nullptr);
+  EXPECT_EQ(cache.bytes(), 800u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  // Oversized blocks are simply not cached — and evict nothing.
   cache.Insert(&fs, "/huge", 0, std::string(4096, 'z'));
   EXPECT_EQ(cache.Lookup(&fs, "/huge", 0), nullptr);
+  EXPECT_EQ(cache.bytes(), 800u);
+  EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST(PageCacheTest, ReinsertSameKeyKeepsBytesExactAndRefreshesOrder) {
+  PageCache cache(1024);
+  MemFs fs;
+  cache.Insert(&fs, "/a", 0, std::string(400, 'a'));
+  cache.Insert(&fs, "/b", 0, std::string(400, 'b'));
+  // Overwriting a cached block replaces it in place: exact byte accounting,
+  // not an eviction, and the block becomes the newest insertion.
+  cache.Insert(&fs, "/a", 0, std::string(100, 'A'));
+  EXPECT_EQ(cache.bytes(), 500u);
+  EXPECT_EQ(cache.evictions(), 0u);
+  cache.Insert(&fs, "/c", 0, std::string(600, 'c'));
+  EXPECT_EQ(cache.Lookup(&fs, "/b", 0), nullptr);  // /b was the oldest
+  ASSERT_NE(cache.Lookup(&fs, "/a", 0), nullptr);
+  EXPECT_EQ(cache.Lookup(&fs, "/a", 0)->size(), 100u);
+  EXPECT_NE(cache.Lookup(&fs, "/c", 0), nullptr);
+  EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST(PageCacheTest, InvalidationsDoNotCountAsEvictions) {
+  PageCache cache(1024);
+  MemFs fs;
+  cache.Insert(&fs, "/f", 0, std::string(200, 'x'));
+  cache.InvalidateFile(&fs, "/f");
+  cache.Insert(&fs, "/g", 0, std::string(200, 'y'));
+  cache.Clear();
+  EXPECT_EQ(cache.bytes(), 0u);
+  EXPECT_EQ(cache.evictions(), 0u);
 }
 
 TEST(KernelCacheTest, RepeatReadsHitCache) {

@@ -191,7 +191,7 @@ TEST(BrokerSnapshotTest, AnomalyAnalysisRunsBesideLiveTraffic) {
   policy.SetPolicy("T-1", standard);
   witbroker::RpcChannel channel;
   witbroker::PermissionBroker broker(&kernel, broker_pid, &policy, &channel);
-  broker.BindTicket("TKT-1", "T-1");
+  (void)broker.BindTicket("TKT-1", "T-1");
 
   // One writer (the broker is per-machine and shard-serialized in witserve;
   // the contract under test is snapshot-while-writing, not parallel Handle).
