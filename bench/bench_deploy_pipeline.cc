@@ -15,6 +15,11 @@
 // and reports the rollback count plus a leak audit (bound tickets, live
 // sessions, unrevoked certificates) — all three must be zero.
 //
+// `--profile` instruments the fault run with the witprof stack: every
+// rollback fires the flight recorder (bounded + rate-limited, so ~23
+// rollbacks become a handful of dumps and a counted remainder), and the
+// run reports the deploy-stage p99s and the per-lock wait ranking.
+//
 // `--json PATH` writes the same numbers machine-readably (BENCH_*.json).
 
 #include <chrono>
@@ -25,11 +30,15 @@
 #include <set>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "bench/json_out.h"
 #include "src/core/workflow.h"
 #include "src/obs/metrics.h"
+#include "src/obs/profile.h"
+#include "src/obs/recorder.h"
+#include "src/obs/trace.h"
 #include "src/serve/pool.h"
 #include "src/workload/ticket_gen.h"
 
@@ -109,9 +118,19 @@ LeakAudit Audit(watchit::Cluster* cluster) {
   return audit;
 }
 
+// What the witprof pass on the fault run captured.
+struct DeployProfile {
+  std::vector<witobs::LockContention> locks;
+  std::vector<std::pair<std::string, uint64_t>> stage_p99_ns;
+  uint64_t recorder_dumps = 0;
+  uint64_t recorder_dropped = 0;
+  std::string first_dump_detail;
+  uint64_t spans_recorded = 0;
+};
+
 RunResult RunOnce(watchit::ItFramework* framework, const BenchConfig& config,
                   witserve::ServerPool::DeployMode mode, bool inject_faults,
-                  LeakAudit* audit) {
+                  LeakAudit* audit, DeployProfile* profile = nullptr) {
   auto cluster = MakeCluster(config.machines);
   watchit::Dispatcher dispatcher;
   StaffDispatcher(&dispatcher);
@@ -124,6 +143,21 @@ RunResult RunOnce(watchit::ItFramework* framework, const BenchConfig& config,
   pool_options.deploy.workers = config.deploy_workers;
   pool_options.deploy.max_inflight = config.deploy_workers * 4;
   witserve::ServerPool pool(cluster.get(), framework, &dispatcher, pool_options);
+
+  witobs::MetricsRegistry registry;
+  witobs::Tracer tracer(1 << 14);
+  witobs::FlightRecorder::Options recorder_options;
+  recorder_options.max_dumps = 4;
+  recorder_options.min_interval_ns = 50'000'000;  // 50 ms blackout between dumps
+  witobs::FlightRecorder recorder(&registry, &tracer, recorder_options);
+  if (profile != nullptr) {
+    pool.EnableMetrics(&registry, &tracer);
+    pool.deploy_pipeline().set_rollback_callback(
+        [&recorder](watchit::DeployStage stage, witos::Err err) {
+          recorder.Trigger("deploy-rollback",
+                           watchit::DeployStageName(stage) + ": " + witos::ErrName(err));
+        });
+  }
 
   // The same gate drives both modes, so inline pays the identical penalty.
   std::atomic<uint64_t> bind_calls{0};
@@ -169,6 +203,26 @@ RunResult RunOnce(watchit::ItFramework* framework, const BenchConfig& config,
   if (audit != nullptr) {
     *audit = Audit(cluster.get());
   }
+  if (profile != nullptr) {
+    std::vector<const witobs::MetricsRegistry*> registries = {&registry};
+    for (size_t i = 0; i < cluster->size(); ++i) {
+      registries.push_back(&cluster->machine(i).metrics());
+    }
+    profile->locks = witobs::TopContendedLocks(registries, /*max_locks=*/8);
+    for (const char* stage : {"image_lookup", "construct", "bind", "issue_cert"}) {
+      const witobs::Histogram* hist =
+          registry.FindHistogram("watchit_deploy_stage_latency_ns", {{"stage", stage}});
+      profile->stage_p99_ns.emplace_back(
+          stage, hist == nullptr || hist->Count() == 0 ? 0 : hist->Percentile(99));
+    }
+    profile->recorder_dumps = recorder.dumps_captured();
+    profile->recorder_dropped = recorder.dumps_dropped();
+    const auto dumps = recorder.dumps();
+    if (!dumps.empty()) {
+      profile->first_dump_detail = dumps.front().reason + " (" + dumps.front().detail + ")";
+    }
+    profile->spans_recorded = tracer.total_recorded();
+  }
   return result;
 }
 
@@ -190,6 +244,7 @@ std::string RunJson(const RunResult& run) {
 int main(int argc, char** argv) {
   const std::string json_path = benchjson::ConsumeJsonFlag(&argc, argv);
   BenchConfig config;
+  bool profile = false;
   for (int i = 1; i < argc; ++i) {
     auto next = [&](size_t* out) {
       if (i + 1 < argc) {
@@ -208,6 +263,8 @@ int main(int argc, char** argv) {
       size_t ms = config.slow_ms;
       next(&ms);
       config.slow_ms = ms;
+    } else if (std::strcmp(argv[i], "--profile") == 0) {
+      profile = true;
     }
   }
 
@@ -248,11 +305,14 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(piped_run.stats.deploy.peak_inflight));
   std::printf("speedup (inline wall / pipelined wall): %.2fx\n", speedup);
 
-  std::printf("\n--- fault run: every 7th bind fails (pipelined) ---\n");
+  std::printf("\n--- fault run: every 7th bind fails (pipelined%s) ---\n",
+              profile ? ", witprof attached" : "");
   LeakAudit fault_audit;
+  DeployProfile prof;
   RunResult fault_run = RunOnce(framework.get(), config,
                                 witserve::ServerPool::DeployMode::kPipelined,
-                                /*inject_faults=*/true, &fault_audit);
+                                /*inject_faults=*/true, &fault_audit,
+                                profile ? &prof : nullptr);
   std::printf("served=%llu failed=%llu rollbacks=%llu\n",
               static_cast<unsigned long long>(fault_run.stats.served),
               static_cast<unsigned long long>(fault_run.stats.failed),
@@ -264,6 +324,31 @@ int main(int argc, char** argv) {
   if (fault_audit.Total() != 0 || inline_audit.Total() != 0 || piped_audit.Total() != 0) {
     std::fprintf(stderr, "LEAK DETECTED — deploy rollback is broken\n");
     return 1;
+  }
+
+  if (profile) {
+    std::printf("\n=== witprof (fault run) ===\n");
+    std::printf("flight recorder: %llu dumps captured, %llu triggers suppressed "
+                "(max_dumps=4, 50ms blackout)\n",
+                static_cast<unsigned long long>(prof.recorder_dumps),
+                static_cast<unsigned long long>(prof.recorder_dropped));
+    if (!prof.first_dump_detail.empty()) {
+      std::printf("first dump: %s\n", prof.first_dump_detail.c_str());
+    }
+    std::printf("spans recorded: %llu\n",
+                static_cast<unsigned long long>(prof.spans_recorded));
+    std::printf("\ndeploy stage p99 (us):");
+    for (const auto& [stage, p99] : prof.stage_p99_ns) {
+      std::printf("  %s=%.1f", stage.c_str(), static_cast<double>(p99) / 1e3);
+    }
+    std::printf("\n\nper-lock wait ranking:\n");
+    std::printf("%-18s %12s %14s %14s\n", "lock", "acquires", "wait sum ms", "hold sum ms");
+    for (const auto& lock : prof.locks) {
+      std::printf("%-18s %12llu %14.3f %14.3f\n", lock.lock.c_str(),
+                  static_cast<unsigned long long>(lock.wait_count),
+                  static_cast<double>(lock.wait_sum_ns) / 1e6,
+                  static_cast<double>(lock.hold_sum_ns) / 1e6);
+    }
   }
 
   if (!json_path.empty()) {
@@ -290,6 +375,29 @@ int main(int argc, char** argv) {
     root.Add("pipelined", RunJson(piped_run));
     root.Number("speedup", speedup);
     root.Add("faulty", faulty.Render());
+    if (profile) {
+      benchjson::Array lock_array;
+      for (const auto& lock : prof.locks) {
+        benchjson::Object obj;
+        obj.Str("lock", lock.lock)
+            .Number("wait_count", lock.wait_count)
+            .Number("wait_sum_ns", lock.wait_sum_ns)
+            .Number("hold_sum_ns", lock.hold_sum_ns);
+        lock_array.Add(obj.Render());
+      }
+      benchjson::Object stages_obj;
+      for (const auto& [stage, p99] : prof.stage_p99_ns) {
+        stages_obj.Number(stage + "_p99_ns", p99);
+      }
+      benchjson::Object profile_obj;
+      profile_obj.Number("flight_recorder_dumps", prof.recorder_dumps)
+          .Number("flight_recorder_dropped", prof.recorder_dropped)
+          .Str("first_dump", prof.first_dump_detail)
+          .Number("spans_recorded", prof.spans_recorded)
+          .Add("stage_p99_ns", stages_obj.Render())
+          .Add("locks", lock_array.Render());
+      root.Add("profile", profile_obj.Render());
+    }
     benchjson::WriteFile(json_path, root.Render());
   }
   return 0;

@@ -14,19 +14,32 @@
 // The admission-control section fills a deliberately tiny queue with the
 // pool stopped and shows the high-watermark rejection plus the drain.
 //
+// `--profile` adds the witprof pass at 8 workers: the per-lock wait
+// ranking (merged across the pool registry and every machine's own), the
+// per-stage p99 breakdown of the e2e p99, an example cross-thread ticket
+// timeline, the stock SLO verdicts, and the profiling overhead measured
+// against an uninstrumented baseline run (DESIGN.md §13).
+//
 // `--json PATH` writes the same numbers machine-readably (BENCH_*.json).
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench/json_out.h"
 #include "src/core/workflow.h"
 #include "src/obs/metrics.h"
+#include "src/obs/profile.h"
+#include "src/obs/recorder.h"
+#include "src/obs/slo.h"
+#include "src/obs/timeline.h"
+#include "src/obs/trace.h"
 #include "src/serve/loadgen.h"
 #include "src/serve/pool.h"
 
@@ -91,17 +104,64 @@ struct RunResult {
   }
 };
 
-RunResult RunOnce(watchit::ItFramework* framework, size_t workers, size_t tickets) {
+// What the witprof pass measured, beyond the throughput numbers.
+struct ProfileData {
+  std::vector<witobs::LockContention> locks;
+  // Ordered as the stages tile submit→finish.
+  std::vector<std::pair<std::string, uint64_t>> stage_p99_ns;
+  std::vector<std::pair<std::string, uint64_t>> stage_count;
+  uint64_t e2e_p99_ns = 0;
+  uint64_t stage_p99_sum_ns = 0;
+  double stage_coverage_pct = 0.0;  // stage-p99 sum as % of e2e p99
+  uint64_t spans_recorded = 0;
+  uint64_t spans_dropped = 0;
+  size_t timelines = 0;
+  std::string example_ticket;
+  size_t example_threads = 0;
+  std::string example_render;
+  std::vector<witobs::SloEngine::Status> slo;
+  uint64_t slo_breaches = 0;
+  uint64_t recorder_dumps = 0;
+};
+
+enum class RunMode {
+  kBare,     // no registry at all — the overhead baseline
+  kMetrics,  // registry (incl. lock profiling) — the normal sweep
+  kProfile,  // registry + tracer + SLO engine + flight recorder
+};
+
+RunResult RunOnce(watchit::ItFramework* framework, size_t workers, size_t tickets,
+                  RunMode mode = RunMode::kMetrics, ProfileData* profile = nullptr) {
   auto cluster = MakeCluster();
   watchit::Dispatcher dispatcher;
   StaffDispatcher(&dispatcher);
   witobs::MetricsRegistry registry;
+  witobs::Tracer tracer(1 << 15);
 
   witserve::ServerPool::Options pool_options;
   pool_options.workers = workers;
   pool_options.queue.capacity = 2048;
   witserve::ServerPool pool(cluster.get(), framework, &dispatcher, pool_options);
-  pool.EnableMetrics(&registry);
+  witobs::SloEngine slo_engine(&registry);
+  witobs::FlightRecorder recorder(&registry, &tracer);
+  if (mode == RunMode::kMetrics) {
+    pool.EnableMetrics(&registry);
+  } else if (mode == RunMode::kProfile) {
+    pool.EnableMetrics(&registry, &tracer);
+    // 60 s is deliberately generous: the open-loop arrival process piles up
+    // real queueing, so this demonstrates the wiring (and feeds the
+    // recorder if the box is truly pathological) without gating the bench.
+    witobs::InstallWatchItSlos(&slo_engine, /*max_e2e_p99_ns=*/60'000'000'000ull);
+    slo_engine.set_breach_callback([&recorder](const witobs::SloEngine::Status& status) {
+      recorder.Trigger("slo-breach", status.name + ": " + status.detail);
+    });
+    pool.deploy_pipeline().set_rollback_callback(
+        [&recorder](watchit::DeployStage stage, witos::Err err) {
+          recorder.Trigger("deploy-rollback", watchit::DeployStageName(stage) + ": " +
+                                                  witos::ErrName(err));
+        });
+    slo_engine.Evaluate();  // prime: the next Evaluate's window is the run
+  }
   pool.Start();
 
   witserve::LoadGenerator::Options load_options;
@@ -126,6 +186,48 @@ RunResult RunOnce(watchit::ItFramework* framework, size_t workers, size_t ticket
     result.p50_ns = latency->Percentile(50);
     result.p95_ns = latency->Percentile(95);
     result.p99_ns = latency->Percentile(99);
+  }
+
+  if (mode == RunMode::kProfile && profile != nullptr) {
+    profile->slo = slo_engine.Evaluate();  // closes the window opened pre-run
+    profile->slo_breaches = slo_engine.breaches();
+    profile->recorder_dumps = recorder.dumps_captured();
+
+    // Lock ranking merged across the pool registry and every machine's own
+    // registry (that is where the broker + securelog locks live).
+    std::vector<const witobs::MetricsRegistry*> registries = {&registry};
+    for (size_t i = 0; i < cluster->size(); ++i) {
+      registries.push_back(&cluster->machine(i).metrics());
+    }
+    profile->locks = witobs::TopContendedLocks(registries);
+
+    for (const char* stage : {"queue_wait", "prepare", "deploy", "ready_wait", "finish"}) {
+      const witobs::Histogram* hist =
+          registry.FindHistogram("watchit_serve_stage_latency_ns", {{"stage", stage}});
+      uint64_t p99 = hist == nullptr || hist->Count() == 0 ? 0 : hist->Percentile(99);
+      profile->stage_p99_ns.emplace_back(stage, p99);
+      profile->stage_count.emplace_back(stage, hist == nullptr ? 0 : hist->Count());
+      profile->stage_p99_sum_ns += p99;
+    }
+    profile->e2e_p99_ns = result.p99_ns;
+    profile->stage_coverage_pct =
+        result.p99_ns == 0 ? 0.0
+                           : 100.0 * static_cast<double>(profile->stage_p99_sum_ns) /
+                                 static_cast<double>(result.p99_ns);
+
+    profile->spans_dropped = tracer.dropped();
+    const auto spans = tracer.Snapshot();
+    profile->spans_recorded = spans.size();
+    const auto timelines = witobs::TicketTimeline::AssembleAll(spans);
+    profile->timelines = timelines.size();
+    // Showcase the most cross-thread ticket still fully buffered.
+    for (const auto& timeline : timelines) {
+      if (timeline.ThreadCount() > profile->example_threads) {
+        profile->example_threads = timeline.ThreadCount();
+        profile->example_ticket = timeline.ticket_id();
+        profile->example_render = timeline.Render();
+      }
+    }
   }
   return result;
 }
@@ -182,10 +284,13 @@ AdmissionResult DemonstrateAdmissionControl(watchit::ItFramework* framework) {
 int main(int argc, char** argv) {
   const std::string json_path = benchjson::ConsumeJsonFlag(&argc, argv);
   size_t tickets = 10000;
+  bool profile = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--tickets") == 0 && i + 1 < argc) {
       tickets = static_cast<size_t>(std::strtoull(argv[i + 1], nullptr, 10));
       ++i;
+    } else if (std::strcmp(argv[i], "--profile") == 0) {
+      profile = true;
     }
   }
 
@@ -234,6 +339,86 @@ int main(int argc, char** argv) {
   std::printf("after Start+Drain: %llu served (backlog cleared, nothing lost)\n",
               static_cast<unsigned long long>(admission.served_after_drain));
 
+  // The witprof pass: profiled run + uninstrumented baseline at 8 workers.
+  ProfileData prof;
+  RunResult prof_run;
+  double baseline_eff_tps = 0.0;
+  double profile_overhead_pct = 0.0;
+  if (profile) {
+    constexpr size_t kProfileWorkers = 8;
+    std::printf("\n=== witprof: profiled run at %zu workers ===\n", kProfileWorkers);
+    // The baseline is the bench's normal mode (registry, no tracer) — what
+    // you get WITHOUT --profile — so the delta is what --profile costs.
+    // Best-of-two on both sides so a scheduler hiccup on one run does not
+    // masquerade as profiling overhead.
+    for (int i = 0; i < 2; ++i) {
+      RunResult base = RunOnce(framework.get(), kProfileWorkers, tickets, RunMode::kMetrics);
+      baseline_eff_tps = std::max(baseline_eff_tps, base.EffectiveTps());
+    }
+    double profiled_eff_tps = 0.0;
+    for (int i = 0; i < 2; ++i) {
+      ProfileData attempt;
+      RunResult run =
+          RunOnce(framework.get(), kProfileWorkers, tickets, RunMode::kProfile, &attempt);
+      if (run.EffectiveTps() > profiled_eff_tps) {
+        profiled_eff_tps = run.EffectiveTps();
+        prof_run = run;
+        prof = std::move(attempt);
+      }
+    }
+    profile_overhead_pct =
+        baseline_eff_tps == 0.0
+            ? 0.0
+            : 100.0 * (baseline_eff_tps - profiled_eff_tps) / baseline_eff_tps;
+
+    std::printf("baseline (metrics, no --profile): %.0f effective t/s\n", baseline_eff_tps);
+    std::printf("profiled (+tracer+SLO+recorder):  %.0f effective t/s\n",
+                prof_run.EffectiveTps());
+    std::printf("profiling overhead: %.2f%% (acceptance target: < 5%%)\n",
+                profile_overhead_pct);
+
+    std::printf("\nper-lock wait ranking (all registries merged):\n");
+    std::printf("%-18s %12s %14s %12s %14s %12s\n", "lock", "acquires", "wait sum ms",
+                "wait p99 us", "hold sum ms", "hold p99 us");
+    for (const auto& lock : prof.locks) {
+      std::printf("%-18s %12llu %14.3f %12.1f %14.3f %12.1f\n", lock.lock.c_str(),
+                  static_cast<unsigned long long>(lock.wait_count),
+                  static_cast<double>(lock.wait_sum_ns) / 1e6,
+                  static_cast<double>(lock.wait_p99_ns) / 1e3,
+                  static_cast<double>(lock.hold_sum_ns) / 1e6,
+                  static_cast<double>(lock.hold_p99_ns) / 1e3);
+    }
+
+    std::printf("\nper-stage p99 breakdown of the e2e p99 (stages tile submit->finish):\n");
+    std::printf("%-12s %12s %12s\n", "stage", "count", "p99 ms");
+    for (size_t i = 0; i < prof.stage_p99_ns.size(); ++i) {
+      std::printf("%-12s %12llu %12.3f\n", prof.stage_p99_ns[i].first.c_str(),
+                  static_cast<unsigned long long>(prof.stage_count[i].second),
+                  static_cast<double>(prof.stage_p99_ns[i].second) / 1e6);
+    }
+    std::printf("stage p99 sum %.3f ms vs e2e p99 %.3f ms -> %.1f%% attributed "
+                "(acceptance target: >= 90%%)\n",
+                static_cast<double>(prof.stage_p99_sum_ns) / 1e6,
+                static_cast<double>(prof.e2e_p99_ns) / 1e6, prof.stage_coverage_pct);
+
+    std::printf("\nspans: %llu buffered, %llu dropped (bounded rings); %zu ticket "
+                "timelines assembled\n",
+                static_cast<unsigned long long>(prof.spans_recorded),
+                static_cast<unsigned long long>(prof.spans_dropped), prof.timelines);
+    if (!prof.example_ticket.empty()) {
+      std::printf("example cross-thread timeline (%zu threads) for %s:\n%s",
+                  prof.example_threads, prof.example_ticket.c_str(),
+                  prof.example_render.c_str());
+    }
+    std::printf("\nSLO verdicts (window = this run):\n");
+    for (const auto& status : prof.slo) {
+      std::printf("  %-20s %-8s %s\n", status.name.c_str(),
+                  status.breached ? "BREACH" : "ok", status.detail.c_str());
+    }
+    std::printf("flight recorder: %llu dumps captured\n",
+                static_cast<unsigned long long>(prof.recorder_dumps));
+  }
+
   if (!json_path.empty()) {
     benchjson::Array run_array;
     for (const RunResult& run : runs) {
@@ -268,6 +453,53 @@ int main(int argc, char** argv) {
         .Add("runs", run_array.Render())
         .Number("effective_scaling_8x_vs_1x", scaling)
         .Add("admission", admission_obj.Render());
+    if (profile) {
+      benchjson::Array lock_array;
+      for (const auto& lock : prof.locks) {
+        benchjson::Object obj;
+        obj.Str("lock", lock.lock)
+            .Number("wait_count", lock.wait_count)
+            .Number("wait_sum_ns", lock.wait_sum_ns)
+            .Number("wait_p99_ns", lock.wait_p99_ns)
+            .Number("hold_sum_ns", lock.hold_sum_ns)
+            .Number("hold_p99_ns", lock.hold_p99_ns);
+        lock_array.Add(obj.Render());
+      }
+      benchjson::Object stages_obj;
+      for (const auto& [stage, p99] : prof.stage_p99_ns) {
+        stages_obj.Number(stage + "_p99_ns", p99);
+      }
+      benchjson::Array slo_array;
+      for (const auto& status : prof.slo) {
+        benchjson::Object obj;
+        obj.Str("name", status.name)
+            .Boolean("breached", status.breached)
+            .Number("value", status.value)
+            .Number("threshold", status.threshold)
+            .Number("window_events", status.window_events)
+            .Str("detail", status.detail);
+        slo_array.Add(obj.Render());
+      }
+      benchjson::Object profile_obj;
+      profile_obj.Number("workers", uint64_t{8})
+          .Number("baseline_effective_tickets_per_sec", baseline_eff_tps)
+          .Number("profiled_effective_tickets_per_sec", prof_run.EffectiveTps())
+          .Number("profile_overhead_pct", profile_overhead_pct)
+          .Add("locks", lock_array.Render())
+          .Add("stage_p99_ns", stages_obj.Render())
+          .Number("e2e_p99_ns", prof.e2e_p99_ns)
+          .Number("stage_p99_sum_ns", prof.stage_p99_sum_ns)
+          .Number("stage_p99_coverage_pct", prof.stage_coverage_pct)
+          .Number("spans_recorded", prof.spans_recorded)
+          .Number("spans_dropped", prof.spans_dropped)
+          .Number("timelines", prof.timelines)
+          .Str("example_ticket", prof.example_ticket)
+          .Number("example_ticket_threads", prof.example_threads)
+          .Add("slo", slo_array.Render())
+          .Number("slo_breaches", prof.slo_breaches)
+          .Number("flight_recorder_dumps", prof.recorder_dumps);
+      root.Add("profile", profile_obj.Render());
+    }
     benchjson::WriteFile(json_path, root.Render());
   }
   return 0;

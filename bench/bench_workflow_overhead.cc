@@ -10,10 +10,14 @@
 //
 // The metric is simulated time; container deployment, FUSE crossings and
 // broker round trips are all charged by the machine clock.
+//
+// `--json PATH` writes the same numbers machine-readably (BENCH_*.json).
 
 #include <cstdio>
 #include <map>
+#include <string>
 
+#include "bench/json_out.h"
 #include "src/core/cluster.h"
 #include "src/core/session.h"
 #include "src/obs/metrics.h"
@@ -68,7 +72,8 @@ void ReplayAsRoot(Machine* machine, const witload::RequiredOp& op) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = benchjson::ConsumeJsonFlag(&argc, argv);
   std::printf("=== WatchIT workflow overhead on the evaluation workload ===\n\n");
 
   witload::TicketGenerator::Options options;
@@ -183,5 +188,23 @@ int main() {
               "the paper's \"minimal changes to IT workflow\" claim, quantified.\n",
               overhead, static_cast<double>(baseline_ns) / 398.0 / 1000.0, per_ticket_us,
               100.0 * (per_ticket_us / 1e6) / 300.0 /* vs a 5-minute ticket */);
+
+  if (!json_path.empty()) {
+    benchjson::Object root;
+    root.Str("bench", "workflow_overhead")
+        .Number("tickets", uint64_t{398})
+        .Number("baseline_sim_ns", baseline_ns)
+        .Number("watchit_sim_ns", watchit_ns)
+        .Number("deploy_sim_ns", deploy_ns)
+        .Number("relative_overhead_pct", overhead)
+        .Number("broker_escalations", static_cast<uint64_t>(broker_uses))
+        .Number("metric_series", static_cast<uint64_t>(metric_series))
+        .Number("itfs_ops_gated", itfs_gated)
+        .Number("broker_granted", broker_granted)
+        .Number("broker_denied", broker_denied)
+        .Number("broker_dispatch_p50_ns", dispatch_p50)
+        .Number("broker_dispatch_p95_ns", dispatch_p95);
+    benchjson::WriteFile(json_path, root.Render());
+  }
   return 0;
 }

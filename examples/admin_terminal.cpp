@@ -50,7 +50,7 @@ int main() {
                       .c_str());
 
   std::printf("\n--- what the organization saw ---\n");
-  for (const auto& entry : machine.broker().log().entries()) {
+  for (const auto& entry : machine.broker().log().SnapshotEntries()) {
     std::printf("broker log #%llu: %s\n", static_cast<unsigned long long>(entry.seq),
                 entry.payload.c_str());
   }

@@ -26,7 +26,7 @@ PermissionBroker::PermissionBroker(witos::Kernel* kernel, witos::Pid host_pid,
 
 witos::Status PermissionBroker::BindTicket(const std::string& ticket_id,
                                            const std::string& ticket_class) {
-  std::lock_guard<std::mutex> lock(tickets_mu_);
+  std::lock_guard<witobs::ProfiledMutex> lock(tickets_mu_);
   auto [it, inserted] = ticket_class_.emplace(ticket_id, ticket_class);
   (void)it;
   if (!inserted) {
@@ -36,7 +36,7 @@ witos::Status PermissionBroker::BindTicket(const std::string& ticket_id,
 }
 
 witos::Status PermissionBroker::UnbindTicket(const std::string& ticket_id) {
-  std::lock_guard<std::mutex> lock(tickets_mu_);
+  std::lock_guard<witobs::ProfiledMutex> lock(tickets_mu_);
   if (ticket_class_.erase(ticket_id) == 0) {
     return witos::Err::kSrch;
   }
@@ -44,12 +44,12 @@ witos::Status PermissionBroker::UnbindTicket(const std::string& ticket_id) {
 }
 
 bool PermissionBroker::IsTicketBound(const std::string& ticket_id) const {
-  std::lock_guard<std::mutex> lock(tickets_mu_);
+  std::lock_guard<witobs::ProfiledMutex> lock(tickets_mu_);
   return ticket_class_.count(ticket_id) > 0;
 }
 
 size_t PermissionBroker::bound_ticket_count() const {
-  std::lock_guard<std::mutex> lock(tickets_mu_);
+  std::lock_guard<witobs::ProfiledMutex> lock(tickets_mu_);
   return ticket_class_.size();
 }
 
@@ -74,10 +74,13 @@ void PermissionBroker::EnableMetrics(witobs::MetricsRegistry* registry,
                     "Broker events evicted by the retention cap");
   events_dropped_ = registry->GetCounter("watchit_broker_events_dropped_total");
   dispatch_latency_ = registry->GetHistogram("watchit_broker_dispatch_latency_ns");
+  events_mu_.EnableMetrics(registry);
+  tickets_mu_.EnableMetrics(registry);
+  log_.EnableLockMetrics(registry);
 }
 
 void PermissionBroker::RecordEvent(BrokerEvent event) {
-  std::lock_guard<std::mutex> lock(events_mu_);
+  std::lock_guard<witobs::ProfiledMutex> lock(events_mu_);
   if (event_capacity_ != 0 && events_.size() >= event_capacity_) {
     events_.erase(events_.begin());
     ++dropped_events_;
@@ -89,7 +92,7 @@ void PermissionBroker::RecordEvent(BrokerEvent event) {
 }
 
 void PermissionBroker::RecordEvents(std::vector<BrokerEvent> events) {
-  std::lock_guard<std::mutex> lock(events_mu_);
+  std::lock_guard<witobs::ProfiledMutex> lock(events_mu_);
   for (BrokerEvent& event : events) {
     if (event_capacity_ != 0 && events_.size() >= event_capacity_) {
       events_.erase(events_.begin());
@@ -103,7 +106,7 @@ void PermissionBroker::RecordEvents(std::vector<BrokerEvent> events) {
 }
 
 std::vector<BrokerEvent> PermissionBroker::EventsSnapshot() const {
-  std::lock_guard<std::mutex> lock(events_mu_);
+  std::lock_guard<witobs::ProfiledMutex> lock(events_mu_);
   return events_;
 }
 
@@ -122,7 +125,7 @@ RpcResponse PermissionBroker::Fail(witos::Err err) const {
 }
 
 std::string PermissionBroker::TicketClassOf(const std::string& ticket_id) const {
-  std::lock_guard<std::mutex> lock(tickets_mu_);
+  std::lock_guard<witobs::ProfiledMutex> lock(tickets_mu_);
   auto class_it = ticket_class_.find(ticket_id);
   return class_it == ticket_class_.end() ? "" : class_it->second;
 }

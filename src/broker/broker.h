@@ -18,6 +18,7 @@
 #include "src/broker/rpc.h"
 #include "src/broker/securelog.h"
 #include "src/obs/metrics.h"
+#include "src/obs/profile.h"
 #include "src/obs/trace.h"
 #include "src/os/kernel.h"
 
@@ -47,11 +48,11 @@ class PermissionBroker {
   SecureLog& log() { return log_; }
   const SecureLog& log() const { return log_; }
 
-  // DEPRECATED test-only alias: an unsynchronized reference into the live
-  // event vector, valid only while the broker is quiescent (single-threaded
-  // unit tests asserting on the event window). Every production reader —
-  // reports, case study, anomaly detection — takes EventsSnapshot(); new
-  // code must too, and the reference must never be held across a request.
+  // DEPRECATED, scheduled for removal (DESIGN.md §13): an unsynchronized
+  // reference into the live event vector, valid only while the broker is
+  // quiescent. Every caller in the tree has migrated to EventsSnapshot();
+  // this stays one release as a compile break detector for out-of-tree
+  // code, then the member goes private.
   const std::vector<BrokerEvent>& events() const { return events_; }
 
   // Consistent point-in-time copy of the structured event window — the
@@ -130,12 +131,15 @@ class PermissionBroker {
   witos::Pid host_pid_;
   PolicyManager* policy_;
   SecureLog log_;
-  mutable std::mutex events_mu_;  // guards events_ + dropped_events_
+  // Profiled (DESIGN.md §13): EnableMetrics ranks these against every other
+  // ProfiledMutex in the process via watchit_lock_{wait,hold}_ns.
+  mutable witobs::ProfiledMutex events_mu_{"broker.events"};  // events_ + dropped_events_
   std::vector<BrokerEvent> events_;
   size_t event_capacity_ = 0;
   size_t dropped_events_ = 0;
-  mutable std::mutex tickets_mu_;  // guards ticket_class_: deploy workers
-                                   // bind/unbind while request paths resolve
+  mutable witobs::ProfiledMutex tickets_mu_{"broker.tickets"};  // ticket_class_:
+                                   // deploy workers bind/unbind while
+                                   // request paths resolve
   std::map<std::string, std::string> ticket_class_;
   std::map<std::string, VerbHandler> custom_verbs_;
 

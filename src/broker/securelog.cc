@@ -29,7 +29,7 @@ uint64_t SecureLogEntry::ComputeHash(uint64_t seq, uint64_t time_ns, const std::
 }
 
 void SecureLog::Append(std::string payload, uint64_t time_ns) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<witobs::ProfiledMutex> lock(mu_);
   SecureLogEntry entry;
   entry.seq = entries_.size() + 1;
   entry.time_ns = time_ns;
@@ -44,7 +44,7 @@ void SecureLog::Append(std::string payload, uint64_t time_ns) {
 }
 
 void SecureLog::AppendBatch(const std::vector<std::string>& payloads, uint64_t time_ns) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<witobs::ProfiledMutex> lock(mu_);
   for (const std::string& payload : payloads) {
     SecureLogEntry entry;
     entry.seq = entries_.size() + 1;
@@ -77,33 +77,33 @@ bool SecureLog::VerifyChain(const std::vector<SecureLogEntry>& entries) {
 }
 
 bool SecureLog::Verify() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<witobs::ProfiledMutex> lock(mu_);
   return VerifyChain(entries_);
 }
 
 std::vector<SecureLogEntry> SecureLog::SnapshotEntries() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<witobs::ProfiledMutex> lock(mu_);
   return entries_;
 }
 
 size_t SecureLog::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<witobs::ProfiledMutex> lock(mu_);
   return entries_.size();
 }
 
 size_t SecureLog::AddReplica() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<witobs::ProfiledMutex> lock(mu_);
   replicas_.push_back(entries_);
   return replicas_.size() - 1;
 }
 
 size_t SecureLog::replica_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<witobs::ProfiledMutex> lock(mu_);
   return replicas_.size();
 }
 
 bool SecureLog::MatchesReplica(size_t index) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<witobs::ProfiledMutex> lock(mu_);
   const auto& replica = replicas_[index];
   if (replica.size() != entries_.size()) {
     return false;
@@ -117,7 +117,7 @@ bool SecureLog::MatchesReplica(size_t index) const {
 }
 
 void SecureLog::TamperForTest(size_t index, std::string new_payload) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<witobs::ProfiledMutex> lock(mu_);
   if (index < entries_.size()) {
     entries_[index].payload = std::move(new_payload);
   }

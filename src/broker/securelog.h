@@ -22,6 +22,8 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/profile.h"
+
 namespace witbroker {
 
 // 64-bit FNV-1a.
@@ -75,8 +77,14 @@ class SecureLog {
   // Test hook simulating an attacker rewriting a record in place.
   void TamperForTest(size_t index, std::string new_payload);
 
+  // Attaches the log's lock to the contention profile
+  // (watchit_lock_{wait,hold}_ns{lock="securelog"}) — every serving worker
+  // funnels its audit appends through this mutex, which is exactly the
+  // contention the ROADMAP's sharding item wants measured.
+  void EnableLockMetrics(witobs::MetricsRegistry* registry) { mu_.EnableMetrics(registry); }
+
  private:
-  mutable std::mutex mu_;
+  mutable witobs::ProfiledMutex mu_{"securelog"};
   std::vector<SecureLogEntry> entries_;
   std::vector<std::vector<SecureLogEntry>> replicas_;
 };

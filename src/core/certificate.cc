@@ -31,7 +31,7 @@ Certificate CertificateAuthority::Issue(const std::string& admin, const std::str
                                         const std::string& ticket_id,
                                         const std::string& ticket_class, uint64_t now_ns,
                                         uint64_t lifetime_ns) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<witobs::ProfiledMutex> lock(mu_);
   Certificate cert;
   cert.serial = next_serial_++;
   cert.admin = admin;
@@ -46,7 +46,7 @@ Certificate CertificateAuthority::Issue(const std::string& admin, const std::str
 }
 
 CertStatus CertificateAuthority::Validate(const Certificate& cert, uint64_t now_ns) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<witobs::ProfiledMutex> lock(mu_);
   auto it = issued_.find(cert.serial);
   if (it == issued_.end()) {
     return CertStatus::kUnknown;
@@ -64,22 +64,22 @@ CertStatus CertificateAuthority::Validate(const Certificate& cert, uint64_t now_
 }
 
 void CertificateAuthority::Revoke(uint64_t serial) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<witobs::ProfiledMutex> lock(mu_);
   revoked_[serial] = true;
 }
 
 bool CertificateAuthority::IsRevoked(uint64_t serial) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<witobs::ProfiledMutex> lock(mu_);
   return revoked_.count(serial) > 0;
 }
 
 size_t CertificateAuthority::issued_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<witobs::ProfiledMutex> lock(mu_);
   return issued_.size();
 }
 
 size_t CertificateAuthority::revoked_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<witobs::ProfiledMutex> lock(mu_);
   return revoked_.size();
 }
 

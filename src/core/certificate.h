@@ -10,6 +10,7 @@
 #include <mutex>
 #include <string>
 
+#include "src/obs/profile.h"
 #include "src/os/result.h"
 
 namespace watchit {
@@ -54,11 +55,16 @@ class CertificateAuthority {
   size_t issued_count() const;
   size_t revoked_count() const;
 
+  // Attaches the CA lock to the contention profile
+  // (watchit_lock_{wait,hold}_ns{lock="ca"}): every deploy issues and every
+  // expiry revokes through this one mutex.
+  void EnableLockMetrics(witobs::MetricsRegistry* registry) { mu_.EnableMetrics(registry); }
+
  private:
   uint64_t Sign(const Certificate& cert) const;
 
   uint64_t secret_;
-  mutable std::mutex mu_;
+  mutable witobs::ProfiledMutex mu_{"ca"};
   uint64_t next_serial_ = 1;
   std::map<uint64_t, Certificate> issued_;
   std::map<uint64_t, bool> revoked_;

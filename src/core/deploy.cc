@@ -160,9 +160,14 @@ void PendingDeploy::Complete(witos::Result<Deployment> result) {
 // configured stage deadlines, cancellation, and the optional stage hook.
 class DeployPipeline::WorkerGate : public DeployGate {
  public:
+  // `correlation_id` tags the per-stage spans with the submitting ticket's
+  // timeline (empty = no tracing).
   WorkerGate(DeployPipeline* pipeline, const Ticket* ticket,
-             const std::atomic<bool>* cancelled)
-      : pipeline_(pipeline), ticket_(ticket), cancelled_(cancelled) {}
+             const std::atomic<bool>* cancelled, std::string correlation_id = "")
+      : pipeline_(pipeline),
+        ticket_(ticket),
+        cancelled_(cancelled),
+        correlation_id_(std::move(correlation_id)) {}
 
   witos::Status BeforeStage(DeployStage stage, Machine* machine) override {
     if (cancelled_ != nullptr && cancelled_->load(std::memory_order_relaxed)) {
@@ -170,6 +175,9 @@ class DeployPipeline::WorkerGate : public DeployGate {
     }
     if (pipeline_->stage_hook_) {
       WITOS_RETURN_IF_ERROR(pipeline_->stage_hook_(stage, *ticket_, machine));
+    }
+    if (pipeline_->tracer_ != nullptr) {
+      stage_start_wall_ns_ = pipeline_->tracer_->NowNs();
     }
     return witos::Status::Ok();
   }
@@ -189,16 +197,44 @@ class DeployPipeline::WorkerGate : public DeployGate {
     if (hist != nullptr) {
       hist->Observe(sim_ns);
     }
+    // Synthesized wall-clock stage span under the ticket's timeline — the
+    // stage body is a plain lambda, so the interval is measured here at the
+    // gate instead of by an RAII scope inside it.
+    witobs::Tracer* tracer = pipeline_->tracer_;
+    if (tracer != nullptr && stage_start_wall_ns_ != 0) {
+      witobs::SpanRecord record;
+      record.name = "deploy." + DeployStageName(stage);
+      record.correlation_id = correlation_id_;
+      record.start_ns = stage_start_wall_ns_;
+      record.duration_ns = tracer->NowNs() - stage_start_wall_ns_;
+      record.depth = 1;  // nested under deploy.execute
+      tracer->RecordSpan(std::move(record));
+      stage_start_wall_ns_ = 0;
+    }
   }
 
-  void OnRollback(DeployStage failed_stage, witos::Err /*err*/) override {
-    pipeline_->CountRollback(failed_stage);
+  void OnRollback(DeployStage failed_stage, witos::Err err) override {
+    pipeline_->CountRollback(failed_stage, err);
+    rolled_back_ = true;
+    rollback_stage_ = failed_stage;
+    rollback_err_ = err;
   }
+
+  // Consumed by Execute/DeployInline after the transaction, so the
+  // pipeline-level rollback callback runs with no machine lock held.
+  bool rolled_back() const { return rolled_back_; }
+  DeployStage rollback_stage() const { return rollback_stage_; }
+  witos::Err rollback_err() const { return rollback_err_; }
 
  private:
   DeployPipeline* pipeline_;
   const Ticket* ticket_;
   const std::atomic<bool>* cancelled_;
+  const std::string correlation_id_;
+  uint64_t stage_start_wall_ns_ = 0;
+  bool rolled_back_ = false;
+  DeployStage rollback_stage_ = DeployStage::kImageLookup;
+  witos::Err rollback_err_ = witos::Err::kIo;
 };
 
 DeployPipeline::DeployPipeline(Cluster* cluster) : DeployPipeline(cluster, Options()) {}
@@ -213,10 +249,15 @@ DeployPipeline::DeployPipeline(Cluster* cluster, Options options)
   }
 }
 
-DeployPipeline::~DeployPipeline() { Stop(); }
+DeployPipeline::~DeployPipeline() {
+  // The registry may be gone by now (stack order in tests decides): stop
+  // profiling before Stop() takes the queue lock one last time.
+  mu_.DisableMetrics();
+  Stop();
+}
 
 void DeployPipeline::Start() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<witobs::ProfiledMutex> lock(mu_);
   if (running_) {
     return;
   }
@@ -229,7 +270,7 @@ void DeployPipeline::Start() {
 
 void DeployPipeline::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<witobs::ProfiledMutex> lock(mu_);
     if (!running_) {
       return;
     }
@@ -241,7 +282,7 @@ void DeployPipeline::Stop() {
     worker.join();
   }
   workers_.clear();
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<witobs::ProfiledMutex> lock(mu_);
   running_ = false;
 }
 
@@ -249,7 +290,7 @@ void DeployPipeline::WorkerLoop() {
   for (;;) {
     Request request;
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      std::unique_lock<witobs::ProfiledMutex> lock(mu_);
       cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) {
         return;  // stopping, and the queue is drained
@@ -263,16 +304,25 @@ void DeployPipeline::WorkerLoop() {
 
 void DeployPipeline::Execute(Request& request) {
   PendingDeploy* pending = request.handle.get();
-  WorkerGate gate(this, &pending->ticket_, &pending->cancelled_);
-  witos::Result<Deployment> result =
-      RunDeployStages(cluster_, pending->ticket_, options_.lifetime_ns, &gate);
+  WorkerGate gate(this, &pending->ticket_, &pending->cancelled_,
+                  pending->trace_.correlation_id);
+  witos::Result<Deployment> result = witos::Err::kIo;
+  {
+    // Continuation span: the submitting thread's context, reopened here on
+    // the pipeline worker — one ticket, one timeline, two threads.
+    witobs::Span span(tracer_, "deploy.execute", pending->trace_);
+    result = RunDeployStages(cluster_, pending->ticket_, options_.lifetime_ns, &gate);
+  }
   RecordOutcome(result);
+  if (gate.rolled_back() && rollback_callback_) {
+    rollback_callback_(gate.rollback_stage(), gate.rollback_err());
+  }
   pending->Complete(result);
   if (request.completion) {
     request.completion(request.handle);
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<witobs::ProfiledMutex> lock(mu_);
     --inflight_;
   }
   if (inflight_gauge_ != nullptr) {
@@ -284,7 +334,7 @@ void DeployPipeline::Execute(Request& request) {
 void DeployPipeline::RecordOutcome(const witos::Result<Deployment>& result) {
   witobs::Counter* outcome = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<witobs::ProfiledMutex> lock(mu_);
     if (result.ok()) {
       ++stats_.deployed;
       outcome = outcome_ok_;
@@ -304,9 +354,9 @@ void DeployPipeline::RecordOutcome(const witos::Result<Deployment>& result) {
   }
 }
 
-void DeployPipeline::CountRollback(DeployStage failed_stage) {
+void DeployPipeline::CountRollback(DeployStage failed_stage, witos::Err /*err*/) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<witobs::ProfiledMutex> lock(mu_);
     ++stats_.rollbacks;
   }
   witobs::Counter* counter = rollbacks_total_[static_cast<size_t>(failed_stage)];
@@ -315,10 +365,12 @@ void DeployPipeline::CountRollback(DeployStage failed_stage) {
   }
 }
 
-witos::Result<DeployHandle> DeployPipeline::Submit(Ticket ticket, Completion completion) {
+witos::Result<DeployHandle> DeployPipeline::Submit(Ticket ticket, Completion completion,
+                                                   witobs::SpanContext trace) {
   auto handle = std::make_shared<PendingDeploy>(std::move(ticket));
+  handle->trace_ = std::move(trace);
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    std::unique_lock<witobs::ProfiledMutex> lock(mu_);
     window_cv_.wait(lock, [&] {
       return stopping_ || !running_ || inflight_ < options_.max_inflight;
     });
@@ -338,10 +390,12 @@ witos::Result<DeployHandle> DeployPipeline::Submit(Ticket ticket, Completion com
   return handle;
 }
 
-witos::Result<DeployHandle> DeployPipeline::TrySubmit(Ticket ticket, Completion completion) {
+witos::Result<DeployHandle> DeployPipeline::TrySubmit(Ticket ticket, Completion completion,
+                                                      witobs::SpanContext trace) {
   auto handle = std::make_shared<PendingDeploy>(std::move(ticket));
+  handle->trace_ = std::move(trace);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<witobs::ProfiledMutex> lock(mu_);
     if (stopping_ || !running_) {
       ++stats_.rejected;
       return witos::Err::kPipe;
@@ -364,17 +418,23 @@ witos::Result<DeployHandle> DeployPipeline::TrySubmit(Ticket ticket, Completion 
 
 witos::Result<Deployment> DeployPipeline::DeployInline(const Ticket& ticket) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<witobs::ProfiledMutex> lock(mu_);
     ++stats_.submitted;
   }
-  WorkerGate gate(this, &ticket, /*cancelled=*/nullptr);
+  WorkerGate gate(this, &ticket, /*cancelled=*/nullptr,
+                  tracer_ != nullptr ? witobs::Span::CurrentCorrelationId(tracer_) : "");
   witos::Result<Deployment> result =
       RunDeployStages(cluster_, ticket, options_.lifetime_ns, &gate);
   RecordOutcome(result);
+  if (gate.rolled_back() && rollback_callback_) {
+    rollback_callback_(gate.rollback_stage(), gate.rollback_err());
+  }
   return result;
 }
 
-void DeployPipeline::EnableMetrics(witobs::MetricsRegistry* registry) {
+void DeployPipeline::EnableMetrics(witobs::MetricsRegistry* registry, witobs::Tracer* tracer) {
+  tracer_ = tracer;
+  mu_.EnableMetrics(registry);
   registry->SetHelp("watchit_deploy_stage_latency_ns",
                     "Simulated time spent in each deploy stage");
   registry->SetHelp("watchit_deploy_inflight",
@@ -398,12 +458,12 @@ void DeployPipeline::EnableMetrics(witobs::MetricsRegistry* registry) {
 }
 
 size_t DeployPipeline::inflight() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<witobs::ProfiledMutex> lock(mu_);
   return inflight_;
 }
 
 DeployPipeline::Stats DeployPipeline::GetStats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<witobs::ProfiledMutex> lock(mu_);
   return stats_;
 }
 

@@ -38,6 +38,8 @@
 #include "src/core/cluster.h"
 #include "src/core/ticket.h"
 #include "src/obs/metrics.h"
+#include "src/obs/profile.h"
+#include "src/obs/trace.h"
 
 namespace watchit {
 
@@ -119,6 +121,9 @@ class PendingDeploy {
   void Complete(witos::Result<Deployment> result);
 
   Ticket ticket_;
+  // Span-context handoff from the submitting thread (DESIGN.md §13): the
+  // pipeline worker opens its deploy spans under this ticket's timeline.
+  witobs::SpanContext trace_;
   std::atomic<bool> cancelled_{false};
   mutable std::mutex mu_;
   std::condition_variable cv_;
@@ -174,10 +179,14 @@ class DeployPipeline {
   // Submits fail with EPIPE.
   void Stop();
 
-  // Blocks while the in-flight window is full; EPIPE once stopped.
-  witos::Result<DeployHandle> Submit(Ticket ticket, Completion completion = nullptr);
+  // Blocks while the in-flight window is full; EPIPE once stopped. `trace`
+  // is the submitting thread's span context: the deploy's spans (and its
+  // per-stage spans) join that ticket's cross-thread timeline.
+  witos::Result<DeployHandle> Submit(Ticket ticket, Completion completion = nullptr,
+                                     witobs::SpanContext trace = {});
   // EAGAIN instead of blocking when the window is full.
-  witos::Result<DeployHandle> TrySubmit(Ticket ticket, Completion completion = nullptr);
+  witos::Result<DeployHandle> TrySubmit(Ticket ticket, Completion completion = nullptr,
+                                        witobs::SpanContext trace = {});
 
   // Runs the same gated transaction (machine lock, clock ownership, stage
   // hook, deadlines, metrics) synchronously on the caller's thread, outside
@@ -185,8 +194,19 @@ class DeployPipeline {
   witos::Result<Deployment> DeployInline(const Ticket& ticket);
 
   // watchit_deploy_stage_latency_ns{stage}, watchit_deploy_inflight,
-  // watchit_deploy_rollbacks_total{stage}, watchit_deploy_total{outcome}.
-  void EnableMetrics(witobs::MetricsRegistry* registry);
+  // watchit_deploy_rollbacks_total{stage}, watchit_deploy_total{outcome},
+  // plus the pipeline queue lock's watchit_lock_* series. With a tracer,
+  // workers emit "deploy.execute" and per-stage "deploy.<stage>" spans
+  // under the submitting ticket's correlation id.
+  void EnableMetrics(witobs::MetricsRegistry* registry, witobs::Tracer* tracer = nullptr);
+
+  // Invoked (on the worker thread, no locks held) after a transaction rolls
+  // back — the flight recorder's deploy-rollback trigger. Set before
+  // Start().
+  using RollbackCallback = std::function<void(DeployStage, witos::Err)>;
+  void set_rollback_callback(RollbackCallback callback) {
+    rollback_callback_ = std::move(callback);
+  }
 
   size_t inflight() const;
   Stats GetStats() const;
@@ -204,15 +224,19 @@ class DeployPipeline {
   // Folds one finished transaction into stats_ and the outcome counters.
   // Caller must NOT hold mu_.
   void RecordOutcome(const witos::Result<Deployment>& result);
-  void CountRollback(DeployStage failed_stage);
+  void CountRollback(DeployStage failed_stage, witos::Err err);
 
   Cluster* cluster_;
   Options options_;
   StageHook stage_hook_;
+  RollbackCallback rollback_callback_;
 
-  mutable std::mutex mu_;  // guards queue_, inflight_, stats_, running_/stopping_
-  std::condition_variable cv_;         // wakes workers
-  std::condition_variable window_cv_;  // wakes blocked submitters
+  // Profiled "deploy.queue" lock (DESIGN.md §13); the cvs are _any so they
+  // wait on the wrapper and the reacquisition shows up as lock wait.
+  mutable witobs::ProfiledMutex mu_{
+      "deploy.queue"};  // guards queue_, inflight_, stats_, running_/stopping_
+  std::condition_variable_any cv_;         // wakes workers
+  std::condition_variable_any window_cv_;  // wakes blocked submitters
   std::deque<Request> queue_;
   size_t inflight_ = 0;  // queued + executing
   bool running_ = false;
@@ -221,6 +245,7 @@ class DeployPipeline {
   std::vector<std::thread> workers_;
 
   // Observability handles (null when metrics are disabled).
+  witobs::Tracer* tracer_ = nullptr;
   std::array<witobs::Histogram*, kNumDeployStages> stage_latency_{};
   std::array<witobs::Counter*, kNumDeployStages> rollbacks_total_{};
   witobs::Gauge* inflight_gauge_ = nullptr;

@@ -5,7 +5,7 @@
 namespace watchit {
 
 void Dispatcher::AddSpecialist(const std::string& name, std::set<std::string> expertise) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<witobs::ProfiledMutex> lock(mu_);
   ItSpecialist specialist;
   specialist.name = name;
   specialist.expertise = std::move(expertise);
@@ -13,7 +13,7 @@ void Dispatcher::AddSpecialist(const std::string& name, std::set<std::string> ex
 }
 
 witos::Result<std::string> Dispatcher::Assign(const std::string& ticket_class) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<witobs::ProfiledMutex> lock(mu_);
   const size_t n = roster_.size();
   if (n == 0) {
     return witos::Err::kSrch;
@@ -57,7 +57,7 @@ witos::Result<std::string> Dispatcher::Assign(const std::string& ticket_class) {
 }
 
 witos::Status Dispatcher::Complete(const std::string& admin) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<witobs::ProfiledMutex> lock(mu_);
   for (auto& specialist : roster_) {
     if (specialist.name != admin) {
       continue;
@@ -72,7 +72,7 @@ witos::Status Dispatcher::Complete(const std::string& admin) {
 }
 
 const ItSpecialist* Dispatcher::Find(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<witobs::ProfiledMutex> lock(mu_);
   // The returned pointer is stable (the roster only grows at setup time),
   // but its counters are meaningful only while the dispatcher is quiescent.
   for (const auto& specialist : roster_) {
@@ -84,12 +84,12 @@ const ItSpecialist* Dispatcher::Find(const std::string& name) const {
 }
 
 size_t Dispatcher::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<witobs::ProfiledMutex> lock(mu_);
   return roster_.size();
 }
 
 std::map<std::string, std::string> Dispatcher::pinned_classes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<witobs::ProfiledMutex> lock(mu_);
   return pinned_;
 }
 

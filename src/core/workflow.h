@@ -28,6 +28,7 @@
 #include "src/core/framework.h"
 #include "src/core/session.h"
 #include "src/obs/metrics.h"
+#include "src/obs/profile.h"
 #include "src/obs/trace.h"
 #include "src/workload/ticket_gen.h"
 
@@ -72,9 +73,13 @@ class Dispatcher {
   // The class each admin is pinned to under single-class hardening.
   std::map<std::string, std::string> pinned_classes() const;
 
+  // Attaches the roster lock to the contention profile
+  // (watchit_lock_{wait,hold}_ns{lock="dispatcher"}).
+  void EnableLockMetrics(witobs::MetricsRegistry* registry) { mu_.EnableMetrics(registry); }
+
  private:
   Options options_;
-  mutable std::mutex mu_;
+  mutable witobs::ProfiledMutex mu_{"dispatcher"};
   std::vector<ItSpecialist> roster_;
   std::map<std::string, std::string> pinned_;
   uint64_t rotation_ = 0;  // tie-break scan start, advances per Assign

@@ -30,21 +30,6 @@ std::string SeriesLine(const std::string& name, const Labels& labels,
   return line;
 }
 
-std::string JsonEscape(const std::string& in) {
-  std::string out;
-  for (char c : in) {
-    if (c == '"' || c == '\\') {
-      out += '\\';
-      out += c;
-    } else if (c == '\n') {
-      out += "\\n";
-    } else {
-      out += c;
-    }
-  }
-  return out;
-}
-
 std::string JsonLabels(const Labels& labels) {
   std::string out = "{";
   bool first = true;
@@ -59,13 +44,54 @@ std::string JsonLabels(const Labels& labels) {
   return out;
 }
 
+// Prometheus HELP text escaping: only backslash and newline (label-value
+// escaping, which also covers quotes, lives in CanonicalLabels).
+std::string EscapeHelp(const std::string& in) {
+  std::string out;
+  for (char c : in) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
 }  // namespace
+
+std::string JsonEscape(const std::string& in) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  for (char c : in) {
+    unsigned char uc = static_cast<unsigned char>(c);
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else if (c == '\t') {
+      out += "\\t";
+    } else if (c == '\r') {
+      out += "\\r";
+    } else if (uc < 0x20) {
+      out += "\\u00";
+      out += kHex[(uc >> 4) & 0xf];
+      out += kHex[uc & 0xf];
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
 
 std::string RenderPrometheus(const MetricsRegistry& registry) {
   std::string out;
   for (const auto& family : registry.Snapshot()) {
     if (!family.help.empty()) {
-      out += "# HELP " + family.name + " " + family.help + "\n";
+      out += "# HELP " + family.name + " " + EscapeHelp(family.help) + "\n";
     }
     out += "# TYPE " + family.name + " " + std::string(TypeName(family.type)) + "\n";
     for (const auto& series : family.series) {

@@ -29,6 +29,12 @@ std::string RenderJson(const MetricsRegistry& registry);
 // ticket as it crossed framework, workflow, broker and ITFS.
 std::string RenderTraceDump(const Tracer& tracer);
 
+// JSON string-content escaping (RFC 8259): backslash, quote, and every
+// control character below 0x20 (\n, \t, \r named; the rest as \u00XX).
+// Shared by RenderJson and the flight recorder so a lock or stage name
+// containing "\n or a tab can never corrupt an artifact.
+std::string JsonEscape(const std::string& in);
+
 }  // namespace witobs
 
 #endif  // SRC_OBS_EXPORT_H_

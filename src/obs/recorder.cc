@@ -1,0 +1,133 @@
+#include "src/obs/recorder.h"
+
+#include "src/obs/export.h"
+#include "src/obs/profile.h"
+
+namespace witobs {
+
+namespace {
+
+std::string JsonSpan(const SpanRecord& span) {
+  return "{\"name\":\"" + JsonEscape(span.name) + "\",\"correlation_id\":\"" +
+         JsonEscape(span.correlation_id) + "\",\"start_ns\":" +
+         std::to_string(span.start_ns) + ",\"duration_ns\":" +
+         std::to_string(span.duration_ns) + ",\"depth\":" + std::to_string(span.depth) +
+         ",\"thread_id\":" + std::to_string(span.thread_id) + "}";
+}
+
+std::string JsonLock(const LockContention& lock) {
+  return "{\"lock\":\"" + JsonEscape(lock.lock) + "\",\"wait_count\":" +
+         std::to_string(lock.wait_count) + ",\"wait_sum_ns\":" +
+         std::to_string(lock.wait_sum_ns) + ",\"wait_p99_ns\":" +
+         std::to_string(lock.wait_p99_ns) + ",\"hold_sum_ns\":" +
+         std::to_string(lock.hold_sum_ns) + ",\"hold_p99_ns\":" +
+         std::to_string(lock.hold_p99_ns) + "}";
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(MetricsRegistry* registry, Tracer* tracer)
+    : FlightRecorder(registry, tracer, Options()) {}
+
+FlightRecorder::FlightRecorder(MetricsRegistry* registry, Tracer* tracer, Options options)
+    : registry_(registry), tracer_(tracer), options_(options) {
+  if (options_.max_dumps == 0) {
+    options_.max_dumps = 1;
+  }
+}
+
+bool FlightRecorder::Trigger(const std::string& reason, const std::string& detail) {
+  uint64_t now_ns = tracer_ != nullptr ? tracer_->NowNs() : MonotonicNowNs();
+  uint64_t dropped_so_far;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    bool blacked_out = options_.min_interval_ns != 0 && captured_ > 0 &&
+                       now_ns - last_dump_ns_ < options_.min_interval_ns;
+    if (dumps_.size() >= options_.max_dumps || blacked_out) {
+      ++dropped_;
+      return false;
+    }
+    // Reserve the slot under the lock; build the artifact outside it so a
+    // slow registry snapshot never blocks a concurrent trigger decision.
+    ++captured_;
+    last_dump_ns_ = now_ns;
+    dropped_so_far = dropped_;
+    dumps_.push_back(Dump{now_ns, reason, detail, ""});
+  }
+  std::string json = BuildArtifact(reason, detail, now_ns, dropped_so_far);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = dumps_.rbegin(); it != dumps_.rend(); ++it) {
+      if (it->trigger_ns == now_ns && it->reason == reason && it->json.empty()) {
+        it->json = std::move(json);
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+std::string FlightRecorder::BuildArtifact(const std::string& reason,
+                                          const std::string& detail, uint64_t now_ns,
+                                          uint64_t dropped_so_far) const {
+  std::string out = "{\"reason\":\"" + JsonEscape(reason) + "\",\"detail\":\"" +
+                    JsonEscape(detail) + "\",\"trigger_ns\":" + std::to_string(now_ns);
+
+  out += ",\"spans\":[";
+  uint64_t spans_dropped = 0;
+  if (tracer_ != nullptr) {
+    std::vector<SpanRecord> spans = tracer_->Snapshot();
+    size_t start = 0;
+    if (options_.max_spans != 0 && spans.size() > options_.max_spans) {
+      start = spans.size() - options_.max_spans;
+    }
+    for (size_t i = start; i < spans.size(); ++i) {
+      if (i != start) {
+        out += ",";
+      }
+      out += JsonSpan(spans[i]);
+    }
+    spans_dropped = tracer_->dropped() + start;
+  }
+  out += "],\"spans_dropped\":" + std::to_string(spans_dropped);
+
+  out += ",\"top_locks\":[";
+  if (registry_ != nullptr) {
+    std::vector<LockContention> locks = TopContendedLocks(*registry_, options_.top_locks);
+    for (size_t i = 0; i < locks.size(); ++i) {
+      if (i != 0) {
+        out += ",";
+      }
+      out += JsonLock(locks[i]);
+    }
+  }
+  out += "]";
+
+  out += ",\"metrics\":";
+  out += registry_ != nullptr ? RenderJson(*registry_) : "{}";
+
+  out += ",\"dumps_dropped\":" + std::to_string(dropped_so_far) + "}";
+  return out;
+}
+
+std::vector<FlightRecorder::Dump> FlightRecorder::dumps() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dumps_;
+}
+
+uint64_t FlightRecorder::dumps_captured() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return captured_;
+}
+
+uint64_t FlightRecorder::dumps_dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::string FlightRecorder::last_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dumps_.empty() ? "" : dumps_.back().json;
+}
+
+}  // namespace witobs

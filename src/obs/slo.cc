@@ -1,0 +1,225 @@
+#include "src/obs/slo.h"
+
+#include <algorithm>
+
+namespace witobs {
+
+namespace {
+
+bool LabelsContain(const Labels& labels, const Labels& subset) {
+  for (const auto& want : subset) {
+    bool found = false;
+    for (const auto& have : labels) {
+      if (have == want) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Same rank-walk + linear interpolation as Histogram::Percentile, over a
+// window's bucket deltas instead of lifetime counts.
+uint64_t PercentileFromBuckets(
+    const std::array<uint64_t, Histogram::kNumBuckets + 1>& buckets, uint64_t total,
+    double p) {
+  if (total == 0) {
+    return 0;
+  }
+  p = std::min(std::max(p, 0.0), 100.0);
+  uint64_t rank = static_cast<uint64_t>(p / 100.0 * static_cast<double>(total));
+  if (static_cast<double>(rank) < p / 100.0 * static_cast<double>(total)) {
+    ++rank;
+  }
+  rank = std::max<uint64_t>(rank, 1);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i <= Histogram::kNumBuckets; ++i) {
+    uint64_t in_bucket = buckets[i];
+    if (cumulative + in_bucket < rank) {
+      cumulative += in_bucket;
+      continue;
+    }
+    uint64_t lower = i == 0 ? 0 : Histogram::BucketBound(i - 1);
+    uint64_t upper = i == Histogram::kNumBuckets ? lower : Histogram::BucketBound(i);
+    if (in_bucket == 0 || upper <= lower) {
+      return upper;
+    }
+    double frac = static_cast<double>(rank - cumulative) / static_cast<double>(in_bucket);
+    return lower + static_cast<uint64_t>(frac * static_cast<double>(upper - lower));
+  }
+  return Histogram::BucketBound(Histogram::kNumBuckets - 1);
+}
+
+}  // namespace
+
+uint64_t SumCounters(const MetricsRegistry& registry, const std::string& family,
+                     const Labels& subset) {
+  uint64_t total = 0;
+  for (const auto& fam : registry.Snapshot()) {
+    if (fam.name != family || fam.type != MetricType::kCounter) {
+      continue;
+    }
+    for (const auto& series : fam.series) {
+      if (series.counter != nullptr && LabelsContain(series.labels, subset)) {
+        total += series.counter->Value();
+      }
+    }
+  }
+  return total;
+}
+
+SloEngine::SloEngine(MetricsRegistry* registry) : SloEngine(registry, Options()) {}
+
+SloEngine::SloEngine(MetricsRegistry* registry, Options options)
+    : registry_(registry), options_(options) {
+  options_.window_samples = std::max<size_t>(options_.window_samples, 2);
+}
+
+void SloEngine::AddLatencySlo(LatencySlo slo) {
+  std::lock_guard<std::mutex> lock(mu_);
+  order_.push_back(latency_.size() * 2);
+  latency_.push_back(LatencyState{std::move(slo), {}});
+}
+
+void SloEngine::AddRatioSlo(RatioSlo slo) {
+  std::lock_guard<std::mutex> lock(mu_);
+  order_.push_back(ratio_.size() * 2 + 1);
+  ratio_.push_back(RatioState{std::move(slo), {}});
+}
+
+void SloEngine::set_breach_callback(BreachCallback callback) {
+  std::lock_guard<std::mutex> lock(mu_);
+  breach_callback_ = std::move(callback);
+}
+
+std::vector<SloEngine::Status> SloEngine::Evaluate() {
+  std::vector<Status> statuses;
+  BreachCallback callback;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    callback = breach_callback_;
+
+    std::vector<Status> latency_status;
+    for (LatencyState& state : latency_) {
+      HistogramSample sample;
+      if (const Histogram* hist =
+              registry_->FindHistogram(state.slo.histogram, state.slo.labels)) {
+        for (size_t i = 0; i <= Histogram::kNumBuckets; ++i) {
+          sample.buckets[i] = hist->BucketCount(i);
+        }
+        sample.count = hist->Count();
+      }
+      state.window.push_back(sample);
+      if (state.window.size() > options_.window_samples) {
+        state.window.pop_front();
+      }
+      const HistogramSample& oldest = state.window.front();
+      std::array<uint64_t, Histogram::kNumBuckets + 1> delta{};
+      for (size_t i = 0; i <= Histogram::kNumBuckets; ++i) {
+        delta[i] = sample.buckets[i] - oldest.buckets[i];
+      }
+      uint64_t events = sample.count - oldest.count;
+
+      Status status;
+      status.name = state.slo.name;
+      status.window_events = events;
+      status.threshold = static_cast<double>(state.slo.threshold_ns);
+      status.value =
+          static_cast<double>(PercentileFromBuckets(delta, events, state.slo.percentile));
+      status.breached = events > 0 && status.value > status.threshold;
+      status.detail = "windowed p" + std::to_string(state.slo.percentile).substr(0, 4) +
+                      "(" + state.slo.histogram + ") = " +
+                      std::to_string(static_cast<uint64_t>(status.value)) + "ns vs " +
+                      std::to_string(state.slo.threshold_ns) + "ns over " +
+                      std::to_string(events) + " events";
+      latency_status.push_back(std::move(status));
+    }
+
+    std::vector<Status> ratio_status;
+    for (RatioState& state : ratio_) {
+      RatioSample sample;
+      sample.bad = SumCounters(*registry_, state.slo.bad.family, state.slo.bad.subset);
+      sample.total =
+          SumCounters(*registry_, state.slo.total.family, state.slo.total.subset);
+      state.window.push_back(sample);
+      if (state.window.size() > options_.window_samples) {
+        state.window.pop_front();
+      }
+      const RatioSample& oldest = state.window.front();
+      uint64_t bad = sample.bad - oldest.bad;
+      uint64_t total = sample.total - oldest.total;
+
+      Status status;
+      status.name = state.slo.name;
+      status.window_events = total;
+      status.threshold = state.slo.max_burn_rate;
+      double budget = 1.0 - state.slo.objective;
+      double bad_fraction =
+          total == 0 ? 0.0 : static_cast<double>(bad) / static_cast<double>(total);
+      status.value = budget <= 0.0 ? (bad > 0 ? 1e9 : 0.0) : bad_fraction / budget;
+      status.breached = total > 0 && status.value >= status.threshold && bad > 0;
+      status.detail = std::to_string(bad) + "/" + std::to_string(total) +
+                      " bad in window; burn rate " + std::to_string(status.value) +
+                      " vs max " + std::to_string(state.slo.max_burn_rate);
+      ratio_status.push_back(std::move(status));
+    }
+
+    for (size_t code : order_) {
+      statuses.push_back(code % 2 == 0 ? std::move(latency_status[code / 2])
+                                       : std::move(ratio_status[code / 2]));
+    }
+    for (const Status& status : statuses) {
+      if (status.breached) {
+        ++breaches_;
+      }
+    }
+  }
+  if (callback) {
+    for (const Status& status : statuses) {
+      if (status.breached) {
+        callback(status);
+      }
+    }
+  }
+  return statuses;
+}
+
+uint64_t SloEngine::breaches() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return breaches_;
+}
+
+size_t SloEngine::slo_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return order_.size();
+}
+
+void InstallWatchItSlos(SloEngine* engine, uint64_t max_e2e_p99_ns,
+                        double reject_objective, double rollback_objective) {
+  SloEngine::LatencySlo latency;
+  latency.name = "ticket-e2e-latency";
+  latency.histogram = "watchit_serve_e2e_latency_ns";
+  latency.percentile = 99.0;
+  latency.threshold_ns = max_e2e_p99_ns;
+  engine->AddLatencySlo(std::move(latency));
+
+  SloEngine::RatioSlo rejects;
+  rejects.name = "admission-rejects";
+  rejects.bad = {"watchit_serve_tickets_total", {{"outcome", "rejected"}}};
+  rejects.total = {"watchit_serve_tickets_total", {}};
+  rejects.objective = reject_objective;
+  engine->AddRatioSlo(std::move(rejects));
+
+  SloEngine::RatioSlo rollbacks;
+  rollbacks.name = "deploy-rollbacks";
+  rollbacks.bad = {"watchit_deploy_rollbacks_total", {}};
+  rollbacks.total = {"watchit_deploy_total", {}};
+  rollbacks.objective = rollback_objective;
+  engine->AddRatioSlo(std::move(rollbacks));
+}
+
+}  // namespace witobs

@@ -1,0 +1,102 @@
+#include "src/obs/timeline.h"
+
+#include <algorithm>
+#include <map>
+
+namespace witobs {
+
+namespace {
+
+bool CausalBefore(const SpanRecord& a, const SpanRecord& b) {
+  if (a.start_ns != b.start_ns) {
+    return a.start_ns < b.start_ns;
+  }
+  if (a.depth != b.depth) {
+    return a.depth < b.depth;  // enclosing scope before its children
+  }
+  return a.name < b.name;
+}
+
+}  // namespace
+
+std::vector<TicketTimeline> TicketTimeline::AssembleAll(
+    const std::vector<SpanRecord>& spans) {
+  std::map<std::string, TicketTimeline> by_ticket;
+  for (const SpanRecord& span : spans) {
+    if (span.correlation_id.empty()) {
+      continue;
+    }
+    TicketTimeline& timeline = by_ticket[span.correlation_id];
+    timeline.ticket_id_ = span.correlation_id;
+    timeline.stages_.push_back(span);
+  }
+  std::vector<TicketTimeline> out;
+  out.reserve(by_ticket.size());
+  for (auto& [id, timeline] : by_ticket) {
+    std::sort(timeline.stages_.begin(), timeline.stages_.end(), CausalBefore);
+    timeline.start_ns_ = timeline.stages_.front().start_ns;
+    timeline.end_ns_ = 0;
+    for (const SpanRecord& span : timeline.stages_) {
+      timeline.end_ns_ = std::max(timeline.end_ns_, span.start_ns + span.duration_ns);
+    }
+    out.push_back(std::move(timeline));
+  }
+  std::sort(out.begin(), out.end(), [](const TicketTimeline& a, const TicketTimeline& b) {
+    if (a.start_ns_ != b.start_ns_) {
+      return a.start_ns_ < b.start_ns_;
+    }
+    return a.ticket_id_ < b.ticket_id_;
+  });
+  return out;
+}
+
+TicketTimeline TicketTimeline::ForTicket(const Tracer& tracer,
+                                         const std::string& ticket_id) {
+  std::vector<SpanRecord> matching;
+  for (SpanRecord& span : tracer.Snapshot()) {
+    if (span.correlation_id == ticket_id) {
+      matching.push_back(std::move(span));
+    }
+  }
+  std::vector<TicketTimeline> assembled = AssembleAll(matching);
+  if (assembled.empty()) {
+    TicketTimeline empty;
+    empty.ticket_id_ = ticket_id;
+    return empty;
+  }
+  return std::move(assembled.front());
+}
+
+size_t TicketTimeline::ThreadCount() const {
+  std::set<uint64_t> threads;
+  for (const SpanRecord& span : stages_) {
+    threads.insert(span.thread_id);
+  }
+  return threads.size();
+}
+
+uint64_t TicketTimeline::StageDurationNs(const std::string& name) const {
+  uint64_t total = 0;
+  for (const SpanRecord& span : stages_) {
+    if (span.name == name) {
+      total += span.duration_ns;
+    }
+  }
+  return total;
+}
+
+std::string TicketTimeline::Render() const {
+  std::string out = "[" + ticket_id_ + "] " + std::to_string(SpanNs()) + "ns across " +
+                    std::to_string(ThreadCount()) + " thread(s)\n";
+  for (const SpanRecord& span : stages_) {
+    out += "  +" + std::to_string(span.start_ns - start_ns_) + "ns ";
+    for (uint32_t i = 0; i < span.depth; ++i) {
+      out += "  ";
+    }
+    out += span.name + " " + std::to_string(span.duration_ns) + "ns (thread " +
+           std::to_string(span.thread_id) + ")\n";
+  }
+  return out;
+}
+
+}  // namespace witobs

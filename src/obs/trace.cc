@@ -129,6 +129,23 @@ uint64_t Tracer::total_recorded() const {
   return n;
 }
 
+void Tracer::RecordSpan(SpanRecord record) {
+  ThreadBuffer* buffer = LocalBuffer();
+  if (record.thread_id == 0) {
+    record.thread_id = buffer->thread_id;
+  }
+  buffer->Push(std::move(record));
+}
+
+SpanContext Tracer::CaptureContext() {
+  ThreadBuffer* buffer = LocalBuffer();
+  SpanContext context;
+  if (!buffer->stack.empty()) {
+    context.correlation_id = buffer->stack.back().correlation_id;
+  }
+  return context;
+}
+
 void Tracer::Clear() {
   std::vector<std::shared_ptr<ThreadBuffer>> buffers;
   {

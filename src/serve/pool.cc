@@ -21,6 +21,22 @@ uint64_t ThreadCpuNs() {
   return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull + static_cast<uint64_t>(ts.tv_nsec);
 }
 
+// Synthesized stage span: an interval measured by hand (queue wait, deploy
+// in-flight) rather than by an RAII scope, recorded under the ticket's
+// correlation id so the cross-thread timeline tiles submit→finish.
+void RecordStageSpan(witobs::Tracer* tracer, const char* name, const std::string& ticket_id,
+                     uint64_t start_ns, uint64_t end_ns) {
+  if (tracer == nullptr || end_ns < start_ns || start_ns == 0) {
+    return;
+  }
+  witobs::SpanRecord record;
+  record.name = name;
+  record.correlation_id = ticket_id;
+  record.start_ns = start_ns;
+  record.duration_ns = end_ns - start_ns;
+  tracer->RecordSpan(std::move(record));
+}
+
 }  // namespace
 
 ServerPool::ServerPool(watchit::Cluster* cluster, watchit::ItFramework* framework,
@@ -29,7 +45,11 @@ ServerPool::ServerPool(watchit::Cluster* cluster, watchit::ItFramework* framewor
   options_.workers = std::max<size_t>(options_.workers, 1);
   for (size_t i = 0; i < options_.workers; ++i) {
     auto shard = std::make_unique<Shard>();
-    shard->queue = std::make_unique<TicketQueue>(options_.queue);
+    TicketQueue::Options queue_options = options_.queue;
+    if (queue_options.lock_name.empty()) {
+      queue_options.lock_name = "serve.queue." + std::to_string(i);
+    }
+    shard->queue = std::make_unique<TicketQueue>(queue_options);
     shards_.push_back(std::move(shard));
     workflows_.push_back(
         std::make_unique<watchit::TicketWorkflow>(cluster, framework, dispatcher));
@@ -48,15 +68,24 @@ ServerPool::~ServerPool() { Stop(); }
 
 void ServerPool::EnableMetrics(witobs::MetricsRegistry* registry, witobs::Tracer* tracer) {
   metrics_ = registry;
+  tracer_ = tracer;
   for (auto& workflow : workflows_) {
     workflow->EnableMetrics(registry, tracer);
   }
   if (registry == nullptr) {
     return;
   }
-  pipeline_->EnableMetrics(registry);
+  pipeline_->EnableMetrics(registry, tracer);
+  dispatcher_->EnableLockMetrics(registry);
+  cluster_->ca().EnableLockMetrics(registry);
+  for (auto& shard : shards_) {
+    shard->queue->EnableLockMetrics(registry);
+  }
   registry->SetHelp("watchit_serve_e2e_latency_ns",
                     "Wall-clock submit-to-finish latency per served ticket");
+  registry->SetHelp("watchit_serve_stage_latency_ns",
+                    "Wall-clock latency of each serving stage; the stages tile a ticket's "
+                    "submit-to-finish interval");
   registry->SetHelp("watchit_serve_tickets_total", "Serving outcomes at the pool level");
   registry->SetHelp("watchit_serve_steals_total",
                     "Jobs executed by a worker that does not own the shard");
@@ -72,6 +101,16 @@ void ServerPool::EnableMetrics(witobs::MetricsRegistry* registry, witobs::Tracer
   rejected_counter_ =
       registry->GetCounter("watchit_serve_tickets_total", {{"outcome", "rejected"}});
   steals_counter_ = registry->GetCounter("watchit_serve_steals_total");
+  stage_queue_wait_ =
+      registry->GetHistogram("watchit_serve_stage_latency_ns", {{"stage", "queue_wait"}});
+  stage_prepare_ =
+      registry->GetHistogram("watchit_serve_stage_latency_ns", {{"stage", "prepare"}});
+  stage_deploy_ =
+      registry->GetHistogram("watchit_serve_stage_latency_ns", {{"stage", "deploy"}});
+  stage_ready_wait_ =
+      registry->GetHistogram("watchit_serve_stage_latency_ns", {{"stage", "ready_wait"}});
+  stage_finish_ =
+      registry->GetHistogram("watchit_serve_stage_latency_ns", {{"stage", "finish"}});
   for (size_t i = 0; i < shards_.size(); ++i) {
     witobs::Labels labels = {{"shard", std::to_string(i)}};
     shards_[i]->depth_gauge = registry->GetGauge("watchit_serve_queue_depth", labels);
@@ -118,6 +157,7 @@ witos::Status ServerPool::Submit(const witload::GeneratedTicket& ticket,
   job.target_machine = target_machine;
   job.user_machine = user_machine;
   job.submit_ns = witobs::MonotonicNowNs();
+  job.enqueue_ns = job.submit_ns;
   witos::Status pushed = shard.queue->TryPush(std::move(job));
   if (!pushed.ok()) {
     rejected_.fetch_add(1, std::memory_order_relaxed);
@@ -196,10 +236,26 @@ void ServerPool::FailJob(const Shard& shard, const ServeJob& job) {
 void ServerPool::StartJob(size_t worker, size_t shard_index, ServeJob job) {
   Shard& shard = *shards_[shard_index];
 
-  // Classify + review + dispatch: no machine state, so no machine locks.
+  // Stage 1, queue_wait: admission to the first time a worker touched the
+  // job. Recorded here (not in the queue) so steals attribute identically.
+  uint64_t popped_ns = witobs::MonotonicNowNs();
+  if (stage_queue_wait_ != nullptr && popped_ns >= job.enqueue_ns) {
+    stage_queue_wait_->Observe(popped_ns - job.enqueue_ns);
+  }
+  RecordStageSpan(tracer_, "serve.queue_wait", job.ticket.id, job.enqueue_ns, popped_ns);
+
+  // Stage 2, prepare — classify + review + dispatch: no machine state, so
+  // no machine locks.
   uint64_t cpu_start = ThreadCpuNs();
-  witos::Result<watchit::PreparedTicket> prepared =
-      workflows_[worker]->Prepare(job.ticket, job.target_machine, job.user_machine);
+  witos::Result<watchit::PreparedTicket> prepared = witos::Err::kInval;
+  {
+    witobs::Span span(tracer_, "serve.prepare", job.ticket.id);
+    prepared = workflows_[worker]->Prepare(job.ticket, job.target_machine, job.user_machine);
+  }
+  uint64_t prepare_end_ns = witobs::MonotonicNowNs();
+  if (stage_prepare_ != nullptr) {
+    stage_prepare_->Observe(prepare_end_ns - popped_ns);
+  }
   shard.busy_cpu_ns.fetch_add(ThreadCpuNs() - cpu_start, std::memory_order_relaxed);
   if (!prepared.ok()) {
     FailJob(shard, job);
@@ -211,18 +267,24 @@ void ServerPool::StartJob(size_t worker, size_t shard_index, ServeJob job) {
     // whole transaction (machine locks are taken inside the gate).
     std::vector<watchit::Deployment> deployments;
     cpu_start = ThreadCpuNs();
-    witos::Result<watchit::Deployment> primary =
-        pipeline_->DeployInline(prepared->resolved.ticket);
-    if (primary.ok()) {
-      deployments.push_back(*primary);
-      if (!prepared->user_machine.empty()) {
-        watchit::Ticket user_ticket = prepared->resolved.ticket;
-        user_ticket.target_machine = prepared->user_machine;
-        witos::Result<watchit::Deployment> secondary = pipeline_->DeployInline(user_ticket);
-        if (secondary.ok()) {
-          deployments.push_back(*secondary);
+    {
+      witobs::Span span(tracer_, "serve.deploy", job.ticket.id);
+      witos::Result<watchit::Deployment> primary =
+          pipeline_->DeployInline(prepared->resolved.ticket);
+      if (primary.ok()) {
+        deployments.push_back(*primary);
+        if (!prepared->user_machine.empty()) {
+          watchit::Ticket user_ticket = prepared->resolved.ticket;
+          user_ticket.target_machine = prepared->user_machine;
+          witos::Result<watchit::Deployment> secondary = pipeline_->DeployInline(user_ticket);
+          if (secondary.ok()) {
+            deployments.push_back(*secondary);
+          }
         }
       }
+    }
+    if (stage_deploy_ != nullptr) {
+      stage_deploy_->Observe(witobs::MonotonicNowNs() - prepare_end_ns);
     }
     shard.busy_cpu_ns.fetch_add(ThreadCpuNs() - cpu_start, std::memory_order_relaxed);
     if (deployments.empty()) {
@@ -235,11 +297,16 @@ void ServerPool::StartJob(size_t worker, size_t shard_index, ServeJob job) {
   }
 
   // Pipelined: hand the deploy(s) to the pipeline and return to the queue.
+  // The span context rides along so the pipeline workers' deploy spans (and
+  // the synthesized "serve.deploy" interval) join this ticket's timeline.
+  witobs::SpanContext trace{job.ticket.id};
   auto state = std::make_shared<PendingServe>();
   state->prepared = std::move(*prepared);
   state->shard = shard_index;
   state->remaining = state->prepared.user_machine.empty() ? 1u : 2u;
   state->job = std::move(job);
+  state->job.trace = trace;
+  state->deploy_start_ns = witobs::MonotonicNowNs();
   pending_jobs_.fetch_add(1, std::memory_order_acq_rel);
 
   watchit::Ticket primary_ticket = state->prepared.resolved.ticket;
@@ -251,17 +318,21 @@ void ServerPool::StartJob(size_t worker, size_t shard_index, ServeJob job) {
   }
 
   witos::Result<watchit::DeployHandle> submitted = pipeline_->Submit(
-      std::move(primary_ticket), [this, state](const watchit::DeployHandle& handle) {
+      std::move(primary_ticket),
+      [this, state](const watchit::DeployHandle& handle) {
         OnDeployDone(state, /*is_primary=*/true, handle->Wait());
-      });
+      },
+      trace);
   if (!submitted.ok()) {
     OnDeployDone(state, /*is_primary=*/true, submitted.error());
   }
   if (dual) {
     witos::Result<watchit::DeployHandle> submitted_user = pipeline_->Submit(
-        std::move(user_ticket), [this, state](const watchit::DeployHandle& handle) {
+        std::move(user_ticket),
+        [this, state](const watchit::DeployHandle& handle) {
           OnDeployDone(state, /*is_primary=*/false, handle->Wait());
-        });
+        },
+        trace);
     if (!submitted_user.ok()) {
       OnDeployDone(state, /*is_primary=*/false, submitted_user.error());
     }
@@ -292,6 +363,14 @@ void ServerPool::OnDeployDone(const std::shared_ptr<PendingServe>& state, bool i
     return;
   }
   Shard& shard = *shards_[state->shard];
+  // Stage 3, deploy: pipeline handoff to the last completion. Recorded on
+  // the pipeline worker's thread, under the ticket's correlation id.
+  uint64_t deploy_end_ns = witobs::MonotonicNowNs();
+  if (stage_deploy_ != nullptr && deploy_end_ns >= state->deploy_start_ns) {
+    stage_deploy_->Observe(deploy_end_ns - state->deploy_start_ns);
+  }
+  RecordStageSpan(tracer_, "serve.deploy", state->job.ticket.id, state->deploy_start_ns,
+                  deploy_end_ns);
   if (!state->primary_ok) {
     // The ticket cannot be worked. A secondary that did deploy is orphaned
     // — expire it — and the dispatcher assignment from Prepare() closes
@@ -309,6 +388,7 @@ void ServerPool::OnDeployDone(const std::shared_ptr<PendingServe>& state, bool i
   // pending count drops, or AllQueuesDrainedAndClosed could see both zero.
   ServeJob ready = std::move(state->job);
   ready.pending = state;
+  ready.enqueue_ns = deploy_end_ns;  // ready_wait starts here
   shard.queue->PushReady(std::move(ready));
   if (shard.depth_gauge != nullptr) {
     shard.depth_gauge->Set(static_cast<int64_t>(shard.queue->depth()));
@@ -325,6 +405,13 @@ void ServerPool::ExpireOrphan(watchit::Deployment* deployment) {
 }
 
 void ServerPool::FinishJob(size_t worker, size_t shard_index, ServeJob job) {
+  // Stage 4, ready_wait: re-admission after the deploys landed to the time
+  // a worker popped the ready job.
+  uint64_t popped_ns = witobs::MonotonicNowNs();
+  if (stage_ready_wait_ != nullptr && popped_ns >= job.enqueue_ns) {
+    stage_ready_wait_->Observe(popped_ns - job.enqueue_ns);
+  }
+  RecordStageSpan(tracer_, "serve.ready_wait", job.ticket.id, job.enqueue_ns, popped_ns);
   std::shared_ptr<PendingServe> state = std::move(job.pending);
   std::vector<watchit::Deployment> deployments;
   deployments.push_back(state->primary);
@@ -349,8 +436,11 @@ void ServerPool::FinishPrepared(size_t worker, size_t shard_index, const ServeJo
   std::sort(machines.begin(), machines.end());
   machines.erase(std::unique(machines.begin(), machines.end()), machines.end());
 
+  // Stage 5, finish: replay + expire under the machine locks.
+  uint64_t finish_start_ns = witobs::MonotonicNowNs();
   witos::Result<watchit::ResolvedTicket> result = witos::Err::kInval;
   {
+    witobs::Span span(tracer_, "serve.finish", job.ticket.id);
     std::vector<std::unique_lock<std::mutex>> locks;
     locks.reserve(machines.size());
     for (watchit::Machine* machine : machines) {
@@ -363,6 +453,9 @@ void ServerPool::FinishPrepared(size_t worker, size_t shard_index, const ServeJo
     for (watchit::Machine* machine : machines) {
       machine->kernel().clock().ReleaseOwner();
     }
+  }
+  if (stage_finish_ != nullptr) {
+    stage_finish_->Observe(witobs::MonotonicNowNs() - finish_start_ns);
   }
 
   if (result.ok()) {

@@ -53,6 +53,9 @@ struct PendingServe {
   watchit::PreparedTicket prepared;
   size_t shard = 0;
   ServeJob job;  // the original job, re-admitted once the deploys land
+  // When the deploys were handed to the pipeline — the "deploy" stage of
+  // the ticket's timeline runs from here to the last completion.
+  uint64_t deploy_start_ns = 0;
 
   std::mutex mu;
   size_t remaining = 0;
@@ -118,9 +121,15 @@ class ServerPool {
 
   // Wires per-worker workflows, the deploy pipeline and pool-level series
   // into the registry: watchit_serve_e2e_latency_ns,
-  // watchit_serve_tickets_total{outcome}, watchit_serve_steals_total,
-  // watchit_serve_queue_depth{shard}, the watchit_deploy_* family, and
-  // per-shard watchit_pagecache_{hits,misses,evictions}{shard} gauges.
+  // watchit_serve_stage_latency_ns{stage} (queue_wait / prepare / deploy /
+  // ready_wait / finish — the per-stage breakdown of every ticket's
+  // end-to-end latency), watchit_serve_tickets_total{outcome},
+  // watchit_serve_steals_total, watchit_serve_queue_depth{shard}, the
+  // watchit_deploy_* family, per-shard
+  // watchit_pagecache_{hits,misses,evictions}{shard} gauges, and the
+  // watchit_lock_* contention series for the shard queues, dispatcher, CA
+  // and deploy pipeline (DESIGN.md §13). With a tracer, every ticket yields
+  // one cross-thread timeline under its ticket id.
   void EnableMetrics(witobs::MetricsRegistry* registry, witobs::Tracer* tracer = nullptr);
 
   void Start();
@@ -212,11 +221,19 @@ class ServerPool {
 
   // Observability wiring (all null when metrics are disabled).
   witobs::MetricsRegistry* metrics_ = nullptr;
+  witobs::Tracer* tracer_ = nullptr;
   witobs::Histogram* latency_hist_ = nullptr;
   witobs::Counter* served_counter_ = nullptr;
   witobs::Counter* failed_counter_ = nullptr;
   witobs::Counter* rejected_counter_ = nullptr;
   witobs::Counter* steals_counter_ = nullptr;
+  // Per-stage latency histograms; together the stages tile submit→finish,
+  // so their p99s attribute the e2e p99 (bench_serve_throughput --profile).
+  witobs::Histogram* stage_queue_wait_ = nullptr;
+  witobs::Histogram* stage_prepare_ = nullptr;
+  witobs::Histogram* stage_deploy_ = nullptr;
+  witobs::Histogram* stage_ready_wait_ = nullptr;
+  witobs::Histogram* stage_finish_ = nullptr;
 };
 
 }  // namespace witserve

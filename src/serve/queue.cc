@@ -5,7 +5,8 @@
 
 namespace witserve {
 
-TicketQueue::TicketQueue(Options options) {
+TicketQueue::TicketQueue(Options options)
+    : mu_(options.lock_name.empty() ? "serve.queue" : options.lock_name) {
   size_t capacity = std::max<size_t>(options.capacity, 1);
   high_ = options.high_watermark == 0 ? capacity : std::min(options.high_watermark, capacity);
   high_ = std::max<size_t>(high_, 1);
@@ -14,7 +15,7 @@ TicketQueue::TicketQueue(Options options) {
 }
 
 witos::Status TicketQueue::TryPush(ServeJob job) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<witobs::ProfiledMutex> lock(mu_);
   if (closed_) {
     return witos::Err::kPipe;
   }
@@ -36,14 +37,14 @@ witos::Status TicketQueue::TryPush(ServeJob job) {
 }
 
 void TicketQueue::PushReady(ServeJob job) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<witobs::ProfiledMutex> lock(mu_);
   jobs_.push_back(std::move(job));
   peak_ = std::max(peak_, jobs_.size());
   cv_.notify_one();
 }
 
 bool TicketQueue::TryPop(ServeJob* out) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<witobs::ProfiledMutex> lock(mu_);
   if (jobs_.empty()) {
     return false;
   }
@@ -53,7 +54,7 @@ bool TicketQueue::TryPop(ServeJob* out) {
 }
 
 bool TicketQueue::TrySteal(ServeJob* out) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<witobs::ProfiledMutex> lock(mu_);
   if (jobs_.empty()) {
     return false;
   }
@@ -63,7 +64,7 @@ bool TicketQueue::TrySteal(ServeJob* out) {
 }
 
 bool TicketQueue::WaitPopFor(ServeJob* out, uint64_t timeout_us) {
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<witobs::ProfiledMutex> lock(mu_);
   cv_.wait_for(lock, std::chrono::microseconds(timeout_us),
                [this] { return !jobs_.empty() || closed_; });
   if (jobs_.empty()) {
@@ -75,38 +76,38 @@ bool TicketQueue::WaitPopFor(ServeJob* out, uint64_t timeout_us) {
 }
 
 void TicketQueue::Close() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<witobs::ProfiledMutex> lock(mu_);
   closed_ = true;
   cv_.notify_all();
 }
 
 bool TicketQueue::closed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<witobs::ProfiledMutex> lock(mu_);
   return closed_;
 }
 
 size_t TicketQueue::depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<witobs::ProfiledMutex> lock(mu_);
   return jobs_.size();
 }
 
 size_t TicketQueue::peak_depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<witobs::ProfiledMutex> lock(mu_);
   return peak_;
 }
 
 bool TicketQueue::admitting() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<witobs::ProfiledMutex> lock(mu_);
   return admitting_;
 }
 
 uint64_t TicketQueue::accepted() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<witobs::ProfiledMutex> lock(mu_);
   return accepted_;
 }
 
 uint64_t TicketQueue::rejected() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<witobs::ProfiledMutex> lock(mu_);
   return rejected_;
 }
 

@@ -26,6 +26,8 @@
 #include <mutex>
 #include <string>
 
+#include "src/obs/profile.h"
+#include "src/obs/trace.h"
 #include "src/os/result.h"
 #include "src/workload/ticket_gen.h"
 
@@ -44,6 +46,13 @@ struct ServeJob {
   std::string target_machine;
   std::string user_machine;  // T-9 dual deployment; empty otherwise
   uint64_t submit_ns = 0;
+  // Span-context handoff (DESIGN.md §13): stamped when the job's root span
+  // opens, carried through PushReady so the worker that pops the ready job
+  // continues the same ticket's timeline on its own thread.
+  witobs::SpanContext trace;
+  // When the job last entered a queue — lets the popping worker synthesize
+  // a queue-wait span covering the hop.
+  uint64_t enqueue_ns = 0;
   std::shared_ptr<PendingServe> pending;
 };
 
@@ -56,6 +65,9 @@ class TicketQueue {
     size_t high_watermark = 0;
     // ... and reopens once depth has drained to this (0 = high / 2).
     size_t low_watermark = 0;
+    // Contention-profile label for the queue's lock ("" = "serve.queue");
+    // ServerPool names each shard's queue "serve.queue.<shard>".
+    std::string lock_name;
   };
 
   TicketQueue() : TicketQueue(Options()) {}
@@ -90,11 +102,17 @@ class TicketQueue {
   size_t high_watermark() const { return high_; }
   size_t low_watermark() const { return low_; }
 
+  // Attaches the queue lock to the contention profile under the configured
+  // lock name (watchit_lock_{wait,hold}_ns{lock="serve.queue.<shard>"}).
+  void EnableLockMetrics(witobs::MetricsRegistry* registry) { mu_.EnableMetrics(registry); }
+
  private:
   size_t high_ = 0;
   size_t low_ = 0;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
+  // ProfiledMutex + condition_variable_any so the cv reacquisition after a
+  // wait is charged as lock wait like any other acquisition.
+  mutable witobs::ProfiledMutex mu_;
+  std::condition_variable_any cv_;
   std::deque<ServeJob> jobs_;
   bool closed_ = false;
   bool admitting_ = true;

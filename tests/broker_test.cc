@@ -154,7 +154,8 @@ TEST(SecureLogTest, ChainVerifies) {
   log.Append("entry three", 300);
   EXPECT_TRUE(log.Verify());
   EXPECT_EQ(log.size(), 3u);
-  EXPECT_EQ(log.entries()[1].prev_hash, log.entries()[0].hash);
+  const auto entries = log.SnapshotEntries();
+  EXPECT_EQ(entries[1].prev_hash, entries[0].hash);
 }
 
 TEST(SecureLogTest, TamperingDetected) {
@@ -233,7 +234,7 @@ TEST_F(BrokerTest, DisallowedVerbDeniedAndLogged) {
   ASSERT_EQ(events.size(), 1u);
   EXPECT_FALSE(events[0].granted);
   EXPECT_EQ(broker_->log().size(), 1u);
-  EXPECT_EQ(broker_->log().entries()[0].payload.substr(0, 4), "DENY");
+  EXPECT_EQ(broker_->log().SnapshotEntries()[0].payload.substr(0, 4), "DENY");
   EXPECT_EQ(kernel_.audit().CountEvent(witos::AuditEvent::kBrokerDenied), 1u);
 }
 
