@@ -1,5 +1,6 @@
 #include "src/broker/broker.h"
 
+#include <algorithm>
 #include <charconv>
 
 namespace witbroker {
@@ -18,16 +19,29 @@ witos::Pid ParsePidArg(const std::string& arg) {
 }  // namespace
 
 PermissionBroker::PermissionBroker(witos::Kernel* kernel, witos::Pid host_pid,
-                                   PolicyManager* policy, RpcChannel* channel)
-    : kernel_(kernel), host_pid_(host_pid), policy_(policy) {
+                                   PolicyManager* policy, RpcChannel* channel,
+                                   Options options)
+    : kernel_(kernel),
+      host_pid_(host_pid),
+      policy_(policy),
+      log_(options.shards == 0 ? 1 : options.shards, options.log_epoch_interval) {
+  size_t shards = options.shards == 0 ? 1 : options.shards;
+  event_shards_.reserve(shards);
+  ticket_shards_.reserve(shards);
+  for (size_t s = 0; s < shards; ++s) {
+    std::string suffix = shards == 1 ? "" : "." + std::to_string(s);
+    event_shards_.push_back(std::make_unique<EventShard>("broker.events" + suffix));
+    ticket_shards_.push_back(std::make_unique<TicketShard>("broker.tickets" + suffix));
+  }
   channel->Bind([this](const RpcRequest& request) { return Handle(request); });
   channel->BindBatch([this](const RpcBatchRequest& batch) { return HandleBatch(batch); });
 }
 
 witos::Status PermissionBroker::BindTicket(const std::string& ticket_id,
                                            const std::string& ticket_class) {
-  std::lock_guard<witobs::ProfiledMutex> lock(tickets_mu_);
-  auto [it, inserted] = ticket_class_.emplace(ticket_id, ticket_class);
+  TicketShard& shard = TicketShardOf(ticket_id);
+  std::lock_guard<witobs::ProfiledMutex> lock(shard.mu);
+  auto [it, inserted] = shard.classes.emplace(ticket_id, ticket_class);
   (void)it;
   if (!inserted) {
     return witos::Err::kExist;
@@ -36,21 +50,27 @@ witos::Status PermissionBroker::BindTicket(const std::string& ticket_id,
 }
 
 witos::Status PermissionBroker::UnbindTicket(const std::string& ticket_id) {
-  std::lock_guard<witobs::ProfiledMutex> lock(tickets_mu_);
-  if (ticket_class_.erase(ticket_id) == 0) {
+  TicketShard& shard = TicketShardOf(ticket_id);
+  std::lock_guard<witobs::ProfiledMutex> lock(shard.mu);
+  if (shard.classes.erase(ticket_id) == 0) {
     return witos::Err::kSrch;
   }
   return witos::Status::Ok();
 }
 
 bool PermissionBroker::IsTicketBound(const std::string& ticket_id) const {
-  std::lock_guard<witobs::ProfiledMutex> lock(tickets_mu_);
-  return ticket_class_.count(ticket_id) > 0;
+  TicketShard& shard = TicketShardOf(ticket_id);
+  std::lock_guard<witobs::ProfiledMutex> lock(shard.mu);
+  return shard.classes.count(ticket_id) > 0;
 }
 
 size_t PermissionBroker::bound_ticket_count() const {
-  std::lock_guard<witobs::ProfiledMutex> lock(tickets_mu_);
-  return ticket_class_.size();
+  size_t total = 0;
+  for (const auto& shard : ticket_shards_) {
+    std::lock_guard<witobs::ProfiledMutex> lock(shard->mu);
+    total += shard->classes.size();
+  }
+  return total;
 }
 
 void PermissionBroker::RegisterVerb(const std::string& verb, VerbHandler handler) {
@@ -74,40 +94,90 @@ void PermissionBroker::EnableMetrics(witobs::MetricsRegistry* registry,
                     "Broker events evicted by the retention cap");
   events_dropped_ = registry->GetCounter("watchit_broker_events_dropped_total");
   dispatch_latency_ = registry->GetHistogram("watchit_broker_dispatch_latency_ns");
-  events_mu_.EnableMetrics(registry);
-  tickets_mu_.EnableMetrics(registry);
+  for (const auto& shard : event_shards_) {
+    shard->mu.EnableMetrics(registry);
+  }
+  for (const auto& shard : ticket_shards_) {
+    shard->mu.EnableMetrics(registry);
+  }
   log_.EnableLockMetrics(registry);
 }
 
-void PermissionBroker::RecordEvent(BrokerEvent event) {
-  std::lock_guard<witobs::ProfiledMutex> lock(events_mu_);
-  if (event_capacity_ != 0 && events_.size() >= event_capacity_) {
-    events_.erase(events_.begin());
-    ++dropped_events_;
+void PermissionBroker::PushEventLocked(EventShard* shard, BrokerEvent event) {
+  while (shard->capacity != 0 && shard->events.size() >= shard->capacity) {
+    shard->events.pop_front();
+    ++shard->dropped;
     if (events_dropped_ != nullptr) {
       events_dropped_->Increment();
     }
   }
-  events_.push_back(std::move(event));
+  shard->events.push_back(std::move(event));
+}
+
+void PermissionBroker::RecordEvent(BrokerEvent event) {
+  EventShard& shard = EventShardOf(event.ticket_id);
+  std::lock_guard<witobs::ProfiledMutex> lock(shard.mu);
+  PushEventLocked(&shard, std::move(event));
 }
 
 void PermissionBroker::RecordEvents(std::vector<BrokerEvent> events) {
-  std::lock_guard<witobs::ProfiledMutex> lock(events_mu_);
+  if (events.empty()) {
+    return;
+  }
+  // A batch is one ticket's ops (the batch header carries the ticket), so
+  // the whole vector lands on one shard under one lock acquisition.
+  EventShard& shard = EventShardOf(events.front().ticket_id);
+  std::lock_guard<witobs::ProfiledMutex> lock(shard.mu);
   for (BrokerEvent& event : events) {
-    if (event_capacity_ != 0 && events_.size() >= event_capacity_) {
-      events_.erase(events_.begin());
-      ++dropped_events_;
+    PushEventLocked(&shard, std::move(event));
+  }
+}
+
+void PermissionBroker::set_event_capacity(size_t capacity) {
+  for (const auto& shard : event_shards_) {
+    std::lock_guard<witobs::ProfiledMutex> lock(shard->mu);
+    shard->capacity = capacity;
+    // Apply immediately: a cap tightened mid-traffic evicts down to the
+    // new window now, not on the next append.
+    while (capacity != 0 && shard->events.size() > capacity) {
+      shard->events.pop_front();
+      ++shard->dropped;
       if (events_dropped_ != nullptr) {
         events_dropped_->Increment();
       }
     }
-    events_.push_back(std::move(event));
   }
 }
 
+size_t PermissionBroker::dropped_events() const {
+  size_t total = 0;
+  for (const auto& shard : event_shards_) {
+    std::lock_guard<witobs::ProfiledMutex> lock(shard->mu);
+    total += shard->dropped;
+  }
+  return total;
+}
+
 std::vector<BrokerEvent> PermissionBroker::EventsSnapshot() const {
-  std::lock_guard<witobs::ProfiledMutex> lock(events_mu_);
-  return events_;
+  std::vector<BrokerEvent> merged;
+  if (event_shards_.size() == 1) {
+    const EventShard& shard = *event_shards_.front();
+    std::lock_guard<witobs::ProfiledMutex> lock(shard.mu);
+    merged.assign(shard.events.begin(), shard.events.end());
+    return merged;
+  }
+  for (const auto& shard : event_shards_) {
+    std::lock_guard<witobs::ProfiledMutex> lock(shard->mu);
+    merged.insert(merged.end(), shard->events.begin(), shard->events.end());
+  }
+  // Merge-order contract (DESIGN.md §14): time_ns ascending, ties keep
+  // shard index order — the anomaly detector's rate windows and the
+  // forensic reports read a single coherent timeline.
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const BrokerEvent& a, const BrokerEvent& b) {
+                     return a.time_ns < b.time_ns;
+                   });
+  return merged;
 }
 
 RpcResponse PermissionBroker::Ok(std::string payload) const {
@@ -125,9 +195,10 @@ RpcResponse PermissionBroker::Fail(witos::Err err) const {
 }
 
 std::string PermissionBroker::TicketClassOf(const std::string& ticket_id) const {
-  std::lock_guard<witobs::ProfiledMutex> lock(tickets_mu_);
-  auto class_it = ticket_class_.find(ticket_id);
-  return class_it == ticket_class_.end() ? "" : class_it->second;
+  TicketShard& shard = TicketShardOf(ticket_id);
+  std::lock_guard<witobs::ProfiledMutex> lock(shard.mu);
+  auto class_it = shard.classes.find(ticket_id);
+  return class_it == shard.classes.end() ? "" : class_it->second;
 }
 
 BrokerEvent PermissionBroker::MakeEvent(const RpcRequest& request,
@@ -181,9 +252,10 @@ RpcResponse PermissionBroker::Handle(const RpcRequest& request) {
   CountRequest(request, allowed);
 
   // "Either way, these requests are logged in real-time to a secure
-  // append-only storage device."
+  // append-only storage device." The ticket hash routes the entry to its
+  // shard chain, so one ticket's records stay in per-op order.
   std::string log_line = LogLine(request, ticket_class, allowed);
-  log_.Append(log_line, now);
+  log_.Append(log_line, now, TicketShardKey(request.ticket_id));
   kernel_->audit().Append(
       allowed ? witos::AuditEvent::kBrokerRequest : witos::AuditEvent::kBrokerDenied,
       request.caller_pid, request.uid, log_line, now);
@@ -230,9 +302,9 @@ RpcBatchResponse PermissionBroker::HandleBatch(const RpcBatchRequest& batch) {
   }
   // ...but the shared structures are entered once: a single lock acquisition
   // appends every event, and a single SecureLog critical section chains
-  // every per-op entry.
+  // every per-op entry — both on the ticket's own shard.
   RecordEvents(std::move(events));
-  log_.AppendBatch(log_lines, now);
+  log_.AppendBatch(log_lines, now, TicketShardKey(batch.ticket_id));
 
   // Dispatch the granted ops (denied ones answer EPERM positionally).
   uint64_t dispatch_start = kernel_->clock().now_ns();

@@ -7,6 +7,7 @@
 #ifndef SRC_BROKER_BROKER_H_
 #define SRC_BROKER_BROKER_H_
 
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -38,26 +39,37 @@ struct BrokerEvent {
 
 class PermissionBroker {
  public:
+  // Hot-state partitioning (DESIGN.md §14). With shards > 1 the event
+  // window, the ticket-class map and the secure log are each split into
+  // that many hash shards keyed by ticket id, so concurrent request paths
+  // for different tickets serialize only with themselves. shards = 1
+  // reproduces the original single-mutex layout exactly.
+  struct Options {
+    size_t shards = 1;
+    // Appends between auto-sealed secure-log epoch roots (0 = manual
+    // sealing only); meaningful mostly when shards > 1.
+    uint64_t log_epoch_interval = 0;
+  };
+
   // `kernel` is the host machine; `host_pid` is the broker's own process on
   // it (root, full capabilities, host namespaces). The broker binds itself
   // to `channel`.
   PermissionBroker(witos::Kernel* kernel, witos::Pid host_pid, PolicyManager* policy,
-                   RpcChannel* channel);
+                   RpcChannel* channel, Options options);
+  PermissionBroker(witos::Kernel* kernel, witos::Pid host_pid, PolicyManager* policy,
+                   RpcChannel* channel)
+      : PermissionBroker(kernel, host_pid, policy, channel, Options()) {}
 
   witos::Pid host_pid() const { return host_pid_; }
   SecureLog& log() { return log_; }
   const SecureLog& log() const { return log_; }
-
-  // DEPRECATED, scheduled for removal (DESIGN.md §13): an unsynchronized
-  // reference into the live event vector, valid only while the broker is
-  // quiescent. Every caller in the tree has migrated to EventsSnapshot();
-  // this stays one release as a compile break detector for out-of-tree
-  // code, then the member goes private.
-  const std::vector<BrokerEvent>& events() const { return events_; }
+  size_t shard_count() const { return event_shards_.size(); }
 
   // Consistent point-in-time copy of the structured event window — the
   // anomaly detector and forensic reports read this so their input cannot
-  // shift (or reallocate) under them while the broker keeps serving.
+  // shift (or reallocate) under them while the broker keeps serving. With
+  // one shard this is the append-order window; with several it is the
+  // cross-shard merge ordered by time_ns (ties keep shard index order).
   std::vector<BrokerEvent> EventsSnapshot() const;
 
   // Maps a ticket id to its class so policy lookups work; the cluster
@@ -95,15 +107,49 @@ class PermissionBroker {
   // `tracer` is non-null.
   void EnableMetrics(witobs::MetricsRegistry* registry, witobs::Tracer* tracer = nullptr);
 
-  // Retention cap for the structured event vector (0 = unbounded). When the
-  // cap is hit the oldest events are evicted; dropped_events() (and the
-  // watchit_broker_events_dropped_total series) count the evictions. The
-  // secure log is untouched — it is the tamper-evident record; events_ is
-  // the in-memory analysis window.
-  void set_event_capacity(size_t capacity) { event_capacity_ = capacity; }
-  size_t dropped_events() const { return dropped_events_; }
+  // Retention cap for the structured event window, applied per shard
+  // (0 = unbounded). When a shard's cap is hit its oldest events are
+  // evicted; dropped_events() (and the watchit_broker_events_dropped_total
+  // series) count the evictions. The secure log is untouched — it is the
+  // tamper-evident record; the event window is the in-memory analysis view.
+  // Takes each shard's lock and applies the new cap immediately (evicting
+  // down to it), so a resize during live traffic is race-free.
+  void set_event_capacity(size_t capacity);
+  size_t dropped_events() const;
 
  private:
+  // One shard of the bounded event window: a deque so the cap evicts from
+  // the front in O(1) (the old vector erase was O(window) per append —
+  // quadratic once capped under load). Guarded by its ProfiledMutex, named
+  // "broker.events" single-shard / "broker.events.N" sharded.
+  struct EventShard {
+    explicit EventShard(std::string name) : mu(std::move(name)) {}
+    mutable witobs::ProfiledMutex mu;
+    std::deque<BrokerEvent> events;
+    size_t capacity = 0;  // per-shard window, 0 = unbounded
+    uint64_t dropped = 0;
+  };
+  // One shard of the ticket-class map ("broker.tickets[.N]"): deploy
+  // workers bind/unbind while request paths resolve.
+  struct TicketShard {
+    explicit TicketShard(std::string name) : mu(std::move(name)) {}
+    mutable witobs::ProfiledMutex mu;
+    std::map<std::string, std::string> classes;
+  };
+
+  // Ticket-affinity hash: one ticket's events, class binding and secure-log
+  // entries all live on the shard this picks.
+  uint64_t TicketShardKey(const std::string& ticket_id) const {
+    return Fnv1a(ticket_id);
+  }
+  EventShard& EventShardOf(const std::string& ticket_id) {
+    return *event_shards_[TicketShardKey(ticket_id) % event_shards_.size()];
+  }
+  TicketShard& TicketShardOf(const std::string& ticket_id) const {
+    return *ticket_shards_[TicketShardKey(ticket_id) % ticket_shards_.size()];
+  }
+  void PushEventLocked(EventShard* shard, BrokerEvent event);
+
   RpcResponse Dispatch(const RpcRequest& request);
   RpcResponse Ok(std::string payload) const;
   RpcResponse Fail(witos::Err err) const;
@@ -131,16 +177,11 @@ class PermissionBroker {
   witos::Pid host_pid_;
   PolicyManager* policy_;
   SecureLog log_;
-  // Profiled (DESIGN.md §13): EnableMetrics ranks these against every other
-  // ProfiledMutex in the process via watchit_lock_{wait,hold}_ns.
-  mutable witobs::ProfiledMutex events_mu_{"broker.events"};  // events_ + dropped_events_
-  std::vector<BrokerEvent> events_;
-  size_t event_capacity_ = 0;
-  size_t dropped_events_ = 0;
-  mutable witobs::ProfiledMutex tickets_mu_{"broker.tickets"};  // ticket_class_:
-                                   // deploy workers bind/unbind while
-                                   // request paths resolve
-  std::map<std::string, std::string> ticket_class_;
+  // Per-shard hot state (DESIGN.md §14). Every shard mutex is a
+  // ProfiledMutex: EnableMetrics ranks them against every other lock in
+  // the process via watchit_lock_{wait,hold}_ns.
+  std::vector<std::unique_ptr<EventShard>> event_shards_;
+  std::vector<std::unique_ptr<TicketShard>> ticket_shards_;
   std::map<std::string, VerbHandler> custom_verbs_;
 
   // Observability wiring (all null when metrics are disabled).

@@ -3,21 +3,37 @@
 // remote stores (Attack 6 defence: "the log files ... can be replicated on
 // a remote append-only storage").
 //
-// Each entry's hash covers its sequence number, timestamp, payload and the
-// previous entry's hash; Verify() detects any in-place tampering.
+// The log is *segmented* (DESIGN.md §14): S independent hash chains, each
+// append routed to one shard by caller-supplied key (the broker passes the
+// ticket hash, so one ticket's records stay on one chain in per-op order).
+// Per-shard chains remove the single append mutex that serialized every
+// serving worker, without weakening tamper evidence:
 //
-// Concurrency: Append/Verify/SnapshotEntries/MatchesReplica are internally
-// synchronized, so many serving workers can append while an auditor reads —
-// the hash chain stays linear because the lock serializes the
-// read-prev-hash/write-entry step. entries()/replica() return references
-// into live storage and are only safe while no writer is active (they exist
-// for single-threaded tests and tooling); concurrent readers must take
-// SnapshotEntries().
+//  * Each entry's hash covers its per-shard sequence number, timestamp,
+//    payload and the previous entry's hash — in-place tampering breaks
+//    that shard's chain (VerifyChain).
+//  * Epoch roots seal the cross-shard state: periodically (and on demand)
+//    a root records every shard's (size, chain head) and hashes them into
+//    a meta chain. An attacker who rewrites a shard entry *and* recomputes
+//    the downstream hashes produces an internally consistent chain whose
+//    head no longer matches any sealed root — VerifyEpochRoots() fails.
+//  * Replicas mirror every shard chain; MatchesReplica() detects
+//    primary-side divergence even if both chains verify.
+//
+// With one shard (the default) the layout, ordering and verification
+// behavior are exactly the pre-segmentation single-chain log.
+//
+// Concurrency: every public method is internally synchronized. Appends to
+// different shards proceed in parallel (per-shard ProfiledMutex, named
+// "securelog.N" when sharded); SnapshotEntries()/SnapshotShard() taken
+// mid-append always see a valid prefix of each shard's chain.
 
 #ifndef SRC_BROKER_SECURELOG_H_
 #define SRC_BROKER_SECURELOG_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -30,7 +46,7 @@ namespace witbroker {
 uint64_t Fnv1a(std::string_view data, uint64_t seed = 14695981039346656037ull);
 
 struct SecureLogEntry {
-  uint64_t seq = 0;
+  uint64_t seq = 0;  // 1-based within the entry's shard chain
   uint64_t time_ns = 0;
   std::string payload;
   uint64_t prev_hash = 0;
@@ -40,53 +56,127 @@ struct SecureLogEntry {
                               uint64_t prev_hash);
 };
 
+// One sealed cross-shard state: every shard's chain length and head hash,
+// chained to the previous root. Conceptually the roots are what gets
+// shipped to the remote append-only store between full replications.
+struct EpochRoot {
+  uint64_t epoch = 0;  // 1-based position in the root chain
+  uint64_t time_ns = 0;
+  std::vector<uint64_t> shard_sizes;  // chain length per shard at seal time
+  std::vector<uint64_t> shard_heads;  // chain head hash per shard (0 = empty)
+  uint64_t prev_root_hash = 0;
+  uint64_t root_hash = 0;
+
+  // Hash over every field above except root_hash itself.
+  static uint64_t ComputeHash(const EpochRoot& root);
+};
+
 class SecureLog {
  public:
+  // `shards` hash chains; `epoch_interval` > 0 auto-seals an epoch root
+  // every that-many appends (0 = seal only via SealEpoch()).
+  explicit SecureLog(size_t shards, uint64_t epoch_interval = 0);
+  SecureLog() : SecureLog(1) {}
+
+  size_t shard_count() const { return segments_.size(); }
+
+  // Appends to the shard chosen by `shard_key % shard_count()`. Callers
+  // with an affinity key (the broker's ticket hash) use it so related
+  // records share a chain; the keyless overload routes by payload hash.
+  void Append(std::string payload, uint64_t time_ns, uint64_t shard_key);
   void Append(std::string payload, uint64_t time_ns);
 
-  // Appends one entry per payload under a single lock acquisition — the
-  // broker uses this for batched RPC so a ticket's N per-op records cost one
-  // critical-section entry while staying N distinct, chain-linked entries
-  // (the audit trail is per-op regardless of how requests were framed).
+  // Appends one entry per payload under a single shard-lock acquisition —
+  // the broker uses this for batched RPC so a ticket's N per-op records
+  // cost one critical-section entry while staying N distinct, chain-linked
+  // entries (the audit trail is per-op regardless of framing).
+  void AppendBatch(const std::vector<std::string>& payloads, uint64_t time_ns,
+                   uint64_t shard_key);
   void AppendBatch(const std::vector<std::string>& payloads, uint64_t time_ns);
 
-  // True if the hash chain is intact.
+  // True if every shard chain is intact AND every sealed epoch root still
+  // matches the chains (see VerifyEpochRoots).
   bool Verify() const;
 
-  // Chain check over any entry sequence (e.g. a snapshot or a replica); a
-  // snapshot taken mid-append is always a valid prefix and passes.
+  // Chain check over any entry sequence (e.g. a shard snapshot or a
+  // replica shard); a snapshot taken mid-append is always a valid prefix
+  // of its shard's chain and passes.
   static bool VerifyChain(const std::vector<SecureLogEntry>& entries);
 
-  // Consistent point-in-time copy, safe under concurrent appenders.
+  // Recomputes every shard chain and checks each sealed root's recorded
+  // (size, head) against it, plus the root meta-chain links. Catches the
+  // rewrite-and-rechain attack a per-shard chain check cannot.
+  bool VerifyEpochRoots() const;
+
+  // Consistent point-in-time copy, safe under concurrent appenders. With
+  // one shard this IS the chain (append order); with several it is the
+  // cross-shard merge ordered by time_ns (ties keep shard index order) —
+  // the contract the anomaly detector and forensic reports read under.
   std::vector<SecureLogEntry> SnapshotEntries() const;
+  // One shard's chain; always VerifyChain-valid. Empty on a bad index.
+  std::vector<SecureLogEntry> SnapshotShard(size_t shard) const;
 
-  // Unsynchronized view for single-threaded use; see header comment.
-  const std::vector<SecureLogEntry>& entries() const { return entries_; }
-  size_t size() const;
+  size_t size() const;  // total entries across shards
 
-  // Registers a replica; every subsequent append is mirrored. Returns the
-  // replica index.
+  // Registers a replica; every subsequent append is mirrored per shard.
+  // Returns the replica index.
   size_t AddReplica();
-  const std::vector<SecureLogEntry>& replica(size_t index) const { return replicas_[index]; }
   size_t replica_count() const;
 
   // Detects divergence between the primary and a replica — evidence of
-  // primary-side tampering even if the chain was recomputed.
+  // primary-side tampering even if the chain was recomputed. False on an
+  // out-of-range index (a missing replica can never vouch for the log).
   bool MatchesReplica(size_t index) const;
 
-  // Test hook simulating an attacker rewriting a record in place.
-  void TamperForTest(size_t index, std::string new_payload);
+  // Synchronized copy of a replica, merged like SnapshotEntries(); empty
+  // on an out-of-range index.
+  std::vector<SecureLogEntry> ReplicaSnapshot(size_t index) const;
+  // One replica shard chain; empty on any bad index.
+  std::vector<SecureLogEntry> ReplicaShardSnapshot(size_t index, size_t shard) const;
 
-  // Attaches the log's lock to the contention profile
-  // (watchit_lock_{wait,hold}_ns{lock="securelog"}) — every serving worker
-  // funnels its audit appends through this mutex, which is exactly the
-  // contention the ROADMAP's sharding item wants measured.
-  void EnableLockMetrics(witobs::MetricsRegistry* registry) { mu_.EnableMetrics(registry); }
+  // Seals an epoch root over the current shard heads (also invoked
+  // automatically every `epoch_interval` appends).
+  void SealEpoch(uint64_t time_ns);
+  std::vector<EpochRoot> EpochRootsSnapshot() const;
+  size_t epoch_count() const;
+
+  // Test hooks simulating an attacker rewriting a record in place. The
+  // flat-index form walks shards in index order (shard 0's entries first).
+  // `rechain` additionally recomputes the downstream hashes of that shard
+  // — the smarter attacker only the epoch roots / replicas can expose.
+  void TamperForTest(size_t index, std::string new_payload);
+  void TamperShardForTest(size_t shard, size_t index, std::string new_payload,
+                          bool rechain = false);
+
+  // Attaches every shard lock (and the meta lock) to the contention
+  // profile: watchit_lock_{wait,hold}_ns{lock="securelog"} for a
+  // single-chain log, lock="securelog.N" per shard when segmented.
+  void EnableLockMetrics(witobs::MetricsRegistry* registry);
 
  private:
-  mutable witobs::ProfiledMutex mu_{"securelog"};
-  std::vector<SecureLogEntry> entries_;
-  std::vector<std::vector<SecureLogEntry>> replicas_;
+  struct Segment {
+    explicit Segment(std::string name) : mu(std::move(name)) {}
+    mutable witobs::ProfiledMutex mu;
+    std::vector<SecureLogEntry> entries;
+    // replicas[i] is replica i's copy of this shard's chain.
+    std::vector<std::vector<SecureLogEntry>> replicas;
+  };
+
+  size_t ShardOf(uint64_t shard_key) const { return shard_key % segments_.size(); }
+  void AppendLocked(Segment* segment, std::string payload, uint64_t time_ns);
+  void MaybeAutoSeal(uint64_t time_ns, uint64_t appended);
+  // Merge helper shared by SnapshotEntries / ReplicaSnapshot.
+  static std::vector<SecureLogEntry> MergeByTime(std::vector<std::vector<SecureLogEntry>> shards);
+
+  std::vector<std::unique_ptr<Segment>> segments_;
+  const uint64_t epoch_interval_;
+  // Guards epoch_roots_ and serializes replica registration; ordering is
+  // meta -> (one segment at a time), so appends (segment only) never
+  // deadlock against seals.
+  mutable witobs::ProfiledMutex meta_mu_{"securelog.meta"};
+  std::vector<EpochRoot> epoch_roots_;
+  std::atomic<uint64_t> appends_until_seal_;
+  std::atomic<size_t> replica_count_{0};
 };
 
 }  // namespace witbroker

@@ -92,8 +92,16 @@ void Machine::BootWatchIt() {
   auto broker_pid = kernel_->Clone(kernel_->init_pid(), "PermissionBroker", 0);
   broker_pid_ = broker_pid.ok() ? *broker_pid : witos::kNoPid;
   ConfigureBrokerPolicies(&policy_);
+  // Hot broker state is partitioned by ticket hash (DESIGN.md §14): eight
+  // event/ticket/securelog shards so concurrent request paths — serving
+  // workers, deploy binds, audit readers — serialize only per ticket, with
+  // an epoch root sealed every 256 log appends for cross-shard tamper
+  // evidence.
+  witbroker::PermissionBroker::Options broker_options;
+  broker_options.shards = 8;
+  broker_options.log_epoch_interval = 256;
   broker_ = std::make_unique<witbroker::PermissionBroker>(kernel_.get(), broker_pid_, &policy_,
-                                                          &broker_channel_);
+                                                          &broker_channel_, broker_options);
   containit_ = std::make_unique<witcontain::ContainIt>(kernel_.get(), net_.get());
   containit_->AttachBroker(broker_.get());
 

@@ -37,6 +37,7 @@ std::string AuditEventName(AuditEvent ev) {
 }
 
 void AuditLog::Append(AuditEvent event, Pid pid, Uid uid, std::string detail, uint64_t time_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
   AuditRecord rec;
   rec.seq = next_seq_++;
   rec.time_ns = time_ns;
@@ -50,8 +51,14 @@ void AuditLog::Append(AuditEvent event, Pid pid, Uid uid, std::string detail, ui
   records_.push_back(std::move(rec));
 }
 
+size_t AuditLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
 std::vector<AuditRecord> AuditLog::Filter(
     const std::function<bool(const AuditRecord&)>& pred) const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<AuditRecord> out;
   for (const auto& rec : records_) {
     if (pred(rec)) {
@@ -62,6 +69,7 @@ std::vector<AuditRecord> AuditLog::Filter(
 }
 
 size_t AuditLog::CountEvent(AuditEvent event) const {
+  std::lock_guard<std::mutex> lock(mu_);
   size_t n = 0;
   for (const auto& rec : records_) {
     if (rec.event == event) {
@@ -71,6 +79,9 @@ size_t AuditLog::CountEvent(AuditEvent event) const {
   return n;
 }
 
-void AuditLog::AddReplica(Sink sink) { replicas_.push_back(std::move(sink)); }
+void AuditLog::AddReplica(Sink sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  replicas_.push_back(std::move(sink));
+}
 
 }  // namespace witos

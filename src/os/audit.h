@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -45,22 +46,29 @@ struct AuditRecord {
   std::string detail;
 };
 
+// Appends are internally synchronized: with the broker's hot state sharded
+// by ticket, concurrent request paths land here — the one backend every
+// shard still crosses — and must not corrupt the trail.
 class AuditLog {
  public:
   void Append(AuditEvent event, Pid pid, Uid uid, std::string detail, uint64_t time_ns);
 
+  // Borrowed view for quiesced readers (reports, post-run assertions);
+  // concurrent appenders invalidate it — use Filter() for a stable copy.
   const std::vector<AuditRecord>& records() const { return records_; }
-  size_t size() const { return records_.size(); }
+  size_t size() const;
 
   // Records matching a predicate (analysis-side convenience).
   std::vector<AuditRecord> Filter(const std::function<bool(const AuditRecord&)>& pred) const;
   size_t CountEvent(AuditEvent event) const;
 
   // Registers a replica sink; every subsequent append is mirrored to it.
+  // The sink runs under the log's lock and must not call back in.
   using Sink = std::function<void(const AuditRecord&)>;
   void AddReplica(Sink sink);
 
  private:
+  mutable std::mutex mu_;
   std::vector<AuditRecord> records_;
   std::vector<Sink> replicas_;
   uint64_t next_seq_ = 1;

@@ -593,4 +593,22 @@ ServerPool::Stats ServerPool::stats() const {
   return stats;
 }
 
+ServerPool::AuditReport ServerPool::VerifyAuditTrail() {
+  AuditReport report;
+  for (size_t i = 0; i < cluster_->size(); ++i) {
+    const witbroker::SecureLog& log = cluster_->machine(i).broker().log();
+    ++report.machines;
+    report.log_entries += log.size();
+    report.epoch_roots += log.epoch_count();
+    bool intact = log.Verify();
+    for (size_t r = 0; intact && r < log.replica_count(); ++r) {
+      intact = log.MatchesReplica(r);
+    }
+    if (!intact) {
+      ++report.failures;
+    }
+  }
+  return report;
+}
+
 }  // namespace witserve

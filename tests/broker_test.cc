@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+
 #include "src/broker/anomaly.h"
 #include "src/broker/broker.h"
 #include "src/broker/securelog.h"
@@ -386,6 +389,210 @@ TEST_F(BrokerTest, BeginDiscardsAbandonedPipeline) {
   auto events = broker_->EventsSnapshot();
   ASSERT_EQ(events.size(), 1u);
   EXPECT_EQ(events[0].verb, kVerbPs);
+}
+
+// ---- Sharded broker hot state (DESIGN.md §14) ----
+
+// A broker with partitioned event/ticket/log state. The policy has no rate
+// limit, so concurrent Handle() calls never mutate shared policy state.
+class ShardedBrokerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    broker_pid_ = *kernel_.Clone(1, "PermissionBroker", 0);
+    ClassPolicy standard;
+    standard.allowed_verbs = {kVerbPs, kVerbRestartService};
+    policy_.SetPolicy("T-1", standard);
+    PermissionBroker::Options options;
+    options.shards = 4;
+    options.log_epoch_interval = 16;
+    broker_ = std::make_unique<PermissionBroker>(&kernel_, broker_pid_, &policy_, &channel_,
+                                                 options);
+  }
+
+  RpcRequest MakeRequest(const std::string& ticket, const std::string& verb) {
+    RpcRequest request;
+    request.method = verb;
+    request.uid = witos::kRootUid;
+    request.ticket_id = ticket;
+    request.admin = "alice";
+    return request;
+  }
+
+  witos::Kernel kernel_{"host"};
+  witos::Pid broker_pid_ = witos::kNoPid;
+  PolicyManager policy_;
+  RpcChannel channel_;
+  std::unique_ptr<PermissionBroker> broker_;
+};
+
+TEST_F(ShardedBrokerTest, TicketsSpreadAcrossShardsAndSnapshotsMerge) {
+  EXPECT_EQ(broker_->shard_count(), 4u);
+  for (int i = 0; i < 12; ++i) {
+    std::string ticket = "TKT-" + std::to_string(i);
+    ASSERT_TRUE(broker_->BindTicket(ticket, "T-1").ok());
+    EXPECT_TRUE(broker_->IsTicketBound(ticket));
+  }
+  EXPECT_EQ(broker_->bound_ticket_count(), 12u);
+  EXPECT_EQ(broker_->BindTicket("TKT-3", "T-8").error(), witos::Err::kExist);
+
+  for (int i = 0; i < 12; ++i) {
+    auto response = broker_->Handle(MakeRequest("TKT-" + std::to_string(i), kVerbPs));
+    EXPECT_TRUE(response.ok);
+  }
+  auto events = broker_->EventsSnapshot();
+  ASSERT_EQ(events.size(), 12u);
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].time_ns, events[i].time_ns);  // merged timeline
+  }
+  // The secure log sharded with the tickets and still verifies end to end.
+  EXPECT_EQ(broker_->log().size(), 12u);
+  EXPECT_TRUE(broker_->log().Verify());
+  size_t shard_total = 0;
+  for (size_t s = 0; s < broker_->log().shard_count(); ++s) {
+    auto shard = broker_->log().SnapshotShard(s);
+    EXPECT_TRUE(SecureLog::VerifyChain(shard));
+    shard_total += shard.size();
+  }
+  EXPECT_EQ(shard_total, 12u);
+
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(broker_->UnbindTicket("TKT-" + std::to_string(i)).ok());
+  }
+  EXPECT_EQ(broker_->bound_ticket_count(), 0u);
+}
+
+TEST_F(ShardedBrokerTest, BatchStaysOnOneShardChain) {
+  ASSERT_TRUE(broker_->BindTicket("TKT-7", "T-1").ok());
+  RpcBatchRequest batch;
+  batch.uid = witos::kRootUid;
+  batch.ticket_id = "TKT-7";
+  batch.admin = "alice";
+  for (int i = 0; i < 5; ++i) {
+    RpcSubRequest op;
+    op.method = kVerbRestartService;
+    op.args = {"svc-" + std::to_string(i)};
+    batch.ops.push_back(op);
+  }
+  auto response = broker_->HandleBatch(batch);
+  ASSERT_EQ(response.responses.size(), 5u);
+  // One ticket → one shard: exactly one shard chain holds all five per-op
+  // entries, in queue order.
+  size_t populated = 0;
+  for (size_t s = 0; s < broker_->log().shard_count(); ++s) {
+    auto shard = broker_->log().SnapshotShard(s);
+    if (shard.empty()) {
+      continue;
+    }
+    ++populated;
+    ASSERT_EQ(shard.size(), 5u);
+    EXPECT_TRUE(SecureLog::VerifyChain(shard));
+    for (size_t i = 0; i < shard.size(); ++i) {
+      EXPECT_NE(shard[i].payload.find("svc-" + std::to_string(i)), std::string::npos);
+    }
+  }
+  EXPECT_EQ(populated, 1u);
+}
+
+TEST_F(ShardedBrokerTest, EventCapAccountsExactlyPerShard) {
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(broker_->BindTicket("TKT-" + std::to_string(i), "T-1").ok());
+  }
+  broker_->set_event_capacity(2);
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 6; ++i) {
+      broker_->Handle(MakeRequest("TKT-" + std::to_string(i), kVerbPs));
+    }
+  }
+  // Every append is either still in some shard's window or counted dropped.
+  auto events = broker_->EventsSnapshot();
+  EXPECT_LE(events.size(), 2u * broker_->shard_count());
+  EXPECT_EQ(events.size() + broker_->dropped_events(), 30u);
+}
+
+// Regression (was: events_.erase(events_.begin()) per append — O(window)
+// once capped, so a *larger* retention window made every append slower,
+// quadratically). The deque evicts from the front in O(1): total append
+// cost must not scale with the configured window size. Shape check, not a
+// microbenchmark — the wide-window run may not cost a multiple of the
+// narrow-window run.
+TEST(BrokerEventWindowPerfTest, CappedAppendCostIndependentOfWindowSize) {
+  constexpr int kAppends = 20000;
+  auto timed_run = [](size_t capacity) {
+    witos::Kernel kernel("host");
+    witos::Pid pid = *kernel.Clone(1, "PermissionBroker", 0);
+    PolicyManager policy;  // default-deny: the cheap, window-only path
+    RpcChannel channel;
+    PermissionBroker broker(&kernel, pid, &policy, &channel);
+    broker.set_event_capacity(capacity);
+    RpcRequest request;
+    request.method = kVerbPs;
+    request.uid = witos::kRootUid;
+    request.ticket_id = "TKT-PERF";
+    request.admin = "alice";
+    auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kAppends; ++i) {
+      broker.Handle(request);
+    }
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+  };
+  int64_t narrow_ms = timed_run(16);
+  int64_t wide_ms = timed_run(8192);
+  // O(window)-per-append puts the wide run ~500x over the narrow one; O(1)
+  // eviction keeps them within noise. The margin is deliberately huge so
+  // only the quadratic shape can trip it.
+  EXPECT_LT(wide_ms, narrow_ms * 8 + 250)
+      << "capped append cost scales with the window size";
+}
+
+// Regression: set_event_capacity() used to write the cap with no lock while
+// request paths appended — a data race (TSan) and a lost-resize hazard. Now
+// it takes each shard lock and applies the cap immediately; this hammers a
+// live broker from writer threads while the cap flips under them. Run under
+// TSan (broker_test is in the TSan CI matrix) this is the race probe.
+TEST(BrokerCapacityRaceTest, ResizeDuringTrafficIsRaceFree) {
+  witos::Kernel kernel("host");
+  witos::Pid pid = *kernel.Clone(1, "PermissionBroker", 0);
+  PolicyManager policy;  // no rate limit → Handle never mutates policy state
+  RpcChannel channel;
+  PermissionBroker::Options options;
+  options.shards = 2;
+  PermissionBroker broker(&kernel, pid, &policy, &channel, options);
+
+  constexpr int kPerWriter = 1500;
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 2; ++w) {
+    writers.emplace_back([&, w] {
+      RpcRequest request;
+      request.method = kVerbReboot;  // denied: event + log + audit, no dispatch
+      request.uid = witos::kRootUid;
+      request.ticket_id = "TKT-" + std::to_string(w);
+      request.admin = "alice";
+      for (int i = 0; i < kPerWriter; ++i) {
+        broker.Handle(request);
+      }
+    });
+  }
+  std::thread resizer([&] {
+    for (int i = 0; i < 400; ++i) {
+      broker.set_event_capacity(i % 2 == 0 ? 8 : 64);
+      (void)broker.EventsSnapshot();
+      (void)broker.dropped_events();
+    }
+  });
+  for (auto& t : writers) {
+    t.join();
+  }
+  resizer.join();
+
+  broker.set_event_capacity(4);
+  EXPECT_LE(broker.EventsSnapshot().size(), 4u * broker.shard_count());
+  // Conservation: every append is either retained or counted as dropped.
+  EXPECT_EQ(broker.EventsSnapshot().size() + broker.dropped_events(),
+            static_cast<size_t>(2 * kPerWriter));
+  EXPECT_TRUE(broker.log().Verify());
+  EXPECT_EQ(broker.log().size(), static_cast<size_t>(2 * kPerWriter));
 }
 
 TEST(AnomalyTest, UnusualVerbFlagged) {
