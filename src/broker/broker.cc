@@ -46,14 +46,23 @@ witos::Status PermissionBroker::BindTicket(const std::string& ticket_id,
   if (!inserted) {
     return witos::Err::kExist;
   }
+  if (binding_listener_) {
+    binding_listener_(ticket_id, ticket_class, /*bound=*/true);
+  }
   return witos::Status::Ok();
 }
 
 witos::Status PermissionBroker::UnbindTicket(const std::string& ticket_id) {
   TicketShard& shard = TicketShardOf(ticket_id);
   std::lock_guard<witobs::ProfiledMutex> lock(shard.mu);
-  if (shard.classes.erase(ticket_id) == 0) {
+  auto it = shard.classes.find(ticket_id);
+  if (it == shard.classes.end()) {
     return witos::Err::kSrch;
+  }
+  std::string ticket_class = std::move(it->second);
+  shard.classes.erase(it);
+  if (binding_listener_) {
+    binding_listener_(ticket_id, ticket_class, /*bound=*/false);
   }
   return witos::Status::Ok();
 }
@@ -71,6 +80,15 @@ size_t PermissionBroker::bound_ticket_count() const {
     total += shard->classes.size();
   }
   return total;
+}
+
+std::vector<std::pair<std::string, std::string>> PermissionBroker::BoundTicketsSnapshot() const {
+  std::vector<std::pair<std::string, std::string>> bindings;
+  for (const auto& shard : ticket_shards_) {
+    std::lock_guard<witobs::ProfiledMutex> lock(shard->mu);
+    bindings.insert(bindings.end(), shard->classes.begin(), shard->classes.end());
+  }
+  return bindings;
 }
 
 void PermissionBroker::RegisterVerb(const std::string& verb, VerbHandler handler) {

@@ -13,6 +13,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/broker/policy.h"
@@ -84,6 +85,18 @@ class PermissionBroker {
   // Live bindings right now; the deploy fault sweeps assert this returns to
   // zero once every ticket has expired or rolled back.
   size_t bound_ticket_count() const;
+  // Consistent-per-shard copy of every live (ticket, class) binding — what
+  // a checkpoint persists. Shards are walked in index order, bindings
+  // within a shard in map order.
+  std::vector<std::pair<std::string, std::string>> BoundTicketsSnapshot() const;
+
+  // Observer for the write-ahead journal (witjournal, DESIGN.md §15):
+  // invoked under the binding's shard lock after every successful
+  // BindTicket (bound=true) / UnbindTicket (bound=false). Must not call
+  // back into the broker. Set before traffic starts.
+  using BindingListener =
+      std::function<void(const std::string& ticket_id, const std::string& ticket_class, bool bound)>;
+  void set_binding_listener(BindingListener listener) { binding_listener_ = std::move(listener); }
 
   // Extension point: ContainIT registers "mount_volume"; the cluster layer
   // registers "net_allow". The handler runs with the broker's host
@@ -183,6 +196,7 @@ class PermissionBroker {
   std::vector<std::unique_ptr<EventShard>> event_shards_;
   std::vector<std::unique_ptr<TicketShard>> ticket_shards_;
   std::map<std::string, VerbHandler> custom_verbs_;
+  BindingListener binding_listener_;
 
   // Observability wiring (all null when metrics are disabled).
   witobs::MetricsRegistry* metrics_ = nullptr;

@@ -59,7 +59,8 @@ SecureLog::SecureLog(size_t shards, uint64_t epoch_interval)
   }
 }
 
-void SecureLog::AppendLocked(Segment* segment, std::string payload, uint64_t time_ns) {
+void SecureLog::AppendLocked(size_t shard, std::string payload, uint64_t time_ns, bool notify) {
+  Segment* segment = segments_[shard].get();
   SecureLogEntry entry;
   entry.seq = segment->entries.size() + 1;
   entry.time_ns = time_ns;
@@ -71,6 +72,9 @@ void SecureLog::AppendLocked(Segment* segment, std::string payload, uint64_t tim
     replica.push_back(entry);
   }
   segment->entries.push_back(std::move(entry));
+  if (notify && append_listener_) {
+    append_listener_(shard, segment->entries.back());
+  }
 }
 
 void SecureLog::MaybeAutoSeal(uint64_t time_ns, uint64_t appended) {
@@ -88,10 +92,11 @@ void SecureLog::MaybeAutoSeal(uint64_t time_ns, uint64_t appended) {
 }
 
 void SecureLog::Append(std::string payload, uint64_t time_ns, uint64_t shard_key) {
-  Segment* segment = segments_[ShardOf(shard_key)].get();
+  size_t shard = ShardOf(shard_key);
+  Segment* segment = segments_[shard].get();
   {
     std::lock_guard<witobs::ProfiledMutex> lock(segment->mu);
-    AppendLocked(segment, std::move(payload), time_ns);
+    AppendLocked(shard, std::move(payload), time_ns, /*notify=*/true);
   }
   MaybeAutoSeal(time_ns, 1);
 }
@@ -106,11 +111,12 @@ void SecureLog::AppendBatch(const std::vector<std::string>& payloads, uint64_t t
   if (payloads.empty()) {
     return;
   }
-  Segment* segment = segments_[ShardOf(shard_key)].get();
+  size_t shard = ShardOf(shard_key);
+  Segment* segment = segments_[shard].get();
   {
     std::lock_guard<witobs::ProfiledMutex> lock(segment->mu);
     for (const std::string& payload : payloads) {
-      AppendLocked(segment, payload, time_ns);
+      AppendLocked(shard, payload, time_ns, /*notify=*/true);
     }
   }
   MaybeAutoSeal(time_ns, payloads.size());
@@ -323,6 +329,44 @@ void SecureLog::SealEpoch(uint64_t time_ns) {
   root.prev_root_hash = epoch_roots_.empty() ? 0 : epoch_roots_.back().root_hash;
   root.root_hash = EpochRoot::ComputeHash(root);
   epoch_roots_.push_back(std::move(root));
+  if (seal_listener_) {
+    seal_listener_(epoch_roots_.back());
+  }
+}
+
+witos::Status SecureLog::RestoreShardEntry(size_t shard, const std::string& payload,
+                                           uint64_t time_ns, uint64_t expected_hash) {
+  if (shard >= segments_.size()) {
+    return witos::Err::kInval;
+  }
+  Segment* segment = segments_[shard].get();
+  std::lock_guard<witobs::ProfiledMutex> lock(segment->mu);
+  if (expected_hash != 0) {
+    uint64_t seq = segment->entries.size() + 1;
+    uint64_t prev = segment->entries.empty() ? 0 : segment->entries.back().hash;
+    if (SecureLogEntry::ComputeHash(seq, time_ns, payload, prev) != expected_hash) {
+      return witos::Err::kInval;
+    }
+  }
+  AppendLocked(shard, payload, time_ns, /*notify=*/false);
+  return witos::Status::Ok();
+}
+
+bool SecureLog::RestoreEpochRoots(std::vector<EpochRoot> roots) {
+  std::vector<EpochRoot> previous;
+  {
+    std::lock_guard<witobs::ProfiledMutex> meta(meta_mu_);
+    previous = std::move(epoch_roots_);
+    epoch_roots_ = std::move(roots);
+  }
+  // Recovery is quiescent, so validating outside the meta lock (which
+  // VerifyEpochRoots needs for itself) does not race with appenders.
+  if (VerifyEpochRoots()) {
+    return true;
+  }
+  std::lock_guard<witobs::ProfiledMutex> meta(meta_mu_);
+  epoch_roots_ = std::move(previous);
+  return false;
 }
 
 std::vector<EpochRoot> SecureLog::EpochRootsSnapshot() const {

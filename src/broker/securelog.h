@@ -33,12 +33,14 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/obs/profile.h"
+#include "src/os/result.h"
 
 namespace witbroker {
 
@@ -153,6 +155,34 @@ class SecureLog {
   // single-chain log, lock="securelog.N" per shard when segmented.
   void EnableLockMetrics(witobs::MetricsRegistry* registry);
 
+  // --- Durability hooks (witjournal, DESIGN.md §15) -----------------------
+
+  // Observers for the write-ahead journal. The append listener runs under
+  // the entry's shard lock, the seal listener under the meta lock — both
+  // must be fast and must never call back into the log. Set before traffic
+  // starts (installation itself is not synchronized against appenders).
+  using AppendListener = std::function<void(size_t shard, const SecureLogEntry& entry)>;
+  using SealListener = std::function<void(const EpochRoot& root)>;
+  void set_append_listener(AppendListener listener) { append_listener_ = std::move(listener); }
+  void set_seal_listener(SealListener listener) { seal_listener_ = std::move(listener); }
+
+  // Recovery: re-appends one journaled entry to `shard`'s chain, bypassing
+  // the listeners and the auto-seal cadence (epoch roots are restored
+  // explicitly, not re-derived). The entry's seq/prev_hash/hash are
+  // recomputed from the chain position; when `expected_hash` is nonzero and
+  // does not match, nothing is appended and EINVAL is returned — a record
+  // that cannot reproduce its own chain is corruption, not history. EINVAL
+  // also on an out-of-range shard.
+  witos::Status RestoreShardEntry(size_t shard, const std::string& payload, uint64_t time_ns,
+                                  uint64_t expected_hash);
+
+  // Recovery: installs the journaled sealed roots after every entry has
+  // been restored, replacing any roots currently held. The roots are
+  // validated against the rebuilt chains (the same checks as
+  // VerifyEpochRoots); on any mismatch nothing is installed (fail closed)
+  // and false is returned.
+  bool RestoreEpochRoots(std::vector<EpochRoot> roots);
+
  private:
   struct Segment {
     explicit Segment(std::string name) : mu(std::move(name)) {}
@@ -163,7 +193,7 @@ class SecureLog {
   };
 
   size_t ShardOf(uint64_t shard_key) const { return shard_key % segments_.size(); }
-  void AppendLocked(Segment* segment, std::string payload, uint64_t time_ns);
+  void AppendLocked(size_t shard, std::string payload, uint64_t time_ns, bool notify);
   void MaybeAutoSeal(uint64_t time_ns, uint64_t appended);
   // Merge helper shared by SnapshotEntries / ReplicaSnapshot.
   static std::vector<SecureLogEntry> MergeByTime(std::vector<std::vector<SecureLogEntry>> shards);
@@ -177,6 +207,8 @@ class SecureLog {
   std::vector<EpochRoot> epoch_roots_;
   std::atomic<uint64_t> appends_until_seal_;
   std::atomic<size_t> replica_count_{0};
+  AppendListener append_listener_;
+  SealListener seal_listener_;
 };
 
 }  // namespace witbroker

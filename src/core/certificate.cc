@@ -42,6 +42,9 @@ Certificate CertificateAuthority::Issue(const std::string& admin, const std::str
   cert.expires_ns = now_ns + lifetime_ns;
   cert.signature = Sign(cert);
   issued_[cert.serial] = cert;
+  if (issue_listener_) {
+    issue_listener_(cert);
+  }
   return cert;
 }
 
@@ -65,7 +68,10 @@ CertStatus CertificateAuthority::Validate(const Certificate& cert, uint64_t now_
 
 void CertificateAuthority::Revoke(uint64_t serial) {
   std::lock_guard<witobs::ProfiledMutex> lock(mu_);
-  revoked_[serial] = true;
+  bool newly = revoked_.emplace(serial, true).second;
+  if (newly && revoke_listener_) {
+    revoke_listener_(serial);
+  }
 }
 
 bool CertificateAuthority::IsRevoked(uint64_t serial) const {
@@ -81,6 +87,57 @@ size_t CertificateAuthority::issued_count() const {
 size_t CertificateAuthority::revoked_count() const {
   std::lock_guard<witobs::ProfiledMutex> lock(mu_);
   return revoked_.size();
+}
+
+std::vector<Certificate> CertificateAuthority::IssuedSnapshot() const {
+  std::lock_guard<witobs::ProfiledMutex> lock(mu_);
+  std::vector<Certificate> certs;
+  certs.reserve(issued_.size());
+  for (const auto& [serial, cert] : issued_) {
+    (void)serial;
+    certs.push_back(cert);
+  }
+  return certs;
+}
+
+std::vector<uint64_t> CertificateAuthority::RevokedSnapshot() const {
+  std::lock_guard<witobs::ProfiledMutex> lock(mu_);
+  std::vector<uint64_t> serials;
+  serials.reserve(revoked_.size());
+  for (const auto& [serial, flag] : revoked_) {
+    (void)flag;
+    serials.push_back(serial);
+  }
+  return serials;
+}
+
+void CertificateAuthority::set_issue_listener(IssueListener listener) {
+  std::lock_guard<witobs::ProfiledMutex> lock(mu_);
+  issue_listener_ = std::move(listener);
+}
+
+void CertificateAuthority::set_revoke_listener(RevokeListener listener) {
+  std::lock_guard<witobs::ProfiledMutex> lock(mu_);
+  revoke_listener_ = std::move(listener);
+}
+
+witos::Status CertificateAuthority::RestoreIssued(const Certificate& cert) {
+  std::lock_guard<witobs::ProfiledMutex> lock(mu_);
+  if (cert.signature != Sign(cert)) {
+    return witos::Err::kInval;
+  }
+  if (!issued_.emplace(cert.serial, cert).second) {
+    return witos::Err::kExist;
+  }
+  if (cert.serial >= next_serial_) {
+    next_serial_ = cert.serial + 1;
+  }
+  return witos::Status::Ok();
+}
+
+void CertificateAuthority::RestoreRevoked(uint64_t serial) {
+  std::lock_guard<witobs::ProfiledMutex> lock(mu_);
+  revoked_[serial] = true;
 }
 
 }  // namespace watchit

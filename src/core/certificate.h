@@ -6,9 +6,11 @@
 #define SRC_CORE_CERTIFICATE_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "src/obs/profile.h"
 #include "src/os/result.h"
@@ -55,6 +57,29 @@ class CertificateAuthority {
   size_t issued_count() const;
   size_t revoked_count() const;
 
+  // Point-in-time copies of the issue/revoke books — what a checkpoint
+  // persists (serial order, since issued_ is keyed by serial).
+  std::vector<Certificate> IssuedSnapshot() const;
+  std::vector<uint64_t> RevokedSnapshot() const;
+
+  // Observers for the write-ahead journal (witjournal, DESIGN.md §15),
+  // invoked under the CA lock — after every Issue, and after a serial is
+  // *newly* revoked (a re-revoke is idempotent and silent). Must not call
+  // back into the CA. Set before traffic starts.
+  using IssueListener = std::function<void(const Certificate& cert)>;
+  using RevokeListener = std::function<void(uint64_t serial)>;
+  void set_issue_listener(IssueListener listener);
+  void set_revoke_listener(RevokeListener listener);
+
+  // Recovery: re-seeds one certificate exactly as journaled, bypassing the
+  // listeners. The signature must verify under this CA's secret (EINVAL
+  // otherwise — a journaled cert this CA never signed is corruption) and
+  // the serial must be unused (EEXIST). next_serial advances past every
+  // restored serial so post-recovery issues never collide.
+  witos::Status RestoreIssued(const Certificate& cert);
+  // Recovery: re-seeds a revocation; idempotent, bypasses the listeners.
+  void RestoreRevoked(uint64_t serial);
+
   // Attaches the CA lock to the contention profile
   // (watchit_lock_{wait,hold}_ns{lock="ca"}): every deploy issues and every
   // expiry revokes through this one mutex.
@@ -68,6 +93,8 @@ class CertificateAuthority {
   uint64_t next_serial_ = 1;
   std::map<uint64_t, Certificate> issued_;
   std::map<uint64_t, bool> revoked_;
+  IssueListener issue_listener_;
+  RevokeListener revoke_listener_;
 };
 
 }  // namespace watchit

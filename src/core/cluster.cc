@@ -54,6 +54,37 @@ Machine* Cluster::FindMachine(const std::string& name) {
   return nullptr;
 }
 
+Machine* Cluster::ReplaceMachine(const std::string& name) {
+  for (auto& slot : machines_) {
+    if (slot->name() == name) {
+      witnet::Ipv4Addr addr = slot->addr();
+      // The fabric endpoint registered at AddMachine survives the reboot —
+      // only the machine's volatile state is rebuilt.
+      slot = std::make_unique<Machine>(name, addr, &fabric_);
+      return slot.get();
+    }
+  }
+  return nullptr;
+}
+
+Cluster::AuditReport Cluster::VerifyAuditTrail() const {
+  AuditReport report;
+  for (const auto& machine : machines_) {
+    const witbroker::SecureLog& log = machine->broker().log();
+    ++report.machines;
+    report.log_entries += log.size();
+    report.epoch_roots += log.epoch_count();
+    bool intact = log.Verify();
+    for (size_t r = 0; intact && r < log.replica_count(); ++r) {
+      intact = log.MatchesReplica(r);
+    }
+    if (!intact) {
+      ++report.failures;
+    }
+  }
+  return report;
+}
+
 witos::Result<Deployment> ClusterManager::Deploy(const Ticket& ticket, uint64_t lifetime_ns) {
   // The staged transaction with a null gate reproduces the historical
   // single-threaded inline deploy, now with rollback: a failed stage leaves

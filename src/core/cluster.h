@@ -5,6 +5,7 @@
 #ifndef SRC_CORE_CLUSTER_H_
 #define SRC_CORE_CLUSTER_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -17,6 +18,28 @@
 #include "src/net/network.h"
 
 namespace watchit {
+
+enum class DeployStage;  // src/core/deploy.h
+
+// One deploy-transaction transition, reported by RunDeployStages through
+// the cluster (witjournal, DESIGN.md §15): Begin when the target machine is
+// resolved, Stage after each stage gate settles, then exactly one of Commit
+// or Rollback. A durability layer journals these so a crash-time recovery
+// can tell committed deployments from transactions that died mid-flight —
+// without the deploy path depending on the journal.
+struct DeployTxnEvent {
+  enum class Kind { kBegin, kStage, kCommit, kRollback };
+  Kind kind = Kind::kBegin;
+  std::string ticket_id;
+  std::string machine;
+  std::string ticket_class;
+  std::string admin;
+  DeployStage stage{};  // kStage: the stage that settled; kRollback: the failed stage
+  witos::Err err = witos::Err::kOk;
+  uint64_t cert_serial = 0;  // kCommit only
+  uint64_t session = 0;      // kCommit only
+  uint64_t time_ns = 0;      // machine sim-clock; 0 where no clock is safe to read
+};
 
 class Cluster {
  public:
@@ -33,6 +56,37 @@ class Cluster {
   size_t size() const { return machines_.size(); }
   Machine& machine(size_t index) { return *machines_[index]; }
 
+  // Reboots `name` in place: the old Machine (kernel, broker, sessions,
+  // secure log — the crashed shard's volatile state) is destroyed and a
+  // fresh one takes its slot, same name and address. For quiesced recovery
+  // only: any Machine* held elsewhere (server-pool shards, deployments)
+  // dangles afterwards. Null for an unknown name.
+  Machine* ReplaceMachine(const std::string& name);
+
+  // Deploy-transaction observer; called from every RunDeployStages (any
+  // deploy worker), so the listener must be thread-safe. Set while no
+  // deploys are in flight.
+  using DeployTxnListener = std::function<void(const DeployTxnEvent& event)>;
+  void set_deploy_listener(DeployTxnListener listener) { deploy_listener_ = std::move(listener); }
+  void NotifyDeployTxn(const DeployTxnEvent& event) const {
+    if (deploy_listener_) {
+      deploy_listener_(event);
+    }
+  }
+
+  // Cluster-wide audit sweep (DESIGN.md §14): verifies every machine's
+  // segmented secure log — each shard chain, each sealed epoch root, and
+  // divergence against every registered replica. `failures` counts machines
+  // whose trail did not verify. ServerPool::VerifyAuditTrail and the crash
+  // harness's post-recovery audit both land here.
+  struct AuditReport {
+    size_t machines = 0;
+    size_t log_entries = 0;
+    size_t epoch_roots = 0;
+    size_t failures = 0;
+  };
+  AuditReport VerifyAuditTrail() const;
+
  private:
   void ProvisionServices();
 
@@ -41,6 +95,7 @@ class Cluster {
   std::vector<std::unique_ptr<Machine>> machines_;
   witcontain::ImageRepository images_;
   CertificateAuthority ca_;
+  DeployTxnListener deploy_listener_;
 };
 
 // A deployed ticket: the container session plus the admin's certificate.

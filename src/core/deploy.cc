@@ -39,6 +39,27 @@ witos::Result<Deployment> RunDeployStages(Cluster* cluster, const Ticket& ticket
     Certificate cert;
   } tx;
 
+  // The transaction's event stream for the cluster's deploy listener. The
+  // clock is only read where the machine lock is held; begin/commit carry
+  // the last locked-region timestamp instead.
+  uint64_t last_stage_end_ns = 0;
+  auto notify = [&](DeployTxnEvent::Kind kind, DeployStage stage, witos::Err err,
+                    uint64_t time_ns) {
+    DeployTxnEvent event;
+    event.kind = kind;
+    event.ticket_id = ticket.id;
+    event.machine = machine->name();
+    event.ticket_class = ticket.assigned_class;
+    event.admin = ticket.admin;
+    event.stage = stage;
+    event.err = err;
+    event.cert_serial = tx.cert_issued ? tx.cert.serial : 0;
+    event.session = tx.session_built ? tx.session : 0;
+    event.time_ns = time_ns;
+    cluster->NotifyDeployTxn(event);
+  };
+  notify(DeployTxnEvent::Kind::kBegin, DeployStage::kImageLookup, witos::Err::kOk, 0);
+
   auto run_stage = [&](DeployStage stage, auto&& body) -> witos::Status {
     WITOS_RETURN_IF_ERROR(gate->BeforeStage(stage, machine));
     std::unique_lock<std::mutex> lock = gate->LockMachine(machine);
@@ -58,10 +79,15 @@ witos::Result<Deployment> RunDeployStages(Cluster* cluster, const Ticket& ticket
       status = witos::Err::kTimedOut;
     }
     gate->OnStageDone(stage, sim_ns, status.error());
+    last_stage_end_ns = start_ns + sim_ns;
+    notify(DeployTxnEvent::Kind::kStage, stage, status.error(), last_stage_end_ns);
     return status;
   };
 
   auto rollback = [&](DeployStage failed_stage, witos::Err err) {
+    // Close the journal transaction even when nothing committed: a Begin
+    // with no Commit/Rollback would read as a deploy that died mid-flight.
+    notify(DeployTxnEvent::Kind::kRollback, failed_stage, err, last_stage_end_ns);
     if (!tx.cert_issued && !tx.bound && !tx.session_built) {
       return;  // nothing committed yet — nothing to unwind
     }
@@ -133,6 +159,8 @@ witos::Result<Deployment> RunDeployStages(Cluster* cluster, const Ticket& ticket
   deployment.machine = machine;
   deployment.certificate = tx.cert;
   deployment.ticket_class = ticket.assigned_class;
+  notify(DeployTxnEvent::Kind::kCommit, DeployStage::kIssueCert, witos::Err::kOk,
+         last_stage_end_ns);
   return deployment;
 }
 

@@ -78,10 +78,25 @@ void FaultPlan::FailWithProbability(double p, Err err) {
   probability_err_ = err;
 }
 
+void FaultPlan::CrashAtNthOp(FaultOpKind op, uint64_t nth) {
+  if (nth == 0) {
+    return;  // "crash on every call" is not a meaningful schedule
+  }
+  crash_triggers_.push_back(Trigger{op, nth, 0, Err::kOk});
+}
+
+bool FaultPlan::ConsumeCrash() {
+  bool was_pending = crash_pending_;
+  crash_pending_ = false;
+  return was_pending;
+}
+
 void FaultPlan::Rewind() {
   prng_state_ = Mix(seed_);
   calls_ = 0;
   injected_ = 0;
+  crash_pending_ = false;
+  crashes_ = 0;
   for (size_t i = 0; i < kNumFaultOpKinds; ++i) {
     op_calls_[i] = 0;
     injected_per_op_[i] = 0;
@@ -126,6 +141,19 @@ Err FaultPlan::Decide(FaultOpKind op) {
       if (metric_injected_[op_index] != nullptr) {
         metric_injected_[op_index]->Increment();
       }
+    }
+  }
+  // Crash points are evaluated last and independently: they read the same
+  // counters but touch none of the error-decision state, so registering one
+  // leaves every errno decision above byte-for-byte unchanged.
+  for (const auto& trigger : crash_triggers_) {
+    if (trigger.op != FaultOpKind::kAny && trigger.op != op) {
+      continue;
+    }
+    uint64_t counter = trigger.op == FaultOpKind::kAny ? call : op_call;
+    if (trigger.nth == counter) {
+      crash_pending_ = true;
+      ++crashes_;
     }
   }
   return err;

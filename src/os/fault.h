@@ -80,6 +80,28 @@ class FaultPlan {
   // decision sequence is a pure function of the seed and the call order).
   void FailWithProbability(double p, Err err);
 
+  // --- Crash points (witcrash, DESIGN.md §15) -------------------------------
+
+  // A crash trigger marks the call where the process hosting the monitored
+  // state dies, instead of injecting an errno. Crash triggers observe the
+  // same call counters as the error triggers but never perturb the decision
+  // stream — no errno, no counter skew, no PRNG draw — so a plan with a
+  // crash point added makes every non-crash decision byte-for-byte
+  // identically to the plan without it, and crash points compose with the
+  // existing stage×errno sweeps. When the `nth` matching call is reached,
+  // crash_pending() latches; the driver (the witcrash harness) checks it
+  // after Decide() and pulls the plug.
+  void CrashAtNthCall(uint64_t nth) { CrashAtNthOp(FaultOpKind::kAny, nth); }
+  void CrashAtNthOp(FaultOpKind op, uint64_t nth);
+
+  // Latched once a crash trigger fires; sticky until ConsumeCrash() or
+  // Rewind().
+  bool crash_pending() const { return crash_pending_; }
+  // Clears the latch; returns whether it was set (the "did I just die" test
+  // drivers gate the kill on).
+  bool ConsumeCrash();
+  uint64_t crashes() const { return crashes_; }
+
   // --- Decision point -------------------------------------------------------
 
   // Called once per intercepted operation; returns kOk to let it through.
@@ -114,8 +136,13 @@ class FaultPlan {
   uint64_t seed_;
   uint64_t prng_state_;
   std::vector<Trigger> triggers_;
+  // Crash points live in their own list: they share the Trigger shape (err
+  // unused) but must never shadow or reorder the error triggers.
+  std::vector<Trigger> crash_triggers_;
   double probability_ = 0.0;
   Err probability_err_ = Err::kIo;
+  bool crash_pending_ = false;
+  uint64_t crashes_ = 0;
 
   uint64_t calls_ = 0;
   uint64_t op_calls_[kNumFaultOpKinds] = {};

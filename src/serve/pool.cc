@@ -594,20 +594,14 @@ ServerPool::Stats ServerPool::stats() const {
 }
 
 ServerPool::AuditReport ServerPool::VerifyAuditTrail() {
+  // One sweep implementation for the whole codebase: the pool, the crash
+  // harness and the benches all audit through Cluster::VerifyAuditTrail.
+  watchit::Cluster::AuditReport sweep = cluster_->VerifyAuditTrail();
   AuditReport report;
-  for (size_t i = 0; i < cluster_->size(); ++i) {
-    const witbroker::SecureLog& log = cluster_->machine(i).broker().log();
-    ++report.machines;
-    report.log_entries += log.size();
-    report.epoch_roots += log.epoch_count();
-    bool intact = log.Verify();
-    for (size_t r = 0; intact && r < log.replica_count(); ++r) {
-      intact = log.MatchesReplica(r);
-    }
-    if (!intact) {
-      ++report.failures;
-    }
-  }
+  report.machines = sweep.machines;
+  report.log_entries = sweep.log_entries;
+  report.epoch_roots = sweep.epoch_roots;
+  report.failures = sweep.failures;
   return report;
 }
 
