@@ -67,7 +67,10 @@ void BM_ItfsLogAll(benchmark::State& state) {
   for (auto _ : state) {
     fig9::BenchEnv env = fig9::MakeEnv(fig9::FsConfig::kItfsExtension);
     witcontain::Session* session = env.containit->FindSession(1);
-    session->itfs->policy().set_log_all(log_all);
+    witfs::ItfsPolicy builder = session->spec.fs.policy;
+    builder.set_inspection_mode(session->spec.fs.inspection);
+    builder.set_log_all(log_all);
+    session->itfs->SwapPolicy(builder.Compile());
     sim = fig9::RunGrepSmall(&env);
     state.SetIterationTime(static_cast<double>(sim) / 1e9);
   }
@@ -84,7 +87,20 @@ void BM_SignatureScanLimit(benchmark::State& state) {
   for (auto _ : state) {
     fig9::BenchEnv env = fig9::MakeEnv(fig9::FsConfig::kItfsSignature);
     witcontain::Session* session = env.containit->FindSession(1);
-    session->itfs->policy().set_content_scan_limit(limit);
+    witfs::ItfsPolicy builder = session->spec.fs.policy;
+    builder.set_inspection_mode(session->spec.fs.inspection);
+    builder.set_content_scan_limit(limit);
+    // A custom detector forces the gate to honor the full scan window: a
+    // pure signature policy compiles down to a 64-byte read regardless of
+    // the limit (required_head_bytes), which would flatten this sweep.
+    witfs::ItfsRule deep;
+    deep.name = "deep-scan";
+    deep.action = witfs::RuleAction::kLogOnly;
+    deep.custom = [](const std::string&, std::string_view head) {
+      return head.find("CLASSIFIED") != std::string_view::npos;
+    };
+    builder.AddRule(std::move(deep));
+    session->itfs->SwapPolicy(builder.Compile());
     sim = fig9::RunGrepSmall(&env);
     state.SetIterationTime(static_cast<double>(sim) / 1e9);
   }

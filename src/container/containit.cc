@@ -70,8 +70,8 @@ void ContainIt::AttachBroker(witbroker::PermissionBroker* broker) {
 
 std::shared_ptr<witfs::Itfs> ContainIt::MakeItfs(Session* session,
                                                  std::shared_ptr<witos::Filesystem> lower) {
-  witfs::ItfsPolicy policy = session->spec.fs.policy;
-  policy.set_inspection_mode(session->spec.fs.inspection);
+  std::shared_ptr<const witfs::CompiledPolicy> policy =
+      session->spec.fs.CompileEffectivePolicy();
   // ITFS runs with the privileges of the host user who mounts it: root for
   // admin containers, an unprivileged service uid in rootless mode.
   witos::Credentials invoker;

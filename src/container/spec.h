@@ -7,10 +7,12 @@
 #ifndef SRC_CONTAINER_SPEC_H_
 #define SRC_CONTAINER_SPEC_H_
 
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "src/fs/compiled_policy.h"
 #include "src/fs/itfs_policy.h"
 #include "src/net/ip.h"
 #include "src/net/sniffer.h"
@@ -41,6 +43,17 @@ struct FsView {
   // operations bypass the userspace daemon. Faster, but individual
   // reads/writes are no longer in the ITFS log.
   bool passthrough = false;
+
+  // The compile-then-install flow: folds `inspection` into a copy of
+  // `policy` and compiles it. This is what ContainIT mounts; the builder
+  // `policy` above stays the declarative source of truth. Compile warnings
+  // (duplicate names, shadowed rules) land in `diagnostics` when non-null.
+  std::shared_ptr<const witfs::CompiledPolicy> CompileEffectivePolicy(
+      std::vector<witfs::CompileDiagnostic>* diagnostics = nullptr) const {
+    witfs::ItfsPolicy effective = policy;
+    effective.set_inspection_mode(inspection);
+    return effective.Compile(diagnostics);
+  }
 };
 
 struct AllowedEndpoint {

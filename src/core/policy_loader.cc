@@ -23,6 +23,9 @@ PolicyLoadReport LoadMachinePolicies(Machine* machine, witcontain::ImageReposito
     }
     itfs_parsed = std::move(*parsed);
     report.itfs_rules_loaded = itfs_parsed.rule_count;
+    for (const auto& diag : itfs_parsed.diagnostics) {
+      report.warnings.push_back("itfs.policy: " + diag.message);
+    }
     have_itfs = true;
   }
 

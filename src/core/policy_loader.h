@@ -14,6 +14,7 @@
 #define SRC_CORE_POLICY_LOADER_H_
 
 #include <string>
+#include <vector>
 
 #include "src/container/image_repo.h"
 #include "src/core/machine.h"
@@ -25,6 +26,10 @@ struct PolicyLoadReport {
   size_t ids_rules_loaded = 0;
   size_t images_updated = 0;
   std::string error;  // parse error, if any
+  // Non-fatal compile diagnostics from the ITFS rule set (shadowed rules
+  // that can never fire, etc.) — the load succeeds, but the security team
+  // should see these.
+  std::vector<std::string> warnings;
 
   bool ok() const { return error.empty(); }
 };

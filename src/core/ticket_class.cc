@@ -21,6 +21,14 @@ void ApplyHardConstraints(PerforatedContainerSpec* spec) {
   spec->fs.policy.AddRule(witfs::ItfsPolicy::ProtectPathsRule(WatchItProtectedPaths()));
   spec->fs.policy.AddRule(witfs::ItfsPolicy::DenyDocumentsRule());
   spec->net.sniff = true;
+  // Compile-check at image-build time: every registered spec must produce a
+  // clean policy (no duplicate rule names, no rules shadowed by an earlier
+  // first-match deny). A diagnostic here is an authoring bug in the canned
+  // specs, not a runtime condition.
+  std::vector<witfs::CompileDiagnostic> diags;
+  (void)spec->fs.CompileEffectivePolicy(&diags);
+  assert(diags.empty());
+  (void)diags;
 }
 
 PerforatedContainerSpec Base(int index) {

@@ -76,6 +76,11 @@ class FuseMount : public witos::Filesystem {
   witos::Result<std::string> ReadLink(const std::string& path,
                                       const witos::Credentials& cred) override;
   witos::Result<witos::FsStats> StatFs() const override;
+  // Generation queries are free metadata lookups, not FUSE requests: no
+  // kernel/userspace crossing is charged.
+  uint64_t Generation(const std::string& path) const override {
+    return user_fs_->Generation(path);
+  }
 
   uint64_t crossings() const { return crossings_; }
 

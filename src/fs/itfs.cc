@@ -4,13 +4,73 @@
 
 namespace witfs {
 
-Itfs::Itfs(std::shared_ptr<witos::Filesystem> lower, ItfsPolicy policy,
-           witos::Credentials invoker, witos::SimClock* clock, witos::AuditLog* audit)
+Itfs::Itfs(std::shared_ptr<witos::Filesystem> lower,
+           std::shared_ptr<const CompiledPolicy> policy, witos::Credentials invoker,
+           witos::SimClock* clock, witos::AuditLog* audit)
     : lower_(std::move(lower)),
       policy_(std::move(policy)),
       invoker_(std::move(invoker)),
       clock_(clock),
       audit_(audit) {}
+
+Itfs::Itfs(std::shared_ptr<witos::Filesystem> lower, const ItfsPolicy& policy,
+           witos::Credentials invoker, witos::SimClock* clock, witos::AuditLog* audit)
+    : Itfs(std::move(lower), policy.Compile(), std::move(invoker), clock, audit) {}
+
+void Itfs::SwapPolicy(std::shared_ptr<const CompiledPolicy> policy) {
+  if (compile_ns_hist_ != nullptr) {
+    compile_ns_hist_->Observe(policy->compile_ns());
+  }
+  policy_.store(std::move(policy), std::memory_order_release);
+}
+
+VerdictCacheStats Itfs::verdict_cache_stats() const {
+  VerdictCacheStats stats;
+  stats.hits = verdict_hits_.load(std::memory_order_relaxed);
+  stats.misses = verdict_misses_.load(std::memory_order_relaxed);
+  stats.invalidations = verdict_invalidations_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(verdict_mu_);
+  stats.entries = verdict_cache_.size();
+  return stats;
+}
+
+bool Itfs::LookupVerdict(const std::string& path, uint64_t generation, size_t basis,
+                         VerdictEntry* out) {
+  std::lock_guard<std::mutex> lock(verdict_mu_);
+  auto it = verdict_cache_.find(path);
+  if (it == verdict_cache_.end()) {
+    return false;
+  }
+  if (it->second.generation != generation || it->second.basis != basis) {
+    // The file mutated (or the policy now reads a different head size):
+    // the entry can no longer vouch for the content. Drop it so a stale
+    // verdict cannot be served even transiently.
+    verdict_invalidations_.fetch_add(1, std::memory_order_relaxed);
+    if (cache_invalidations_counter_ != nullptr) {
+      cache_invalidations_counter_->Increment();
+    }
+    verdict_cache_.erase(it);
+    return false;
+  }
+  *out = it->second;
+  return true;
+}
+
+void Itfs::StoreVerdict(const std::string& path, VerdictEntry entry) {
+  std::lock_guard<std::mutex> lock(verdict_mu_);
+  auto [it, inserted] = verdict_cache_.insert_or_assign(path, entry);
+  (void)it;
+  if (inserted) {
+    verdict_fifo_.push_back(path);
+  }
+  // Bounded FIFO eviction: pop oldest insertions until back under capacity.
+  // Every live entry owns at least one fifo slot, so bounding the fifo
+  // bounds the map; slots for already-invalidated paths pop for free.
+  while (verdict_fifo_.size() > kVerdictCacheCapacity) {
+    verdict_cache_.erase(verdict_fifo_.front());
+    verdict_fifo_.pop_front();
+  }
+}
 
 void Itfs::EnableMetrics(witobs::MetricsRegistry* registry, const std::string& correlation_id,
                          witobs::Tracer* tracer) {
@@ -29,6 +89,14 @@ void Itfs::EnableMetrics(witobs::MetricsRegistry* registry, const std::string& c
                     "Simulated latency of a whole ITFS operation by kind");
   registry->SetHelp("watchit_itfs_oplog_dropped_total",
                     "OpLog records evicted by the retention cap");
+  registry->SetHelp("watchit_itfs_verdict_cache_hits",
+                    "Signature inspections served from the verdict cache (no head re-read)");
+  registry->SetHelp("watchit_itfs_verdict_cache_misses",
+                    "Signature inspections that had to read the file head");
+  registry->SetHelp("watchit_itfs_verdict_cache_invalidations",
+                    "Cached verdicts dropped because the file's generation changed");
+  registry->SetHelp("watchit_policy_compile_ns",
+                    "Wall nanoseconds spent compiling an ItfsPolicy into its automata");
   for (size_t op = 0; op < kNumOpKinds; ++op) {
     std::string op_name = ItfsOpKindName(static_cast<ItfsOpKind>(op));
     op_counters_[op][0] =
@@ -42,62 +110,110 @@ void Itfs::EnableMetrics(witobs::MetricsRegistry* registry, const std::string& c
   ticket_ops_[1] = registry->GetCounter("watchit_itfs_ticket_ops_total",
                                         {{"ticket", correlation_id}, {"outcome", "deny"}});
   head_read_bytes_ = registry->GetCounter("watchit_itfs_head_read_bytes_total");
+  cache_hits_counter_ = registry->GetCounter("watchit_itfs_verdict_cache_hits");
+  cache_misses_counter_ = registry->GetCounter("watchit_itfs_verdict_cache_misses");
+  cache_invalidations_counter_ =
+      registry->GetCounter("watchit_itfs_verdict_cache_invalidations");
+  compile_ns_hist_ = registry->GetHistogram("watchit_policy_compile_ns");
+  compile_ns_hist_->Observe(policy_snapshot()->compile_ns());
   oplog_.set_dropped_counter(registry->GetCounter("watchit_itfs_oplog_dropped_total"));
 }
 
 witos::Status Itfs::Gate(ItfsOpKind op, const std::string& path,
                          const witos::Credentials& cred, bool fetch_head) {
   witobs::Span span(tracer_, "itfs.gate", correlation_id_);
+  std::shared_ptr<const CompiledPolicy> policy = policy_.load(std::memory_order_acquire);
   size_t head_bytes = 0;
   std::string head;
-  if (fetch_head && policy_.NeedsContent()) {
-    // Signature inspection: read the head of the file from the lower fs with
-    // the invoker's privileges. This is the extra work the ITFS+signature
-    // configuration pays per open in Figure 9 — the lower filesystem charges
-    // the byte movement on the machine clock.
-    if (clock_ != nullptr) {
-      clock_->Advance(clock_->costs().signature_read_ns);
+  PolicyDecision decision;
+  bool decided = false;
+  if (fetch_head && policy->NeedsContent()) {
+    const bool cacheable = policy->CacheableVerdicts();
+    const size_t basis = policy->required_head_bytes();
+    uint64_t generation = witos::kNoGeneration;
+    if (cacheable) {
+      generation = lower_->Generation(path);
     }
-    std::string buf;
-    auto read = lower_->ReadAt(path, 0, policy_.content_scan_limit(), &buf, invoker_);
-    if (read.ok()) {
+    VerdictEntry cached;
+    if (generation != witos::kNoGeneration && LookupVerdict(path, generation, basis, &cached)) {
+      // Verdict-cache hit: the file's content has provably not changed since
+      // it was classified at this read size, so the class is still exact.
+      // No head read, no simulated clock charge — this is the fast path.
+      verdict_hits_.fetch_add(1, std::memory_order_relaxed);
+      if (cache_hits_counter_ != nullptr) {
+        cache_hits_counter_->Increment();
+      }
+      decision = policy->EvaluateClassified(op, path, cached.cls, cached.has_content);
+      decided = true;
+    } else {
+      verdict_misses_.fetch_add(1, std::memory_order_relaxed);
+      if (cache_misses_counter_ != nullptr) {
+        cache_misses_counter_->Increment();
+      }
+      // Signature inspection: read the head of the file from the lower fs
+      // with the invoker's privileges. This is the extra work the
+      // ITFS+signature configuration pays per open in Figure 9 — the lower
+      // filesystem charges the byte movement on the machine clock. The
+      // compiled policy knows at compile time how many bytes classification
+      // can possibly consume (64 unless a custom detector wants the full
+      // scan window), so the read is sized to `basis`, not the whole window.
       if (clock_ != nullptr) {
-        // Content classification cost over the scanned bytes.
-        clock_->Advance(buf.size() * clock_->costs().signature_scan_per_byte_tenth_ns / 10);
+        clock_->Advance(clock_->costs().signature_read_ns);
       }
-      head = std::move(buf);
-      head_bytes = head.size();
-      if (head.size() > kSignatureHeadBytes) {
-        head.resize(kSignatureHeadBytes);  // detection needs only the head
+      std::string buf;
+      auto read = lower_->ReadAt(path, 0, basis, &buf, invoker_);
+      if (read.ok()) {
+        if (clock_ != nullptr) {
+          // Content classification cost over the scanned bytes.
+          clock_->Advance(buf.size() * clock_->costs().signature_scan_per_byte_tenth_ns / 10);
+        }
+        head = std::move(buf);
+        head_bytes = head.size();
+        if (head.size() > kSignatureHeadBytes) {
+          head.resize(kSignatureHeadBytes);  // detection needs only the head
+        }
+        if (cacheable && generation != witos::kNoGeneration) {
+          VerdictEntry entry;
+          entry.generation = generation;
+          entry.cls = DetectSignature(head);
+          entry.has_content = !head.empty();
+          entry.basis = basis;
+          StoreVerdict(path, entry);
+        }
+      } else if (read.error() != witos::Err::kNoEnt && read.error() != witos::Err::kIsDir &&
+                 read.error() != witos::Err::kNotDir) {
+        // Fail closed. A missing file or a directory simply has no content to
+        // scan, but any *environmental* failure (EIO, ENOSPC, ENOMEM) would
+        // leave `head` empty and let content smuggled under an innocent name
+        // sail past the signature rules — a fault-induced policy bypass. Deny
+        // the access with the lower error, and account it like a deny. The
+        // failed read is never cached: the next gate retries the lower fs,
+        // and any cached verdict for this path was already bypassed above
+        // (a mutation moved the generation, which is what brought us here).
+        if (metrics_ != nullptr) {
+          op_counters_[static_cast<size_t>(op)][1]->Increment();
+          ticket_ops_[1]->Increment();
+        }
+        OpRecord rec;
+        rec.time_ns = clock_ != nullptr ? clock_->now_ns() : 0;
+        rec.op = op;
+        rec.path = path;
+        rec.uid = cred.uid;
+        rec.denied = true;
+        rec.rule = "head-fetch-failed";
+        oplog_.Record(std::move(rec));
+        if (audit_ != nullptr) {
+          audit_->Append(witos::AuditEvent::kFileDenied, witos::kNoPid, cred.uid,
+                         ItfsOpKindName(op) + " " + path + " [head-fetch-failed]",
+                         clock_ != nullptr ? clock_->now_ns() : 0);
+        }
+        return read.error();
       }
-    } else if (read.error() != witos::Err::kNoEnt && read.error() != witos::Err::kIsDir &&
-               read.error() != witos::Err::kNotDir) {
-      // Fail closed. A missing file or a directory simply has no content to
-      // scan, but any *environmental* failure (EIO, ENOSPC, ENOMEM) would
-      // leave `head` empty and let content smuggled under an innocent name
-      // sail past the signature rules — a fault-induced policy bypass. Deny
-      // the access with the lower error, and account it like a deny.
-      if (metrics_ != nullptr) {
-        op_counters_[static_cast<size_t>(op)][1]->Increment();
-        ticket_ops_[1]->Increment();
-      }
-      OpRecord rec;
-      rec.time_ns = clock_ != nullptr ? clock_->now_ns() : 0;
-      rec.op = op;
-      rec.path = path;
-      rec.uid = cred.uid;
-      rec.denied = true;
-      rec.rule = "head-fetch-failed";
-      oplog_.Record(std::move(rec));
-      if (audit_ != nullptr) {
-        audit_->Append(witos::AuditEvent::kFileDenied, witos::kNoPid, cred.uid,
-                       ItfsOpKindName(op) + " " + path + " [head-fetch-failed]",
-                       clock_ != nullptr ? clock_->now_ns() : 0);
-      }
-      return read.error();
     }
   }
-  PolicyDecision decision = policy_.Evaluate(op, path, head);
+  if (!decided) {
+    decision = policy->Evaluate(op, path, head);
+  }
   if (metrics_ != nullptr) {
     size_t outcome = decision.deny ? 1 : 0;
     op_counters_[static_cast<size_t>(op)][outcome]->Increment();
@@ -106,7 +222,7 @@ witos::Status Itfs::Gate(ItfsOpKind op, const std::string& path,
       head_read_bytes_->Increment(head_bytes);
     }
   }
-  bool should_log = decision.deny || !decision.rule.empty() || policy_.log_all();
+  bool should_log = decision.deny || !decision.rule.empty() || policy->log_all();
   if (should_log) {
     OpRecord rec;
     rec.time_ns = clock_ != nullptr ? clock_->now_ns() : 0;

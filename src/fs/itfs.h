@@ -16,9 +16,14 @@
 #ifndef SRC_FS_ITFS_H_
 #define SRC_FS_ITFS_H_
 
+#include <atomic>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 
+#include "src/fs/compiled_policy.h"
 #include "src/fs/itfs_policy.h"
 #include "src/fs/oplog.h"
 #include "src/obs/metrics.h"
@@ -29,12 +34,29 @@
 
 namespace witfs {
 
+// Counters for the signature-verdict cache (see Gate): how often a gated
+// content inspection was served without re-reading the file head.
+struct VerdictCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  // Stale entries replaced because the file's generation moved on.
+  uint64_t invalidations = 0;
+  size_t entries = 0;
+};
+
 class Itfs : public witos::Filesystem {
  public:
   // `invoker` is the host user who mounted ITFS (root for admin containers).
-  // `clock` and `audit` may be null (tests).
-  Itfs(std::shared_ptr<witos::Filesystem> lower, ItfsPolicy policy, witos::Credentials invoker,
-       witos::SimClock* clock = nullptr, witos::AuditLog* audit = nullptr);
+  // `clock` and `audit` may be null (tests). The policy is installed as-is;
+  // use ItfsPolicy::Compile() (and SwapPolicy to update later).
+  Itfs(std::shared_ptr<witos::Filesystem> lower, std::shared_ptr<const CompiledPolicy> policy,
+       witos::Credentials invoker, witos::SimClock* clock = nullptr,
+       witos::AuditLog* audit = nullptr);
+
+  // Convenience: compiles `policy` and installs the result.
+  Itfs(std::shared_ptr<witos::Filesystem> lower, const ItfsPolicy& policy,
+       witos::Credentials invoker, witos::SimClock* clock = nullptr,
+       witos::AuditLog* audit = nullptr);
 
   std::string FsType() const override { return "itfs"; }
   bool Cacheable() const override { return lower_->Cacheable(); }
@@ -74,8 +96,29 @@ class Itfs : public witos::Filesystem {
 
   OpLog& oplog() { return oplog_; }
   const OpLog& oplog() const { return oplog_; }
-  ItfsPolicy& policy() { return policy_; }
-  const ItfsPolicy& policy() const { return policy_; }
+
+  // Atomically installs a new compiled policy; in-flight gates finish under
+  // the snapshot they loaded (shared_ptr pin), subsequent gates see the new
+  // one. Never blocks the gate path. The verdict cache survives a swap:
+  // cached entries hold content *classes*, not decisions, and the basis
+  // check re-validates them against the new policy's read size.
+  //
+  // NOTE: this replaces the old mutable `ItfsPolicy& policy()` accessor.
+  // Mutating a live policy raced the gate path and silently skipped
+  // recompilation; the builder/compile/swap flow is the only way to change
+  // enforcement now (DESIGN.md §16 has the migration notes).
+  void SwapPolicy(std::shared_ptr<const CompiledPolicy> policy);
+
+  // The currently installed policy (immutable snapshot, never null).
+  std::shared_ptr<const CompiledPolicy> policy_snapshot() const {
+    return policy_.load(std::memory_order_acquire);
+  }
+
+  VerdictCacheStats verdict_cache_stats() const;
+
+  uint64_t Generation(const std::string& path) const override {
+    return lower_->Generation(path);
+  }
 
   // Wires this instance into the observability layer. `correlation_id` is
   // the ticket/session id: it labels the per-ticket series and tags every
@@ -117,12 +160,38 @@ class Itfs : public witos::Filesystem {
 
   static constexpr size_t kNumOpKinds = 7;  // mirrors ItfsOpKind
 
+  // A cached content classification for one path. The entry is valid only
+  // while the file's generation and the policy's required read size (basis)
+  // both still match — either mismatch forces a fresh read. The cached value
+  // is the *class*, not the decision, so one entry serves every op kind and
+  // survives policy swaps.
+  struct VerdictEntry {
+    uint64_t generation = witos::kNoGeneration;
+    FileClass cls = FileClass::kUnknown;
+    bool has_content = false;  // empty files never match signature selectors
+    size_t basis = 0;          // required_head_bytes() when classified
+  };
+  static constexpr size_t kVerdictCacheCapacity = 4096;
+
+  // Classifies `path` for the verdict cache, or serves the cached class.
+  // Returns false when the gate must fall back to a fresh head read.
+  bool LookupVerdict(const std::string& path, uint64_t generation, size_t basis,
+                     VerdictEntry* out);
+  void StoreVerdict(const std::string& path, VerdictEntry entry);
+
   std::shared_ptr<witos::Filesystem> lower_;
-  ItfsPolicy policy_;
+  std::atomic<std::shared_ptr<const CompiledPolicy>> policy_;
   witos::Credentials invoker_;
   witos::SimClock* clock_;
   witos::AuditLog* audit_;
   OpLog oplog_;
+
+  mutable std::mutex verdict_mu_;
+  std::unordered_map<std::string, VerdictEntry> verdict_cache_;
+  std::deque<std::string> verdict_fifo_;  // insertion order, oldest first
+  std::atomic<uint64_t> verdict_hits_{0};
+  std::atomic<uint64_t> verdict_misses_{0};
+  std::atomic<uint64_t> verdict_invalidations_{0};
 
   // Observability wiring (all null when metrics are disabled).
   witobs::MetricsRegistry* metrics_ = nullptr;
@@ -131,6 +200,10 @@ class Itfs : public witos::Filesystem {
   witobs::Counter* op_counters_[kNumOpKinds][2] = {};  // [op][0=allow, 1=deny]
   witobs::Counter* ticket_ops_[2] = {};                // per-ticket allow/deny
   witobs::Counter* head_read_bytes_ = nullptr;
+  witobs::Counter* cache_hits_counter_ = nullptr;
+  witobs::Counter* cache_misses_counter_ = nullptr;
+  witobs::Counter* cache_invalidations_counter_ = nullptr;
+  witobs::Histogram* compile_ns_hist_ = nullptr;
   witobs::Histogram* op_latency_[kNumOpKinds] = {};    // simulated ns per op
 };
 

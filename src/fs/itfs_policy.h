@@ -7,6 +7,7 @@
 #define SRC_FS_ITFS_POLICY_H_
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -14,6 +15,9 @@
 #include "src/fs/signature.h"
 
 namespace witfs {
+
+class CompiledPolicy;
+struct CompileDiagnostic;
 
 enum class RuleAction {
   kDeny,     // block the access (EACCES) and log it
@@ -83,7 +87,21 @@ class ItfsPolicy {
   // Evaluates the rules for an access of kind `op` to `path` whose head
   // bytes are `head` (empty unless signature mode fetched them). First
   // matching rule wins.
+  //
+  // This linear scan is the *reference* evaluator: the gate path runs the
+  // CompiledPolicy this builder produces, and the differential property
+  // test pins the two decision-identical. Prefer Compile() anywhere
+  // performance matters.
   PolicyDecision Evaluate(ItfsOpKind op, const std::string& path, std::string_view head) const;
+
+  // Compiles the current rule set into an immutable, shareable fast-path
+  // evaluator (see compiled_policy.h). Compilation always succeeds; rules
+  // that cannot behave as written (duplicate names, rules shadowed by an
+  // earlier first-match deny) are reported through `diagnostics` when
+  // non-null. Further builder mutations do not affect already-compiled
+  // policies.
+  std::shared_ptr<const CompiledPolicy> Compile(
+      std::vector<CompileDiagnostic>* diagnostics = nullptr) const;
 
   // True if any rule needs content (signature or custom selectors) — tells
   // ITFS whether Open must fetch head bytes in signature mode.

@@ -1,6 +1,7 @@
 #include "src/fs/ruledsl.h"
 
 #include <charconv>
+#include <map>
 #include <sstream>
 #include <vector>
 
@@ -66,6 +67,7 @@ witos::Result<ParsedPolicy> ParseItfsPolicy(const std::string& text, std::string
   std::string line;
   size_t line_no = 0;
   size_t auto_name = 0;
+  std::map<std::string, size_t> name_lines;  // rule name -> defining line
   while (std::getline(stream, line)) {
     ++line_no;
     std::vector<std::string> tokens = Tokens(line);
@@ -159,9 +161,19 @@ witos::Result<ParsedPolicy> ParseItfsPolicy(const std::string& text, std::string
     if (rule.name.empty()) {
       rule.name = "rule-" + std::to_string(++auto_name);
     }
+    auto [name_it, name_fresh] = name_lines.try_emplace(rule.name, line_no);
+    if (!name_fresh) {
+      // Names key log/audit lines; two rules sharing one would make the
+      // evaluation log ambiguous. Catch it here, at config-load time.
+      Fail(error_out, line_no,
+           "duplicate rule name '" + rule.name + "' (first defined on line " +
+               std::to_string(name_it->second) + ")");
+      return witos::Err::kInval;
+    }
     parsed.policy.AddRule(std::move(rule));
     ++parsed.rule_count;
   }
+  parsed.compiled = parsed.policy.Compile(&parsed.diagnostics);
   return parsed;
 }
 

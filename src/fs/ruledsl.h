@@ -32,20 +32,37 @@
 #ifndef SRC_FS_RULEDSL_H_
 #define SRC_FS_RULEDSL_H_
 
+#include <memory>
 #include <string>
+#include <vector>
 
+#include "src/fs/compiled_policy.h"
 #include "src/fs/itfs_policy.h"
 #include "src/os/result.h"
 
 namespace witfs {
 
 struct ParsedPolicy {
+  // The builder form, kept so callers can Merge documents before
+  // recompiling the combined set.
   ItfsPolicy policy;
   size_t rule_count = 0;
+  // The same rules compiled to the fast-path evaluator (never null on a
+  // successful parse) — install with Itfs::SwapPolicy or pass to the Itfs
+  // constructor directly.
+  std::shared_ptr<const CompiledPolicy> compiled;
+  // Compile-time warnings (e.g. a rule shadowed by an earlier first-match
+  // deny, which can never fire). The document still parses; these exist so
+  // authors hear about dead rules when the config loads, not from a gap in
+  // the evaluation log.
+  std::vector<CompileDiagnostic> diagnostics;
 };
 
 // Parses a policy document. On syntax error returns EINVAL and, if
-// `error_out` is non-null, a "line N: message" description.
+// `error_out` is non-null, a "line N: message" description. Duplicate rule
+// names (explicit or colliding with an auto-assigned "rule-N") are parse
+// errors: rule names key log and audit lines, so ambiguity is rejected
+// before the policy can be installed.
 witos::Result<ParsedPolicy> ParseItfsPolicy(const std::string& text,
                                             std::string* error_out = nullptr);
 

@@ -189,6 +189,13 @@ class ErrorInjectingVfs : public Filesystem {
                  const Credentials& cred) override;
   Result<std::string> ReadLink(const std::string& path, const Credentials& cred) override;
   Result<FsStats> StatFs() const override;
+  // Not a fault point: generation queries are internal metadata lookups with
+  // no errno to inject — the consumer (the ITFS verdict cache) must treat a
+  // changed generation as a miss, and faults are injected on the resulting
+  // real read instead.
+  uint64_t Generation(const std::string& path) const override {
+    return lower_->Generation(path);
+  }
 
   FaultPlan& plan() { return *plan_; }
   Filesystem& lower() { return *lower_; }

@@ -29,6 +29,10 @@ struct FsStats {
   uint64_t inode_count = 0;
 };
 
+// Sentinel for Filesystem::Generation: "this filesystem cannot track the
+// file's mutation history". Consumers must treat it as "never cache".
+inline constexpr uint64_t kNoGeneration = 0;
+
 class Filesystem {
  public:
   virtual ~Filesystem() = default;
@@ -93,6 +97,21 @@ class Filesystem {
   virtual Result<std::string> ReadLink(const std::string& path, const Credentials& cred) = 0;
 
   virtual Result<FsStats> StatFs() const = 0;
+
+  // Mutation generation of the file at `path`: any value that is guaranteed
+  // to change whenever the file's content or identity changes (write,
+  // truncate, rename, link, chown, delete+recreate). ITFS keys its
+  // signature-verdict cache on (path, generation), so the contract is
+  // deliberately one-sided: generations may change spuriously (costing only
+  // a cache miss) but must never stay equal across a mutation. Returns
+  // kNoGeneration for missing files, directories, or filesystems that do
+  // not track generations — i.e. "do not cache". This is an internal
+  // metadata query: implementations charge no simulated time and perform no
+  // permission checks.
+  virtual uint64_t Generation(const std::string& path) const {
+    (void)path;
+    return kNoGeneration;
+  }
 };
 
 }  // namespace witos

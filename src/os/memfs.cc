@@ -97,6 +97,7 @@ std::shared_ptr<MemFs::Node> MemFs::NewNode(FileType type, Mode mode, const Cred
   node->uid = cred.uid;
   node->gid = cred.gid;
   node->inode = next_inode_++;
+  node->generation = next_generation_++;
   if (clock_ != nullptr) {
     node->mtime_ticks = clock_->now_ns();
   }
@@ -145,6 +146,7 @@ Result<Stat> MemFs::Open(const std::string& path, uint32_t flags, Mode mode,
   if ((flags & kOpenTrunc) != 0 && node->type == FileType::kRegular) {
     used_bytes_ -= node->data.size();
     node->data.clear();
+    BumpGeneration(node.get());
   }
   return StatOf(*node);
 }
@@ -183,6 +185,7 @@ Result<size_t> MemFs::WriteAt(const std::string& path, uint64_t offset, const st
     node->data.resize(end);
   }
   node->data.replace(static_cast<size_t>(offset), data.size(), data);
+  BumpGeneration(node.get());
   if (clock_ != nullptr) {
     node->mtime_ticks = clock_->now_ns();
   }
@@ -204,6 +207,7 @@ Status MemFs::Truncate(const std::string& path, uint64_t size, const Credentials
     used_bytes_ += size - node->data.size();
   }
   node->data.resize(static_cast<size_t>(size), '\0');
+  BumpGeneration(node.get());
   return Status::Ok();
 }
 
@@ -321,6 +325,7 @@ Status MemFs::Rename(const std::string& from, const std::string& to, const Crede
   }
   from_parent->children.erase(it);
   to_parent->children[to_leaf] = node;
+  BumpGeneration(node.get());  // same bytes, new identity at the target path
   return Status::Ok();
 }
 
@@ -330,6 +335,7 @@ Status MemFs::Chmod(const std::string& path, Mode mode, const Credentials& cred)
     return Err::kPerm;
   }
   node->mode = mode;
+  BumpGeneration(node.get());
   return Status::Ok();
 }
 
@@ -340,6 +346,7 @@ Status MemFs::Chown(const std::string& path, Uid uid, Gid gid, const Credentials
   }
   node->uid = uid;
   node->gid = gid;
+  BumpGeneration(node.get());
   return Status::Ok();
 }
 
@@ -381,6 +388,9 @@ Status MemFs::Link(const std::string& oldpath, const std::string& newpath,
   }
   parent->children[leaf] = node;  // same inode, second name
   ++node->nlink_extra;
+  // The shared inode's generation covers both names: a later write through
+  // either alias re-bumps it, invalidating verdicts cached under the other.
+  BumpGeneration(node.get());
   return Status::Ok();
 }
 
@@ -448,6 +458,7 @@ void MemFs::ProvisionAppend(const std::string& path, const std::string& data) {
   }
   (*walked)->data += data;
   used_bytes_ += data.size();
+  BumpGeneration(walked->get());
 }
 
 void MemFs::ProvisionSymlink(const std::string& linkpath, const std::string& target) {
@@ -462,6 +473,27 @@ void MemFs::ProvisionDevice(const std::string& path, DeviceId rdev, Mode mode) {
   std::string norm = NormalizePath(path);
   ProvisionDir(Dirname(norm));
   (void)MkNod(norm, FileType::kCharDevice, rdev, mode, root);
+}
+
+uint64_t MemFs::Generation(const std::string& path) const {
+  // Internal metadata query: no permission checks, no clock charge, no
+  // op_count — the caller (the ITFS verdict cache) must observe exactly the
+  // same costs whether or not it consults generations.
+  std::shared_ptr<Node> cur = root_;
+  for (const auto& comp : SplitPath(path)) {
+    if (cur->type != FileType::kDirectory) {
+      return kNoGeneration;
+    }
+    auto it = cur->children.find(comp);
+    if (it == cur->children.end()) {
+      return kNoGeneration;
+    }
+    cur = it->second;
+  }
+  if (cur->type == FileType::kDirectory) {
+    return kNoGeneration;
+  }
+  return cur->generation;
 }
 
 Result<std::string> MemFs::SlurpForTest(const std::string& path) const {

@@ -50,6 +50,7 @@ class MemFs : public Filesystem {
                  const Credentials& cred) override;
   Result<std::string> ReadLink(const std::string& path, const Credentials& cred) override;
   Result<FsStats> StatFs() const override;
+  uint64_t Generation(const std::string& path) const override;
 
   // --- Setup conveniences (host-side provisioning, bypassing permissions) ---
 
@@ -79,6 +80,11 @@ class MemFs : public Filesystem {
     InodeNum inode = 0;
     DeviceId rdev = 0;
     uint64_t mtime_ticks = 0;
+    // Monotone mutation stamp drawn from the fs-wide counter, so values are
+    // unique across *all* nodes: a deleted-and-recreated file, or a rename
+    // landing a different inode at the same path, can never reproduce an
+    // old (path, generation) pair. Bumped on every content/identity change.
+    uint64_t generation = 0;
     uint32_t nlink_extra = 0;  // hard links beyond the first name
     std::string data;                                   // regular file / symlink target
     std::map<std::string, std::shared_ptr<Node>> children;  // directory
@@ -92,6 +98,8 @@ class MemFs : public Filesystem {
                                                                    const Credentials& cred) const;
   Stat StatOf(const Node& node) const;
   std::shared_ptr<Node> NewNode(FileType type, Mode mode, const Credentials& cred);
+  // Stamps a fresh generation on `node` (content or identity changed).
+  void BumpGeneration(Node* node) { node->generation = next_generation_++; }
   void Charge(uint64_t ns) const;
   void ChargeMeta() const;
   void ChargeMutation() const;
@@ -101,6 +109,7 @@ class MemFs : public Filesystem {
   SimClock* clock_;
   std::shared_ptr<Node> root_;
   InodeNum next_inode_ = 2;  // 1 is the root, ext2 tradition
+  uint64_t next_generation_ = 1;  // 0 is kNoGeneration
   mutable uint64_t op_count_ = 0;
   uint64_t used_bytes_ = 0;
 };

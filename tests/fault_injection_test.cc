@@ -212,6 +212,38 @@ TEST(ItfsFaultSweepTest, MissingFileHeadReadStillAllowsCreation) {
       itfs.Open("/home/new.txt", kOpenCreate | kOpenWrite, 0644, Credentials{}).ok());
 }
 
+// The verdict-cache path must not weaken the fail-closed invariant: after a
+// mutation the cached verdict is stale, the gate re-reads the head, and an
+// injected read error on that refresh must deny — the old cached allow must
+// never paper over the failed read.
+TEST(ItfsFaultSweepTest, CachedVerdictNeverMasksFreshReadError) {
+  auto plan = std::make_shared<FaultPlan>();
+  auto lower = ContainmentLower();
+  auto faulty = std::make_shared<ErrorInjectingVfs>(lower, plan);
+  witfs::Itfs itfs(faulty, ContainmentPolicy(), Credentials{});
+  ASSERT_TRUE(itfs.policy_snapshot()->CacheableVerdicts());
+
+  // Prime the cache: notes.txt classifies clean and is allowed.
+  ASSERT_TRUE(itfs.Open("/home/notes.txt", kOpenRead, 0, Credentials{}).ok());
+  ASSERT_TRUE(itfs.Open("/home/notes.txt", kOpenRead, 0, Credentials{}).ok());
+  ASSERT_GE(itfs.verdict_cache_stats().hits, 1u);
+
+  // Mutate out-of-band (new generation), then fault the refresh read. The
+  // priming miss consumed read #1, so the refresh is read #2.
+  ASSERT_TRUE(lower->WriteAt("/home/notes.txt", 0, "%PDF-1.4 now a pdf", Credentials{}).ok());
+  plan->FailNthOp(FaultOpKind::kRead, 2, Err::kIo);
+  auto open = itfs.Open("/home/notes.txt", kOpenRead, 0, Credentials{});
+  ASSERT_FALSE(open.ok());
+  EXPECT_EQ(open.error(), Err::kIo);
+  EXPECT_EQ(itfs.oplog().records().back().rule, "head-fetch-failed");
+
+  // The failed read must not have been cached: with the fault cleared the
+  // next open re-reads, sees the PDF magic, and denies on the content rule.
+  auto retry = itfs.Open("/home/notes.txt", kOpenRead, 0, Credentials{});
+  ASSERT_FALSE(retry.ok());
+  EXPECT_EQ(retry.error(), Err::kAcces);
+}
+
 // Mid-rename fault: the rename fails atomically — source intact, no
 // destination debris.
 TEST(ItfsFaultSweepTest, MidRenameFaultLeavesSourceIntact) {
@@ -318,7 +350,9 @@ TEST(PolicyNormalizationTest, UnnormalizedRulePrefixesStillMatch) {
   auto lower = ContainmentLower();
   witfs::Itfs itfs(lower, std::move(policy), Credentials{});
   EXPECT_EQ(itfs.Open("/usr/watchit/broker", kOpenRead, 0, Credentials{}).error(), Err::kAcces);
-  EXPECT_EQ(itfs.policy().Evaluate(witfs::ItfsOpKind::kOpen, "/var/log/syslog", {}).deny, true);
+  EXPECT_EQ(
+      itfs.policy_snapshot()->Evaluate(witfs::ItfsOpKind::kOpen, "/var/log/syslog", {}).deny,
+      true);
   // Unrelated paths are untouched.
   EXPECT_TRUE(itfs.Open("/home/notes.txt", kOpenRead, 0, Credentials{}).ok());
 }

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "src/fs/fuse.h"
+#include "src/obs/export.h"
 #include "src/os/memfs.h"
 
 namespace witfs {
@@ -207,6 +208,170 @@ TEST(ItfsTest, RenameIntoProtectedTreeDenied) {
   EXPECT_EQ(itfs.Rename("/home/notes.txt", "/usr/watchit/broker", Admin()).error(),
             witos::Err::kAcces);
   EXPECT_GE(itfs.oplog().denied_count(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Verdict cache: signature classifications are cached per (path, generation)
+// and every lower-filesystem mutation must invalidate them. Each test below
+// mutates *through the lower fs* (out-of-band of the gate) so a stale cached
+// verdict — not the gate's own fresh read — would be the only thing standing
+// between the mutation and a wrong decision.
+// ---------------------------------------------------------------------------
+
+ItfsPolicy SignaturePolicy() {
+  ItfsPolicy policy;
+  policy.AddRule(ItfsPolicy::DenyDocumentsRule());
+  policy.set_inspection_mode(InspectionMode::kSignature);
+  return policy;
+}
+
+TEST(ItfsTest, VerdictCacheHitsOnRepeatedAccess) {
+  Itfs itfs(MakeLower(), SignaturePolicy(), Root());
+  ASSERT_TRUE(itfs.policy_snapshot()->CacheableVerdicts());
+  ASSERT_TRUE(itfs.Open("/home/notes.txt", witos::kOpenRead, 0, Admin()).ok());
+  EXPECT_EQ(itfs.verdict_cache_stats().misses, 1u);
+  ASSERT_TRUE(itfs.Open("/home/notes.txt", witos::kOpenRead, 0, Admin()).ok());
+  ASSERT_TRUE(itfs.GetAttr("/home/notes.txt", Admin()).ok());  // kAttr: no fetch
+  std::string buf;
+  ASSERT_TRUE(itfs.ReadAt("/home/notes.txt", 0, 4, &buf, Admin()).ok());
+  auto stats = itfs.verdict_cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_GE(stats.hits, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  // Denied verdicts are cached too: the class is cached, the per-op decision
+  // is recomputed, so a repeat denial costs no second content read.
+  EXPECT_EQ(itfs.Open("/home/disguised.log", witos::kOpenRead, 0, Admin()).error(),
+            witos::Err::kAcces);
+  EXPECT_EQ(itfs.Open("/home/disguised.log", witos::kOpenRead, 0, Admin()).error(),
+            witos::Err::kAcces);
+  stats = itfs.verdict_cache_stats();
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_GE(stats.hits, 2u);
+}
+
+TEST(ItfsTest, VerdictCacheInvalidatedByWrite) {
+  auto lower = MakeLower();
+  Itfs itfs(lower, SignaturePolicy(), Root());
+  ASSERT_TRUE(itfs.Open("/home/notes.txt", witos::kOpenRead, 0, Admin()).ok());
+  // Out-of-band rewrite turns the innocent text file into a PDF.
+  ASSERT_TRUE(lower->WriteAt("/home/notes.txt", 0, "%PDF-1.4 smuggled", Root()).ok());
+  EXPECT_EQ(itfs.Open("/home/notes.txt", witos::kOpenRead, 0, Admin()).error(),
+            witos::Err::kAcces);
+  EXPECT_GE(itfs.verdict_cache_stats().invalidations, 1u);
+}
+
+TEST(ItfsTest, VerdictCacheInvalidatedByTruncate) {
+  auto lower = MakeLower();
+  Itfs itfs(lower, SignaturePolicy(), Root());
+  EXPECT_EQ(itfs.Open("/home/disguised.log", witos::kOpenRead, 0, Admin()).error(),
+            witos::Err::kAcces);
+  ASSERT_TRUE(lower->Truncate("/home/disguised.log", 0, Root()).ok());
+  // Empty file, no signature left: a stale cached kPdf verdict would keep
+  // denying it.
+  EXPECT_TRUE(itfs.Open("/home/disguised.log", witos::kOpenRead, 0, Admin()).ok());
+}
+
+TEST(ItfsTest, VerdictCacheInvalidatedByOpenTruncate) {
+  auto lower = MakeLower();
+  Itfs itfs(lower, SignaturePolicy(), Root());
+  EXPECT_EQ(itfs.Open("/home/disguised.log", witos::kOpenRead, 0, Admin()).error(),
+            witos::Err::kAcces);
+  ASSERT_TRUE(lower->Open("/home/disguised.log", witos::kOpenWrite | witos::kOpenTrunc, 0,
+                          Root()).ok());
+  EXPECT_TRUE(itfs.Open("/home/disguised.log", witos::kOpenRead, 0, Admin()).ok());
+}
+
+TEST(ItfsTest, VerdictCacheInvalidatedByRename) {
+  auto lower = MakeLower();
+  Itfs itfs(lower, SignaturePolicy(), Root());
+  ASSERT_TRUE(itfs.Open("/home/notes.txt", witos::kOpenRead, 0, Admin()).ok());
+  // Swap a PDF into the cached path. The cache is keyed by path: without
+  // generation tracking the old file's allow verdict would leak onto the
+  // new file occupying the same name.
+  ASSERT_TRUE(lower->Rename("/home/notes.txt", "/home/notes.bak", Root()).ok());
+  ASSERT_TRUE(lower->Rename("/home/disguised.log", "/home/notes.txt", Root()).ok());
+  EXPECT_EQ(itfs.Open("/home/notes.txt", witos::kOpenRead, 0, Admin()).error(),
+            witos::Err::kAcces);
+}
+
+TEST(ItfsTest, VerdictCacheInvalidatedThroughHardLinkAlias) {
+  auto lower = MakeLower();
+  ASSERT_TRUE(lower->Link("/home/notes.txt", "/home/alias.txt", Root()).ok());
+  Itfs itfs(lower, SignaturePolicy(), Root());
+  ASSERT_TRUE(itfs.Open("/home/notes.txt", witos::kOpenRead, 0, Admin()).ok());
+  // Writing through the *other* name of the shared inode must invalidate
+  // the verdict cached under this one.
+  ASSERT_TRUE(lower->WriteAt("/home/alias.txt", 0, "%PDF-1.4 via alias", Root()).ok());
+  EXPECT_EQ(itfs.Open("/home/notes.txt", witos::kOpenRead, 0, Admin()).error(),
+            witos::Err::kAcces);
+}
+
+TEST(ItfsTest, VerdictCacheInvalidatedByLinkAndChown) {
+  auto lower = MakeLower();
+  Itfs itfs(lower, SignaturePolicy(), Root());
+  ASSERT_TRUE(itfs.Open("/home/notes.txt", witos::kOpenRead, 0, Admin()).ok());
+  auto before = itfs.verdict_cache_stats();
+  ASSERT_TRUE(lower->Link("/home/notes.txt", "/home/linked.txt", Root()).ok());
+  ASSERT_TRUE(itfs.Open("/home/notes.txt", witos::kOpenRead, 0, Admin()).ok());
+  auto after_link = itfs.verdict_cache_stats();
+  EXPECT_EQ(after_link.invalidations, before.invalidations + 1);
+  ASSERT_TRUE(lower->Chown("/home/notes.txt", 7, 7, Root()).ok());
+  ASSERT_TRUE(itfs.Open("/home/notes.txt", witos::kOpenRead, 0, Admin()).ok());
+  auto after_chown = itfs.verdict_cache_stats();
+  EXPECT_EQ(after_chown.invalidations, after_link.invalidations + 1);
+}
+
+TEST(ItfsTest, CustomDetectorPoliciesAreNeverCached) {
+  ItfsPolicy policy = SignaturePolicy();
+  ItfsRule det;
+  det.name = "secret-detector";
+  det.action = RuleAction::kDeny;
+  det.custom = [](const std::string&, std::string_view head) {
+    return head.find("secret") != std::string_view::npos;
+  };
+  policy.AddRule(std::move(det));
+  auto lower = MakeLower();
+  Itfs itfs(lower, std::move(policy), Root());
+  ASSERT_FALSE(itfs.policy_snapshot()->CacheableVerdicts());
+  ASSERT_TRUE(itfs.Open("/home/notes.txt", witos::kOpenRead, 0, Admin()).ok());
+  ASSERT_TRUE(itfs.Open("/home/notes.txt", witos::kOpenRead, 0, Admin()).ok());
+  auto stats = itfs.verdict_cache_stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.entries, 0u);
+}
+
+TEST(ItfsTest, SwapPolicySurvivesCachedVerdicts) {
+  // The cache stores the *class*, not the decision: swapping in a stricter
+  // policy must re-derive decisions from cached classifications correctly.
+  auto lower = MakeLower();
+  ItfsPolicy lenient;
+  lenient.set_inspection_mode(InspectionMode::kSignature);
+  ItfsRule log_pdf;
+  log_pdf.name = "log-pdf";
+  log_pdf.action = RuleAction::kLogOnly;
+  log_pdf.signatures = {FileClass::kPdf};
+  lenient.AddRule(std::move(log_pdf));
+  Itfs itfs(lower, lenient, Root());
+  ASSERT_TRUE(itfs.Open("/home/disguised.log", witos::kOpenRead, 0, Admin()).ok());
+  itfs.SwapPolicy(SignaturePolicy().Compile());
+  EXPECT_EQ(itfs.Open("/home/disguised.log", witos::kOpenRead, 0, Admin()).error(),
+            witos::Err::kAcces);
+}
+
+TEST(ItfsTest, VerdictCacheMetricsExported) {
+  witobs::MetricsRegistry registry;
+  auto lower = MakeLower();
+  Itfs itfs(lower, SignaturePolicy(), Root());
+  itfs.EnableMetrics(&registry, "TKT-CACHE");
+  ASSERT_TRUE(itfs.Open("/home/notes.txt", witos::kOpenRead, 0, Admin()).ok());
+  ASSERT_TRUE(itfs.Open("/home/notes.txt", witos::kOpenRead, 0, Admin()).ok());
+  ASSERT_TRUE(lower->WriteAt("/home/notes.txt", 0, "still text", Root()).ok());
+  ASSERT_TRUE(itfs.Open("/home/notes.txt", witos::kOpenRead, 0, Admin()).ok());
+  std::string prom = witobs::RenderPrometheus(registry);
+  EXPECT_NE(prom.find("watchit_itfs_verdict_cache_hits"), std::string::npos);
+  EXPECT_NE(prom.find("watchit_itfs_verdict_cache_misses"), std::string::npos);
+  EXPECT_NE(prom.find("watchit_itfs_verdict_cache_invalidations"), std::string::npos);
+  EXPECT_NE(prom.find("watchit_policy_compile_ns"), std::string::npos);
 }
 
 TEST(FuseMountTest, ChargesCrossingCostPerOperation) {

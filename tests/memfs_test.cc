@@ -184,5 +184,77 @@ TEST_F(MemFsTest, ClockChargedForOperations) {
   EXPECT_GT(clock.now_ns(), before);
 }
 
+// Generation tracking: the contract is one-sided — a generation may change
+// spuriously but must NEVER stay equal across a content-affecting mutation.
+// These tests pin the "must change" half plus the uniqueness property that
+// makes path-keyed caching safe across rename/recreate.
+
+TEST_F(MemFsTest, GenerationChangesOnEveryMutation) {
+  fs_.ProvisionFile("/f", "abc");
+  uint64_t g0 = fs_.Generation("/f");
+  ASSERT_NE(g0, kNoGeneration);
+
+  ASSERT_TRUE(fs_.WriteAt("/f", 1, "X", Root()).ok());
+  uint64_t g1 = fs_.Generation("/f");
+  EXPECT_NE(g1, g0);
+
+  ASSERT_TRUE(fs_.Truncate("/f", 1, Root()).ok());
+  uint64_t g2 = fs_.Generation("/f");
+  EXPECT_NE(g2, g1);
+
+  ASSERT_TRUE(fs_.Open("/f", kOpenWrite | kOpenTrunc, 0, Root()).ok());
+  uint64_t g3 = fs_.Generation("/f");
+  EXPECT_NE(g3, g2);
+
+  ASSERT_TRUE(fs_.Chmod("/f", 0600, Root()).ok());
+  uint64_t g4 = fs_.Generation("/f");
+  EXPECT_NE(g4, g3);
+
+  ASSERT_TRUE(fs_.Chown("/f", 5, 5, Root()).ok());
+  uint64_t g5 = fs_.Generation("/f");
+  EXPECT_NE(g5, g4);
+
+  // Reads are not mutations.
+  std::string buf;
+  ASSERT_TRUE(fs_.ReadAt("/f", 0, 1, &buf, Root()).ok());
+  EXPECT_EQ(fs_.Generation("/f"), g5);
+}
+
+TEST_F(MemFsTest, GenerationUniqueAcrossRecreateAndRename) {
+  fs_.ProvisionFile("/a", "one");
+  uint64_t a0 = fs_.Generation("/a");
+  ASSERT_TRUE(fs_.Unlink("/a", Root()).ok());
+  EXPECT_EQ(fs_.Generation("/a"), kNoGeneration);
+  fs_.ProvisionFile("/a", "two");
+  // The recreated file must not reuse the old generation value.
+  EXPECT_NE(fs_.Generation("/a"), a0);
+
+  fs_.ProvisionFile("/b", "bee");
+  uint64_t b0 = fs_.Generation("/b");
+  ASSERT_TRUE(fs_.Rename("/b", "/c", Root()).ok());
+  // Same bytes, new identity: the value visible at the target differs from
+  // what the source ever reported.
+  EXPECT_NE(fs_.Generation("/c"), b0);
+  EXPECT_EQ(fs_.Generation("/b"), kNoGeneration);
+}
+
+TEST_F(MemFsTest, GenerationSharedAcrossHardLinks) {
+  fs_.ProvisionFile("/orig", "data");
+  ASSERT_TRUE(fs_.Link("/orig", "/alias", Root()).ok());
+  uint64_t orig = fs_.Generation("/orig");
+  EXPECT_EQ(fs_.Generation("/alias"), orig);
+  // A write through one name is visible in the generation of the other.
+  ASSERT_TRUE(fs_.WriteAt("/alias", 0, "DATA", Root()).ok());
+  EXPECT_NE(fs_.Generation("/orig"), orig);
+  EXPECT_EQ(fs_.Generation("/orig"), fs_.Generation("/alias"));
+}
+
+TEST_F(MemFsTest, GenerationUntrackedCases) {
+  EXPECT_EQ(fs_.Generation("/missing"), kNoGeneration);
+  ASSERT_TRUE(fs_.MkDir("/dir", 0755, Root()).ok());
+  EXPECT_EQ(fs_.Generation("/dir"), kNoGeneration);
+  EXPECT_EQ(fs_.Generation("relative"), kNoGeneration);
+}
+
 }  // namespace
 }  // namespace witos

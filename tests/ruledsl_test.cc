@@ -90,6 +90,51 @@ INSTANTIATE_TEST_SUITE_P(
                       BadPolicyCase{"scan-limit lots\n", "bad scan limit"},
                       BadPolicyCase{"log-all maybe\n", "bad log-all"}));
 
+TEST(RuleDslTest, EmitsCompiledPolicy) {
+  auto parsed = ParseItfsPolicy("deny ext:pdf name=no-pdf\nmode signature\n");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_NE(parsed->compiled, nullptr);
+  EXPECT_EQ(parsed->compiled->rule_count(), 1u);
+  EXPECT_TRUE(parsed->compiled->Evaluate(ItfsOpKind::kOpen, "/home/x.pdf", "").deny);
+  EXPECT_TRUE(parsed->diagnostics.empty());
+}
+
+TEST(RuleDslTest, DuplicateRuleNamesRejectedWithBothLines) {
+  std::string error;
+  auto parsed = ParseItfsPolicy(
+      "deny ext:pdf name=dup\n"
+      "deny ext:txt name=dup\n",
+      &error);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.error(), witos::Err::kInval);
+  EXPECT_NE(error.find("duplicate rule name 'dup'"), std::string::npos) << error;
+  EXPECT_NE(error.find("line 1"), std::string::npos) << error;
+  EXPECT_EQ(error.compare(0, 7, "line 2:"), 0) << error;
+}
+
+TEST(RuleDslTest, AutoNameCollidingWithExplicitNameRejected) {
+  // The second rule is the first unnamed one, so it auto-names itself
+  // "rule-1" — colliding with the explicit name on line 1.
+  std::string error;
+  auto parsed = ParseItfsPolicy(
+      "deny ext:pdf name=rule-1\n"
+      "deny ext:txt\n",
+      &error);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(error.find("duplicate rule name"), std::string::npos) << error;
+}
+
+TEST(RuleDslTest, ShadowedRulesSurfaceAsDiagnostics) {
+  auto parsed = ParseItfsPolicy(
+      "deny ext:pdf,xlsx name=wide\n"
+      "deny ext:pdf name=narrow\n");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->diagnostics.size(), 1u);
+  EXPECT_EQ(parsed->diagnostics[0].kind, CompileDiagnostic::Kind::kShadowedRule);
+  EXPECT_NE(parsed->diagnostics[0].message.find("narrow"), std::string::npos);
+  EXPECT_NE(parsed->diagnostics[0].message.find("wide"), std::string::npos);
+}
+
 TEST(RuleDslTest, FileClassNamesRoundTrip) {
   for (FileClass cls : {FileClass::kText, FileClass::kJpeg, FileClass::kPdf,
                         FileClass::kZipOffice, FileClass::kEncrypted}) {
