@@ -83,33 +83,24 @@ std::vector<AnomalyScore> AnomalyDetector::Analyze(
   }
 
   // Pass 2: per-admin request-rate check over fixed windows, against the
-  // *baseline* statistics recorded at Fit() time (falling back to the
-  // analyzed stream for admins absent from the baseline).
+  // *baseline* statistics recorded at Fit() time. Admins absent from the
+  // baseline are judged by the pooled cross-admin rate; with no pooled
+  // yardstick either (unfitted or empty history) they are judged against a
+  // zero habitual rate. The stream under analysis is never its own
+  // yardstick: it used to be — fallback statistics were computed from the
+  // analyzed stream itself, so a steady campaign from an unknown admin
+  // defined its own "normal" and was never rate-flagged.
   std::map<std::string, std::map<uint64_t, uint64_t>> admin_window_counts;
   for (const auto& event : events) {
     ++admin_window_counts[event.admin][event.time_ns / options_.window_ns];
   }
-  std::map<std::string, std::pair<double, double>> fallback_stats;
-  for (const auto& [admin, windows] : admin_window_counts) {
-    double sum = 0.0;
-    for (const auto& [w, n] : windows) {
-      sum += static_cast<double>(n);
-    }
-    double mean = sum / static_cast<double>(windows.size());
-    double var = 0.0;
-    for (const auto& [w, n] : windows) {
-      double d = static_cast<double>(n) - mean;
-      var += d * d;
-    }
-    var /= static_cast<double>(windows.size());
-    fallback_stats[admin] = {mean, std::sqrt(var)};
-  }
   for (size_t i = 0; i < events.size(); ++i) {
     const auto& event = events[i];
     auto baseline = baseline_rate_.find(event.admin);
-    auto [mean, stddev] = baseline != baseline_rate_.end()
-                              ? baseline->second
-                              : (has_global_rate_ ? global_rate_ : fallback_stats[event.admin]);
+    const bool known = baseline != baseline_rate_.end();
+    auto [mean, stddev] = known ? baseline->second
+                                : (has_global_rate_ ? global_rate_
+                                                    : std::pair<double, double>(0.0, 0.0));
     uint64_t window = event.time_ns / options_.window_ns;
     double n = static_cast<double>(admin_window_counts[event.admin][window]);
     bool burst;
@@ -117,12 +108,16 @@ std::vector<AnomalyScore> AnomalyDetector::Analyze(
       burst = (n - mean) / stddev > options_.rate_zscore_threshold;
     } else {
       // A perfectly steady baseline: any window several times the habitual
-      // rate is a burst.
-      burst = mean > 0.0 && n > 4.0 * mean + 2.0;
+      // rate is a burst. The +2 grace keeps a one-off pair of extra
+      // requests quiet; at mean 0 — an admin with no usable history —
+      // anything past the grace flags. The old `mean > 0.0` guard turned a
+      // zero-mean baseline into a free pass instead of the tightest one.
+      burst = n > 4.0 * mean + 2.0;
     }
     if (burst && !scores[i].flagged) {
       scores[i].flagged = true;
-      scores[i].reason = "request-rate burst";
+      scores[i].reason =
+          known ? "request-rate burst" : "request-rate burst (no baseline for admin)";
     }
   }
   return scores;

@@ -64,7 +64,10 @@ class AnomalyDetector {
   // itself by inflating the statistics of the stream under analysis.
   std::map<std::string, std::pair<double, double>> baseline_rate_;
   // Pooled rate statistics across all baseline admins — the yardstick for
-  // admins with no individual history.
+  // admins with no individual history. When even this is missing (unfitted
+  // or empty baseline) an unknown admin is judged against a zero habitual
+  // rate, i.e. treated as suspicious by default; the analyzed stream is
+  // never its own yardstick.
   std::pair<double, double> global_rate_{0.0, 0.0};
   bool has_global_rate_ = false;
 };

@@ -16,6 +16,17 @@ witos::Pid ParsePidArg(const std::string& arg) {
   return pid;
 }
 
+// The endpoint a request names, for policy endpoint scoping: net_allow
+// carries it (name or address) as its first argument. Other verbs have no
+// endpoint and are never endpoint-scoped.
+const std::string& EndpointOf(const RpcRequest& request) {
+  static const std::string kNone;
+  if (request.method == kVerbNetAllow && !request.args.empty()) {
+    return request.args[0];
+  }
+  return kNone;
+}
+
 }  // namespace
 
 PermissionBroker::PermissionBroker(witos::Kernel* kernel, witos::Pid host_pid,
@@ -110,6 +121,8 @@ void PermissionBroker::EnableMetrics(witobs::MetricsRegistry* registry,
                     "Simulated latency of granted broker verb dispatch");
   registry->SetHelp("watchit_broker_events_dropped_total",
                     "Broker events evicted by the retention cap");
+  registry->SetHelp("watchit_broker_shadow_total",
+                    "Shadow verb-policy evaluations by verb and outcome vs the enforcing policy");
   events_dropped_ = registry->GetCounter("watchit_broker_events_dropped_total");
   dispatch_latency_ = registry->GetHistogram("watchit_broker_dispatch_latency_ns");
   for (const auto& shard : event_shards_) {
@@ -248,6 +261,42 @@ void PermissionBroker::CountRequest(const RpcRequest& request, bool allowed) {
       ->Increment();
 }
 
+void PermissionBroker::ShadowCheck(const RpcRequest& request, const std::string& ticket_class,
+                                   bool policy_allowed) {
+  std::optional<bool> mirror =
+      policy_->ShadowAllows(ticket_class, request.method, request.admin, EndpointOf(request));
+  if (!mirror.has_value()) {
+    return;
+  }
+  shadow_evaluated_.fetch_add(1, std::memory_order_relaxed);
+  const char* outcome;
+  if (*mirror == policy_allowed) {
+    shadow_agree_.fetch_add(1, std::memory_order_relaxed);
+    outcome = "agree";
+  } else if (!*mirror) {
+    shadow_would_block_.fetch_add(1, std::memory_order_relaxed);
+    outcome = "would_block";
+  } else {
+    shadow_would_allow_.fetch_add(1, std::memory_order_relaxed);
+    outcome = "would_allow";
+  }
+  if (metrics_ != nullptr) {
+    metrics_
+        ->GetCounter("watchit_broker_shadow_total",
+                     {{"verb", request.method}, {"outcome", outcome}})
+        ->Increment();
+  }
+}
+
+PermissionBroker::ShadowStats PermissionBroker::shadow_stats() const {
+  ShadowStats stats;
+  stats.evaluated = shadow_evaluated_.load(std::memory_order_relaxed);
+  stats.agree = shadow_agree_.load(std::memory_order_relaxed);
+  stats.would_block = shadow_would_block_.load(std::memory_order_relaxed);
+  stats.would_allow = shadow_would_allow_.load(std::memory_order_relaxed);
+  return stats;
+}
+
 std::string PermissionBroker::LogLine(const RpcRequest& request,
                                       const std::string& ticket_class, bool allowed) {
   std::string log_line = (allowed ? "GRANT " : "DENY ") + request.admin + " " +
@@ -263,8 +312,10 @@ RpcResponse PermissionBroker::Handle(const RpcRequest& request) {
   uint64_t now = kernel_->clock().now_ns();
   std::string ticket_class = TicketClassOf(request.ticket_id);
 
-  bool allowed = policy_->IsAllowed(ticket_class, request.method, request.admin) &&
-                 policy_->AdmitRate(ticket_class, request.admin, now);
+  bool policy_allowed =
+      policy_->IsAllowed(ticket_class, request.method, request.admin, EndpointOf(request));
+  bool allowed = policy_allowed && policy_->AdmitRate(ticket_class, request.admin, now);
+  ShadowCheck(request, ticket_class, policy_allowed);
 
   RecordEvent(MakeEvent(request, ticket_class, now, allowed));
   CountRequest(request, allowed);
@@ -309,8 +360,10 @@ RpcBatchResponse PermissionBroker::HandleBatch(const RpcBatchRequest& batch) {
   // audit records are computed per op...
   for (size_t i = 0; i < batch.ops.size(); ++i) {
     RpcRequest request = batch.SubRequest(i);
-    allowed[i] = policy_->IsAllowed(ticket_class, request.method, request.admin) &&
-                 policy_->AdmitRate(ticket_class, request.admin, now);
+    bool policy_allowed =
+        policy_->IsAllowed(ticket_class, request.method, request.admin, EndpointOf(request));
+    allowed[i] = policy_allowed && policy_->AdmitRate(ticket_class, request.admin, now);
+    ShadowCheck(request, ticket_class, policy_allowed);
     events.push_back(MakeEvent(request, ticket_class, now, allowed[i]));
     CountRequest(request, allowed[i]);
     log_lines.push_back(LogLine(request, ticket_class, allowed[i]));

@@ -7,6 +7,7 @@
 #ifndef SRC_BROKER_BROKER_H_
 #define SRC_BROKER_BROKER_H_
 
+#include <atomic>
 #include <deque>
 #include <functional>
 #include <map>
@@ -130,6 +131,21 @@ class PermissionBroker {
   void set_event_capacity(size_t capacity);
   size_t dropped_events() const;
 
+  // Shadow-policy accounting (witmine, DESIGN.md §17): how often the mined
+  // shadow verb policy agreed with the enforcing one per request.
+  // would_block = shadow would deny a request the enforcing policy granted
+  // (candidate privilege reduction); would_allow = shadow looser than the
+  // enforcing policy. The comparison is against the pure policy verdict —
+  // rate-limit denials are not divergences, and shadow evaluation never
+  // consumes rate budget.
+  struct ShadowStats {
+    uint64_t evaluated = 0;
+    uint64_t agree = 0;
+    uint64_t would_block = 0;
+    uint64_t would_allow = 0;
+  };
+  ShadowStats shadow_stats() const;
+
  private:
   // One shard of the bounded event window: a deque so the cap evicts from
   // the front in O(1) (the old vector erase was O(window) per append —
@@ -172,6 +188,10 @@ class PermissionBroker {
   BrokerEvent MakeEvent(const RpcRequest& request, const std::string& ticket_class,
                         uint64_t now, bool allowed);
   void CountRequest(const RpcRequest& request, bool allowed);
+  // Consults the shadow policy (if one covers the class) and accounts the
+  // divergence from the enforcing verdict; never changes the outcome.
+  void ShadowCheck(const RpcRequest& request, const std::string& ticket_class,
+                   bool policy_allowed);
   std::string LogLine(const RpcRequest& request, const std::string& ticket_class,
                       bool allowed);
 
@@ -197,6 +217,11 @@ class PermissionBroker {
   std::vector<std::unique_ptr<TicketShard>> ticket_shards_;
   std::map<std::string, VerbHandler> custom_verbs_;
   BindingListener binding_listener_;
+
+  std::atomic<uint64_t> shadow_evaluated_{0};
+  std::atomic<uint64_t> shadow_agree_{0};
+  std::atomic<uint64_t> shadow_would_block_{0};
+  std::atomic<uint64_t> shadow_would_allow_{0};
 
   // Observability wiring (all null when metrics are disabled).
   witobs::MetricsRegistry* metrics_ = nullptr;

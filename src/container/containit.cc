@@ -84,6 +84,9 @@ std::shared_ptr<witfs::Itfs> ContainIt::MakeItfs(Session* session,
                                             &kernel_->clock(), &kernel_->audit());
   itfs->oplog().set_capacity(oplog_capacity_);
   itfs->EnableMetrics(metrics_, session->ticket_id, tracer_);
+  if (session->spec.fs.shadow != nullptr) {
+    itfs->SetShadowPolicy(session->spec.fs.shadow);
+  }
   return itfs;
 }
 

@@ -44,6 +44,12 @@ struct FsView {
   // reads/writes are no longer in the ITFS log.
   bool passthrough = false;
 
+  // Optional mined shadow policy (witmine, DESIGN.md §17): evaluated by
+  // ITFS beside the installed policy on every gated operation, counting
+  // would-block / would-allow divergences without ever changing a verdict.
+  // Null = no shadow. Installed per class via witmine::InstallShadow.
+  std::shared_ptr<const witfs::CompiledPolicy> shadow;
+
   // The compile-then-install flow: folds `inspection` into a copy of
   // `policy` and compiles it. This is what ContainIT mounts; the builder
   // `policy` above stays the declarative source of truth. Compile warnings

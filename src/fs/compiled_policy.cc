@@ -48,6 +48,7 @@ CompiledPolicy::CompiledPolicy(const std::vector<ItfsRule>& rules, InspectionMod
   words_ = (n + 63) / 64;
   non_write_eligible_ = NewMask();
   deny_mask_ = NewMask();
+  terminal_mask_ = NewMask();
   any_signature_ = NewMask();
   class_masks_.assign(static_cast<size_t>(FileClass::kEncrypted) + 1, NewMask());
   trie_.emplace_back();  // node 0 = "/"
@@ -70,6 +71,9 @@ CompiledPolicy::CompiledPolicy(const std::vector<ItfsRule>& rules, InspectionMod
     }
     if (rule.action == RuleAction::kDeny) {
       SetBit(&deny_mask_, i);
+    }
+    if (rule.action != RuleAction::kLogOnly) {
+      SetBit(&terminal_mask_, i);  // deny and allow both end the legacy scan
     }
     for (const std::string& ext : rule.extensions) {
       auto [it, inserted] = ext_masks.try_emplace(ext, NewMask());
@@ -202,13 +206,14 @@ PolicyDecision CompiledPolicy::Finish(ItfsOpKind op, const std::string& path,
     }
   }
 
-  // First selector-matched deny bounds how far the legacy scan would get;
-  // custom detectors past it were never invoked there either.
+  // First selector-matched terminal (deny OR allow) bounds how far the
+  // legacy scan would get; custom detectors past it were never invoked
+  // there either.
   size_t limit = rules_.size();
   for (size_t w = 0; w < matched->size(); ++w) {
-    uint64_t denies = (*matched)[w] & deny_mask_[w];
-    if (denies != 0) {
-      limit = w * 64 + static_cast<size_t>(__builtin_ctzll(denies));
+    uint64_t terminals = (*matched)[w] & terminal_mask_[w];
+    if (terminals != 0) {
+      limit = w * 64 + static_cast<size_t>(__builtin_ctzll(terminals));
       break;
     }
   }
@@ -225,28 +230,31 @@ PolicyDecision CompiledPolicy::Finish(ItfsOpKind op, const std::string& path,
     }
     if (rule.custom(path, head)) {
       SetBit(matched, c);
-      if (rule.action == RuleAction::kDeny) {
+      if (rule.action != RuleAction::kLogOnly) {
         limit = c;
       }
     }
   }
 
-  size_t first_deny = rules_.size();
+  // The first matched terminal rule decides; log-only matches only name the
+  // decision when no terminal matched at all.
+  size_t first_terminal = rules_.size();
   size_t first_log = rules_.size();
-  for (size_t w = 0; w < matched->size() && first_deny == rules_.size(); ++w) {
-    uint64_t denies = (*matched)[w] & deny_mask_[w];
-    if (denies != 0) {
-      first_deny = w * 64 + static_cast<size_t>(__builtin_ctzll(denies));
+  for (size_t w = 0; w < matched->size() && first_terminal == rules_.size(); ++w) {
+    uint64_t terminals = (*matched)[w] & terminal_mask_[w];
+    if (terminals != 0) {
+      first_terminal = w * 64 + static_cast<size_t>(__builtin_ctzll(terminals));
     }
   }
   for (size_t w = 0; w < matched->size() && first_log == rules_.size(); ++w) {
-    uint64_t logs = (*matched)[w] & ~deny_mask_[w];
+    uint64_t logs = (*matched)[w] & ~terminal_mask_[w];
     if (logs != 0) {
       first_log = w * 64 + static_cast<size_t>(__builtin_ctzll(logs));
     }
   }
-  if (first_deny < rules_.size()) {
-    return {true, rules_[first_deny].name};
+  if (first_terminal < rules_.size()) {
+    const bool deny = ((deny_mask_[first_terminal / 64] >> (first_terminal % 64)) & 1) != 0;
+    return {deny, rules_[first_terminal].name};
   }
   if (first_log < rules_.size()) {
     return {false, rules_[first_log].name};
@@ -353,8 +361,8 @@ std::shared_ptr<const CompiledPolicy> ItfsPolicy::Compile(
       }
       for (size_t i = 0; i < j; ++i) {
         const ItfsRule& earlier = rules_[i];
-        if (earlier.action != RuleAction::kDeny) {
-          continue;  // log-only rules never stop the scan
+        if (earlier.action == RuleAction::kLogOnly) {
+          continue;  // log-only rules never stop the scan; deny/allow do
         }
         if (earlier.write_only && !later.write_only) {
           continue;  // the earlier rule skips ops the later one still sees
@@ -371,7 +379,7 @@ std::shared_ptr<const CompiledPolicy> ItfsPolicy::Compile(
         diag.rule_index = j;
         diag.earlier_index = i;
         diag.message = "rule '" + later.name + "' (#" + std::to_string(j) +
-                       ") can never fire: every access it matches is already denied by '" +
+                       ") can never fire: every access it matches is already decided by '" +
                        earlier.name + "' (#" + std::to_string(i) + ")";
         diagnostics->push_back(std::move(diag));
         break;  // one shadow report per rule is enough

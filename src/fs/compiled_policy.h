@@ -162,6 +162,7 @@ class CompiledPolicy {
 
   Mask non_write_eligible_;  // rules applicable to non-mutating ops
   Mask deny_mask_;           // rules with action kDeny
+  Mask terminal_mask_;       // rules that stop the scan (kDeny or kAllow)
   Mask any_signature_;       // rules with signature selectors (any class)
 
   std::vector<TrieNode> trie_;       // node 0 is "/"

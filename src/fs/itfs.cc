@@ -24,6 +24,68 @@ void Itfs::SwapPolicy(std::shared_ptr<const CompiledPolicy> policy) {
   policy_.store(std::move(policy), std::memory_order_release);
 }
 
+void Itfs::SetShadowPolicy(std::shared_ptr<const CompiledPolicy> shadow) {
+  shadow_.store(std::move(shadow), std::memory_order_release);
+}
+
+ShadowStats Itfs::shadow_stats() const {
+  ShadowStats stats;
+  stats.evaluated = shadow_evaluated_.load(std::memory_order_relaxed);
+  stats.agree = shadow_agree_.load(std::memory_order_relaxed);
+  stats.would_block = shadow_would_block_.load(std::memory_order_relaxed);
+  stats.would_allow = shadow_would_allow_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+std::vector<ShadowDivergence> Itfs::ShadowDivergences() const {
+  std::lock_guard<std::mutex> lock(shadow_mu_);
+  return {shadow_divergences_.begin(), shadow_divergences_.end()};
+}
+
+void Itfs::ShadowCheck(ItfsOpKind op, const std::string& path, const PolicyDecision& primary,
+                       std::string_view head) {
+  std::shared_ptr<const CompiledPolicy> shadow = shadow_.load(std::memory_order_acquire);
+  if (shadow == nullptr) {
+    return;
+  }
+  PolicyDecision mirror = shadow->Evaluate(op, path, head);
+  shadow_evaluated_.fetch_add(1, std::memory_order_relaxed);
+  if (mirror.deny == primary.deny) {
+    shadow_agree_.fetch_add(1, std::memory_order_relaxed);
+    if (shadow_counters_[0] != nullptr) {
+      shadow_counters_[0]->Increment();
+    }
+    return;
+  }
+  size_t outcome = mirror.deny ? 1 : 2;  // would_block : would_allow
+  (mirror.deny ? shadow_would_block_ : shadow_would_allow_)
+      .fetch_add(1, std::memory_order_relaxed);
+  if (shadow_counters_[outcome] != nullptr) {
+    shadow_counters_[outcome]->Increment();
+  }
+  ShadowDivergence div;
+  div.op = op;
+  div.path = path;
+  div.primary_deny = primary.deny;
+  div.primary_rule = primary.rule;
+  div.shadow_rule = mirror.rule;
+  {
+    std::lock_guard<std::mutex> lock(shadow_mu_);
+    shadow_divergences_.push_back(std::move(div));
+    if (shadow_divergences_.size() > kShadowDivergenceCapacity) {
+      shadow_divergences_.pop_front();
+    }
+  }
+  // The divergence also lands in the machine-lifetime audit trail, so
+  // benches and reports can attribute it after the session is gone.
+  if (audit_ != nullptr) {
+    audit_->Append(witos::AuditEvent::kSessionEvent, witos::kNoPid, invoker_.uid,
+                   "shadow-divergence " + ItfsOpKindName(op) + " " + path +
+                       (mirror.deny ? " would-block [" : " would-allow [") + mirror.rule + "]",
+                   clock_ != nullptr ? clock_->now_ns() : 0);
+  }
+}
+
 VerdictCacheStats Itfs::verdict_cache_stats() const {
   VerdictCacheStats stats;
   stats.hits = verdict_hits_.load(std::memory_order_relaxed);
@@ -97,6 +159,8 @@ void Itfs::EnableMetrics(witobs::MetricsRegistry* registry, const std::string& c
                     "Cached verdicts dropped because the file's generation changed");
   registry->SetHelp("watchit_policy_compile_ns",
                     "Wall nanoseconds spent compiling an ItfsPolicy into its automata");
+  registry->SetHelp("watchit_itfs_shadow_total",
+                    "Shadow-policy evaluations by outcome vs the installed policy");
   for (size_t op = 0; op < kNumOpKinds; ++op) {
     std::string op_name = ItfsOpKindName(static_cast<ItfsOpKind>(op));
     op_counters_[op][0] =
@@ -114,6 +178,12 @@ void Itfs::EnableMetrics(witobs::MetricsRegistry* registry, const std::string& c
   cache_misses_counter_ = registry->GetCounter("watchit_itfs_verdict_cache_misses");
   cache_invalidations_counter_ =
       registry->GetCounter("watchit_itfs_verdict_cache_invalidations");
+  shadow_counters_[0] =
+      registry->GetCounter("watchit_itfs_shadow_total", {{"outcome", "agree"}});
+  shadow_counters_[1] =
+      registry->GetCounter("watchit_itfs_shadow_total", {{"outcome", "would_block"}});
+  shadow_counters_[2] =
+      registry->GetCounter("watchit_itfs_shadow_total", {{"outcome", "would_allow"}});
   compile_ns_hist_ = registry->GetHistogram("watchit_policy_compile_ns");
   compile_ns_hist_->Observe(policy_snapshot()->compile_ns());
   oplog_.set_dropped_counter(registry->GetCounter("watchit_itfs_oplog_dropped_total"));
@@ -214,6 +284,7 @@ witos::Status Itfs::Gate(ItfsOpKind op, const std::string& path,
   if (!decided) {
     decision = policy->Evaluate(op, path, head);
   }
+  ShadowCheck(op, path, decision, head);
   if (metrics_ != nullptr) {
     size_t outcome = decision.deny ? 1 : 0;
     op_counters_[static_cast<size_t>(op)][outcome]->Increment();

@@ -44,6 +44,27 @@ struct VerdictCacheStats {
   size_t entries = 0;
 };
 
+// Shadow-enforcement accounting (witmine, DESIGN.md §17): every gated
+// operation is also evaluated under the shadow policy, and only the
+// disagreements are interesting — would_block is privilege the installed
+// policy grants but the shadow would not (candidate tightening), would_allow
+// is shadow looseness (a mining bug or a stale generation).
+struct ShadowStats {
+  uint64_t evaluated = 0;
+  uint64_t agree = 0;
+  uint64_t would_block = 0;  // shadow denies, installed policy allows
+  uint64_t would_allow = 0;  // shadow allows, installed policy denies
+};
+
+// One recorded disagreement between the installed policy and the shadow.
+struct ShadowDivergence {
+  ItfsOpKind op = ItfsOpKind::kOpen;
+  std::string path;
+  bool primary_deny = false;
+  std::string primary_rule;  // installed policy's matching rule (may be empty)
+  std::string shadow_rule;   // shadow policy's matching rule (may be empty)
+};
+
 class Itfs : public witos::Filesystem {
  public:
   // `invoker` is the host user who mounted ITFS (root for admin containers).
@@ -114,6 +135,23 @@ class Itfs : public witos::Filesystem {
     return policy_.load(std::memory_order_acquire);
   }
 
+  // Installs (or clears, with null) a shadow policy: every gated operation
+  // is additionally evaluated under it and divergences from the installed
+  // policy are counted — the verdict returned to the caller NEVER changes.
+  // Shadow policies are evaluated with whatever head bytes the primary gate
+  // fetched (none on verdict-cache hits), so extension/path-mode shadows —
+  // what the policy miner emits — are always exact; signature-mode shadows
+  // are best-effort.
+  void SetShadowPolicy(std::shared_ptr<const CompiledPolicy> shadow);
+  std::shared_ptr<const CompiledPolicy> shadow_snapshot() const {
+    return shadow_.load(std::memory_order_acquire);
+  }
+  ShadowStats shadow_stats() const;
+  // Bounded copy of recorded disagreements, oldest first (capacity
+  // kShadowDivergenceCapacity; older entries are dropped once full —
+  // shadow_stats() keeps the exact totals).
+  std::vector<ShadowDivergence> ShadowDivergences() const;
+
   VerdictCacheStats verdict_cache_stats() const;
 
   uint64_t Generation(const std::string& path) const override {
@@ -179,12 +217,27 @@ class Itfs : public witos::Filesystem {
                      VerdictEntry* out);
   void StoreVerdict(const std::string& path, VerdictEntry entry);
 
+  // Evaluates the shadow policy (if any) against the primary decision and
+  // accounts the divergence; never affects the returned verdict.
+  void ShadowCheck(ItfsOpKind op, const std::string& path, const PolicyDecision& primary,
+                   std::string_view head);
+
+  static constexpr size_t kShadowDivergenceCapacity = 1024;
+
   std::shared_ptr<witos::Filesystem> lower_;
   std::atomic<std::shared_ptr<const CompiledPolicy>> policy_;
+  std::atomic<std::shared_ptr<const CompiledPolicy>> shadow_{nullptr};
   witos::Credentials invoker_;
   witos::SimClock* clock_;
   witos::AuditLog* audit_;
   OpLog oplog_;
+
+  std::atomic<uint64_t> shadow_evaluated_{0};
+  std::atomic<uint64_t> shadow_agree_{0};
+  std::atomic<uint64_t> shadow_would_block_{0};
+  std::atomic<uint64_t> shadow_would_allow_{0};
+  mutable std::mutex shadow_mu_;
+  std::deque<ShadowDivergence> shadow_divergences_;
 
   mutable std::mutex verdict_mu_;
   std::unordered_map<std::string, VerdictEntry> verdict_cache_;
@@ -203,6 +256,7 @@ class Itfs : public witos::Filesystem {
   witobs::Counter* cache_hits_counter_ = nullptr;
   witobs::Counter* cache_misses_counter_ = nullptr;
   witobs::Counter* cache_invalidations_counter_ = nullptr;
+  witobs::Counter* shadow_counters_[3] = {};  // agree, would_block, would_allow
   witobs::Histogram* compile_ns_hist_ = nullptr;
   witobs::Histogram* op_latency_[kNumOpKinds] = {};    // simulated ns per op
 };

@@ -106,6 +106,9 @@ PolicyDecision ItfsPolicy::Evaluate(ItfsOpKind op, const std::string& path,
       if (rule.action == RuleAction::kDeny) {
         return {true, rule.name};
       }
+      if (rule.action == RuleAction::kAllow) {
+        return {false, rule.name};  // terminal: later rules never run
+      }
       if (log_rule.empty()) {
         log_rule = rule.name;
       }

@@ -21,7 +21,13 @@ struct CompileDiagnostic;
 
 enum class RuleAction {
   kDeny,     // block the access (EACCES) and log it
-  kLogOnly,  // allow but log with the rule's name
+  kLogOnly,  // allow but log with the rule's name; later rules still apply
+  // Terminal allow: the first matching allow rule decides the access and
+  // stops the scan, exactly like a deny with the opposite verdict. This is
+  // what makes allow-list policies expressible (witmine emits mined
+  // prefixes as allow rules above a final deny-everything): a kLogOnly
+  // rule deliberately never shields an access from later denies.
+  kAllow,
 };
 
 enum class ItfsOpKind {

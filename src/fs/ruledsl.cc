@@ -106,12 +106,14 @@ witos::Result<ParsedPolicy> ParseItfsPolicy(const std::string& text, std::string
       continue;
     }
 
-    if (head != "deny" && head != "log") {
+    if (head != "deny" && head != "log" && head != "allow") {
       Fail(error_out, line_no, "unknown action '" + head + "'");
       return witos::Err::kInval;
     }
     ItfsRule rule;
-    rule.action = head == "deny" ? RuleAction::kDeny : RuleAction::kLogOnly;
+    rule.action = head == "deny"  ? RuleAction::kDeny
+                  : head == "log" ? RuleAction::kLogOnly
+                                  : RuleAction::kAllow;
     bool has_selector = false;
     for (size_t i = 1; i < tokens.size(); ++i) {
       const std::string& token = tokens[i];

@@ -7,7 +7,7 @@
 //
 //   <action> <selector>[ <selector>...] [write-only] [name=<rule-name>]
 //
-//   action    := deny | log
+//   action    := deny | log | allow
 //   selector  := ext:<e1,e2,...>            match by file extension
 //              | signature:<class,...>      match by content class (see
 //                                           FileClassName: pdf, jpeg, png,
@@ -15,6 +15,11 @@
 //                                           elf, gzip, encrypted, text)
 //              | path:<p1,p2,...>           match by path prefix
 //   option    := write-only                 rule fires only on mutations
+//
+// `deny` and `allow` are terminal: the first matching one decides the
+// access. `log` records its name but never shields an access from later
+// rules. Allow-list policies (the policy miner's output) are therefore
+// spelled as allow rules above a final `deny path:/`.
 //
 // Directives:
 //   mode extension|signature                inspection mode

@@ -1,0 +1,309 @@
+#include "src/mine/miner.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/core/ticket_class.h"
+#include "src/fs/itfs_policy.h"
+#include "src/os/path.h"
+#include "src/workload/topology.h"
+
+namespace witmine {
+namespace {
+
+// One unit per grantable broker verb (the full verb vocabulary), used to
+// account an allow_all policy.
+constexpr size_t kAllBrokerVerbs = 9;
+
+// Path surface of a whole-root view: the provisioned top-level host
+// directories (machine.cc ProvisionFilesystem).
+constexpr size_t kWholeRootPathSurface = 6;
+
+bool IsPathPrefix(const std::string& prefix, const std::string& path) {
+  if (prefix == "/") {
+    return true;
+  }
+  if (path.size() < prefix.size() || path.compare(0, prefix.size(), prefix) != 0) {
+    return false;
+  }
+  return path.size() == prefix.size() || path[prefix.size()] == '/';
+}
+
+// First `depth` components of an absolute directory path.
+std::string TruncateToDepth(const std::string& dir, size_t depth) {
+  if (dir.size() <= 1 || depth == 0) {
+    return dir;
+  }
+  size_t components = 0;
+  for (size_t i = 1; i < dir.size(); ++i) {
+    if (dir[i] == '/') {
+      ++components;
+      if (components == depth) {
+        return dir.substr(0, i);
+      }
+    }
+  }
+  return dir;  // fewer than `depth` components already
+}
+
+// The mined prefix for one observed path: its directory, truncated. Files
+// directly under "/" keep their full path (a "/" prefix would allow all).
+std::string PrefixFor(const std::string& path, size_t depth) {
+  std::string dir = witos::Dirname(path);
+  if (dir.empty() || dir == "/") {
+    return path;
+  }
+  return TruncateToDepth(dir, depth);
+}
+
+// Extension of a path's leaf, or "" (leading-dot files have no extension).
+std::string ExtensionOf(const std::string& path) {
+  std::string base = witos::Basename(path);
+  size_t dot = base.rfind('.');
+  if (dot == std::string::npos || dot == 0 || dot + 1 == base.size()) {
+    return "";
+  }
+  return base.substr(dot + 1);
+}
+
+std::string JoinComma(const std::vector<std::string>& items) {
+  std::string out;
+  for (const std::string& item : items) {
+    if (!out.empty()) {
+      out += ",";
+    }
+    out += item;
+  }
+  return out;
+}
+
+}  // namespace
+
+witbroker::ClassPolicy MinedClassPolicy::BrokerPolicy() const {
+  witbroker::ClassPolicy policy;
+  policy.allowed_verbs = verbs;
+  // Scope endpoint-carrying verbs to the endpoints the class was observed
+  // contacting. Live net_allow requests name the endpoint by address
+  // (session escalation resolves the name first), so both forms go in.
+  for (const std::string& endpoint : endpoints) {
+    policy.allowed_endpoints.insert(endpoint);
+    const witload::OrgEndpoint* known = witload::EndpointByName(endpoint);
+    if (known != nullptr) {
+      policy.allowed_endpoints.insert(known->addr.ToString());
+    }
+  }
+  return policy;
+}
+
+MinedClassPolicy PolicyMiner::MineClass(const std::string& cls, const ClassTrace& trace,
+                                        uint64_t generation) const {
+  MinedClassPolicy mined;
+  mined.ticket_class = cls;
+  mined.generation = generation;
+  mined.process_mgmt = trace.process_mgmt;
+
+  // --- path generalization: collapse observed paths to prefixes ----------
+  std::vector<std::string> prefixes;
+  for (const auto& [path, stats] : trace.paths) {
+    prefixes.push_back(PrefixFor(path, options_.max_prefix_depth));
+  }
+  std::sort(prefixes.begin(), prefixes.end());
+  prefixes.erase(std::unique(prefixes.begin(), prefixes.end()), prefixes.end());
+  // Drop prefixes subsumed by a shorter one (sorted order puts the shorter
+  // candidate first).
+  std::vector<std::string> collapsed;
+  for (const std::string& prefix : prefixes) {
+    if (!collapsed.empty() && IsPathPrefix(collapsed.back(), prefix)) {
+      continue;
+    }
+    collapsed.push_back(prefix);
+  }
+  mined.prefixes = std::move(collapsed);
+
+  // A prefix is read-only when nothing under it was ever written.
+  std::map<std::string, uint64_t> prefix_writes;
+  for (const auto& [path, stats] : trace.paths) {
+    for (const std::string& prefix : mined.prefixes) {
+      if (IsPathPrefix(prefix, path)) {
+        prefix_writes[prefix] += stats.writes;
+        break;
+      }
+    }
+  }
+  for (const std::string& prefix : mined.prefixes) {
+    if (prefix_writes[prefix] == 0) {
+      mined.read_only.insert(prefix);
+    }
+  }
+
+  // --- extension clustering: never-written extensions with support -------
+  std::map<std::string, std::pair<uint64_t, uint64_t>> ext_stats;  // ext -> {reads, writes}
+  for (const auto& [path, stats] : trace.paths) {
+    std::string ext = ExtensionOf(path);
+    if (ext.empty()) {
+      continue;
+    }
+    ext_stats[ext].first += stats.reads;
+    ext_stats[ext].second += stats.writes;
+  }
+  for (const auto& [ext, stats] : ext_stats) {
+    if (stats.second == 0 && stats.first >= options_.min_ext_support) {
+      mined.read_only_extensions.push_back(ext);
+    }
+  }
+
+  // --- broker verbs and endpoints ----------------------------------------
+  for (const auto& [verb, count] : trace.verbs) {
+    if (count >= options_.min_verb_support) {
+      mined.verbs.insert(verb);
+    }
+  }
+  for (const auto& [endpoint, count] : trace.endpoints) {
+    mined.endpoints.push_back(endpoint);
+  }
+
+  // --- emit the ruledsl document ------------------------------------------
+  std::ostringstream dsl;
+  dsl << "# witmine generation " << mined.generation << " class " << cls << " ("
+      << trace.tickets << " tickets, " << trace.ops << " ops)\n";
+  dsl << "mode extension\n";
+  dsl << "log-all on\n";
+  // The §6.2 blanket hard constraints come first so mining can never
+  // loosen them.
+  dsl << "deny path:" << JoinComma(watchit::WatchItProtectedPaths())
+      << " name=hard-protect-watchit\n";
+  dsl << "deny ext:" << JoinComma(witfs::DocumentExtensions()) << " name=hard-no-documents\n";
+  if (!mined.read_only_extensions.empty()) {
+    dsl << "deny ext:" << JoinComma(mined.read_only_extensions)
+        << " write-only name=mined-ro-ext\n";
+  }
+  size_t n = 0;
+  for (const std::string& prefix : mined.prefixes) {
+    if (mined.read_only.count(prefix) > 0) {
+      dsl << "deny path:" << prefix << " write-only name=mined-ro-" << ++n << "\n";
+    }
+  }
+  n = 0;
+  for (const std::string& prefix : mined.prefixes) {
+    dsl << "allow path:" << prefix << " name=mined-allow-" << ++n << "\n";
+  }
+  dsl << "deny path:/ name=mined-default-deny\n";
+  mined.dsl = dsl.str();
+
+  auto parsed = witfs::ParseItfsPolicy(mined.dsl);
+  // The grammar above is emitted, not authored; a parse failure is a miner
+  // bug. Leave `compiled` null in that case so callers can detect it.
+  if (parsed.ok()) {
+    mined.compiled = parsed.value().compiled;
+    mined.rule_count = parsed.value().rule_count;
+  }
+  return mined;
+}
+
+MinedPolicySet PolicyMiner::MineTraces(const std::map<std::string, ClassTrace>& traces) {
+  MinedPolicySet set;
+  set.generation = ++generation_;
+  for (const auto& [cls, trace] : traces) {
+    MinedClassPolicy mined = MineClass(cls, trace, set.generation);
+    set.tickets_seen += trace.tickets;
+    set.classes.emplace(cls, std::move(mined));
+  }
+  return set;
+}
+
+MinedPolicySet PolicyMiner::Mine(const TraceRecorder& recorder) {
+  MinedPolicySet set = MineTraces(recorder.Merged());
+  set.tickets_excluded = recorder.excluded_count();
+  return set;
+}
+
+size_t ExcludeFlaggedTickets(const std::vector<witbroker::BrokerEvent>& events,
+                             const std::vector<witbroker::AnomalyScore>& scores,
+                             TraceRecorder* recorder) {
+  size_t newly_excluded = 0;
+  for (const witbroker::AnomalyScore& score : scores) {
+    if (!score.flagged || score.event_index >= events.size()) {
+      continue;
+    }
+    const std::string& ticket = events[score.event_index].ticket_id;
+    if (ticket.empty() || recorder->IsExcluded(ticket)) {
+      continue;
+    }
+    recorder->ExcludeTicket(ticket);
+    ++newly_excluded;
+  }
+  return newly_excluded;
+}
+
+void InstallShadow(const MinedPolicySet& set, witcontain::ImageRepository* images,
+                   witbroker::PolicyManager* broker_policy) {
+  if (images != nullptr) {
+    images->ForEach([&set](const std::string& cls, witcontain::PerforatedContainerSpec* spec) {
+      auto it = set.classes.find(cls);
+      spec->fs.shadow = it == set.classes.end() ? nullptr : it->second.compiled;
+    });
+  }
+  if (broker_policy != nullptr) {
+    broker_policy->ClearShadowPolicies();
+    for (const auto& [cls, mined] : set.classes) {
+      broker_policy->SetShadowPolicy(cls, mined.BrokerPolicy());
+    }
+  }
+}
+
+void ClearShadow(witcontain::ImageRepository* images, witbroker::PolicyManager* broker_policy) {
+  if (images != nullptr) {
+    images->ForEach([](const std::string&, witcontain::PerforatedContainerSpec* spec) {
+      spec->fs.shadow = nullptr;
+    });
+  }
+  if (broker_policy != nullptr) {
+    broker_policy->ClearShadowPolicies();
+  }
+}
+
+ClassSurface HandWrittenSurface(const witcontain::PerforatedContainerSpec& spec,
+                                const witbroker::ClassPolicy* broker) {
+  ClassSurface surface;
+  switch (spec.fs.kind) {
+    case witcontain::FsView::Kind::kWholeRoot:
+      surface.paths = kWholeRootPathSurface;
+      break;
+    case witcontain::FsView::Kind::kDirs:
+      surface.paths = spec.fs.visible_dirs.size();
+      break;
+    case witcontain::FsView::Kind::kPrivate:
+      surface.paths = 0;
+      break;
+  }
+  bool unscoped_net_allow = false;
+  if (broker != nullptr) {
+    surface.verbs = broker->allow_all ? kAllBrokerVerbs : broker->allowed_verbs.size();
+    unscoped_net_allow =
+        (broker->allow_all || broker->allowed_verbs.count(witbroker::kVerbNetAllow) > 0) &&
+        broker->allowed_endpoints.empty();
+  }
+  // A shared NET namespace reaches everything; so does an unscoped
+  // net_allow grant — the broker will punch a hole to any organizational
+  // endpoint on request. Both are charged the full fabric.
+  surface.endpoints = spec.net.share_host || unscoped_net_allow
+                          ? witload::AllOrgEndpoints().size()
+                          : spec.net.allowed.size();
+  surface.process_mgmt = spec.process_mgmt ? 1 : 0;
+  return surface;
+}
+
+ClassSurface MinedSurface(const MinedClassPolicy& mined,
+                          const witcontain::PerforatedContainerSpec& spec) {
+  ClassSurface surface;
+  surface.paths = mined.prefixes.size();
+  surface.verbs = mined.verbs.size();
+  // A shared NET namespace is a hole mining cannot shrink: count the full
+  // organizational fabric on both sides.
+  surface.endpoints =
+      spec.net.share_host ? witload::AllOrgEndpoints().size() : mined.endpoints.size();
+  surface.process_mgmt = spec.process_mgmt ? 1 : 0;
+  return surface;
+}
+
+}  // namespace witmine

@@ -1,0 +1,147 @@
+// witmine policy miner: generalizes observed per-class traces into a
+// minimal ITFS + broker policy per ticket class (ROADMAP "mined
+// least-privilege policies"; the BEACON-style auto-perforation loop).
+//
+// The pipeline is  trace -> mine -> shadow -> tighten  (DESIGN.md §17):
+//
+//   mine     Mine() collapses each class's observed paths into directory
+//            prefixes, clusters never-written extensions into write-only
+//            denies, and keeps exactly the broker verbs the class expressed.
+//            The policy is emitted as a ruledsl document and compiled, so a
+//            mined policy goes through the same parser, diagnostics and
+//            evaluator as a hand-written one.
+//   shadow   InstallShadow() hangs the compiled policy off each image's
+//            FsView::shadow and the broker's shadow map. ITFS and the
+//            broker then evaluate it beside the enforcing Table 3 policy on
+//            live traffic, counting would-block / would-allow divergences
+//            without changing any verdict.
+//   tighten  ExcludeFlaggedTickets() drops anomaly-flagged tickets from the
+//            recorder; the next Mine() generation shrinks accordingly.
+//
+// Mining is deterministic: the same recorded traces (in any order) produce
+// byte-identical DSL, so two miners fed the same seed agree exactly.
+
+#ifndef SRC_MINE_MINER_H_
+#define SRC_MINE_MINER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/broker/anomaly.h"
+#include "src/broker/policy.h"
+#include "src/container/image_repo.h"
+#include "src/fs/ruledsl.h"
+#include "src/mine/trace.h"
+
+namespace witmine {
+
+struct MinerOptions {
+  // Observed paths are collapsed to their directory, then truncated to at
+  // most this many components (/home/user/.matlab/license.lic -> /home/user
+  // at depth 2). Deeper = tighter policy, higher false-block risk; the
+  // bench sweeps this for the ROC curve.
+  size_t max_prefix_depth = 2;
+  // An extension becomes a write-only deny only when observed (and never
+  // written) at least this many times — one stray read is not a pattern.
+  uint64_t min_ext_support = 2;
+  // Broker verbs need at least this many observations to be granted.
+  uint64_t min_verb_support = 1;
+};
+
+// The mined policy for one ticket class.
+struct MinedClassPolicy {
+  std::string ticket_class;
+  uint64_t generation = 0;
+
+  // Allowed directory prefixes (sorted, subsumption-collapsed).
+  std::vector<std::string> prefixes;
+  // Subset of `prefixes` that were never written: they get a write-only
+  // deny ahead of their allow.
+  std::set<std::string> read_only;
+  // Extensions observed read-only with enough support -> write-only deny.
+  std::vector<std::string> read_only_extensions;
+
+  // Broker side of the mined policy.
+  std::set<std::string> verbs;
+  std::vector<std::string> endpoints;  // observed endpoint names, sorted
+  bool process_mgmt = false;
+
+  // The emitted ruledsl document and its compilation.
+  std::string dsl;
+  std::shared_ptr<const witfs::CompiledPolicy> compiled;
+  size_t rule_count = 0;
+
+  witbroker::ClassPolicy BrokerPolicy() const;
+};
+
+struct MinedPolicySet {
+  uint64_t generation = 0;
+  std::map<std::string, MinedClassPolicy> classes;
+  uint64_t tickets_seen = 0;
+  uint64_t tickets_excluded = 0;
+};
+
+class PolicyMiner {
+ public:
+  PolicyMiner() : PolicyMiner(MinerOptions()) {}
+  explicit PolicyMiner(MinerOptions options) : options_(options) {}
+
+  // Mines one policy generation from the recorder's merged (post-exclusion)
+  // view. Every call bumps the generation counter.
+  MinedPolicySet Mine(const TraceRecorder& recorder);
+  MinedPolicySet MineTraces(const std::map<std::string, ClassTrace>& traces);
+
+  const MinerOptions& options() const { return options_; }
+  uint64_t generation() const { return generation_; }
+
+ private:
+  MinedClassPolicy MineClass(const std::string& cls, const ClassTrace& trace,
+                             uint64_t generation) const;
+
+  MinerOptions options_;
+  uint64_t generation_ = 0;
+};
+
+// The anomaly -> tighten hook: excludes the ticket behind every flagged
+// event from the recorder. Returns how many tickets were newly excluded.
+size_t ExcludeFlaggedTickets(const std::vector<witbroker::BrokerEvent>& events,
+                             const std::vector<witbroker::AnomalyScore>& scores,
+                             TraceRecorder* recorder);
+
+// Installs / clears the mined set as the shadow policy: per-class compiled
+// ITFS policy on each registered image's FsView::shadow (picked up by the
+// next ContainIt deployment) and the broker-verb half on the policy
+// manager's shadow map (effective immediately). Never touches enforcement.
+void InstallShadow(const MinedPolicySet& set, witcontain::ImageRepository* images,
+                   witbroker::PolicyManager* broker_policy);
+void ClearShadow(witcontain::ImageRepository* images, witbroker::PolicyManager* broker_policy);
+
+// Privilege-surface accounting for the reduction metric: one unit per
+// reachable path root, per grantable broker verb, per reachable endpoint,
+// plus one for process management. share_host network views count every
+// organizational endpoint on both sides (mining cannot shrink a shared
+// namespace), so the comparison never flatters the miner. An UNSCOPED
+// net_allow grant (ClassPolicy::allowed_endpoints empty — every
+// hand-written Table 3 policy) also counts the full fabric: the broker
+// will punch a hole to any endpoint on request. Mined policies are
+// endpoint-scoped, so they count only the endpoints actually observed.
+struct ClassSurface {
+  size_t paths = 0;
+  size_t verbs = 0;
+  size_t endpoints = 0;
+  size_t process_mgmt = 0;
+  size_t total() const { return paths + verbs + endpoints + process_mgmt; }
+};
+
+ClassSurface HandWrittenSurface(const witcontain::PerforatedContainerSpec& spec,
+                                const witbroker::ClassPolicy* broker);
+ClassSurface MinedSurface(const MinedClassPolicy& mined,
+                          const witcontain::PerforatedContainerSpec& spec);
+
+}  // namespace witmine
+
+#endif  // SRC_MINE_MINER_H_

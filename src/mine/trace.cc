@@ -1,0 +1,143 @@
+#include "src/mine/trace.h"
+
+#include "src/os/path.h"
+#include "src/workload/topology.h"
+
+namespace witmine {
+
+TraceRecorder::TicketTrace& TraceRecorder::TraceFor(const std::string& ticket_id,
+                                                    const std::string& cls) {
+  TicketTrace& trace = tickets_[ticket_id];
+  if (trace.cls.empty()) {
+    trace.cls = cls;
+  }
+  return trace;
+}
+
+void TraceRecorder::RecordOps(const std::string& ticket_class, const std::string& ticket_id,
+                              const std::vector<witload::RequiredOp>& ops) {
+  TicketTrace& trace = TraceFor(ticket_id, ticket_class);
+  for (const witload::RequiredOp& op : ops) {
+    ++trace.ops;
+    // Mirrors AdminSession::TryInView: the same op either lands on the
+    // container's filesystem/network view or escalates to the broker verb
+    // the session would use.
+    switch (op.kind) {
+      case witload::OpKind::kReadFile:
+      case witload::OpKind::kListDir:
+        ++trace.paths[witos::NormalizePath(op.path)].reads;
+        if (op.beyond_view) {
+          ++trace.verbs[witbroker::kVerbReadFile];
+        }
+        break;
+      case witload::OpKind::kWriteFile:
+        ++trace.paths[witos::NormalizePath(op.path)].writes;
+        if (op.beyond_view) {
+          ++trace.verbs[witbroker::kVerbMountVolume];
+        }
+        break;
+      case witload::OpKind::kConnect:
+        ++trace.endpoints[op.endpoint_name];
+        if (op.beyond_view) {
+          ++trace.verbs[witbroker::kVerbNetAllow];
+        }
+        break;
+      case witload::OpKind::kListProcesses:
+        if (op.beyond_view) {
+          ++trace.verbs[witbroker::kVerbPs];
+        } else {
+          trace.process_mgmt = true;
+        }
+        break;
+      case witload::OpKind::kKillProcess:
+        if (op.beyond_view) {
+          ++trace.verbs[witbroker::kVerbKill];
+        } else {
+          trace.process_mgmt = true;
+        }
+        break;
+      case witload::OpKind::kRestartService:
+        if (op.beyond_view) {
+          ++trace.verbs[witbroker::kVerbRestartService];
+        } else {
+          trace.process_mgmt = true;
+        }
+        break;
+      case witload::OpKind::kReboot:
+        if (op.beyond_view) {
+          ++trace.verbs[witbroker::kVerbReboot];
+        } else {
+          trace.process_mgmt = true;
+        }
+        break;
+      case witload::OpKind::kInstallPackage:
+        // An install reaches the repository and drops the package under
+        // /usr/progs (the in-view path AdminSession writes).
+        if (!op.endpoint_name.empty()) {
+          ++trace.endpoints[op.endpoint_name];
+        } else {
+          ++trace.endpoints[witload::kSoftwareRepo.name];
+        }
+        ++trace.paths[witos::NormalizePath("/usr/progs/" + op.service)].writes;
+        if (op.beyond_view) {
+          ++trace.verbs[witbroker::kVerbInstall];
+        }
+        break;
+      case witload::OpKind::kDriverUpdate:
+        // TCB change: always the broker, never the view.
+        ++trace.verbs[witbroker::kVerbDriverUpdate];
+        break;
+    }
+  }
+}
+
+void TraceRecorder::RecordBrokerEvents(const std::vector<witbroker::BrokerEvent>& events) {
+  for (const witbroker::BrokerEvent& event : events) {
+    if (event.verb.empty()) {
+      continue;
+    }
+    TicketTrace& trace = TraceFor(event.ticket_id, event.ticket_class);
+    ++trace.ops;
+    ++trace.verbs[event.verb];
+    // File-bearing verbs also widen the observed path surface.
+    if (!event.args.empty() && (event.verb == witbroker::kVerbReadFile ||
+                                event.verb == witbroker::kVerbMountVolume)) {
+      ClassTrace::PathStats& stats = trace.paths[witos::NormalizePath(event.args[0])];
+      if (event.verb == witbroker::kVerbReadFile) {
+        ++stats.reads;
+      } else {
+        ++stats.writes;
+      }
+    }
+  }
+}
+
+void TraceRecorder::ExcludeTicket(const std::string& ticket_id) {
+  excluded_.insert(ticket_id);
+}
+
+std::map<std::string, ClassTrace> TraceRecorder::Merged() const {
+  std::map<std::string, ClassTrace> merged;
+  for (const auto& [ticket_id, trace] : tickets_) {
+    if (excluded_.count(ticket_id) > 0) {
+      continue;
+    }
+    ClassTrace& cls = merged[trace.cls];
+    ++cls.tickets;
+    cls.ops += trace.ops;
+    cls.process_mgmt = cls.process_mgmt || trace.process_mgmt;
+    for (const auto& [path, stats] : trace.paths) {
+      cls.paths[path].reads += stats.reads;
+      cls.paths[path].writes += stats.writes;
+    }
+    for (const auto& [verb, count] : trace.verbs) {
+      cls.verbs[verb] += count;
+    }
+    for (const auto& [endpoint, count] : trace.endpoints) {
+      cls.endpoints[endpoint] += count;
+    }
+  }
+  return merged;
+}
+
+}  // namespace witmine

@@ -54,6 +54,14 @@ class PageCache {
 
   void Clear();
 
+  // Resizes the cache; shrinking evicts oldest blocks immediately so the
+  // new budget holds (the eviction-sweep bench resizes a live cache).
+  void set_capacity(uint64_t capacity_bytes) {
+    capacity_ = capacity_bytes;
+    EvictUntil(capacity_);
+  }
+  uint64_t capacity() const { return capacity_; }
+
   uint64_t bytes() const { return bytes_; }
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }

@@ -1,0 +1,150 @@
+// Anomaly-detector regressions and edge coverage.
+//
+// Two of these pin real bugs found by the witmine shadow work:
+//  * the unknown-admin fallback used to compute its rate statistics from
+//    the analyzed stream itself, so a steady campaign from an admin with no
+//    baseline defined its own "normal" and was never flagged;
+//  * the zero-stddev burst heuristic carried a `mean > 0` guard, so a
+//    zero-mean baseline (unknown admin, zero prior) silently passed every
+//    rate instead of being the tightest baseline of all.
+
+#include "src/broker/anomaly.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace {
+
+using witbroker::AnomalyDetector;
+using witbroker::AnomalyScore;
+using witbroker::BrokerEvent;
+
+constexpr uint64_t kWindowNs = 60ull * 1000000000ull;  // detector default
+
+BrokerEvent Event(const std::string& admin, uint64_t time_ns,
+                  const std::string& cls = "T-5", const std::string& verb = "ps") {
+  BrokerEvent event;
+  event.admin = admin;
+  event.time_ns = time_ns;
+  event.ticket_id = "TKT-" + admin;
+  event.ticket_class = cls;
+  event.verb = verb;
+  event.granted = true;
+  return event;
+}
+
+// N events for one admin inside window `w`.
+void AddBurst(std::vector<BrokerEvent>* events, const std::string& admin, uint64_t w,
+              int n) {
+  for (int i = 0; i < n; ++i) {
+    events->push_back(Event(admin, w * kWindowNs + static_cast<uint64_t>(i) * 1000));
+  }
+}
+
+// Regression (stream-as-its-own-yardstick): an admin with no baseline at
+// all running a steady 8-requests-per-window campaign. The old fallback
+// fitted {mean 8, stddev 0} from the campaign itself, demanded n > 34, and
+// flagged nothing.
+TEST(AnomalyTest, UnknownAdminCampaignWithoutBaselineIsFlagged) {
+  AnomalyDetector detector;
+  detector.Fit({});  // no history at all: not even a pooled yardstick
+
+  std::vector<BrokerEvent> campaign;
+  for (uint64_t w = 0; w < 3; ++w) {
+    AddBurst(&campaign, "ghost", w, 8);
+  }
+  std::vector<AnomalyScore> scores = detector.Analyze(campaign);
+  ASSERT_EQ(scores.size(), campaign.size());
+  for (const AnomalyScore& score : scores) {
+    EXPECT_TRUE(score.flagged);
+    EXPECT_EQ(score.reason, "request-rate burst (no baseline for admin)");
+  }
+}
+
+// Regression (zero-mean guard): against a zero habitual rate the burst
+// test is n > 2 — three requests in a window flag, two stay quiet. The old
+// `mean > 0` guard made zero-mean a free pass (nothing ever flagged).
+TEST(AnomalyTest, ZeroMeanBurstBoundary) {
+  AnomalyDetector detector;
+  detector.Fit({});
+
+  std::vector<BrokerEvent> events;
+  AddBurst(&events, "three", 0, 3);
+  AddBurst(&events, "two", 0, 2);
+  std::vector<AnomalyScore> scores = detector.Analyze(events);
+  ASSERT_EQ(scores.size(), 5u);
+  for (const AnomalyScore& score : scores) {
+    const std::string& admin = events[score.event_index].admin;
+    if (admin == "three") {
+      EXPECT_TRUE(score.flagged) << "3 > 2 must flag at a zero-mean baseline";
+    } else {
+      EXPECT_FALSE(score.flagged) << "2 requests sit inside the +2 grace";
+    }
+  }
+}
+
+// Fit on an empty history must neither crash nor poison later analysis;
+// a single request from an unknown admin stays within the grace.
+TEST(AnomalyTest, FitOnEmptyHistory) {
+  AnomalyDetector detector;
+  detector.Fit({});
+  EXPECT_TRUE(detector.Analyze({}).empty());
+
+  BrokerEvent lone = Event("newcomer", 0);
+  double surprise = detector.Surprise(lone);
+  EXPECT_GE(surprise, 0.0);
+  std::vector<AnomalyScore> scores = detector.Analyze({lone});
+  ASSERT_EQ(scores.size(), 1u);
+  EXPECT_FALSE(scores[0].flagged);
+}
+
+// A baseline with a single occupied window has stddev 0: the steady-rate
+// heuristic takes over with threshold 4*mean + 2.
+TEST(AnomalyTest, SingleOccupiedWindowBaseline) {
+  AnomalyDetector detector;
+  std::vector<BrokerEvent> history;
+  AddBurst(&history, "steady", 0, 5);  // mean 5, stddev 0
+  detector.Fit(history);
+
+  std::vector<BrokerEvent> over;
+  AddBurst(&over, "steady", 10, 23);  // 23 > 4*5 + 2
+  std::vector<AnomalyScore> flagged = detector.Analyze(over);
+  ASSERT_FALSE(flagged.empty());
+  EXPECT_TRUE(flagged[0].flagged);
+  EXPECT_EQ(flagged[0].reason, "request-rate burst");
+
+  std::vector<BrokerEvent> at;
+  AddBurst(&at, "steady", 11, 22);  // exactly at the threshold: quiet
+  for (const AnomalyScore& score : detector.Analyze(at)) {
+    EXPECT_FALSE(score.flagged);
+  }
+}
+
+// An admin missing from the baseline is judged by the pooled cross-admin
+// rate, with the reason naming the missing baseline.
+TEST(AnomalyTest, UnknownAdminUsesPooledBaseline) {
+  AnomalyDetector detector;
+  std::vector<BrokerEvent> history;
+  AddBurst(&history, "a", 0, 4);
+  AddBurst(&history, "a", 1, 6);
+  AddBurst(&history, "b", 0, 5);
+  AddBurst(&history, "b", 1, 5);
+  detector.Fit(history);  // pooled: mean 5, stddev ~0.707
+
+  std::vector<BrokerEvent> hot;
+  AddBurst(&hot, "stranger", 20, 10);  // z ~ 7.1 > 4
+  std::vector<AnomalyScore> scores = detector.Analyze(hot);
+  ASSERT_FALSE(scores.empty());
+  EXPECT_TRUE(scores[0].flagged);
+  EXPECT_EQ(scores[0].reason, "request-rate burst (no baseline for admin)");
+
+  std::vector<BrokerEvent> mild;
+  AddBurst(&mild, "stranger", 21, 7);  // z ~ 2.8: within threshold
+  for (const AnomalyScore& score : detector.Analyze(mild)) {
+    EXPECT_FALSE(score.flagged);
+  }
+}
+
+}  // namespace

@@ -41,7 +41,10 @@ ItfsRule RandomRule(std::mt19937* rng, int index) {
 
   ItfsRule rule;
   rule.name = "r" + std::to_string(index);
-  rule.action = coin(*rng) != 0 ? RuleAction::kDeny : RuleAction::kLogOnly;
+  int action = d4(*rng);
+  rule.action = action == 0   ? RuleAction::kLogOnly
+                : action == 1 ? RuleAction::kAllow
+                              : RuleAction::kDeny;
   rule.write_only = d4(*rng) == 0;
   int num_ext = d4(*rng);
   for (int i = 0; i < num_ext; ++i) {

@@ -51,6 +51,36 @@ deny ext:conf write-only name=ro-conf
   EXPECT_TRUE(policy.Evaluate(ItfsOpKind::kWrite, "/etc/app.conf", "").deny);
 }
 
+TEST(RuleDslTest, AllowIsTerminalButLogIsNot) {
+  // An allow-list in the shape the policy miner emits: allow rules above a
+  // default deny. The first matching allow must decide the access; a log
+  // rule must not shield it from the deny.
+  const char* text = R"(
+log   path:/var name=watch-var
+allow path:/var/log name=mined-allow-1
+allow ext:txt name=mined-allow-txt
+deny  path:/ name=default-deny
+)";
+  auto parsed = ParseItfsPolicy(text);
+  ASSERT_TRUE(parsed.ok());
+  const ItfsPolicy& policy = parsed->policy;
+  auto allowed = policy.Evaluate(ItfsOpKind::kOpen, "/var/log/syslog", "");
+  EXPECT_FALSE(allowed.deny);
+  EXPECT_EQ(allowed.rule, "mined-allow-1");
+  EXPECT_FALSE(policy.Evaluate(ItfsOpKind::kOpen, "/home/notes.txt", "").deny);
+  // /var/run matches only the log rule, which grants no immunity: the
+  // default deny still fires.
+  auto denied = policy.Evaluate(ItfsOpKind::kOpen, "/var/run/app.pid", "");
+  EXPECT_TRUE(denied.deny);
+  EXPECT_EQ(denied.rule, "default-deny");
+  // The compiled evaluator agrees on all three.
+  ASSERT_NE(parsed->compiled, nullptr);
+  EXPECT_FALSE(parsed->compiled->Evaluate(ItfsOpKind::kOpen, "/var/log/syslog", "").deny);
+  EXPECT_EQ(parsed->compiled->Evaluate(ItfsOpKind::kOpen, "/var/log/syslog", "").rule,
+            "mined-allow-1");
+  EXPECT_TRUE(parsed->compiled->Evaluate(ItfsOpKind::kOpen, "/var/run/app.pid", "").deny);
+}
+
 TEST(RuleDslTest, ParsedPolicyWorksInsideItfs) {
   auto lower = std::make_shared<witos::MemFs>();
   lower->ProvisionFile("/home/report.pdf", "%PDF");
@@ -81,7 +111,7 @@ TEST_P(BadPolicy, Rejected) {
 
 INSTANTIATE_TEST_SUITE_P(
     Cases, BadPolicy,
-    ::testing::Values(BadPolicyCase{"allow ext:pdf\n", "unknown action"},
+    ::testing::Values(BadPolicyCase{"permit ext:pdf\n", "unknown action"},
                       BadPolicyCase{"deny\n", "no selector"},
                       BadPolicyCase{"deny gibberish\n", "not a selector"},
                       BadPolicyCase{"deny signature:virus\n", "unknown class"},
